@@ -1,0 +1,87 @@
+"""E10 (extension) - cost-model sensitivity.
+
+The virtual-time cost model is stated, not calibrated (DESIGN.md).  This
+experiment shows the *qualitative* conclusions do not hinge on the chosen
+constants: scaling the instrumentation prices from 0.25x to 4x moves
+absolute overheads proportionally but leaves every shape intact — the
+mechanism ordering, the RW >> SYNC gap, and the reduction factor's growth
+with compute size.
+"""
+
+import pytest
+
+from repro.apps import get_bug
+from repro.bench import format_table
+from repro.bench.overhead import overhead_row
+from repro.core.cost import DEFAULT_COST_MODEL
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+
+SCALES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = get_bug("mysql-atom-log")
+    rows = {}
+    for scale in SCALES:
+        rows[scale] = overhead_row(
+            spec,
+            SKETCH_ORDER,
+            seed=7,
+            ncpus=4,
+            cost_model=DEFAULT_COST_MODEL.scaled(scale),
+        )
+    return rows
+
+
+def test_e10_sensitivity_table(sweep, publish, benchmark):
+    def check():
+        rendered = []
+        for scale, row in sweep.items():
+            rendered.append(
+                [f"{scale}x"]
+                + [row.overhead_percent[sketch] for sketch in SKETCH_ORDER]
+                + [f"{row.reduction_vs_rw(SketchKind.SYNC):,.0f}x"]
+            )
+        return format_table(
+            ["cost scale"] + [f"{k.value} %" for k in SKETCH_ORDER] + ["RW/SYNC"],
+            rendered,
+            title="E10: overhead vs cost-model scale (mysql-atom-log, 4 CPUs)",
+        )
+
+    table = benchmark.pedantic(check, rounds=1, iterations=1)
+    publish("e10_cost_sensitivity", table)
+
+
+def test_e10_ordering_invariant_under_scaling(sweep, benchmark):
+    def check():
+        for scale, row in sweep.items():
+            overheads = [row.overhead_percent[sketch] for sketch in SKETCH_ORDER]
+            assert all(
+                a <= b + 1e-9 for a, b in zip(overheads, overheads[1:])
+            ), (scale, overheads)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e10_gap_invariant_under_scaling(sweep, benchmark):
+    def check():
+        for scale, row in sweep.items():
+            sync = row.overhead_percent[SketchKind.SYNC]
+            rw = row.overhead_percent[SketchKind.RW]
+            assert rw > 10 * max(sync, 1.0), (scale, sync, rw)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e10_overheads_scale_roughly_linearly(sweep, benchmark):
+    def check():
+        quarter = sweep[0.25].overhead_percent[SketchKind.RW]
+        full = sweep[1.0].overhead_percent[SketchKind.RW]
+        quadruple = sweep[4.0].overhead_percent[SketchKind.RW]
+        assert quarter < full < quadruple
+        # within a factor-2 band of proportionality
+        assert 2.0 < full / quarter < 8.0
+        assert 2.0 < quadruple / full < 8.0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

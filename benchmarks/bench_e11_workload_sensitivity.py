@@ -1,0 +1,120 @@
+"""E11 (extension) - workload-scale sensitivity of reproduction.
+
+The E3 attempt counts are measured at one workload size per app.  A fair
+question is whether sketch-guided reproduction only works at that size —
+e.g. whether more concurrent clients or longer runs blow up the search.
+This experiment re-runs the reproduction pipeline on one server, one
+desktop and one scientific bug at three workload scales each, asserting
+the qualitative result (reproduced within budget; RW still first-attempt)
+at every scale.
+"""
+
+import pytest
+
+from repro.apps import get_bug
+from repro.bench import format_table
+from repro.bench.seeds import find_failing_seed
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import SketchKind
+from repro.sim import MachineConfig
+
+CAP = 400
+
+#: (bug, scale label, build overrides)
+SCALES = [
+    ("mysql-atom-log", "small", {"workers": 3, "queries": 4}),
+    ("mysql-atom-log", "default", {}),
+    ("mysql-atom-log", "large", {"workers": 6, "queries": 9}),
+    ("pbzip2-order-free", "small", {"blocks": 4, "consumers": 2}),
+    ("pbzip2-order-free", "default", {}),
+    ("pbzip2-order-free", "large", {"blocks": 12, "consumers": 3}),
+    ("lu-atom-diag", "small", {"workers": 2, "cells": 2, "steps": 2}),
+    ("lu-atom-diag", "default", {}),
+    ("lu-atom-diag", "large", {"workers": 5, "cells": 5, "steps": 3}),
+]
+
+
+def _cell(spec, sketch, params):
+    seed = find_failing_seed(spec, **params)
+    if seed is None:
+        return None
+    recorded = record(
+        spec.make_program(**params),
+        sketch=sketch,
+        seed=seed,
+        config=MachineConfig(ncpus=4),
+        oracle=spec.oracle,
+    )
+    report = reproduce(recorded, ExplorerConfig(max_attempts=CAP))
+    return report
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for bug_id, label, params in SCALES:
+        spec = get_bug(bug_id)
+        sync_report = _cell(spec, SketchKind.SYNC, params)
+        rw_report = _cell(spec, SketchKind.RW, params)
+        rows.append((bug_id, label, params, sync_report, rw_report))
+    return rows
+
+
+def test_e11_workload_table(sweep, publish, benchmark):
+    def check():
+        rendered = []
+        for bug_id, label, params, sync_report, rw_report in sweep:
+            rendered.append(
+                [
+                    f"{bug_id}/{label}",
+                    sync_report.attempts if sync_report and sync_report.success
+                    else f">{CAP}",
+                    rw_report.attempts if rw_report and rw_report.success
+                    else f">{CAP}",
+                    sync_report.total_replay_steps if sync_report else "-",
+                ]
+            )
+        return format_table(
+            ["bug/scale", "sync attempts", "rw attempts", "sync replay steps"],
+            rendered,
+            title="E11: reproduction across workload scales (cap 400)",
+        )
+
+    table = benchmark.pedantic(check, rounds=1, iterations=1)
+    publish("e11_workload_sensitivity", table)
+
+
+def test_e11_every_scale_reproduces(sweep, benchmark):
+    def check():
+        for bug_id, label, params, sync_report, rw_report in sweep:
+            assert sync_report is not None, (bug_id, label, "no failing seed")
+            assert sync_report.success, (bug_id, label, "SYNC failed")
+            assert rw_report.success, (bug_id, label, "RW failed")
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e11_rw_first_attempt_at_every_scale(sweep, benchmark):
+    def check():
+        for bug_id, label, params, _, rw_report in sweep:
+            assert rw_report.attempts == 1, (bug_id, label)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e11_attempts_stay_bounded_as_workload_grows(sweep, benchmark):
+    def check():
+        by_bug = {}
+        for bug_id, label, params, sync_report, _ in sweep:
+            by_bug.setdefault(bug_id, {})[label] = sync_report.attempts
+        for bug_id, scales in by_bug.items():
+            # growing the workload must not blow the search up by more
+            # than an order of magnitude over the small configuration
+            assert scales["large"] <= max(10 * scales["small"], 60), (
+                bug_id,
+                scales,
+            )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""E1 - production-run recording overhead per sketch per application.
+
+Paper claim: PRES "significantly lowered the production-run recording
+overhead of previous approaches"; with synchronization or system-call
+sketching the overhead is small, while the full shared-access order (our
+RW mechanism, standing in for classical software deterministic replay) is
+orders of magnitude more expensive.  The expected shape is a monotone
+spectrum: NONE <= SYNC <= SYS <= FUNC <= BB << RW.
+"""
+
+import pytest
+
+from repro.apps import all_bugs, get_bug
+from repro.bench import format_table
+from repro.bench.overhead import overhead_matrix
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
+
+
+def test_e1_overhead_table(matrix, publish, benchmark):
+    def check():
+        rows = [
+            [row.bug_id]
+            + [row.overhead_percent[sketch] for sketch in SKETCH_ORDER]
+            for row in matrix
+        ]
+        table = format_table(
+            ["bug"] + [f"{k.value} %" for k in SKETCH_ORDER],
+            rows,
+            title="E1: recording overhead (% slowdown) per sketch, 4 CPUs",
+        )
+        publish("e1_recording_overhead", table)
+
+        for row in matrix:
+            overheads = [row.overhead_percent[sketch] for sketch in SKETCH_ORDER]
+            # the spectrum is monotone in information content
+            assert all(a <= b + 1e-9 for a, b in zip(overheads, overheads[1:])), (
+                row.bug_id,
+                overheads,
+            )
+            # RW (classical replay) is at least 10x SYNC everywhere
+            sync = row.overhead_percent[SketchKind.SYNC]
+            rw = row.overhead_percent[SketchKind.RW]
+            assert rw > 10 * max(sync, 1.0), (row.bug_id, sync, rw)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e1_sync_stays_cheap(matrix, benchmark):
+    def check():
+        # "with synchronization or system call sketching": every app records
+        # for under 100% overhead, most far less.
+        sync_overheads = [row.overhead_percent[SketchKind.SYNC] for row in matrix]
+        assert max(sync_overheads) < 100.0
+        assert sum(1 for o in sync_overheads if o < 40.0) >= len(matrix) // 2
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e1_recording_speed(benchmark):
+    """Timed portion: one recorded run of the largest server app."""
+    from repro.core.recorder import record
+    from repro.sim import MachineConfig
+
+    spec = get_bug("mysql-atom-log")
+    program = spec.make_program()
+
+    def record_once():
+        return record(program, SketchKind.SYNC, seed=7,
+                      config=MachineConfig(ncpus=4))
+
+    recorded = benchmark.pedantic(record_once, rounds=3, iterations=1)
+    assert recorded.stats.total_events > 0

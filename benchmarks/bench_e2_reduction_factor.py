@@ -1,0 +1,97 @@
+"""E2 - overhead reduction vs full-order recording ("by up to 4416 times").
+
+The paper's headline factor comes from its most favorable application: a
+compute-heavy program with almost no synchronization, where recording
+every shared access is ruinous but the sync sketch is nearly free.  We
+reproduce the *shape* by sweeping the scientific kernels up in size (sync
+counts stay constant while shared-access counts grow), reporting the
+reduction factor overhead(RW)/overhead(SYNC) per configuration and the
+suite-wide maximum.  Absolute factors depend on the cost model; what must
+hold is factors in the hundreds-to-thousands, growing with compute size.
+"""
+
+import pytest
+
+from repro.apps import all_bugs, get_bug
+from repro.bench import format_table
+from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
+from repro.core.sketches import SketchKind
+
+SKETCHES = (SketchKind.SYNC, SketchKind.SYS, SketchKind.RW)
+
+#: scaled-up scientific configurations: (bug, params) from small to large
+SWEEP = [
+    ("fft-order-sync", {"workers": 4, "seg": 8}),
+    ("fft-order-sync", {"workers": 4, "seg": 24}),
+    ("fft-order-sync", {"workers": 4, "seg": 48}),
+    ("fft-order-sync", {"workers": 4, "seg": 96}),
+    ("lu-atom-diag", {"workers": 4, "cells": 8, "steps": 3}),
+    ("lu-atom-diag", {"workers": 4, "cells": 24, "steps": 3}),
+    ("radix-order-rank", {"workers": 4, "seg": 32}),
+]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    rows = []
+    for bug_id, params in SWEEP:
+        spec = get_bug(bug_id)
+        row = overhead_row(spec, SKETCHES, seed=3, ncpus=4, **params)
+        rows.append((bug_id, params, row))
+    return rows
+
+
+def test_e2_reduction_sweep(sweep_rows, publish, benchmark):
+    def check():
+        rendered = []
+        for bug_id, params, row in sweep_rows:
+            rendered.append(
+                [
+                    f"{bug_id} {params}",
+                    row.overhead_percent[SketchKind.SYNC],
+                    row.overhead_percent[SketchKind.RW],
+                    f"{row.reduction_vs_rw(SketchKind.SYNC):,.0f}x",
+                ]
+            )
+        headline = max(
+            row.reduction_vs_rw(SketchKind.SYNC)
+            for _, _, row in sweep_rows
+            if row.overhead_percent[SketchKind.SYNC] > 0
+        )
+        table = format_table(
+            ["configuration", "sync %", "rw %", "reduction"],
+            rendered,
+            title=(
+                "E2: overhead reduction, SYNC sketch vs full-order recording "
+                f"(suite max: {headline:,.0f}x; paper: up to 4416x)"
+            ),
+        )
+        publish("e2_reduction_factor", table)
+        # the headline factor must reach the hundreds-to-thousands band
+        assert headline > 300, headline
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e2_reduction_grows_with_compute_size(sweep_rows, benchmark):
+    def check():
+        fft_rows = [
+            row for bug_id, params, row in sweep_rows if bug_id == "fft-order-sync"
+        ]
+        factors = [row.reduction_vs_rw(SketchKind.SYNC) for row in fft_rows]
+        assert factors == sorted(factors), factors
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e2_default_suite_reduction(publish, benchmark):
+    def check():
+        rows = overhead_matrix(all_bugs(), SKETCHES, seed=7, ncpus=4)
+        factor = max_reduction(rows, SketchKind.SYNC)
+        publish(
+            "e2_default_suite",
+            f"E2 (default-size suite): max reduction SYNC vs RW = {factor:,.0f}x",
+        )
+        assert factor > 50
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""E4 - recording overhead vs number of processors.
+
+Paper claim: "PRES scaled well with the number of processors".  Following
+the paper's methodology, the application runs with as many workers as
+processors at each point.  Expected shape: SYNC/SYS curves stay nearly
+flat (their log appends piggyback on operations that already serialize),
+while RW (full-order recording) degrades steeply because it manufactures
+serialization between naturally parallel memory accesses.
+"""
+
+import pytest
+
+from repro.apps import get_bug
+from repro.bench import format_table
+from repro.bench.scaling import scaling_curves
+from repro.core.sketches import SketchKind
+
+CPUS = (2, 4, 8, 16)
+SKETCHES = (SketchKind.SYNC, SketchKind.SYS, SketchKind.RW)
+
+
+def _fft_for(ncpus):
+    return get_bug("fft-order-sync").make_program(workers=ncpus, seg=6)
+
+
+def _mysql_for(ncpus):
+    return get_bug("mysql-atom-log").make_program(workers=ncpus, queries=4)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    fft = scaling_curves(get_bug("fft-order-sync"), _fft_for, SKETCHES, CPUS)
+    mysql = scaling_curves(get_bug("mysql-atom-log"), _mysql_for, SKETCHES, CPUS)
+    return {"fft": fft, "mysql": mysql}
+
+
+def test_e4_scaling_figure(curves, publish, benchmark):
+    def check():
+        rows = []
+        for app, app_curves in curves.items():
+            for curve in app_curves:
+                rows.append(
+                    [f"{app}/{curve.sketch.value}"]
+                    + [f"{p.overhead_percent:.1f}" for p in curve.points]
+                )
+        table = format_table(
+            ["app/sketch"] + [f"{n} cpus %" for n in CPUS],
+            rows,
+            title="E4: recording overhead vs processors (workers = ncpus)",
+        )
+        publish("e4_scalability", table)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("app", ["fft", "mysql"])
+def test_e4_sync_scales_rw_does_not(curves, app, benchmark):
+    def check():
+        by_sketch = {c.sketch: c for c in curves[app]}
+        sync = by_sketch[SketchKind.SYNC]
+        rw = by_sketch[SketchKind.RW]
+        # RW's absolute overhead dwarfs SYNC's at every point ...
+        for sync_point, rw_point in zip(sync.points, rw.points):
+            assert rw_point.overhead_percent > 8 * max(sync_point.overhead_percent, 1.0)
+        # ... and RW at 16 CPUs is several times its own 2-CPU overhead,
+        # while SYNC stays within a small constant factor.
+        assert rw.growth > 2.5, rw.overheads()
+        assert sync.points[-1].overhead_percent < 120, sync.overheads()
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e4_measurement_speed(benchmark):
+    """Timed portion: one 16-CPU recorded run."""
+    from repro.core.recorder import record
+    from repro.sim import MachineConfig
+
+    def record_once():
+        return record(_fft_for(16), SketchKind.RW, seed=3,
+                      config=MachineConfig(ncpus=16))
+
+    recorded = benchmark.pedantic(record_once, rounds=3, iterations=1)
+    assert recorded.stats.overhead_percent > 0

@@ -1,0 +1,91 @@
+"""E5 - the feedback-generation ablation.
+
+Paper claim: "PRES's feedback generation from unsuccessful replays is
+critical in bug reproduction."  Both arms enforce the same SYNC sketch;
+the ablated arm simply re-rolls the unrecorded scheduling choices with a
+fresh seed each attempt instead of mining failed attempts for race flips.
+The expected shape: feedback reproduces every bug, never does worse in
+aggregate, and on the hard bugs (rare manifestations) the ablated arm
+needs many times more attempts or exhausts its budget.
+"""
+
+import pytest
+
+from repro.apps import all_bugs
+from repro.bench import format_table
+from repro.bench.attempts import attempts_matrix
+from repro.core.sketches import SketchKind
+
+CAP = 400
+
+
+@pytest.fixture(scope="module")
+def arms():
+    with_feedback = attempts_matrix(
+        all_bugs(), (SketchKind.SYNC,), max_attempts=CAP, use_feedback=True
+    )
+    without_feedback = attempts_matrix(
+        all_bugs(), (SketchKind.SYNC,), max_attempts=CAP, use_feedback=False
+    )
+    return with_feedback, without_feedback
+
+
+def test_e5_ablation_table(arms, publish, benchmark):
+    def check():
+        with_fb, without_fb = arms
+        rows = []
+        for fb_row, nofb_row in zip(with_fb, without_fb):
+            fb = fb_row.cells[SketchKind.SYNC]
+            nofb = nofb_row.cells[SketchKind.SYNC]
+            ratio = (nofb.attempts / fb.attempts) if fb.success else float("inf")
+            rows.append(
+                [
+                    fb_row.bug_id,
+                    fb.render(),
+                    nofb.render(),
+                    f"{ratio:.1f}x" if nofb.success else f">{ratio:.1f}x",
+                ]
+            )
+        table = format_table(
+            ["bug", "feedback", "no feedback", "ratio"],
+            rows,
+            title=f"E5: attempts with vs without feedback (SYNC sketch, cap {CAP})",
+        )
+        publish("e5_feedback_ablation", table)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e5_feedback_reproduces_everything(arms, benchmark):
+    def check():
+        with_fb, _ = arms
+        for row in with_fb:
+            assert row.cells[SketchKind.SYNC].success, row.bug_id
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e5_feedback_wins_in_aggregate(arms, benchmark):
+    def check():
+        with_fb, without_fb = arms
+        fb_total = sum(r.cells[SketchKind.SYNC].attempts for r in with_fb)
+        nofb_total = sum(r.cells[SketchKind.SYNC].attempts for r in without_fb)
+        assert fb_total < nofb_total, (fb_total, nofb_total)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e5_feedback_critical_on_hard_bugs(arms, benchmark):
+    def check():
+        # On at least a few bugs the ablated arm needs >=3x the attempts (or
+        # fails outright) - the "critical" part of the claim.
+        with_fb, without_fb = arms
+        much_worse = 0
+        for fb_row, nofb_row in zip(with_fb, without_fb):
+            fb = fb_row.cells[SketchKind.SYNC]
+            nofb = nofb_row.cells[SketchKind.SYNC]
+            if not nofb.success or nofb.attempts >= 3 * fb.attempts:
+                much_worse += 1
+        assert much_worse >= 3, f"feedback only mattered on {much_worse} bugs"
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""E6 - sketch log sizes.
+
+The paper reports tiny logs for SYNC/SYS sketching and large ones for
+full-order recording; log size is the second face of recording cost
+(production machines must also *store* the sketch).  Expected shape:
+bytes grow monotonically across the spectrum, and SYNC logs are at least
+an order of magnitude smaller than RW logs on every app.
+"""
+
+import pytest
+
+from repro.apps import all_bugs
+from repro.bench import format_table
+from repro.bench.overhead import overhead_matrix
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
+
+
+def test_e6_log_size_table(matrix, publish, benchmark):
+    def check():
+        rows = [
+            [row.bug_id, row.total_events]
+            + [row.log_bytes[sketch] for sketch in SKETCH_ORDER]
+            for row in matrix
+        ]
+        table = format_table(
+            ["bug", "events"] + [f"{k.value} B" for k in SKETCH_ORDER],
+            rows,
+            title="E6: sketch log size (bytes) per mechanism",
+        )
+        publish("e6_log_size", table)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e6_sizes_monotone_in_information(matrix, benchmark):
+    def check():
+        for row in matrix:
+            entries = [row.entries[sketch] for sketch in SKETCH_ORDER]
+            assert entries == sorted(entries), (row.bug_id, entries)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e6_sync_logs_are_small(matrix, benchmark):
+    def check():
+        # Every app's SYNC log is at least 2x smaller than its RW log;
+        # for most apps (everything but the lock-dominated deadlock
+        # server) the gap is 4x or more.
+        big_gap = 0
+        for row in matrix:
+            sync_bytes = row.log_bytes[SketchKind.SYNC]
+            rw_bytes = row.log_bytes[SketchKind.RW]
+            assert sync_bytes * 2 <= rw_bytes, (row.bug_id, sync_bytes, rw_bytes)
+            if sync_bytes * 4 <= rw_bytes:
+                big_gap += 1
+        assert big_gap >= len(matrix) // 2, big_gap
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e6_entry_density(matrix, publish, benchmark):
+    def check():
+        lines = ["E6b: log entries per 1000 executed operations"]
+        for row in matrix:
+            sync_density = 1000.0 * row.entries[SketchKind.SYNC] / row.total_events
+            rw_density = 1000.0 * row.entries[SketchKind.RW] / row.total_events
+            lines.append(
+                f"  {row.bug_id:24s} sync {sync_density:7.1f}   rw {rw_density:7.1f}"
+            )
+            assert sync_density < rw_density
+        publish("e6_entry_density", "\n".join(lines))
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e6_serialization_speed(benchmark):
+    """Timed portion: binary round trip of a large RW log."""
+    from repro.apps import get_bug
+    from repro.core.recorder import record
+    from repro.core.sketchlog import SketchLog
+
+    recorded = record(
+        get_bug("fft-order-sync").make_program(workers=4, seg=24),
+        SketchKind.RW,
+        seed=3,
+    )
+
+    def round_trip():
+        return SketchLog.from_bytes(recorded.log.to_bytes())
+
+    restored = benchmark.pedantic(round_trip, rounds=5, iterations=1)
+    assert restored.entries == recorded.log.entries

@@ -1,0 +1,116 @@
+"""E9 (extension) - exploration-strategy ablation.
+
+Beyond the paper's feedback-vs-none ablation (E5), this compares three
+ways of exploring the space a SYNC sketch leaves open:
+
+* ``feedback``  - PRES proper: race-directed flips mined from failures;
+* ``random``    - re-roll every unconstrained choice uniformly per attempt;
+* ``pct``       - PCT-style priority schedules (Burckhardt et al.), the
+  strongest published stress baseline for ordering bugs.
+
+Expected shape: PCT beats uniform random on low-depth ordering bugs (it
+concentrates probability on few-ordering-point schedules), but feedback
+dominates in aggregate because it *learns* the specific races that
+matter.
+"""
+
+import pytest
+
+from repro.apps import all_bugs
+from repro.bench import format_table
+from repro.bench.attempts import attempts_row
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import SketchKind
+from repro.bench.seeds import find_failing_seed
+from repro.sim import MachineConfig
+
+CAP = 400
+
+
+def _attempts_for(spec, use_feedback, base_policy):
+    seed = find_failing_seed(spec)
+    recorded = record(
+        spec.make_program(),
+        SketchKind.SYNC,
+        seed=seed,
+        config=MachineConfig(ncpus=4),
+        oracle=spec.oracle,
+    )
+    report = reproduce(
+        recorded,
+        ExplorerConfig(max_attempts=CAP),
+        use_feedback=use_feedback,
+        base_policy=base_policy,
+    )
+    return report.attempts if report.success else None
+
+
+@pytest.fixture(scope="module")
+def strategy_table():
+    table = {}
+    for spec in all_bugs():
+        table[spec.bug_id] = {
+            "feedback": _attempts_for(spec, True, "random"),
+            "random": _attempts_for(spec, False, "random"),
+            "pct": _attempts_for(spec, False, "pct"),
+        }
+    return table
+
+
+def test_e9_strategy_table(strategy_table, publish, benchmark):
+    def check():
+        rows = []
+        for bug_id, cells in strategy_table.items():
+            rows.append(
+                [bug_id]
+                + [
+                    str(cells[s]) if cells[s] is not None else f">{CAP}"
+                    for s in ("feedback", "random", "pct")
+                ]
+            )
+        return format_table(
+            ["bug", "feedback", "random", "pct"],
+            rows,
+            title=f"E9: attempts by exploration strategy (SYNC sketch, cap {CAP})",
+        )
+
+    table = benchmark.pedantic(check, rounds=1, iterations=1)
+    publish("e9_exploration_strategies", table)
+
+
+def test_e9_feedback_dominates_in_aggregate(strategy_table, benchmark):
+    def check():
+        def total(strategy):
+            return sum(
+                cells[strategy] if cells[strategy] is not None else CAP
+                for cells in strategy_table.values()
+            )
+
+        fb, rnd, pct = total("feedback"), total("random"), total("pct")
+        assert fb <= rnd and fb <= pct, (fb, rnd, pct)
+        return fb, rnd, pct
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e9_feedback_always_succeeds(strategy_table, benchmark):
+    def check():
+        for bug_id, cells in strategy_table.items():
+            assert cells["feedback"] is not None, bug_id
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e9_pct_beats_random_somewhere(strategy_table, benchmark):
+    def check():
+        wins = sum(
+            1
+            for cells in strategy_table.values()
+            if cells["pct"] is not None
+            and (cells["random"] is None or cells["pct"] < cells["random"])
+        )
+        assert wins >= 2, f"PCT only won on {wins} bugs"
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""T1 - the evaluated applications and bugs (paper Table 1).
+
+Regenerates the suite inventory: 11 applications (4 servers, 3
+desktop/client, 4 scientific/graphics), 13 bugs with their types, plus two
+columns the paper's table implies but our substrate makes explicit: the
+bug's manifestation rate under unconstrained scheduling and one verified
+failing production seed.
+"""
+
+import pytest
+
+from repro.apps import all_bugs
+from repro.bench import failure_rate, find_failing_seed, format_table
+
+
+@pytest.fixture(scope="module")
+def suite_rows():
+    rows = []
+    for spec in all_bugs():
+        seed = find_failing_seed(spec)
+        rate = failure_rate(spec, samples=100)
+        rows.append(
+            [
+                spec.bug_id,
+                spec.app,
+                spec.category,
+                spec.bug_type + (" (multi-var)" if spec.multi_variable else ""),
+                f"{rate * 100:.0f}%",
+                seed if seed is not None else "none",
+            ]
+        )
+    return rows
+
+
+def test_t1_suite_shape(suite_rows, publish, benchmark):
+    def check():
+        table = format_table(
+            ["bug", "app", "category", "type", "fail rate", "failing seed"],
+            suite_rows,
+            title="T1: applications and bugs (11 apps, 13 bugs)",
+        )
+        publish("t1_bug_suite", table)
+        assert len(suite_rows) == 13
+        assert len({row[1] for row in suite_rows}) == 11
+        assert all(row[5] != "none" for row in suite_rows), "every bug must manifest"
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_t1_seed_search_speed(benchmark):
+    """Timed portion: how long finding a failing run takes for one app."""
+    from repro.bench.seeds import _run_fails
+    from repro.apps import get_bug
+
+    spec = get_bug("fft-order-sync")
+
+    def search():
+        for seed in range(60):
+            if _run_fails(spec, seed, ncpus=4):
+                return seed
+        return None
+
+    found = benchmark.pedantic(search, rounds=1, iterations=1)
+    assert found is not None

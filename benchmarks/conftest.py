@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every experiment writes its rendered table to ``benchmarks/results/`` so
+EXPERIMENTS.md can quote the exact artifacts, and prints it (visible with
+``pytest -s`` or on failure).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """publish(experiment_id, text): print and persist a result table."""
+
+    def _publish(experiment_id: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{experiment_id}.txt").write_text(text + "\n",
+                                                          encoding="utf-8")
+
+    return _publish

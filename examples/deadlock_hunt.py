@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hunting a lock-order-inversion deadlock in the miniOpenLDAP server.
+
+Deadlocks are the friendliest bug class for sketch-based replay: the SYNC
+sketch records exactly the lock operations whose order walks the system
+into the cycle, so replaying the sketch drives straight back into the
+deadlock — typically on the first attempt.  This example reproduces the
+inversion, prints the cycle, and verifies that the fixed lock ordering
+(`inversion=False`) survives the same schedules.
+
+Run:  python examples/deadlock_hunt.py
+"""
+
+from repro import ExplorerConfig, SketchKind, record, replay_complete, reproduce
+from repro.apps import get_bug
+from repro.sim import Machine, MachineConfig, RandomScheduler
+
+spec = get_bug("openldap-deadlock")
+program = spec.make_program()
+print(f"target: {spec.describe()}\n")
+
+# -- find a production deadlock -----------------------------------------------
+
+failing_seed = None
+for seed in range(200):
+    recorded = record(program, sketch=SketchKind.SYNC, seed=seed)
+    if recorded.failed:
+        failing_seed = seed
+        break
+assert failing_seed is not None
+print(f"production run {failing_seed} deadlocked:")
+print(f"  {recorded.failure.describe()}")
+print(f"  threads in the cycle: {recorded.failure.involved_tids}")
+print(f"  sketch: {len(recorded.log)} lock/thread events, "
+      f"{recorded.stats.log_bytes} bytes, "
+      f"overhead {recorded.stats.overhead_percent:.1f}%\n")
+
+# -- reproduce ----------------------------------------------------------------
+
+report = reproduce(recorded, ExplorerConfig(max_attempts=100))
+print(report.describe())
+assert report.success
+
+trace = replay_complete(program, report.complete_log)
+print(f"replayed deadlock: {trace.failure.describe()}")
+
+# Show the fatal tail: the last lock operations each deadlocked thread
+# performed before the machine proved the cycle.
+print("\nfatal tail (last lock events per deadlocked thread):")
+for tid in trace.failure.involved_tids:
+    lock_events = [
+        e for e in trace.events_of(tid) if e.kind.value in ("lock", "unlock")
+    ]
+    tail = " -> ".join(f"{e.kind.value}({e.obj})" for e in lock_events[-3:])
+    print(f"  T{tid}: {tail}")
+
+# -- verify the fix -----------------------------------------------------------
+
+fixed = spec.make_program(inversion=False)
+print("\nverifying the fixed lock ordering on 100 random schedules ...")
+for seed in range(100):
+    trace = Machine(fixed, RandomScheduler(seed), MachineConfig(ncpus=4)).run()
+    assert not trace.failed, f"fixed server still failed: {trace.failure.describe()}"
+print("fixed server: 100/100 clean runs")

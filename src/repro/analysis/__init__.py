@@ -1,0 +1,51 @@
+"""Offline analyses over execution traces.
+
+These are the substrate for PRES's *feedback generation*: after an
+unsuccessful replay attempt, the replayer mines the attempt's trace for
+unordered conflicting accesses (happens-before races) — each one is a
+scheduling decision the sketch did not pin down and therefore a candidate
+to flip on the next attempt.
+
+Also here: vector clocks, a lockset detector (used to lift flip points for
+lock-protected accesses up to the lock acquisitions), wait-for-graph
+deadlock analysis and trace diffing.
+"""
+
+from repro.analysis.hb_race import HBAnalysis, RacePair, find_races
+from repro.analysis.lockset import (
+    AddressProtection,
+    LocksetReport,
+    lockset_candidates,
+    lockset_report,
+)
+from repro.analysis.lockorder import (
+    LockOrderReport,
+    PotentialDeadlock,
+    lock_order_report,
+    predicts_deadlock,
+)
+from repro.analysis.timeline import failure_window, render_timeline
+from repro.analysis.tracediff import Divergence, first_divergence, same_execution
+from repro.analysis.vector_clock import VectorClock
+from repro.analysis.waitfor import WaitForGraph
+
+__all__ = [
+    "AddressProtection",
+    "Divergence",
+    "HBAnalysis",
+    "LockOrderReport",
+    "LocksetReport",
+    "PotentialDeadlock",
+    "RacePair",
+    "VectorClock",
+    "WaitForGraph",
+    "failure_window",
+    "find_races",
+    "first_divergence",
+    "lock_order_report",
+    "lockset_candidates",
+    "lockset_report",
+    "predicts_deadlock",
+    "render_timeline",
+    "same_execution",
+]

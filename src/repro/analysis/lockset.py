@@ -1,0 +1,120 @@
+"""Eraser-style lockset analysis.
+
+For every shared address, intersect the set of mutexes held across all
+accesses; an address whose candidate set goes empty while being accessed by
+more than one thread (with at least one write) is *inconsistently
+protected*.  PRES uses this two ways:
+
+* as a report surfaced to the diagnosing developer alongside a reproduced
+  bug (which variable was under-protected);
+* through :func:`lockset_candidates`, to decide where a race flip must be
+  applied: if both sides of a race hold a common mutex, the order can only
+  be changed by reordering the *lock acquisitions*, not the accesses
+  themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.hb_race import RacePair
+from repro.sim.ops import Address, OpKind
+from repro.sim.trace import Trace
+
+
+@dataclass
+class AddressProtection:
+    """Lockset summary for one address."""
+
+    addr: Address
+    candidate_set: FrozenSet[str]
+    accessing_tids: FrozenSet[int]
+    written: bool
+    accesses: int
+
+    @property
+    def inconsistent(self) -> bool:
+        """Shared, written, and no mutex protects every access."""
+        return (
+            not self.candidate_set
+            and len(self.accessing_tids) > 1
+            and self.written
+        )
+
+
+@dataclass
+class LocksetReport:
+    """Protection summaries for every address touched by a trace."""
+
+    by_address: Dict[Address, AddressProtection] = field(default_factory=dict)
+
+    def inconsistent_addresses(self) -> List[Address]:
+        return [
+            addr
+            for addr, prot in self.by_address.items()
+            if prot.inconsistent
+        ]
+
+
+_ACCESS_KINDS = frozenset(
+    {OpKind.READ, OpKind.WRITE, OpKind.RMW, OpKind.CAS, OpKind.FREE}
+)
+_WRITE_KINDS = frozenset({OpKind.WRITE, OpKind.RMW, OpKind.CAS, OpKind.FREE})
+
+
+def lockset_report(trace: Trace) -> LocksetReport:
+    """Run the lockset sweep over one trace."""
+    held: Dict[int, Set[str]] = {}
+    candidates: Dict[Address, Set[str]] = {}
+    tids: Dict[Address, Set[int]] = {}
+    written: Dict[Address, bool] = {}
+    counts: Dict[Address, int] = {}
+
+    for event in trace.events:
+        tid_held = held.setdefault(event.tid, set())
+        kind = event.kind
+        if kind is OpKind.LOCK or (kind is OpKind.TRYLOCK and event.value):
+            tid_held.add(event.obj)
+        elif kind is OpKind.WRLOCK:
+            # write mode protects like a mutex and also pairs with readers
+            tid_held.add(event.obj)
+            tid_held.add(f"{event.obj}:r")
+        elif kind is OpKind.RDLOCK:
+            tid_held.add(f"{event.obj}:r")
+        elif kind is OpKind.UNLOCK:
+            tid_held.discard(event.obj)
+        elif kind is OpKind.RWUNLOCK:
+            tid_held.discard(event.obj)
+            tid_held.discard(f"{event.obj}:r")
+        elif kind is OpKind.COND_WAIT:
+            tid_held.discard(event.obj[1])
+        elif kind in _ACCESS_KINDS:
+            addr = event.addr
+            if addr in candidates:
+                candidates[addr] &= tid_held
+            else:
+                candidates[addr] = set(tid_held)
+            tids.setdefault(addr, set()).add(event.tid)
+            written[addr] = written.get(addr, False) or kind in _WRITE_KINDS
+            counts[addr] = counts.get(addr, 0) + 1
+
+    report = LocksetReport()
+    for addr, cand in candidates.items():
+        report.by_address[addr] = AddressProtection(
+            addr=addr,
+            candidate_set=frozenset(cand),
+            accessing_tids=frozenset(tids[addr]),
+            written=written[addr],
+            accesses=counts[addr],
+        )
+    return report
+
+
+def lockset_candidates(race: RacePair) -> List[Tuple[Tuple[str, int], Tuple[str, int]]]:
+    """Common (mutex, acquisition) pairs protecting both sides of a race.
+
+    Empty means the accesses are directly reorderable; non-empty means a
+    flip must target the listed lock acquisitions instead.
+    """
+    return race.common_mutexes()

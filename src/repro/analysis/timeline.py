@@ -1,0 +1,131 @@
+"""ASCII timelines of executions.
+
+Renders a trace as one column per thread and one row per step — the view
+a developer actually wants when staring at a reproduced interleaving.
+Long traces are windowed (e.g. around the failure); uninteresting kinds
+can be filtered.
+
+::
+
+    step  T0            T1                T2
+    ----  ------------  ----------------  ----------------
+      12                read('buf_len')
+      13                                  read('buf_len')
+      14                wr('buf_len')
+      15                                  wr('buf_len')     <- lost update
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.events import Event
+from repro.sim.ops import OpKind
+from repro.sim.trace import Trace
+
+#: kinds hidden by default: pure bookkeeping that drowns the signal
+_DEFAULT_HIDDEN = frozenset(
+    {OpKind.LOCAL, OpKind.YIELD, OpKind.BASIC_BLOCK, OpKind.FUNC_ENTER,
+     OpKind.FUNC_EXIT}
+)
+
+_ABBREV = {
+    OpKind.READ: "rd",
+    OpKind.WRITE: "wr",
+    OpKind.RMW: "rmw",
+    OpKind.CAS: "cas",
+    OpKind.FREE: "free",
+    OpKind.LOCK: "lock",
+    OpKind.TRYLOCK: "try",
+    OpKind.UNLOCK: "unlk",
+    OpKind.RDLOCK: "rdlk",
+    OpKind.WRLOCK: "wrlk",
+    OpKind.RWUNLOCK: "rwun",
+    OpKind.SEM_ACQUIRE: "semP",
+    OpKind.SEM_RELEASE: "semV",
+    OpKind.BARRIER_WAIT: "barr",
+    OpKind.COND_WAIT: "wait",
+    OpKind.COND_SIGNAL: "sig",
+    OpKind.COND_BROADCAST: "bcast",
+    OpKind.SPAWN: "spawn",
+    OpKind.JOIN: "join",
+    OpKind.SYSCALL: "sys",
+    OpKind.ASSERT: "assert",
+}
+
+
+def _cell(event: Event) -> str:
+    tag = _ABBREV.get(event.kind, event.kind.value)
+    if event.addr is not None:
+        return f"{tag}({event.addr!r})"
+    if event.obj is not None:
+        return f"{tag}({event.obj!r})"
+    if event.name is not None:
+        return f"{tag}:{event.name}"
+    return tag
+
+
+def render_timeline(
+    trace: Trace,
+    start: int = 0,
+    end: Optional[int] = None,
+    hide: Iterable[OpKind] = _DEFAULT_HIDDEN,
+    mark: Optional[int] = None,
+    max_cell_width: int = 24,
+) -> str:
+    """Render events ``[start, end)`` as a per-thread timeline.
+
+    :param mark: a global index to flag with ``<-`` (e.g. the failure).
+    """
+    hidden = frozenset(hide)
+    events = [
+        e
+        for e in trace.events[start:end]
+        if e.kind not in hidden or e.gidx == mark
+    ]
+    tids = sorted({e.tid for e in events})
+    if not tids:
+        return "(no events in window)"
+
+    cells = {}
+    for event in events:
+        text = _cell(event)
+        if len(text) > max_cell_width:
+            text = text[: max_cell_width - 1] + "~"
+        cells[event.gidx] = (event.tid, text)
+
+    labels = {tid: trace.thread_label(tid) for tid in tids}
+    widths = {
+        tid: max(
+            [len(labels[tid])]
+            + [len(text) for gidx, (t, text) in cells.items() if t == tid]
+        )
+        for tid in tids
+    }
+
+    header = ["step".rjust(5)] + [labels[tid].ljust(widths[tid]) for tid in tids]
+    divider = ["-" * 5] + ["-" * widths[tid] for tid in tids]
+    lines = ["  ".join(header), "  ".join(divider)]
+    for event in events:
+        tid, text = cells[event.gidx]
+        row = [str(event.gidx).rjust(5)]
+        for col in tids:
+            row.append((text if col == tid else "").ljust(widths[col]))
+        line = "  ".join(row).rstrip()
+        if mark is not None and event.gidx == mark:
+            line += "   <- here"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def failure_window(trace: Trace, context: int = 12) -> str:
+    """Timeline of the last ``context`` interesting steps before the failure."""
+    if trace.failure is None or trace.failure.gidx is None:
+        return render_timeline(trace, max(0, len(trace.events) - context))
+    anchor = trace.failure.gidx
+    return render_timeline(
+        trace,
+        start=max(0, anchor - context),
+        end=min(len(trace.events), anchor + 3),
+        mark=anchor,
+    )

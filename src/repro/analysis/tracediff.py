@@ -1,0 +1,67 @@
+"""Trace comparison utilities.
+
+Used by tests (replay fidelity assertions) and by the replayer's
+diagnostics: when an attempt diverges, knowing *where* two executions first
+differ is the difference between a useful report and a wall of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point at which two traces disagree."""
+
+    index: int
+    left: Optional[str]
+    right: Optional[str]
+
+    def describe(self) -> str:
+        return (
+            f"traces diverge at event {self.index}: "
+            f"{self.left or '<end>'} vs {self.right or '<end>'}"
+        )
+
+
+def first_divergence(left: Trace, right: Trace) -> Optional[Divergence]:
+    """First index where the event signatures differ; None if identical.
+
+    Signatures (not values) are compared, matching the replayer's notion of
+    "the same program action".  A length difference with a common prefix
+    diverges at the shorter length.
+    """
+    for i, (a, b) in enumerate(zip(left.events, right.events)):
+        if a.signature() != b.signature():
+            return Divergence(i, a.describe(), b.describe())
+    if len(left.events) != len(right.events):
+        shorter = min(len(left.events), len(right.events))
+        longer_trace = left if len(left.events) > shorter else right
+        extra = longer_trace.events[shorter].describe()
+        if len(left.events) > shorter:
+            return Divergence(shorter, extra, None)
+        return Divergence(shorter, None, extra)
+    return None
+
+
+def same_execution(left: Trace, right: Trace, check_values: bool = True) -> bool:
+    """Whether two traces are the same execution.
+
+    With ``check_values`` the observed values (loads, syscall results) must
+    match too — the strong form used to validate deterministic replay.
+    """
+    if first_divergence(left, right) is not None:
+        return False
+    if check_values:
+        for a, b in zip(left.events, right.events):
+            if a.value != b.value:
+                return False
+        if left.final_memory != right.final_memory:
+            return False
+        if left.stdout != right.stdout:
+            return False
+    return True

@@ -1,0 +1,55 @@
+"""Wait-for graphs.
+
+A thin, testable wrapper over the "who is waiting on whom" relation the
+machine builds when it gets stuck.  Nodes are thread ids; an edge t -> u
+means t cannot proceed until u acts (u owns the mutex t wants, or t is
+joining u).  A cycle is a deadlock; stuck threads off any cycle are hangs
+(typically lost wakeups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class WaitForGraph:
+    """A functional wait-for graph (each thread waits on at most one)."""
+
+    edges: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[int, str] = field(default_factory=dict)
+
+    def add_wait(self, waiter: int, holder: int, resource: str = "") -> None:
+        self.edges[waiter] = holder
+        if resource:
+            self.labels[waiter] = resource
+
+    def find_cycle(self) -> List[int]:
+        """Thread ids on some cycle, in cycle order; empty if acyclic."""
+        for start in self.edges:
+            path: List[int] = []
+            node: Optional[int] = start
+            while node is not None and node in self.edges and node not in path:
+                path.append(node)
+                node = self.edges[node]
+            if node in path:
+                return path[path.index(node):]
+        return []
+
+    def cycle_resources(self) -> List[str]:
+        """Resources held along the deadlock cycle, sorted."""
+        cycle = self.find_cycle()
+        return sorted(self.labels[tid] for tid in cycle if tid in self.labels)
+
+    def describe(self) -> str:
+        cycle = self.find_cycle()
+        if not cycle:
+            return f"no deadlock ({len(self.edges)} waiting threads)"
+        hops = " -> ".join(
+            f"T{tid}[{self.labels.get(tid, '?')}]" for tid in cycle
+        )
+        return f"deadlock: {hops} -> T{cycle[0]}"
+
+    def waiting_pairs(self) -> List[Tuple[int, int]]:
+        return sorted(self.edges.items())

@@ -1,0 +1,30 @@
+"""The evaluation application suite.
+
+Faithful miniatures of the paper's 11 applications, rebuilt against the
+simulator API with the same threading structure and the same bug patterns
+as the real bug reports (see DESIGN.md for the substitution argument):
+
+* servers — :mod:`mysql`, :mod:`apache`, :mod:`openldap`, :mod:`cherokee`;
+* desktop/client — :mod:`mozilla`, :mod:`pbzip2`, :mod:`httrack`;
+* scientific/graphics — :mod:`fft`, :mod:`lu`, :mod:`barnes`, :mod:`radix`.
+
+Thirteen bugs across them: atomicity violations (single- and
+multi-variable), order violations and a deadlock.  Everything is indexed
+by :mod:`repro.apps.registry`.
+"""
+
+from repro.apps.registry import (
+    ALL_BUG_IDS,
+    BugSpec,
+    all_bugs,
+    bugs_by_category,
+    get_bug,
+)
+
+__all__ = [
+    "ALL_BUG_IDS",
+    "BugSpec",
+    "all_bugs",
+    "bugs_by_category",
+    "get_bug",
+]

@@ -1,0 +1,239 @@
+"""miniApache: a worker-pool HTTP server with two real Apache bug patterns.
+
+Structure: a listener thread accepts requests and distributes them over a
+channel; worker threads receive, serve (simulated file read + compute) and
+append an access-log entry to a shared in-memory buffer; a flusher thread
+periodically writes the buffer out.
+
+Bugs:
+
+* ``apache-atom-buf`` — modeled after Apache bug #25520: the access-log
+  append reads the buffer length, formats, then writes the slot and the
+  new length — without holding the buffer mutex (the real code only
+  locked the flush path).  Two workers in the window clobber the same
+  slot and an entry disappears; the end-of-run audit "entries in buffer +
+  entries flushed == requests served" fails.
+* ``apache-order-ref`` — modeled after Apache bug #21287: a worker frees
+  its request pool as soon as the response is sent, but the logger thread
+  may still be reading fields out of that pool; the free is supposed to
+  happen *after* the log write (order violation), and when it does not,
+  the logger crashes on freed memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.apps.spec import ATOMICITY, ORDER, SERVER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.ops import Op
+from repro.sim.program import Program, ThreadContext
+
+# --------------------------------------------------------------------------
+# apache-atom-buf: access-log buffer atomicity violation
+# --------------------------------------------------------------------------
+
+
+def _serve(ctx: ThreadContext, req: int) -> Generator[Op, Any, None]:
+    """Serve one request: locate the resource, read it, render."""
+    yield from ctx.work(6)
+    yield ctx.syscall("read_file", "htdocs", req % 4)
+    yield from ctx.work(3)
+
+
+def _log_append(ctx: ThreadContext, wid: int, req: int,
+                locked: bool) -> Generator[Op, Any, None]:
+    """Append an access-log line.
+
+    The regular path locks the buffer; the error-log path (the real
+    #25520 culprit) was written earlier and does the length read, format
+    and writes with no lock — that unlocked window is the bug.
+    """
+    if locked:
+        yield ctx.lock("LOCK_logbuf")
+    n = yield ctx.read("ap_buf_len")
+    yield ctx.local(2)  # format the log line (single step: snprintf)
+    yield ctx.write(("ap_buf", n), (wid, req))
+    yield ctx.write("ap_buf_len", n + 1)
+    if locked:
+        yield ctx.unlock("LOCK_logbuf")
+    yield ctx.rmw("served", lambda v: v + 1)
+
+
+def _buf_worker(ctx: ThreadContext, wid: int, bugfix: bool):
+    while True:
+        yield ctx.bb(f"apache.worker{wid}.accept")
+        req = yield ctx.syscall("recv", "requests")
+        if req is None:  # shutdown sentinel
+            return wid
+        yield from ctx.call(_serve, req, name="serve")
+        is_error = req % 11 == 10  # 404s etc. go through the error path
+        # The fix routes the error path through the mutex too.
+        locked = bugfix or not is_error
+        yield from ctx.call(_log_append, wid, req, locked, name="log_append")
+
+
+def _listener(ctx: ThreadContext, requests: int, workers: int):
+    for req in range(requests):
+        yield ctx.bb("apache.listener.accept")
+        yield from ctx.work(2)
+        yield ctx.syscall("send", "requests", req)
+    for _ in range(workers):
+        yield ctx.syscall("send", "requests", None)
+
+
+def _flusher(ctx: ThreadContext, flushes: int, flush_delay: int):
+    for _ in range(flushes):
+        yield ctx.bb("apache.flusher.cycle")
+        yield from ctx.work(flush_delay)
+        yield ctx.lock("LOCK_logbuf")
+        n = yield ctx.read("ap_buf_len")
+        for i in range(n):
+            entry = yield ctx.read(("ap_buf", i))
+            yield ctx.syscall("write_file", "access_log", entry)
+        yield ctx.write("ap_buf_len", 0)
+        yield ctx.rmw("flushed", lambda v, n=n: v + n)
+        yield ctx.unlock("LOCK_logbuf")
+
+
+def _atom_buf_main(ctx: ThreadContext, workers: int, requests: int,
+                   flushes: int, flush_delay: int, bugfix: bool):
+    listener = yield ctx.spawn(_listener, requests, workers)
+    tids = yield from spawn_all(
+        ctx, _buf_worker, [(w, bugfix) for w in range(workers)]
+    )
+    flusher = yield ctx.spawn(_flusher, flushes, flush_delay)
+    yield ctx.join(listener)
+    yield from join_all(ctx, tids)
+    yield ctx.join(flusher)
+    served = yield ctx.read("served")
+    flushed = yield ctx.read("flushed")
+    remaining = yield ctx.read("ap_buf_len")
+    yield ctx.output(("served", served, "flushed", flushed, "buffered", remaining))
+    yield ctx.check(
+        flushed + remaining == served,
+        "access-log entries lost in buffer race",
+    )
+
+
+def build_atom_buf(
+    workers: int = 2,
+    requests: int = 12,
+    flushes: int = 1,
+    flush_delay: int = 70,
+    buf_capacity: int = 64,
+    bugfix: bool = False,
+) -> Program:
+    memory: dict = {"ap_buf_len": 0, "served": 0, "flushed": 0}
+    for i in range(buf_capacity):
+        memory[("ap_buf", i)] = None
+    return Program(
+        name="apache-atom-buf",
+        main=_atom_buf_main,
+        params={
+            "workers": workers,
+            "requests": requests,
+            "flushes": flushes,
+            "flush_delay": flush_delay,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+        initial_files={"htdocs": ["index", "about", "news", "contact"]},
+    )
+
+
+# --------------------------------------------------------------------------
+# apache-order-ref: request pool freed while the logger still reads it
+# --------------------------------------------------------------------------
+
+
+def _ref_worker(ctx: ThreadContext, wid: int, requests: int, linger: int,
+                bugfix: bool):
+    for r in range(requests):
+        rid = yield ctx.rmw("next_rid", lambda v: v + 1)
+        yield ctx.bb(f"apache.refworker{wid}.request")
+        # Fill the request pool and serve.
+        yield ctx.write(("pool", rid, "uri"), f"/page/{rid}")
+        yield ctx.write(("pool", rid, "status"), 200)
+        yield from ctx.call(_serve, rid, name="serve")
+        # Hand the request to the logger...
+        yield ctx.syscall("send", "to_log", rid)
+        if bugfix:
+            # The fix: wait for the logger's ack before tearing down.
+            yield ctx.syscall("recv", f"logged_{rid}")
+        # ...do a little teardown work, then free the pool.  BUG (when
+        # unfixed): nothing orders this free after the logger's reads.
+        yield from ctx.work(linger)
+        yield ctx.free(("pool", rid, "uri"))
+        yield ctx.free(("pool", rid, "status"))
+    return requests
+
+
+def _ref_logger(ctx: ThreadContext, total: int, log_cost: int, bugfix: bool):
+    for _ in range(total):
+        rid = yield ctx.syscall("recv", "to_log")
+        yield ctx.bb("apache.logger.entry")
+        yield from ctx.work(log_cost)  # logger pace vs the workers
+        uri = yield ctx.read(("pool", rid, "uri"))  # may be freed already
+        status = yield ctx.read(("pool", rid, "status"))
+        yield ctx.syscall("write_file", "access_log", (rid, uri, status))
+        if bugfix:
+            yield ctx.syscall("send", f"logged_{rid}", True)
+    return total
+
+
+def _order_ref_main(ctx: ThreadContext, workers: int, requests: int,
+                    linger: int, log_cost: int, bugfix: bool):
+    logger = yield ctx.spawn(_ref_logger, workers * requests, log_cost, bugfix)
+    tids = yield from spawn_all(
+        ctx, _ref_worker,
+        [(w, requests, linger, bugfix) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+    yield ctx.join(logger)
+
+
+def build_order_ref(
+    workers: int = 2,
+    requests: int = 5,
+    linger: int = 16,
+    log_cost: int = 1,
+    bugfix: bool = False,
+) -> Program:
+    return Program(
+        name="apache-order-ref",
+        main=_order_ref_main,
+        params={
+            "workers": workers,
+            "requests": requests,
+            "linger": linger,
+            "log_cost": log_cost,
+            "bugfix": bugfix,
+        },
+        initial_memory={"next_rid": 0},
+        initial_files={"htdocs": ["index", "about", "news", "contact"]},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="apache-atom-buf",
+        app="apache",
+        category=SERVER,
+        bug_type=ATOMICITY,
+        build=build_atom_buf,
+        default_params={},
+        description="unlocked access-log buffer append loses entries (Apache #25520 pattern)",
+        fixed_params={"bugfix": True},
+    ),
+    BugSpec(
+        bug_id="apache-order-ref",
+        app="apache",
+        category=SERVER,
+        bug_type=ORDER,
+        build=build_order_ref,
+        default_params={},
+        description="request pool freed before the logger reads it (Apache #21287 pattern)",
+        fixed_params={"bugfix": True},
+    ),
+]

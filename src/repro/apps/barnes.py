@@ -1,0 +1,129 @@
+"""miniBarnes: a Barnes-Hut-style N-body step with an injected atomicity
+bug in tree construction.
+
+Structure follows SPLASH-2 Barnes: workers insert their bodies into a
+shared cell array (the flattened octree), then run a compute-heavy force
+phase over the finished tree.  Real Barnes protects cell mutation with
+per-cell locks; the injected bug gives small cells a lock-free
+"leaf fast path" — read the occupancy count, store the body in that slot,
+bump the count.  Two inserters hitting the same sparse cell in the window
+store into the same slot, and a body vanishes from the tree; the
+conservation check after the force phase ("tree holds every body") fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.spec import ATOMICITY, SCIENTIFIC, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+#: cells with fewer than this many bodies take the buggy lock-free path
+_LEAF_LIMIT = 1
+
+
+def _cell_of(body: int, cells: int) -> int:
+    """Spatial hashing of a body id to its octree cell."""
+    return (body * 7 + 3) % cells
+
+
+def _insert_body(ctx: ThreadContext, wid: int, body: int, cells: int,
+                 bugfix: bool):
+    cell = _cell_of(body, cells)
+    count = yield ctx.read(("cell_count", cell))
+    if count < _LEAF_LIMIT and not bugfix:
+        # BUG: leaf fast path, no lock between the count read and writes.
+        yield ctx.local(2)  # compute center-of-mass incrementally
+        yield ctx.write(("cell_body", cell, count), body)
+        yield ctx.write(("cell_count", cell), count + 1)
+    else:
+        yield ctx.lock(f"cell_mu_{cell}")
+        count = yield ctx.read(("cell_count", cell))
+        yield ctx.local(2)
+        yield ctx.write(("cell_body", cell, count), body)
+        yield ctx.write(("cell_count", cell), count + 1)
+        yield ctx.unlock(f"cell_mu_{cell}")
+    return cell
+
+
+def _barnes_worker(ctx: ThreadContext, wid: int, workers: int, bodies: int,
+                   cells: int, compute: int, bugfix: bool):
+    # Tree-construction phase: insert my bodies.
+    for b in range(bodies):
+        yield ctx.bb(f"barnes.w{wid}.insert")
+        body = wid * bodies + b
+        yield from ctx.call(_insert_body, wid, body, cells, bugfix,
+                            name="insert_body")
+    yield ctx.barrier("barnes_tree")
+    # Force phase: walk the finished tree (read-only, compute heavy).
+    force = 0
+    for cell in range(wid, cells, workers):
+        yield ctx.bb(f"barnes.w{wid}.force")
+        count = yield ctx.read(("cell_count", cell))
+        for slot in range(count):
+            body = yield ctx.read(("cell_body", cell, slot))
+            yield ctx.local(compute)
+            force = (force + (body or 0) * 3 + 1) % 65_521
+    yield ctx.write(("force", wid), force)
+    yield ctx.barrier("barnes_done")
+    return force
+
+
+def _main(ctx: ThreadContext, workers: int, bodies: int, cells: int,
+          compute: int, bugfix: bool):
+    tids = yield from spawn_all(
+        ctx, _barnes_worker,
+        [(w, workers, bodies, cells, compute, bugfix) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+    in_tree = 0
+    for cell in range(cells):
+        count = yield ctx.read(("cell_count", cell))
+        in_tree += count
+    total = workers * bodies
+    yield ctx.output(("bodies_in_tree", in_tree, "expected", total))
+    yield ctx.check(in_tree == total, "barnes tree lost a body during insertion")
+
+
+def build_atom_cell(
+    workers: int = 3,
+    bodies: int = 5,
+    cells: int = 12,
+    compute: int = 6,
+    bugfix: bool = False,
+) -> Program:
+    memory: Dict = {}
+    for cell in range(cells):
+        memory[("cell_count", cell)] = 0
+        for slot in range(workers * bodies):
+            memory[("cell_body", cell, slot)] = None
+    for w in range(workers):
+        memory[("force", w)] = 0
+    return Program(
+        name="barnes-atom-cell",
+        main=_main,
+        params={
+            "workers": workers,
+            "bodies": bodies,
+            "cells": cells,
+            "compute": compute,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+        barriers={"barnes_tree": workers, "barnes_done": workers},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="barnes-atom-cell",
+        app="barnes",
+        category=SCIENTIFIC,
+        bug_type=ATOMICITY,
+        build=build_atom_cell,
+        default_params={},
+        description="lock-free leaf-cell insertion races two bodies into one slot (injected)",
+        fixed_params={"bugfix": True},
+    ),
+]

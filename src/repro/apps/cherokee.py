@@ -1,0 +1,96 @@
+"""miniCherokee: a lightweight web server with the cached-time bug.
+
+Cherokee bug #326 class: the server keeps a formatted timestamp cache
+(``cached_sec`` + ``cached_str``) that request threads refresh in place
+when it goes stale — without a lock, and with the two variables updated
+non-atomically.  A thread can observe a *new* second paired with the
+*previous* second's string and emit a corrupted Date header.  This is a
+multi-variable atomicity violation: each variable individually is fine,
+the coupling invariant is what breaks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import ATOMICITY, SERVER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _format_time(sec: int) -> str:
+    """The 'expensive' strftime the cache exists to amortize."""
+    return f"Thu, 01 Jan 1970 00:00:{sec:02d} GMT"
+
+
+def _request_thread(ctx: ThreadContext, wid: int, requests: int, bucket: int,
+                    bugfix: bool):
+    corrupt = 0
+    for r in range(requests):
+        yield ctx.bb(f"cherokee.worker{wid}.request")
+        yield from ctx.work(12)  # parse request, route the handler
+        now = yield ctx.now()
+        sec = now // bucket
+        # The upstream fix guards the cache with a reader-writer lock:
+        # the hot serve path shares it, refreshes take it exclusively.
+        if bugfix:
+            yield ctx.rdlock("time_rw")
+        cached_sec = yield ctx.read("cached_sec")
+        if cached_sec != sec:
+            if bugfix:
+                # upgrade: drop the read side, refresh under the write side
+                yield ctx.rwunlock("time_rw")
+                yield ctx.wrlock("time_rw")
+            # BUG WINDOW (when unfixed): the two cache variables are
+            # refreshed without a lock.
+            yield ctx.write("cached_sec", sec)
+            yield ctx.local(2)  # strftime
+            yield ctx.write("cached_str", _format_time(sec))
+            if bugfix:
+                yield ctx.rwunlock("time_rw")
+                yield ctx.rdlock("time_rw")
+        # Serve: read the pair and emit the Date header.
+        hdr_sec = yield ctx.read("cached_sec")
+        hdr_str = yield ctx.read("cached_str")
+        if bugfix:
+            yield ctx.rwunlock("time_rw")
+        yield ctx.check(
+            hdr_str == _format_time(hdr_sec),
+            "stale Date header served from time cache",
+        )
+        yield ctx.syscall("write_file", "responses", (wid, r, hdr_str))
+        yield from ctx.work(2)
+    return corrupt
+
+
+def _main(ctx: ThreadContext, workers: int, requests: int, bucket: int,
+          bugfix: bool):
+    tids = yield from spawn_all(
+        ctx, _request_thread,
+        [(w, requests, bucket, bugfix) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+
+
+def build_atom_time(workers: int = 3, requests: int = 5, bucket: int = 200,
+                    bugfix: bool = False) -> Program:
+    return Program(
+        name="cherokee-atom-time",
+        main=_main,
+        params={"workers": workers, "requests": requests, "bucket": bucket,
+                "bugfix": bugfix},
+        initial_memory={"cached_sec": -1, "cached_str": _format_time(-1)},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="cherokee-atom-time",
+        app="cherokee",
+        category=SERVER,
+        bug_type=ATOMICITY,
+        build=build_atom_time,
+        default_params={},
+        description="unlocked two-variable time-cache refresh serves mismatched Date headers (Cherokee #326 pattern)",
+        multi_variable=True,
+        fixed_params={"bugfix": True},
+    ),
+]

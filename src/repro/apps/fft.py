@@ -1,0 +1,138 @@
+"""miniFFT: a SPLASH-2-style staged transform with an injected order bug.
+
+Structure follows the SPLASH-2 FFT kernel: each worker owns a contiguous
+segment of the data array; phase 1 applies a local butterfly to every
+element, a barrier separates the phases, and phase 2 combines each element
+with its transpose partner from another worker's segment.
+
+Injected bug (the paper injects bugs into its scientific apps, which have
+none of their own): worker 0's hand-unrolled loop defers the write of its
+*last* phase-1 element until after the barrier — modeling a missing flush
+before the barrier.  Phase 2 readers of that element race with the
+deferred write; a stale read propagates into the final checksum, caught by
+the end-of-run verification.  The computation itself is real integer
+arithmetic, so the checksum is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.spec import ORDER, SCIENTIFIC, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+_MOD = 65_521  # largest prime < 2**16; keeps values bounded and exact
+
+
+def _butterfly(value: int) -> int:
+    """Phase-1 per-element transform."""
+    return (3 * value * value + 7 * value + 1) % _MOD
+
+
+def _combine(a: int, b: int) -> int:
+    """Phase-2 pairwise combine."""
+    return (a * 31 + b * 17) % _MOD
+
+
+def _partner(i: int, n: int) -> int:
+    """Transpose partner: bit-reversal stand-in (works for any n)."""
+    return (n - 1) - i
+
+
+def expected_output(inputs: List[int]) -> List[int]:
+    """The correct final array, computed sequentially."""
+    n = len(inputs)
+    stage1 = [_butterfly(v) for v in inputs]
+    return [_combine(stage1[i], stage1[_partner(i, n)]) for i in range(n)]
+
+
+def _fft_worker(ctx: ThreadContext, wid: int, workers: int, seg: int,
+                compute: int, buggy: bool):
+    base = wid * seg
+    deferred = None
+    # Phase 1: local butterflies.
+    for k in range(seg):
+        yield ctx.bb(f"fft.w{wid}.phase1")
+        i = base + k
+        value = yield ctx.read(("fft_in", i))
+        yield ctx.local(compute)
+        result = _butterfly(value)
+        if buggy and wid == 0 and k == seg - 1:
+            deferred = (i, result)  # BUG: last element written post-barrier
+        else:
+            yield ctx.write(("fft_mid", i), result)
+    yield ctx.barrier("fft_b1")
+    if deferred is not None:
+        i, result = deferred
+        yield ctx.write(("fft_mid", i), result)
+    # Phase 2: combine with the transpose partner (often another segment).
+    n = workers * seg
+    for k in range(seg):
+        yield ctx.bb(f"fft.w{wid}.phase2")
+        i = base + k
+        mine = yield ctx.read(("fft_mid", i))
+        yield ctx.local(compute)
+        theirs = yield ctx.read(("fft_mid", _partner(i, n)))
+        yield ctx.write(("fft_out", i), _combine(mine, theirs))
+    yield ctx.barrier("fft_b2")
+    return seg
+
+
+def _main(ctx: ThreadContext, workers: int, seg: int, compute: int,
+          buggy: bool, expected: List[int]):
+    tids = yield from spawn_all(
+        ctx, _fft_worker,
+        [(w, workers, seg, compute, buggy) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+    n = workers * seg
+    ok = True
+    for i in range(n):
+        value = yield ctx.read(("fft_out", i))
+        if value != expected[i]:
+            ok = False
+    yield ctx.output(("fft_ok", ok))
+    yield ctx.check(ok, "fft checksum mismatch")
+
+
+def build_order_sync(
+    workers: int = 3,
+    seg: int = 4,
+    compute: int = 10,
+    buggy: bool = True,
+) -> Program:
+    n = workers * seg
+    inputs = [(5 * i + 3) % _MOD for i in range(n)]
+    memory: Dict = {}
+    for i in range(n):
+        memory[("fft_in", i)] = inputs[i]
+        memory[("fft_mid", i)] = 0
+        memory[("fft_out", i)] = 0
+    return Program(
+        name="fft-order-sync",
+        main=_main,
+        params={
+            "workers": workers,
+            "seg": seg,
+            "compute": compute,
+            "buggy": buggy,
+            "expected": expected_output(inputs),
+        },
+        initial_memory=memory,
+        barriers={"fft_b1": workers, "fft_b2": workers},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="fft-order-sync",
+        app="fft",
+        category=SCIENTIFIC,
+        bug_type=ORDER,
+        build=build_order_sync,
+        default_params={},
+        description="phase-1 element written after the phase barrier races with phase-2 readers (injected)",
+        fixed_params={"buggy": False},
+    ),
+]

@@ -1,0 +1,113 @@
+"""miniHTTrack: a website mirrorer with a use-before-init order violation.
+
+Modeled after the HTTrack 3.x crash class the paper's suite uses: the main
+thread fires off fetch workers and *concurrently* finishes building the
+global options structure (proxy settings, depth limits).  Nothing orders
+"options published" before "worker reads options": a worker that wins the
+race dereferences an unallocated global and crashes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import DESKTOP, ORDER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _fetch(ctx: ThreadContext, url: int):
+    """Download one URL (simulated network roundtrip + parse)."""
+    yield ctx.syscall("send", "net_req", url)
+    yield from ctx.work(3)
+    yield ctx.syscall("recv", f"net_resp_{url}")
+    yield from ctx.work(2)
+
+
+def _worker(ctx: ThreadContext, wid: int, urls: int, prep: int, bugfix: bool):
+    yield ctx.bb(f"httrack.worker{wid}.start")
+    yield from ctx.work(prep)  # per-thread setup (cache dirs, buffers)
+    if bugfix:
+        # The fix: workers wait until main publishes the options.
+        yield ctx.sem_acquire("opt_sem")
+    fetched = 0
+    for u in range(urls):
+        yield ctx.bb(f"httrack.worker{wid}.url")
+        # BUG: reads the global options; crashes if not yet published.
+        depth = yield ctx.read(("opt", "depth"))
+        if depth <= 0:
+            break
+        yield from ctx.call(_fetch, wid * urls + u, name="fetch")
+        fetched += 1
+    return fetched
+
+
+def _net_stub(ctx: ThreadContext, total: int):
+    """Fake remote server answering fetch requests."""
+    for _ in range(total):
+        url = yield ctx.syscall("recv", "net_req")
+        yield ctx.local(1)
+        yield ctx.syscall("send", f"net_resp_{url}", f"<html>{url}</html>")
+    return total
+
+
+def _init_options(ctx: ThreadContext, parse_cost: int, workers: int,
+                  bugfix: bool):
+    """Builds and publishes the global options structure."""
+    yield ctx.bb("httrack.init.parse")
+    yield from ctx.work(parse_cost)  # parse CLI/config
+    yield ctx.write(("opt", "proxy"), "none")
+    yield ctx.write(("opt", "depth"), 2)
+    yield ctx.write("opt_ready", True)  # advisory flag nobody checks (bug)
+    if bugfix:
+        for _ in range(workers):
+            yield ctx.sem_release("opt_sem")
+
+
+def _main(ctx: ThreadContext, workers: int, urls: int, prep: int,
+          parse_cost: int, bugfix: bool):
+    # The real code spawns the backing threads first "to warm them up",
+    # then finishes initialization on the main thread.
+    stub = yield ctx.spawn(_net_stub, workers * urls)
+    tids = yield from spawn_all(
+        ctx, _worker, [(w, urls, prep, bugfix) for w in range(workers)]
+    )
+    yield from ctx.call(_init_options, parse_cost, workers, bugfix,
+                        name="init_options")
+    results = yield from join_all(ctx, tids)
+    yield ctx.join(stub)
+    yield ctx.output(("fetched", sum(results)))
+
+
+def build_order_init(
+    workers: int = 2,
+    urls: int = 3,
+    prep: int = 14,
+    parse_cost: int = 5,
+    bugfix: bool = False,
+) -> Program:
+    return Program(
+        name="httrack-order-init",
+        main=_main,
+        params={
+            "workers": workers,
+            "urls": urls,
+            "prep": prep,
+            "parse_cost": parse_cost,
+            "bugfix": bugfix,
+        },
+        initial_memory={"opt_ready": False},
+        semaphores={"opt_sem": 0},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="httrack-order-init",
+        app="httrack",
+        category=DESKTOP,
+        bug_type=ORDER,
+        build=build_order_init,
+        default_params={},
+        description="worker dereferences the global options before main publishes them (HTTrack 3.x crash)",
+        fixed_params={"bugfix": True},
+    ),
+]

@@ -1,0 +1,135 @@
+"""miniLU: a SPLASH-2-style blocked LU factorization with an injected
+atomicity bug.
+
+Structure follows the SPLASH-2 LU kernel: the matrix is split into blocks
+owned by workers; each elimination step updates the owned blocks (real
+integer arithmetic) and accumulates each block's contribution into the
+shared pivot accumulator, with a barrier between steps.
+
+Injected bug: the accumulator update is lock-protected on every step
+*except the last*, where a hand-optimized fast path does the classic
+read-compute-write without the lock ("the barrier is right there anyway").
+Two workers in the window lose an update; the factorization check at the
+end ("accumulated pivot == sequential result") fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.spec import ATOMICITY, SCIENTIFIC, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+_MOD = 65_521
+
+
+def _block_update(step: int, wid: int, value: int) -> int:
+    """Per-step in-place block elimination (exact integer stand-in)."""
+    return (value * (step + 2) + wid * 13 + 5) % _MOD
+
+
+def _block_contribution(value: int) -> int:
+    """This block's contribution to the pivot accumulator."""
+    return (value * 7 + 11) % _MOD
+
+
+def expected_pivot(workers: int, cells: int, steps: int) -> int:
+    """Sequentially computed final accumulator value."""
+    pivot = 1
+    blocks = {
+        (w, c): (w * cells + c + 1) % _MOD
+        for w in range(workers)
+        for c in range(cells)
+    }
+    for step in range(steps):
+        for w in range(workers):
+            for c in range(cells):
+                blocks[(w, c)] = _block_update(step, w, blocks[(w, c)])
+            contribution = sum(
+                _block_contribution(blocks[(w, c)]) for c in range(cells)
+            ) % _MOD
+            pivot = (pivot + contribution) % _MOD
+    return pivot
+
+
+def _lu_worker(ctx: ThreadContext, wid: int, cells: int, steps: int,
+               compute: int, buggy: bool):
+    for step in range(steps):
+        yield ctx.bb(f"lu.w{wid}.step")
+        contribution = 0
+        for c in range(cells):
+            value = yield ctx.read(("lu_block", wid, c))
+            yield ctx.local(compute)
+            # Block sizes differ per owner, so workers reach the pivot
+            # update at staggered times (as in the real kernel).
+            yield from ctx.work(2 + 3 * wid)
+            updated = _block_update(step, wid, value)
+            yield ctx.write(("lu_block", wid, c), updated)
+            contribution = (contribution + _block_contribution(updated)) % _MOD
+        last_step = step == steps - 1
+        if buggy and last_step:
+            # BUG: unlocked read-compute-write on the shared accumulator.
+            pivot = yield ctx.read("lu_pivot")
+            yield ctx.local(1)
+            yield ctx.write("lu_pivot", (pivot + contribution) % _MOD)
+        else:
+            yield ctx.lock("lu_mu")
+            pivot = yield ctx.read("lu_pivot")
+            yield ctx.write("lu_pivot", (pivot + contribution) % _MOD)
+            yield ctx.unlock("lu_mu")
+        yield ctx.barrier("lu_step")
+    return steps
+
+
+def _main(ctx: ThreadContext, workers: int, cells: int, steps: int,
+          compute: int, buggy: bool, expected: int):
+    tids = yield from spawn_all(
+        ctx, _lu_worker,
+        [(w, cells, steps, compute, buggy) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+    pivot = yield ctx.read("lu_pivot")
+    yield ctx.output(("lu_pivot", pivot, "expected", expected))
+    yield ctx.check(pivot == expected, "lu pivot accumulator lost an update")
+
+
+def build_atom_diag(
+    workers: int = 3,
+    cells: int = 3,
+    steps: int = 2,
+    compute: int = 8,
+    buggy: bool = True,
+) -> Program:
+    memory: Dict = {"lu_pivot": 1}
+    for w in range(workers):
+        for c in range(cells):
+            memory[("lu_block", w, c)] = (w * cells + c + 1) % _MOD
+    return Program(
+        name="lu-atom-diag",
+        main=_main,
+        params={
+            "workers": workers,
+            "cells": cells,
+            "steps": steps,
+            "compute": compute,
+            "buggy": buggy,
+            "expected": expected_pivot(workers, cells, steps),
+        },
+        initial_memory=memory,
+        barriers={"lu_step": workers},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="lu-atom-diag",
+        app="lu",
+        category=SCIENTIFIC,
+        bug_type=ATOMICITY,
+        build=build_atom_diag,
+        default_params={},
+        description="last-step pivot accumulation skips the lock and loses updates (injected)",
+        fixed_params={"buggy": False},
+    ),
+]

@@ -1,0 +1,115 @@
+"""miniMozilla: a JS-engine miniature with a property-cache atomicity bug.
+
+Modeled after the Mozilla js/src cache races the paper's suite draws on
+(bug #18025 class): script threads consult a shared property cache and
+pair each cached value with the cache *generation*; the GC/invalidation
+thread rewrites the entries and then bumps the generation.  Script threads
+read (entry, generation) in two unlocked steps, so an invalidation landing
+between the two reads pairs an old entry with the new generation — a
+multi-variable atomicity violation that makes the script use a stale
+shape/property value.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import ATOMICITY, DESKTOP, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _entry_value(generation: int, key: int) -> int:
+    """The value a consistent cache holds for (generation, key)."""
+    return generation * 100 + key
+
+
+def _script_thread(ctx: ThreadContext, wid: int, lookups: int, keys: int,
+                   bugfix: bool):
+    for n in range(lookups):
+        yield ctx.bb(f"mozilla.script{wid}.lookup")
+        yield from ctx.work(7)  # interpret bytecode up to the property access
+        key = yield ctx.rand(keys)
+        # BUG WINDOW (when unfixed): entry and generation read in two
+        # unlocked steps.
+        if bugfix:
+            yield ctx.lock("js_mu")
+        value = yield ctx.read(("js_cache", key))
+        yield ctx.local(1)
+        generation = yield ctx.read("js_gen")
+        if bugfix:
+            yield ctx.unlock("js_mu")
+        yield ctx.check(
+            value == _entry_value(generation, key),
+            "stale property-cache entry used",
+        )
+        yield from ctx.work(12)  # run with the property value
+    return lookups
+
+
+def _gc_thread(ctx: ThreadContext, cycles: int, keys: int, gc_delay: int,
+               bugfix: bool):
+    for _ in range(cycles):
+        yield ctx.bb("mozilla.gc.cycle")
+        yield from ctx.work(gc_delay)  # the mutator work that triggers GC
+        if bugfix:
+            yield ctx.lock("js_mu")
+        generation = yield ctx.read("js_gen")
+        new_gen = generation + 1
+        # Rewrite every entry for the new generation, then publish it.
+        for key in range(keys):
+            yield ctx.write(("js_cache", key), _entry_value(new_gen, key))
+        yield ctx.write("js_gen", new_gen)
+        if bugfix:
+            yield ctx.unlock("js_mu")
+    return cycles
+
+
+def _main(ctx: ThreadContext, scripts: int, lookups: int, keys: int,
+          gc_cycles: int, gc_delay: int, bugfix: bool):
+    tids = yield from spawn_all(
+        ctx, _script_thread,
+        [(w, lookups, keys, bugfix) for w in range(scripts)],
+    )
+    gc = yield ctx.spawn(_gc_thread, gc_cycles, keys, gc_delay, bugfix)
+    yield from join_all(ctx, tids)
+    yield ctx.join(gc)
+
+
+def build_atom_js(
+    scripts: int = 2,
+    lookups: int = 4,
+    keys: int = 4,
+    gc_cycles: int = 1,
+    gc_delay: int = 105,
+    bugfix: bool = False,
+) -> Program:
+    memory: dict = {"js_gen": 0}
+    for key in range(keys):
+        memory[("js_cache", key)] = _entry_value(0, key)
+    return Program(
+        name="mozilla-atom-js",
+        main=_main,
+        params={
+            "scripts": scripts,
+            "lookups": lookups,
+            "keys": keys,
+            "gc_cycles": gc_cycles,
+            "gc_delay": gc_delay,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="mozilla-atom-js",
+        app="mozilla",
+        category=DESKTOP,
+        bug_type=ATOMICITY,
+        build=build_atom_js,
+        default_params={},
+        description="property cache entry and generation read non-atomically across a GC invalidation",
+        multi_variable=True,
+        fixed_params={"bugfix": True},
+    ),
+]

@@ -1,0 +1,257 @@
+"""miniMySQL: a database server miniature with two real MySQL bug patterns.
+
+Structure: client worker threads execute INSERT statements against a
+table protected by ``LOCK_table``; every insert is also appended to the
+active binary log (a kernel file).  A rotator thread switches the active
+binlog mid-run; an admin thread can drop a table.
+
+Bugs:
+
+* ``mysql-atom-log`` — modeled after MySQL bug #791: a worker reads the
+  active binlog name, formats its entry, then appends — without holding
+  ``LOCK_log``.  If the rotator closes that log inside the window, the
+  entry lands in a closed log and is lost.  Detected by the end-of-run
+  consistency check "every inserted row has a binlog entry".  This is the
+  paper's canonical *multi-variable atomicity violation*: the invariant
+  couples ``binlog_current`` with the per-log ``log_closed`` flag.
+* ``mysql-atom-drop`` — modeled after MySQL bug #169 (DROP TABLE vs
+  concurrent INSERT): the insert path resolves the table through the
+  table cache, then writes the row — without re-checking under
+  ``LOCK_open``.  A concurrent DROP frees the row storage inside that
+  window and the insert crashes on freed memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.apps.spec import ATOMICITY, SERVER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.ops import Op
+from repro.sim.program import Program, ThreadContext
+
+# --------------------------------------------------------------------------
+# mysql-atom-log: binlog rotation atomicity violation
+# --------------------------------------------------------------------------
+
+
+def _parse_query(ctx: ThreadContext, cost: int) -> Generator[Op, Any, None]:
+    """Stand-in for SQL parsing/optimization."""
+    yield from ctx.work(cost)
+
+
+def _insert_row(ctx: ThreadContext, wid: int, q: int) -> Generator[Op, Any, int]:
+    """Insert one row under the table lock; returns the new row count."""
+    yield ctx.lock("LOCK_table")
+    rows = yield ctx.read("rows")
+    yield ctx.write("rows", rows + 1)
+    yield ctx.write(("row", rows), (wid, q))
+    yield ctx.unlock("LOCK_table")
+    return rows + 1
+
+
+def _append_binlog(ctx: ThreadContext, wid: int, q: int,
+                   bugfix: bool) -> Generator[Op, Any, None]:
+    """BUG WINDOW: resolve the active log, format, append - no LOCK_log.
+
+    The fix (``bugfix=True``) holds LOCK_log across the window, as the
+    upstream patch for MySQL #791 does.
+    """
+    if bugfix:
+        yield ctx.lock("LOCK_log")
+    name = yield ctx.read("binlog_current")
+    yield ctx.local(2)  # format the entry
+    closed = yield ctx.read(("log_closed", name))
+    if closed:
+        # The log was rotated away under us; the entry is silently lost.
+        yield ctx.rmw("lost_entries", lambda v: v + 1)
+    else:
+        yield ctx.syscall("write_file", name, ("insert", wid, q))
+        yield ctx.rmw("logged_entries", lambda v: v + 1)
+    if bugfix:
+        yield ctx.unlock("LOCK_log")
+
+
+def _log_worker(ctx: ThreadContext, wid: int, queries: int, bugfix: bool):
+    for q in range(queries):
+        yield ctx.bb(f"mysql.worker{wid}.query")
+        yield from ctx.call(_parse_query, 9, name="parse_query")
+        yield from ctx.call(_insert_row, wid, q, name="insert_row")
+        yield from ctx.call(_append_binlog, wid, q, bugfix, name="append_binlog")
+        yield from ctx.work(4)  # send result packet to the client
+    return queries
+
+
+def _rotator(ctx: ThreadContext, rotate_delay: int, rotations: int):
+    """Rotates the binlog: correct on its own side (takes LOCK_log), but
+    the workers' append path does not, which is the bug."""
+    for r in range(rotations):
+        yield ctx.bb("mysql.rotator.cycle")
+        yield from ctx.work(rotate_delay)
+        yield ctx.lock("LOCK_log")
+        name = yield ctx.read("binlog_current")
+        next_name = f"binlog.{r + 2}"
+        yield ctx.write("binlog_current", next_name)
+        yield ctx.write(("log_closed", name), True)
+        yield ctx.unlock("LOCK_log")
+    return rotations
+
+
+def _atom_log_main(ctx: ThreadContext, workers: int, queries: int,
+                   rotate_delay: int, rotations: int, bugfix: bool):
+    args = [(wid, queries, bugfix) for wid in range(workers)]
+    tids = yield from spawn_all(ctx, _log_worker, args)
+    rot = yield ctx.spawn(_rotator, rotate_delay, rotations)
+    yield from join_all(ctx, tids)
+    yield ctx.join(rot)
+    logged = yield ctx.read("logged_entries")
+    lost = yield ctx.read("lost_entries")
+    yield ctx.output(("binlog", logged, "lost", lost))
+    yield ctx.check(
+        logged == workers * queries,
+        "binlog lost entries during rotation",
+    )
+
+
+def build_atom_log(
+    workers: int = 4,
+    queries: int = 6,
+    rotate_delay: int = 60,
+    rotations: int = 1,
+    max_logs: int = 8,
+    bugfix: bool = False,
+) -> Program:
+    """The miniMySQL instance with the binlog-rotation bug."""
+    memory = {
+        "rows": 0,
+        "binlog_current": "binlog.1",
+        "logged_entries": 0,
+        "lost_entries": 0,
+    }
+    for i in range(1, max_logs + 2):
+        memory[("log_closed", f"binlog.{i}")] = False
+    return Program(
+        name="mysql-atom-log",
+        main=_atom_log_main,
+        params={
+            "workers": workers,
+            "queries": queries,
+            "rotate_delay": rotate_delay,
+            "rotations": rotations,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+    )
+
+
+# --------------------------------------------------------------------------
+# mysql-atom-drop: DROP TABLE vs INSERT use-after-free
+# --------------------------------------------------------------------------
+
+
+def _drop_worker(ctx: ThreadContext, wid: int, inserts: int, bugfix: bool):
+    done = 0
+    for q in range(inserts):
+        yield ctx.bb(f"mysql.ins{wid}.query")
+        yield from ctx.call(_parse_query, 5, name="parse_query")
+        # Prepared-statement cache hit; the fix revalidates under
+        # LOCK_open even on the cached path.
+        fast_path = (not bugfix) and q >= inserts - 2
+        if fast_path:
+            # BUG: the cached handle skips revalidation under LOCK_open,
+            # so the write below can hit storage freed by a DROP.
+            region = yield ctx.read(("tcache", "t1"))
+            if region is None:
+                yield ctx.rmw("rejected", lambda v: v + 1)
+                continue
+            yield ctx.local(3)  # build the row image
+            slot = yield ctx.rmw("t1_next_slot", lambda v: v + 1)
+            yield ctx.write((region, slot), (wid, q))
+        else:
+            yield ctx.lock("LOCK_open")
+            region = yield ctx.read(("tcache", "t1"))
+            if region is None:
+                yield ctx.rmw("rejected", lambda v: v + 1)
+                yield ctx.unlock("LOCK_open")
+                continue
+            yield ctx.local(3)
+            slot = yield ctx.rmw("t1_next_slot", lambda v: v + 1)
+            yield ctx.write((region, slot), (wid, q))
+            yield ctx.unlock("LOCK_open")
+        yield from ctx.work(3)  # reply to client
+        done += 1
+    return done
+
+
+def _dropper(ctx: ThreadContext, drop_delay: int):
+    yield from ctx.work(drop_delay)
+    yield ctx.lock("LOCK_open")
+    region = yield ctx.read(("tcache", "t1"))
+    yield ctx.write(("tcache", "t1"), None)
+    if region is not None:
+        yield ctx.free(region)
+    yield ctx.unlock("LOCK_open")
+
+
+def _atom_drop_main(ctx: ThreadContext, workers: int, inserts: int,
+                    drop_delay: int, bugfix: bool):
+    args = [(wid, inserts, bugfix) for wid in range(workers)]
+    tids = yield from spawn_all(ctx, _drop_worker, args)
+    drop = yield ctx.spawn(_dropper, drop_delay)
+    yield from join_all(ctx, tids)
+    yield ctx.join(drop)
+    rejected = yield ctx.read("rejected")
+    yield ctx.output(("rejected", rejected))
+
+
+def build_atom_drop(
+    workers: int = 3,
+    inserts: int = 6,
+    drop_delay: int = 65,
+    table_slots: int = 64,
+    bugfix: bool = False,
+) -> Program:
+    """The miniMySQL instance with the DROP-vs-INSERT bug."""
+    memory: dict = {
+        ("tcache", "t1"): "t1_data",
+        "t1_next_slot": 0,
+        "rejected": 0,
+    }
+    for slot in range(table_slots):
+        memory[("t1_data", slot)] = None
+    return Program(
+        name="mysql-atom-drop",
+        main=_atom_drop_main,
+        params={
+            "workers": workers,
+            "inserts": inserts,
+            "drop_delay": drop_delay,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="mysql-atom-log",
+        app="mysql",
+        category=SERVER,
+        bug_type=ATOMICITY,
+        build=build_atom_log,
+        default_params={},
+        description="binlog rotation between log-name read and append loses entries (MySQL #791 pattern)",
+        multi_variable=True,
+        fixed_params={"bugfix": True},
+    ),
+    BugSpec(
+        bug_id="mysql-atom-drop",
+        app="mysql",
+        category=SERVER,
+        bug_type=ATOMICITY,
+        build=build_atom_drop,
+        default_params={},
+        description="DROP TABLE frees row storage inside an INSERT's resolve-then-write window (MySQL #169 pattern)",
+        fixed_params={"bugfix": True},
+    ),
+]

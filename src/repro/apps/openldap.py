@@ -1,0 +1,121 @@
+"""miniOpenLDAP: a directory server miniature with a lock-order deadlock.
+
+Structure: per-connection handler threads process operations on their
+connection; a single writer thread flushes responses back to connections.
+The handler path locks ``conn_<i>`` then (to enqueue a response) the
+global ``writer_mu``; the writer thread locks ``writer_mu`` then the
+target ``conn_<j>`` — the classic lock-order inversion seen in OpenLDAP's
+connection manager (ITS#3932 class).  When the writer picks connection j
+exactly while handler j sits between its two acquisitions, both block
+forever: a DEADLOCK failure with the two mutexes in the cycle.
+
+``bug-free`` variants for tests can pass ``inversion=False`` to make the
+writer release ``writer_mu`` before touching the connection.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import DEADLOCK, SERVER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _handler(ctx: ThreadContext, cid: int, ops: int):
+    for op in range(ops):
+        yield ctx.bb(f"ldap.conn{cid}.op")
+        yield from ctx.work(14)  # decode the operation, search the directory
+        needs_response = op == ops - 1  # only the final op sends a result
+        yield ctx.lock(f"conn_{cid}")
+        yield ctx.local(2)  # update per-connection state
+        pending = yield ctx.read(("conn_pending", cid))
+        yield ctx.write(("conn_pending", cid), pending + 1)
+        if needs_response:
+            # Enqueue the response with the writer: conn -> writer order.
+            yield ctx.lock("writer_mu")
+            queue = yield ctx.read("writer_queue")
+            yield ctx.write("writer_queue", queue + [(cid, op)])
+            yield ctx.unlock("writer_mu")
+        yield ctx.unlock(f"conn_{cid}")
+    return ops
+
+
+def _writer(ctx: ThreadContext, conns: int, rounds: int, inversion: bool):
+    flushed = 0
+    for _ in range(rounds):
+        yield ctx.bb("ldap.writer.round")
+        yield from ctx.work(18)  # wait for epoll / batch responses
+        target = yield ctx.rand(conns)
+        if inversion:
+            # BUG: writer -> conn order, inverted w.r.t. the handlers.
+            yield ctx.lock("writer_mu")
+            queue = yield ctx.read("writer_queue")
+            yield ctx.local(1)
+            yield ctx.lock(f"conn_{target}")
+            pending = yield ctx.read(("conn_pending", target))
+            if pending > 0:
+                yield ctx.write(("conn_pending", target), pending - 1)
+                yield ctx.syscall("send", f"client_{target}", "response")
+                flushed += 1
+            yield ctx.unlock(f"conn_{target}")
+            yield ctx.write("writer_queue", queue[1:] if queue else [])
+            yield ctx.unlock("writer_mu")
+        else:
+            # Fixed ordering: decide under writer_mu, act outside it.
+            yield ctx.lock("writer_mu")
+            queue = yield ctx.read("writer_queue")
+            yield ctx.write("writer_queue", queue[1:] if queue else [])
+            yield ctx.unlock("writer_mu")
+            yield ctx.lock(f"conn_{target}")
+            pending = yield ctx.read(("conn_pending", target))
+            if pending > 0:
+                yield ctx.write(("conn_pending", target), pending - 1)
+                yield ctx.syscall("send", f"client_{target}", "response")
+                flushed += 1
+            yield ctx.unlock(f"conn_{target}")
+    return flushed
+
+
+def _main(ctx: ThreadContext, conns: int, ops: int, writer_rounds: int, inversion: bool):
+    handlers = yield from spawn_all(
+        ctx, _handler, [(cid, ops) for cid in range(conns)]
+    )
+    writer = yield ctx.spawn(_writer, conns, writer_rounds, inversion)
+    yield from join_all(ctx, handlers)
+    flushed = yield ctx.join(writer)
+    yield ctx.output(("flushed", flushed))
+
+
+def build_deadlock(
+    conns: int = 3,
+    ops: int = 3,
+    writer_rounds: int = 2,
+    inversion: bool = True,
+) -> Program:
+    memory: dict = {"writer_queue": []}
+    for cid in range(conns):
+        memory[("conn_pending", cid)] = 0
+    return Program(
+        name="openldap-deadlock",
+        main=_main,
+        params={
+            "conns": conns,
+            "ops": ops,
+            "writer_rounds": writer_rounds,
+            "inversion": inversion,
+        },
+        initial_memory=memory,
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="openldap-deadlock",
+        app="openldap",
+        category=SERVER,
+        bug_type=DEADLOCK,
+        build=build_deadlock,
+        default_params={},
+        description="conn->writer vs writer->conn lock-order inversion deadlocks handler and writer",
+        fixed_params={"inversion": False},
+    ),
+]

@@ -1,0 +1,125 @@
+"""miniPBZip2: parallel block compressor with the real PBZip2 order bug.
+
+Structure mirrors pbzip2: a producer thread compresses blocks and pushes
+them into a bounded output queue (mutex + condition variable); consumer
+threads pop blocks and write them out.  The real bug (fixed in pbzip2
+0.9.5): ``main()`` tears the output queue down once the producer finishes,
+*without waiting for the consumers to drain it* — nothing orders the
+consumers' last block reads before the free.  A consumer that popped an
+index but has not yet copied the block data crashes on freed memory.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import DESKTOP, ORDER, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _compress_block(ctx: ThreadContext, block: int, work: int):
+    """The CPU-heavy part: run-length/huffman stand-in."""
+    yield from ctx.work(work)
+    return f"compressed-{block}"
+
+
+def _producer(ctx: ThreadContext, blocks: int, work: int):
+    for block in range(blocks):
+        yield ctx.bb("pbzip2.producer.block")
+        data = yield from ctx.call(_compress_block, block, work, name="compress_block")
+        yield ctx.lock("q_mu")
+        count = yield ctx.read("q_count")
+        yield ctx.write(("q_item", block), data)
+        yield ctx.write("q_count", count + 1)
+        yield ctx.signal("q_cv")
+        yield ctx.unlock("q_mu")
+    yield ctx.lock("q_mu")
+    yield ctx.write("prod_done", True)
+    yield ctx.broadcast("q_cv")
+    yield ctx.unlock("q_mu")
+    return blocks
+
+
+def _consumer(ctx: ThreadContext, cid: int, write_cost: int):
+    written = 0
+    while True:
+        yield ctx.bb(f"pbzip2.consumer{cid}.loop")
+        yield ctx.lock("q_mu")
+        while True:
+            head = yield ctx.read("q_head")
+            count = yield ctx.read("q_count")
+            done = yield ctx.read("prod_done")
+            if head < count or done:
+                break
+            yield ctx.wait("q_cv", "q_mu")
+        if head >= count and done:
+            yield ctx.unlock("q_mu")
+            return written
+        yield ctx.write("q_head", head + 1)
+        yield ctx.unlock("q_mu")
+        # Copy the block data OUTSIDE the lock (as pbzip2 does).  This is
+        # the read that races with main's teardown free.
+        yield from ctx.work(write_cost)
+        data = yield ctx.read(("q_item", head))
+        yield ctx.syscall("write_file", "out.bz2", (head, data))
+        written += 1
+
+
+def _main(ctx: ThreadContext, blocks: int, consumers: int, work: int,
+          write_cost: int, teardown_delay: int, bugfix: bool):
+    cons = yield from spawn_all(
+        ctx, _consumer, [(c, write_cost) for c in range(consumers)]
+    )
+    prod = yield ctx.spawn(_producer, blocks, work)
+    yield ctx.join(prod)
+    if bugfix:
+        # The 0.9.5 fix: consumers drain before the queue is torn down.
+        yield from join_all(ctx, cons)
+        yield from ctx.work(teardown_delay)
+        yield ctx.free("q_item")
+    else:
+        # BUG: tear down the queue after the *producer* exits; nothing
+        # waits for the consumers.
+        yield from ctx.work(teardown_delay)
+        yield ctx.free("q_item")
+        yield from join_all(ctx, cons)
+    yield ctx.output(("blocks", blocks))
+
+
+def build_order_free(
+    blocks: int = 6,
+    consumers: int = 2,
+    work: int = 10,
+    write_cost: int = 3,
+    teardown_delay: int = 9,
+    bugfix: bool = False,
+) -> Program:
+    memory: dict = {"q_count": 0, "q_head": 0, "prod_done": False}
+    for block in range(blocks):
+        memory[("q_item", block)] = None
+    return Program(
+        name="pbzip2-order-free",
+        main=_main,
+        params={
+            "blocks": blocks,
+            "consumers": consumers,
+            "work": work,
+            "write_cost": write_cost,
+            "teardown_delay": teardown_delay,
+            "bugfix": bugfix,
+        },
+        initial_memory=memory,
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="pbzip2-order-free",
+        app="pbzip2",
+        category=DESKTOP,
+        bug_type=ORDER,
+        build=build_order_free,
+        default_params={},
+        description="output queue freed when the producer exits, while consumers still read blocks (pbzip2 <0.9.5)",
+        fixed_params={"bugfix": True},
+    ),
+]

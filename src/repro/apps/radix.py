@@ -1,0 +1,183 @@
+"""miniRadix: a SPLASH-2-style parallel radix sort with an injected
+publish-order bug.
+
+Structure follows SPLASH-2 Radix (one digit pass): workers histogram
+their key segments in parallel (barrier), worker 0 prefix-sums the
+histograms into the global rank table, and workers then permute their
+keys using the ranks.
+
+Injected bug: worker 0 publishes ``rank_ready`` *before* writing the rank
+entry of the last digit — modeling the classic flag-before-data order
+violation.  Workers poll the flag as a fast path (the "slow" path waits on
+a semaphore the master posts after finishing); a fast-path worker can read
+the stale last-digit rank and scatter keys to wrong slots, failing the
+sortedness check at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.spec import ORDER, SCIENTIFIC, BugSpec
+from repro.apps.util import join_all, spawn_all
+from repro.sim.program import Program, ThreadContext
+
+
+def _keys_for(workers: int, seg: int, digits: int) -> List[int]:
+    """Deterministic input keys, mixed so every digit bucket is used."""
+    n = workers * seg
+    return [(i * 5 + 3) % digits for i in range(n)]
+
+
+def _histogram(keys: List[int], digits: int) -> List[int]:
+    counts = [0] * digits
+    for key in keys:
+        counts[key] += 1
+    return counts
+
+
+def _radix_worker(ctx: ThreadContext, wid: int, workers: int, seg: int,
+                  digits: int, compute: int, bugfix: bool):
+    base = wid * seg
+    # Phase 1: local histogram of my segment.
+    local_counts = [0] * digits
+    for k in range(seg):
+        yield ctx.bb(f"radix.w{wid}.hist")
+        key = yield ctx.read(("keys", base + k))
+        yield ctx.local(compute)
+        local_counts[key] += 1
+    for d in range(digits):
+        yield ctx.write(("hist", wid, d), local_counts[d])
+    yield ctx.barrier("radix_hist")
+
+    if wid == 0:
+        # Master: global prefix sums -> rank table.
+        totals = [0] * digits
+        for w in range(workers):
+            for d in range(digits):
+                c = yield ctx.read(("hist", w, d))
+                totals[d] += c
+        rank = 0
+        ranks = []
+        for d in range(digits):
+            ranks.append(rank)
+            rank += totals[d]
+        for d in range(digits - 1):
+            yield ctx.write(("rank", d), ranks[d])
+        if bugfix:
+            # The fix: complete the table, then publish.
+            yield ctx.write(("rank", digits - 1), ranks[digits - 1])
+            yield from ctx.work(3)  # update profiling counters
+            yield ctx.write("rank_ready", True)
+        else:
+            # BUG: the ready flag is raised before the last rank write.
+            yield ctx.write("rank_ready", True)
+            yield from ctx.work(3)  # update profiling counters
+            yield ctx.write(("rank", digits - 1), ranks[digits - 1])
+        for _ in range(workers - 1):
+            yield ctx.sem_release("rank_sem")
+
+    # Phase 2: pick up the rank table (fast path: flag; slow path: sem).
+    if wid != 0:
+        # Per-thread cleanup before the pickup staggers when each worker
+        # checks the flag.
+        pause = yield ctx.rand(24)
+        yield from ctx.work(1 + pause)
+        ready = yield ctx.read("rank_ready")
+        if not ready:
+            yield ctx.sem_acquire("rank_sem")
+    ranks_seen = []
+    for d in range(digits):
+        r = yield ctx.read(("rank", d))
+        ranks_seen.append(r)
+
+    # Phase 3: scatter my keys to their ranked positions.
+    for k in range(seg):
+        yield ctx.bb(f"radix.w{wid}.scatter")
+        key = yield ctx.read(("keys", base + k))
+        yield ctx.local(compute)
+        slot = yield ctx.rmw(("cursor", key), lambda v: v + 1)
+        yield ctx.write(("out", ranks_seen[key] + slot), key)
+    yield ctx.barrier("radix_done")
+    return seg
+
+
+def _main(ctx: ThreadContext, workers: int, seg: int, digits: int,
+          compute: int, bugfix: bool):
+    tids = yield from spawn_all(
+        ctx, _radix_worker,
+        [(w, workers, seg, digits, compute, bugfix) for w in range(workers)],
+    )
+    yield from join_all(ctx, tids)
+    n = workers * seg
+    out = []
+    for i in range(n):
+        v = yield ctx.read(("out", i))
+        out.append(v)
+    # The program itself trusts its output (as the real kernel does); a
+    # stale rank silently mis-sorts.  Detection happens downstream, via
+    # the wrong-output oracle in this module - the paper's "incorrect
+    # result" symptom class.
+    yield ctx.output(("radix_out", tuple(out)))
+
+
+def sorted_output_oracle(trace) -> "object":
+    """End-state oracle: the emitted array must be a sorted permutation."""
+    from repro.sim.failures import Failure, FailureKind
+
+    for record in trace.stdout:
+        if isinstance(record, tuple) and record and record[0] == "radix_out":
+            out = list(record[1])
+            if any(v is None for v in out) or out != sorted(out):
+                return Failure(
+                    FailureKind.WRONG_OUTPUT,
+                    where="radix output not sorted (stale rank used)",
+                )
+            return None
+    return Failure(FailureKind.WRONG_OUTPUT, where="radix produced no output")
+
+
+def build_order_rank(
+    workers: int = 3,
+    seg: int = 4,
+    digits: int = 4,
+    compute: int = 7,
+    bugfix: bool = False,
+) -> Program:
+    keys = _keys_for(workers, seg, digits)
+    n = workers * seg
+    memory: Dict = {"rank_ready": False}
+    for i, key in enumerate(keys):
+        memory[("keys", i)] = key
+    for i in range(n):
+        memory[("out", i)] = None
+    for w in range(workers):
+        for d in range(digits):
+            memory[("hist", w, d)] = 0
+    for d in range(digits):
+        memory[("rank", d)] = 0
+        memory[("cursor", d)] = 0
+    return Program(
+        name="radix-order-rank",
+        main=_main,
+        params={"workers": workers, "seg": seg, "digits": digits,
+                "compute": compute, "bugfix": bugfix},
+        initial_memory=memory,
+        semaphores={"rank_sem": 0},
+        barriers={"radix_hist": workers, "radix_done": workers},
+    )
+
+
+SPECS = [
+    BugSpec(
+        bug_id="radix-order-rank",
+        app="radix",
+        category=SCIENTIFIC,
+        bug_type=ORDER,
+        build=build_order_rank,
+        oracle=sorted_output_oracle,
+        default_params={},
+        description="rank table published (flag raised) before its last entry is written (injected)",
+        fixed_params={"bugfix": True},
+    ),
+]

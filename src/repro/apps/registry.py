@@ -1,0 +1,77 @@
+"""The bug registry: every evaluated bug, indexed by id.
+
+This is the machine-readable version of the paper's Table 1: 11
+applications (4 servers, 3 desktop/client, 4 scientific/graphics) and 13
+real-world-pattern concurrency bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import (
+    apache,
+    barnes,
+    cherokee,
+    fft,
+    httrack,
+    lu,
+    mozilla,
+    mysql,
+    openldap,
+    pbzip2,
+    radix,
+)
+from repro.apps.spec import BugSpec
+
+_MODULES = (
+    mysql,
+    apache,
+    openldap,
+    cherokee,
+    mozilla,
+    pbzip2,
+    httrack,
+    fft,
+    lu,
+    barnes,
+    radix,
+)
+
+_REGISTRY: Dict[str, BugSpec] = {}
+for _module in _MODULES:
+    for _spec in _module.SPECS:
+        if _spec.bug_id in _REGISTRY:
+            raise RuntimeError(f"duplicate bug id {_spec.bug_id}")
+        _REGISTRY[_spec.bug_id] = _spec
+
+#: All bug ids in suite order (servers, desktop, scientific).
+ALL_BUG_IDS = tuple(_REGISTRY)
+
+
+def get_bug(bug_id: str) -> BugSpec:
+    """Look a bug up by id; raises KeyError with the valid ids."""
+    try:
+        return _REGISTRY[bug_id]
+    except KeyError:
+        known = ", ".join(ALL_BUG_IDS)
+        raise KeyError(f"unknown bug {bug_id!r}; known bugs: {known}") from None
+
+
+def all_bugs() -> List[BugSpec]:
+    """Every spec, in suite order."""
+    return [_REGISTRY[bug_id] for bug_id in ALL_BUG_IDS]
+
+
+def bugs_by_category(category: str) -> List[BugSpec]:
+    """Specs in one category (server / desktop / scientific), suite order."""
+    return [spec for spec in all_bugs() if spec.category == category]
+
+
+def apps() -> List[str]:
+    """The 11 application names, in suite order, deduplicated."""
+    seen: List[str] = []
+    for spec in all_bugs():
+        if spec.app not in seen:
+            seen.append(spec.app)
+    return seen

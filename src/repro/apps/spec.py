@@ -1,0 +1,75 @@
+"""Bug specifications: how the benchmark suite names and builds its bugs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.recorder import Oracle
+from repro.sim.program import Program
+
+#: App categories, matching the paper's grouping.
+SERVER = "server"
+DESKTOP = "desktop"
+SCIENTIFIC = "scientific"
+
+#: Bug type taxonomy from the paper.
+ATOMICITY = "atomicity-violation"
+ORDER = "order-violation"
+DEADLOCK = "deadlock"
+
+
+@dataclass
+class BugSpec:
+    """One evaluated bug: identity, build recipe and failure oracle.
+
+    :param bug_id: stable identifier, e.g. ``"mysql-atom-log"``.
+    :param app: application name (one of the 11).
+    :param category: SERVER / DESKTOP / SCIENTIFIC.
+    :param bug_type: ATOMICITY / ORDER / DEADLOCK.
+    :param build: factory ``build(**params) -> Program`` with the bug
+        present; params default to :attr:`default_params`.
+    :param oracle: optional end-state oracle for failures the machine
+        cannot see on its own.
+    :param default_params: workload sizing used by tests and benches.
+    :param description: what real bug this models, one line.
+    :param multi_variable: whether the violated invariant spans several
+        shared variables (the paper calls these out separately).
+    :param fixed_params: build overrides that compile the bug *out* — the
+        upstream fix, used to validate that the failure really comes from
+        the modeled defect and not the surrounding structure.
+    """
+
+    bug_id: str
+    app: str
+    category: str
+    bug_type: str
+    build: Callable[..., Program]
+    oracle: Optional[Oracle] = None
+    default_params: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+    multi_variable: bool = False
+    fixed_params: Dict[str, Any] = field(default_factory=dict)
+
+    def make_program(self, **overrides: Any) -> Program:
+        """Build the buggy program with defaults plus overrides."""
+        params = dict(self.default_params)
+        params.update(overrides)
+        return self.build(**params)
+
+    def make_fixed_program(self, **overrides: Any) -> Program:
+        """Build the program with the upstream fix applied."""
+        if not self.fixed_params:
+            raise ValueError(f"{self.bug_id} has no fixed variant")
+        params = dict(self.default_params)
+        params.update(self.fixed_params)
+        params.update(overrides)
+        return self.build(**params)
+
+    @property
+    def has_fix(self) -> bool:
+        return bool(self.fixed_params)
+
+    def describe(self) -> str:
+        flavor = " (multi-variable)" if self.multi_variable else ""
+        return f"{self.bug_id}: {self.app} [{self.category}] {self.bug_type}{flavor} - {self.description}"

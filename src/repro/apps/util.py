@@ -1,0 +1,39 @@
+"""Shared helpers for application thread bodies.
+
+All helpers are generator functions meant for ``yield from`` inside a
+thread body.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Sequence, Tuple
+
+from repro.sim.ops import Op
+from repro.sim.program import ThreadBody, ThreadContext
+
+
+def spawn_all(
+    ctx: ThreadContext, body: ThreadBody, args_list: Sequence[Tuple[Any, ...]]
+) -> Generator[Op, Any, List[int]]:
+    """Spawn one thread per args tuple; returns their tids."""
+    tids: List[int] = []
+    for args in args_list:
+        tid = yield ctx.spawn(body, *args)
+        tids.append(tid)
+    return tids
+
+
+def join_all(
+    ctx: ThreadContext, tids: Iterable[int]
+) -> Generator[Op, Any, List[Any]]:
+    """Join threads in order; returns their return values."""
+    results: List[Any] = []
+    for tid in tids:
+        value = yield ctx.join(tid)
+        results.append(value)
+    return results
+
+
+def compute(ctx: ThreadContext, cost: int) -> Op:
+    """Alias that reads better in numeric kernels."""
+    return ctx.local(cost)

@@ -1,0 +1,26 @@
+"""Benchmark harness: the machinery behind ``benchmarks/``.
+
+Each experiment from DESIGN.md's index (T1, E1..E8) is a thin pytest
+benchmark over these helpers, so the same sweeps are usable from the CLI
+and from notebooks.
+"""
+
+from repro.bench.attempts import attempts_matrix, attempts_row
+from repro.bench.overhead import overhead_matrix, overhead_row
+from repro.bench.runner import available_experiments, run_experiment
+from repro.bench.scaling import scaling_curves
+from repro.bench.seeds import failure_rate, find_failing_seed
+from repro.bench.tables import format_table
+
+__all__ = [
+    "attempts_matrix",
+    "attempts_row",
+    "available_experiments",
+    "failure_rate",
+    "find_failing_seed",
+    "format_table",
+    "overhead_matrix",
+    "overhead_row",
+    "run_experiment",
+    "scaling_curves",
+]

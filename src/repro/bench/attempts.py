@@ -1,0 +1,121 @@
+"""Replay-attempt sweeps (experiments E3, E5, E7, E8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.spec import BugSpec
+from repro.bench.seeds import find_failing_seed
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import ReproductionReport, reproduce
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+from repro.sim import MachineConfig
+
+
+@dataclass
+class AttemptCell:
+    """One (bug, sketch) reproduction outcome."""
+
+    success: bool
+    attempts: int
+    replay_steps: int
+    constraints_used: int
+
+    def render(self) -> str:
+        return str(self.attempts) if self.success else f">{self.attempts}"
+
+
+@dataclass
+class AttemptRow:
+    bug_id: str
+    bug_type: str
+    seed: int
+    cells: Dict[SketchKind, AttemptCell]
+
+
+def attempts_row(
+    spec: BugSpec,
+    sketches: Sequence[SketchKind] = SKETCH_ORDER,
+    max_attempts: int = 400,
+    ncpus: int = 4,
+    use_feedback: bool = True,
+    seed: Optional[int] = None,
+    **params,
+) -> AttemptRow:
+    """Reproduce one bug under each sketch; returns the attempts per cell."""
+    if seed is None:
+        seed = find_failing_seed(spec, ncpus=ncpus, **params)
+    if seed is None:
+        raise RuntimeError(f"{spec.bug_id}: no failing production run found")
+    program = spec.make_program(**params)
+    cells: Dict[SketchKind, AttemptCell] = {}
+    for sketch in sketches:
+        recorded = record(
+            program,
+            sketch=sketch,
+            seed=seed,
+            config=MachineConfig(ncpus=ncpus),
+            oracle=spec.oracle,
+        )
+        report = reproduce(
+            recorded,
+            ExplorerConfig(max_attempts=max_attempts),
+            use_feedback=use_feedback,
+        )
+        cells[sketch] = AttemptCell(
+            success=report.success,
+            attempts=report.attempts,
+            replay_steps=report.total_replay_steps,
+            constraints_used=len(report.winning_constraints),
+        )
+    return AttemptRow(
+        bug_id=spec.bug_id, bug_type=spec.bug_type, seed=seed, cells=cells
+    )
+
+
+def attempts_matrix(
+    specs: Sequence[BugSpec],
+    sketches: Sequence[SketchKind] = SKETCH_ORDER,
+    max_attempts: int = 400,
+    ncpus: int = 4,
+    use_feedback: bool = True,
+) -> List[AttemptRow]:
+    """E3 (and, with use_feedback=False, the E5 ablation arm)."""
+    return [
+        attempts_row(
+            spec,
+            sketches,
+            max_attempts=max_attempts,
+            ncpus=ncpus,
+            use_feedback=use_feedback,
+        )
+        for spec in specs
+    ]
+
+
+def reproduce_once(
+    spec: BugSpec,
+    sketch: SketchKind,
+    max_attempts: int = 400,
+    ncpus: int = 4,
+    use_feedback: bool = True,
+    **params,
+) -> ReproductionReport:
+    """One full reproduction, returning the raw report (E7/E8 building block)."""
+    seed = find_failing_seed(spec, ncpus=ncpus, **params)
+    if seed is None:
+        raise RuntimeError(f"{spec.bug_id}: no failing production run found")
+    recorded = record(
+        spec.make_program(**params),
+        sketch=sketch,
+        seed=seed,
+        config=MachineConfig(ncpus=ncpus),
+        oracle=spec.oracle,
+    )
+    return reproduce(
+        recorded,
+        ExplorerConfig(max_attempts=max_attempts),
+        use_feedback=use_feedback,
+    )

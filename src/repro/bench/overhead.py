@@ -1,0 +1,98 @@
+"""Recording-overhead sweeps (experiments E1, E2, E6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.spec import BugSpec
+from repro.core.cost import DEFAULT_COST_MODEL, CostModel
+from repro.core.recorder import record
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+from repro.sim import MachineConfig
+
+
+@dataclass
+class OverheadRow:
+    """Per-sketch recording figures for one application."""
+
+    bug_id: str
+    app: str
+    overhead_percent: Dict[SketchKind, float]
+    log_bytes: Dict[SketchKind, int]
+    entries: Dict[SketchKind, int]
+    total_events: int
+
+    def reduction_vs_rw(self, sketch: SketchKind) -> float:
+        """How many times cheaper this sketch records than full RW order."""
+        denominator = self.overhead_percent.get(sketch, 0.0)
+        if denominator <= 0:
+            return float("inf")
+        return self.overhead_percent[SketchKind.RW] / denominator
+
+
+def overhead_row(
+    spec: BugSpec,
+    sketches: Sequence[SketchKind] = SKETCH_ORDER,
+    seed: int = 7,
+    ncpus: int = 4,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    **params,
+) -> OverheadRow:
+    """Record one app once per sketch and collect the cost figures.
+
+    The same seed is used for every sketch, so all mechanisms observe the
+    *same* execution and the numbers are directly comparable.
+    """
+    overheads: Dict[SketchKind, float] = {}
+    sizes: Dict[SketchKind, int] = {}
+    entries: Dict[SketchKind, int] = {}
+    total_events = 0
+    program = spec.make_program(**params)
+    for sketch in sketches:
+        recorded = record(
+            program,
+            sketch=sketch,
+            seed=seed,
+            config=MachineConfig(ncpus=ncpus),
+            cost_model=cost_model,
+            oracle=spec.oracle,
+        )
+        overheads[sketch] = recorded.stats.overhead_percent
+        sizes[sketch] = recorded.stats.log_bytes
+        entries[sketch] = recorded.stats.logged_entries
+        total_events = recorded.stats.total_events
+    return OverheadRow(
+        bug_id=spec.bug_id,
+        app=spec.app,
+        overhead_percent=overheads,
+        log_bytes=sizes,
+        entries=entries,
+        total_events=total_events,
+    )
+
+
+def overhead_matrix(
+    specs: Sequence[BugSpec],
+    sketches: Sequence[SketchKind] = SKETCH_ORDER,
+    seed: int = 7,
+    ncpus: int = 4,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[OverheadRow]:
+    """E1: one overhead row per application/bug."""
+    return [
+        overhead_row(spec, sketches, seed=seed, ncpus=ncpus, cost_model=cost_model)
+        for spec in specs
+    ]
+
+
+def max_reduction(
+    rows: Sequence[OverheadRow], sketch: SketchKind = SketchKind.SYNC
+) -> float:
+    """E2: the headline 'up to N times cheaper than full-order recording'."""
+    finite = [
+        row.reduction_vs_rw(sketch)
+        for row in rows
+        if row.overhead_percent.get(sketch, 0.0) > 0
+    ]
+    return max(finite) if finite else float("inf")

@@ -1,0 +1,160 @@
+"""Run evaluation experiments directly (without pytest).
+
+``pres bench <experiment>`` renders the same tables the benchmark suite
+publishes, for quick interactive use.  The pytest benchmarks remain the
+canonical, asserted versions; this runner shares their harness functions
+so the numbers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps import all_bugs, get_bug
+from repro.bench.attempts import attempts_matrix
+from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
+from repro.bench.scaling import scaling_curves
+from repro.bench.seeds import failure_rate, find_failing_seed
+from repro.bench.tables import format_table
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+
+
+def run_t1() -> str:
+    rows = []
+    for spec in all_bugs():
+        seed = find_failing_seed(spec)
+        rate = failure_rate(spec, samples=100)
+        rows.append(
+            [spec.bug_id, spec.app, spec.category, spec.bug_type,
+             f"{rate * 100:.0f}%", seed if seed is not None else "none"]
+        )
+    return format_table(
+        ["bug", "app", "category", "type", "fail rate", "failing seed"],
+        rows,
+        title="T1: applications and bugs (11 apps, 13 bugs)",
+    )
+
+
+def run_e1() -> str:
+    matrix = overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
+    rows = [
+        [row.bug_id] + [row.overhead_percent[s] for s in SKETCH_ORDER]
+        for row in matrix
+    ]
+    return format_table(
+        ["bug"] + [f"{k.value} %" for k in SKETCH_ORDER],
+        rows,
+        title="E1: recording overhead (% slowdown) per sketch, 4 CPUs",
+    )
+
+
+def run_e2() -> str:
+    matrix = overhead_matrix(
+        all_bugs(), (SketchKind.SYNC, SketchKind.RW), seed=7, ncpus=4
+    )
+    rows = [
+        [row.bug_id, row.overhead_percent[SketchKind.SYNC],
+         row.overhead_percent[SketchKind.RW],
+         f"{row.reduction_vs_rw(SketchKind.SYNC):,.0f}x"
+         if row.overhead_percent[SketchKind.SYNC] > 0 else "inf"]
+        for row in matrix
+    ]
+    headline = max_reduction(matrix, SketchKind.SYNC)
+    return format_table(
+        ["bug", "sync %", "rw %", "reduction"],
+        rows,
+        title=f"E2: SYNC vs full-order recording (suite max {headline:,.0f}x)",
+    )
+
+
+def run_e3() -> str:
+    matrix = attempts_matrix(all_bugs(), SKETCH_ORDER, max_attempts=400)
+    rows = [
+        [row.bug_id, row.seed]
+        + [row.cells[s].render() for s in SKETCH_ORDER]
+        for row in matrix
+    ]
+    return format_table(
+        ["bug", "seed"] + [k.value for k in SKETCH_ORDER],
+        rows,
+        title="E3: replay attempts to reproduce (cap 400)",
+    )
+
+
+def run_e4() -> str:
+    spec = get_bug("fft-order-sync")
+    curves = scaling_curves(
+        spec,
+        lambda n: spec.make_program(workers=n, seg=6),
+        (SketchKind.SYNC, SketchKind.SYS, SketchKind.RW),
+        cpu_counts=(2, 4, 8, 16),
+    )
+    rows = [
+        [f"fft/{curve.sketch.value}"]
+        + [f"{p.overhead_percent:.1f}" for p in curve.points]
+        for curve in curves
+    ]
+    return format_table(
+        ["app/sketch", "2 cpus %", "4 cpus %", "8 cpus %", "16 cpus %"],
+        rows,
+        title="E4: recording overhead vs processors (workers = ncpus)",
+    )
+
+
+def run_e5() -> str:
+    with_fb = attempts_matrix(all_bugs(), (SketchKind.SYNC,), max_attempts=400,
+                              use_feedback=True)
+    without_fb = attempts_matrix(all_bugs(), (SketchKind.SYNC,),
+                                 max_attempts=400, use_feedback=False)
+    rows = []
+    for fb_row, nofb_row in zip(with_fb, without_fb):
+        fb = fb_row.cells[SketchKind.SYNC]
+        nofb = nofb_row.cells[SketchKind.SYNC]
+        rows.append([fb_row.bug_id, fb.render(), nofb.render()])
+    return format_table(
+        ["bug", "feedback", "no feedback"],
+        rows,
+        title="E5: attempts with vs without feedback (SYNC sketch)",
+    )
+
+
+def run_e6() -> str:
+    matrix = overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
+    rows = [
+        [row.bug_id, row.total_events]
+        + [row.log_bytes[s] for s in SKETCH_ORDER]
+        for row in matrix
+    ]
+    return format_table(
+        ["bug", "events"] + [f"{k.value} B" for k in SKETCH_ORDER],
+        rows,
+        title="E6: sketch log size (bytes) per mechanism",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "t1": run_t1,
+    "e1": run_e1,
+    "e2": run_e2,
+    "e3": run_e3,
+    "e4": run_e4,
+    "e5": run_e5,
+    "e6": run_e6,
+}
+
+
+def run_experiment(name: str) -> str:
+    """Render one experiment's table by id (t1, e1..e6)."""
+    try:
+        return EXPERIMENTS[name.lower()]()
+    except KeyError:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {valid} "
+            "(e7-e10 need pytest: `pytest benchmarks/ --benchmark-only`)"
+        ) from None
+
+
+def available_experiments() -> List[str]:
+    """Experiment ids runnable through :func:`run_experiment`."""
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,71 @@
+"""Processor-scaling sweeps (experiment E4).
+
+Follows the paper's methodology: the application is configured with as
+many worker threads as there are processors, and recording overhead is
+measured at each point.  The claim under test is the *shape*: sketch
+mechanisms that only log already-serializing events (SYNC, SYS) stay
+nearly flat, while full-order recording (RW) degrades super-linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.apps.spec import BugSpec
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.sim import MachineConfig
+from repro.sim.program import Program
+
+
+@dataclass
+class ScalingPoint:
+    ncpus: int
+    overhead_percent: float
+
+
+@dataclass
+class ScalingCurve:
+    bug_id: str
+    sketch: SketchKind
+    points: List[ScalingPoint]
+
+    def overheads(self) -> List[float]:
+        return [p.overhead_percent for p in self.points]
+
+    @property
+    def growth(self) -> float:
+        """Last-point overhead relative to first-point overhead."""
+        first = self.points[0].overhead_percent
+        last = self.points[-1].overhead_percent
+        if first <= 0:
+            return float("inf") if last > 0 else 1.0
+        return last / first
+
+
+def scaling_curves(
+    spec: BugSpec,
+    program_for_cpus: Callable[[int], Program],
+    sketches: Sequence[SketchKind] = (SketchKind.SYNC, SketchKind.SYS, SketchKind.RW),
+    cpu_counts: Sequence[int] = (2, 4, 8, 16),
+    seed: int = 3,
+) -> List[ScalingCurve]:
+    """Overhead-vs-processors curves for one application."""
+    curves: List[ScalingCurve] = []
+    for sketch in sketches:
+        points: List[ScalingPoint] = []
+        for ncpus in cpu_counts:
+            recorded = record(
+                program_for_cpus(ncpus),
+                sketch=sketch,
+                seed=seed,
+                config=MachineConfig(ncpus=ncpus),
+                oracle=spec.oracle,
+            )
+            points.append(
+                ScalingPoint(ncpus=ncpus,
+                             overhead_percent=recorded.stats.overhead_percent)
+            )
+        curves.append(ScalingCurve(bug_id=spec.bug_id, sketch=sketch, points=points))
+    return curves

@@ -1,0 +1,50 @@
+"""Finding production runs that fail.
+
+The paper records the production run in which the bug manifested; our
+stand-in is a seed search over the random "OS" scheduler.  Results are
+memoized per (bug, params, ncpus) because every experiment needs the same
+failing seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.apps.spec import BugSpec
+from repro.core.recorder import apply_oracle
+from repro.sim import Machine, MachineConfig, RandomScheduler
+
+_seed_cache: Dict[Tuple[str, Tuple, int], Optional[int]] = {}
+
+
+def _run_fails(spec: BugSpec, seed: int, ncpus: int, **params) -> bool:
+    program = spec.make_program(**params)
+    machine = Machine(program, RandomScheduler(seed), MachineConfig(ncpus=ncpus))
+    trace = machine.run()
+    return apply_oracle(trace, spec.oracle) is not None
+
+
+def find_failing_seed(
+    spec: BugSpec, budget: int = 500, ncpus: int = 4, **params
+) -> Optional[int]:
+    """First scheduler seed under which the bug manifests (memoized)."""
+    key = (spec.bug_id, tuple(sorted(params.items())), ncpus)
+    if key in _seed_cache:
+        return _seed_cache[key]
+    found: Optional[int] = None
+    for seed in range(budget):
+        if _run_fails(spec, seed, ncpus, **params):
+            found = seed
+            break
+    _seed_cache[key] = found
+    return found
+
+
+def failure_rate(
+    spec: BugSpec, samples: int = 100, ncpus: int = 4, **params
+) -> float:
+    """Fraction of random schedules on which the bug manifests."""
+    fails = sum(
+        1 for seed in range(samples) if _run_fails(spec, seed, ncpus, **params)
+    )
+    return fails / samples

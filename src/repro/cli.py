@@ -1,0 +1,281 @@
+"""Command-line interface: ``pres`` (or ``python -m repro``).
+
+Subcommands::
+
+    pres bugs                         list the evaluated bug suite
+    pres find-seed BUG                find a failing production run
+    pres record BUG [--sketch SYNC]   record a production run, show stats
+    pres reproduce BUG [...]          full pipeline: record -> PIR -> log
+    pres replay BUG --log FILE        deterministic replay of a saved log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.apps import all_bugs, get_bug
+from repro.bench.seeds import find_failing_seed
+from repro.core.explorer import ExplorerConfig
+from repro.core.full_replay import CompleteLog, replay_complete
+from repro.core.diagnose import diagnose
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import parse_sketch_kind
+from repro.sim import MachineConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("bug", help="bug id from `pres bugs`")
+    parser.add_argument("--sketch", default="sync",
+                        help="none|sync|sys|func|bb|rw (default: sync)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="production-run seed (default: search)")
+    parser.add_argument("--ncpus", type=int, default=4)
+
+
+def _resolve_seed(args, spec) -> Optional[int]:
+    if args.seed is not None:
+        return args.seed
+    print(f"searching for a failing production run of {spec.bug_id} ...")
+    seed = find_failing_seed(spec, ncpus=args.ncpus)
+    if seed is None:
+        print("no failing seed found within the search budget", file=sys.stderr)
+        return None
+    print(f"found failing seed {seed}")
+    return seed
+
+
+def cmd_bugs(args) -> int:
+    for spec in all_bugs():
+        print(spec.describe())
+    return 0
+
+
+def cmd_find_seed(args) -> int:
+    spec = get_bug(args.bug)
+    seed = find_failing_seed(spec, budget=args.budget, ncpus=args.ncpus)
+    if seed is None:
+        print("no failing seed found", file=sys.stderr)
+        return 1
+    print(seed)
+    return 0
+
+
+def cmd_record(args) -> int:
+    spec = get_bug(args.bug)
+    seed = _resolve_seed(args, spec)
+    if seed is None:
+        return 1
+    recorded = record(
+        spec.make_program(),
+        sketch=parse_sketch_kind(args.sketch),
+        seed=seed,
+        config=MachineConfig(ncpus=args.ncpus),
+        oracle=spec.oracle,
+    )
+    print(recorded.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(recorded.log.to_json())
+        print(f"sketch log written to {args.out}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    spec = get_bug(args.bug)
+    seed = _resolve_seed(args, spec)
+    if seed is None:
+        return 1
+    sketch = parse_sketch_kind(args.sketch)
+    recorded = record(
+        spec.make_program(),
+        sketch=sketch,
+        seed=seed,
+        config=MachineConfig(ncpus=args.ncpus),
+        oracle=spec.oracle,
+    )
+    if not recorded.failed:
+        print("that production run did not fail; try another seed",
+              file=sys.stderr)
+        return 1
+    print(f"production: {recorded.failure.describe()}")
+    print(f"sketch: {len(recorded.log)} entries, "
+          f"{recorded.stats.log_bytes} bytes, "
+          f"overhead {recorded.stats.overhead_percent:.1f}%")
+    report = reproduce(
+        recorded,
+        ExplorerConfig(max_attempts=args.max_attempts),
+        use_feedback=not args.no_feedback,
+    )
+    print(report.describe())
+    for attempt in report.records:
+        print(f"  attempt {attempt.index}: {attempt.outcome} "
+              f"(constraints={attempt.n_constraints}, seed={attempt.base_seed})")
+    if not report.success:
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.complete_log.to_json())
+        print(f"complete log written to {args.out}; replays deterministically")
+    if args.trace_out:
+        from repro.sim.persist import save_trace
+
+        trace = replay_complete(
+            spec.make_program(), report.complete_log, oracle=spec.oracle
+        )
+        save_trace(trace, args.trace_out)
+        print(f"reproduced execution written to {args.trace_out}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    spec = get_bug(args.bug)
+    seed = _resolve_seed(args, spec)
+    if seed is None:
+        return 1
+    sketch = parse_sketch_kind(args.sketch)
+    recorded = record(
+        spec.make_program(),
+        sketch=sketch,
+        seed=seed,
+        config=MachineConfig(ncpus=args.ncpus),
+        oracle=spec.oracle,
+    )
+    if not recorded.failed:
+        print("that production run did not fail", file=sys.stderr)
+        return 1
+    report = reproduce(recorded, ExplorerConfig(max_attempts=args.max_attempts))
+    if not report.success:
+        print("could not reproduce the failure", file=sys.stderr)
+        return 1
+    trace = replay_complete(
+        spec.make_program(), report.complete_log, oracle=spec.oracle
+    )
+    print(diagnose(trace).render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis import lock_order_report
+    from repro.sim import Machine, RandomScheduler, trace_stats
+
+    spec = get_bug(args.bug)
+    seed = args.seed if args.seed is not None else 0
+    machine = Machine(
+        spec.make_program(),
+        RandomScheduler(seed),
+        MachineConfig(ncpus=args.ncpus),
+    )
+    trace = machine.run()
+    print(f"run of {spec.bug_id} (seed {seed}): "
+          f"{'FAILED - ' + trace.failure.describe() if trace.failed else 'clean'}")
+    print(trace_stats(trace).describe())
+    print(lock_order_report(trace).describe())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.runner import available_experiments, run_experiment
+
+    if args.experiment == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+    try:
+        print(run_experiment(args.experiment))
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_replay(args) -> int:
+    spec = get_bug(args.bug)
+    with open(args.log, "r", encoding="utf-8") as handle:
+        log = CompleteLog.from_json(handle.read())
+    trace = replay_complete(spec.make_program(), log, oracle=spec.oracle)
+    if trace.failure is None:
+        print("replay completed without the failure (wrong log?)",
+              file=sys.stderr)
+        return 1
+    print(f"reproduced: {trace.failure.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pres",
+        description="PRES: probabilistic replay with execution sketching",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("bugs", help="list the evaluated bug suite")
+
+    p_seed = sub.add_parser("find-seed", help="find a failing production run")
+    p_seed.add_argument("bug")
+    p_seed.add_argument("--budget", type=int, default=500)
+    p_seed.add_argument("--ncpus", type=int, default=4)
+
+    p_record = sub.add_parser("record", help="record one production run")
+    _add_common(p_record)
+    p_record.add_argument("--out", help="write the sketch log (JSON) here")
+
+    p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
+    _add_common(p_repro)
+    p_repro.add_argument("--max-attempts", type=int, default=400)
+    p_repro.add_argument("--no-feedback", action="store_true",
+                         help="ablation: random re-rolls instead of feedback")
+    p_repro.add_argument("--out", help="write the complete log (JSON) here")
+    p_repro.add_argument("--trace-out",
+                         help="write the reproduced execution (JSONL) here")
+
+    p_diag = sub.add_parser(
+        "diagnose", help="reproduce a bug and print a root-cause report"
+    )
+    _add_common(p_diag)
+    p_diag.add_argument("--max-attempts", type=int, default=400)
+
+    p_replay = sub.add_parser("replay", help="replay a saved complete log")
+    p_replay.add_argument("bug")
+    p_replay.add_argument("--log", required=True)
+
+    p_stats = sub.add_parser(
+        "stats", help="run once and print execution statistics + lock hazards"
+    )
+    p_stats.add_argument("bug")
+    p_stats.add_argument("--seed", type=int, default=None)
+    p_stats.add_argument("--ncpus", type=int, default=4)
+
+    p_bench = sub.add_parser(
+        "bench", help="render an evaluation table (t1, e1..e6, or 'list')"
+    )
+    p_bench.add_argument("experiment")
+
+    return parser
+
+
+_HANDLERS = {
+    "bugs": cmd_bugs,
+    "find-seed": cmd_find_seed,
+    "record": cmd_record,
+    "reproduce": cmd_reproduce,
+    "diagnose": cmd_diagnose,
+    "replay": cmd_replay,
+    "bench": cmd_bench,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except KeyError as exc:  # unknown bug id
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Ordering constraints for replay attempts.
+
+A constraint says "this program action must execute before that one".
+Actions are named by :class:`EventRef` — (thread, action family, key,
+occurrence) — a coordinate system that survives re-scheduling: "thread 3's
+2nd access to ``buf_len``" names the same action in any attempt where
+thread 3's control flow has not diverged.  (If it *has* diverged, the
+sketch-conformance monitor notices and the attempt is abandoned anyway.)
+
+Two families are enough:
+
+* ``mem`` — the k-th shared-memory access by a thread to an address
+  (reads, writes, atomics and frees all count in one sequence);
+* ``lock`` — the k-th acquisition of a mutex by a thread (LOCK, a
+  successful TRYLOCK, or a condition-wait re-acquire).  Flips of
+  lock-protected races are lifted to this family, because blocking a
+  thread that already holds the common mutex would deadlock the attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.sim.events import Event
+from repro.sim.ops import MEMORY_KINDS, Address, Op, OpKind
+
+
+@dataclass(frozen=True)
+class EventRef:
+    """A schedule-independent name for one program action."""
+
+    tid: int
+    family: str  # "mem" or "lock"
+    key: Address  # address for mem, mutex name for lock
+    occurrence: int  # 1-based
+
+    def describe(self) -> str:
+        return f"T{self.tid}:{self.family}[{self.key!r}]#{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class OrderConstraint:
+    """``before`` must have executed before ``after`` may execute."""
+
+    before: EventRef
+    after: EventRef
+
+    def describe(self) -> str:
+        return f"{self.before.describe()} -> {self.after.describe()}"
+
+
+#: A replay attempt's full set of constraints, hashable for dedup.
+ConstraintSet = FrozenSet[OrderConstraint]
+
+
+def _acquire_key(event_kind: OpKind, obj: object, value: object) -> Optional[str]:
+    """Lock name if this event/op is a lock acquisition, else None.
+
+    Mutex LOCK, successful TRYLOCK, and reader-writer acquisitions all
+    count: each is a scheduling point whose order a flip can target.
+    """
+    if event_kind in (OpKind.LOCK, OpKind.RDLOCK, OpKind.WRLOCK):
+        return obj
+    if event_kind is OpKind.TRYLOCK and value:
+        return obj
+    return None
+
+
+class OccurrenceCounter:
+    """Counts executed actions so EventRefs can be resolved online."""
+
+    def __init__(self) -> None:
+        self._mem: Dict[Tuple[int, Address], int] = {}
+        self._lock: Dict[Tuple[int, str], int] = {}
+
+    def observe(self, event: Event) -> None:
+        """Account one executed event."""
+        if event.kind in MEMORY_KINDS:
+            key = (event.tid, event.addr)
+            self._mem[key] = self._mem.get(key, 0) + 1
+        else:
+            mutex = _acquire_key(event.kind, event.obj, event.value)
+            if mutex is not None:
+                key = (event.tid, mutex)
+                self._lock[key] = self._lock.get(key, 0) + 1
+
+    def executed(self, ref: EventRef) -> bool:
+        """Whether the named action has already happened."""
+        table = self._mem if ref.family == "mem" else self._lock
+        return table.get((ref.tid, ref.key), 0) >= ref.occurrence
+
+    def pending_matches(self, tid: int, op: Op, ref: EventRef) -> bool:
+        """Whether executing ``op`` now would *be* the named action."""
+        if tid != ref.tid:
+            return False
+        if ref.family == "mem":
+            if op.kind not in MEMORY_KINDS or op.addr != ref.key:
+                return False
+            done = self._mem.get((tid, op.addr), 0)
+            return done + 1 == ref.occurrence
+        # lock family: TRYLOCK may fail, but blocking it until the
+        # constraint is satisfied is still sound (just conservative).
+        if (
+            op.kind not in (OpKind.LOCK, OpKind.TRYLOCK, OpKind.RDLOCK,
+                            OpKind.WRLOCK)
+            or op.obj != ref.key
+        ):
+            return False
+        done = self._lock.get((tid, op.obj), 0)
+        return done + 1 == ref.occurrence
+
+    def mem_count(self, tid: int, addr: Address) -> int:
+        return self._mem.get((tid, addr), 0)
+
+    def lock_count(self, tid: int, mutex: str) -> int:
+        return self._lock.get((tid, mutex), 0)
+
+
+class ConstraintGate:
+    """Online enforcement of a constraint set during one attempt."""
+
+    def __init__(self, constraints: Iterable[OrderConstraint]) -> None:
+        self.constraints: List[OrderConstraint] = list(constraints)
+        self.counter = OccurrenceCounter()
+
+    def observe(self, event: Event) -> None:
+        self.counter.observe(event)
+
+    def blocks(self, tid: int, op: Op) -> bool:
+        """Whether this thread's pending op must wait for a constraint."""
+        for constraint in self.constraints:
+            if self.counter.executed(constraint.before):
+                continue
+            if self.counter.pending_matches(tid, op, constraint.after):
+                return True
+        return False
+
+    def all_satisfiable_by(self, finished_tids: Iterable[int]) -> bool:
+        """Sanity: a ``before`` owned by a finished thread can never fire."""
+        finished = set(finished_tids)
+        for constraint in self.constraints:
+            if (
+                not self.counter.executed(constraint.before)
+                and constraint.before.tid in finished
+            ):
+                return False
+        return True
+
+
+class RefIndex:
+    """Maps every memory access / lock acquisition of a trace to its EventRef.
+
+    One pass over the events assigns occurrence numbers; afterwards
+    :meth:`ref_of` answers by global index.
+    """
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self._refs: Dict[int, EventRef] = {}
+        mem: Dict[Tuple[int, Address], int] = {}
+        lock: Dict[Tuple[int, str], int] = {}
+        for event in events:
+            if event.kind in MEMORY_KINDS:
+                key = (event.tid, event.addr)
+                mem[key] = mem.get(key, 0) + 1
+                self._refs[event.gidx] = EventRef(
+                    event.tid, "mem", event.addr, mem[key]
+                )
+            else:
+                mutex = _acquire_key(event.kind, event.obj, event.value)
+                if mutex is not None:
+                    key = (event.tid, mutex)
+                    lock[key] = lock.get(key, 0) + 1
+                    self._refs[event.gidx] = EventRef(
+                        event.tid, "lock", mutex, lock[key]
+                    )
+
+    def ref_of(self, event: Event) -> Optional[EventRef]:
+        """The ref naming this event, or None for unnamed kinds."""
+        return self._refs.get(event.gidx)
+
+    def lock_ref(self, tid: int, mutex: str, occurrence: int) -> EventRef:
+        """Explicit lock-family ref (for lifted flips)."""
+        return EventRef(tid, "lock", mutex, occurrence)

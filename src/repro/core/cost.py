@@ -1,0 +1,66 @@
+"""Recording cost model.
+
+Maps "what the instrumentation does" to virtual time, so a single
+simulated run yields both the native runtime and the recorded runtime (see
+:mod:`repro.sim.vtime`).
+
+The central asymmetry — the one PRES's whole overhead argument rests on —
+is *which* log appends serialize:
+
+* **Synchronization operations and system calls already serialize.**  A
+  lock handoff moves a cache line between CPUs; a syscall enters the
+  kernel.  Appending a log entry at that moment piggybacks on ordering
+  that the program itself created, so it costs only CPU-local work
+  (``piggyback_log_cost``).  This is why SYNC/SYS sketching stays cheap
+  *and flat* as the CPU count grows.
+* **Memory accesses, basic blocks and function events are naturally
+  parallel.**  Recording their *global* order manufactures serialization
+  that did not exist: every append wins an atomic increment on a shared
+  counter and writes a shared buffer (``serial_log_cost``, modelled by
+  :meth:`~repro.sim.vtime.VirtualClock.charge_log_append`).  The more CPUs,
+  the more parallelism this destroys — which is why classical software
+  deterministic replay (our RW mechanism) scales badly.
+
+Every instrumented event also pays ``intercept_cost`` (the interposition
+check itself) on its own CPU.  Units are the abstract cycles of
+:attr:`repro.sim.ops.Op.cost` (an uninstrumented shared access costs 1).
+Absolute percentages are not calibrated to any specific hardware; the
+*shape* (ordering of mechanisms, scaling trend) is what EXPERIMENTS.md
+validates against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.ops import SYNC_KINDS, OpKind
+
+#: Event kinds whose log appends piggyback on existing serialization.
+PIGGYBACK_KINDS = frozenset(SYNC_KINDS | {OpKind.SYSCALL})
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time prices for the recorder's work."""
+
+    intercept_cost: int = 1
+    piggyback_log_cost: int = 2
+    serial_log_cost: int = 24
+    entry_bytes: int = 6
+
+    def serializes(self, kind: OpKind) -> bool:
+        """Whether logging this event kind adds global serialization."""
+        return kind not in PIGGYBACK_KINDS
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with log costs scaled (for sensitivity benches)."""
+        return CostModel(
+            intercept_cost=max(1, round(self.intercept_cost * factor)),
+            piggyback_log_cost=max(1, round(self.piggyback_log_cost * factor)),
+            serial_log_cost=max(1, round(self.serial_log_cost * factor)),
+            entry_bytes=self.entry_bytes,
+        )
+
+
+#: The model used by benchmarks unless a sweep overrides it.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,147 @@
+"""Root-cause diagnosis of a reproduced failure.
+
+Once PRES has a deterministic reproduction, the developer still has to
+find the defect.  This module packages what the analysis substrate can
+say about the failing execution into one :class:`Diagnosis`:
+
+* the failure itself and the threads involved;
+* the happens-before races closest to the failure point (for concurrency
+  bugs, one of these is almost always the root cause);
+* inconsistently protected shared addresses (lockset evidence);
+* for deadlocks, the wait-for cycle with each thread's last lock events;
+* the tail of each involved thread's event stream.
+
+The CLI exposes this as ``pres diagnose BUG``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.hb_race import HBAnalysis, RacePair
+from repro.analysis.lockorder import lock_order_report
+from repro.analysis.lockset import lockset_report
+from repro.analysis.timeline import failure_window
+from repro.sim.failures import Failure, FailureKind
+from repro.sim.ops import OpKind
+from repro.sim.trace import Trace
+
+
+@dataclass
+class Diagnosis:
+    """Everything the toolbox can say about one failing execution."""
+
+    failure: Failure
+    suspect_races: List[RacePair] = field(default_factory=list)
+    unprotected_addresses: List[object] = field(default_factory=list)
+    involved_tids: Tuple[int, ...] = ()
+    thread_tails: List[Tuple[int, List[str]]] = field(default_factory=list)
+    deadlock_hops: List[str] = field(default_factory=list)
+    potential_deadlocks: List[str] = field(default_factory=list)
+    timeline: str = ""
+
+    def render(self, max_races: int = 5) -> str:
+        """Human-readable report (what ``pres diagnose`` prints)."""
+        lines = [f"failure: {self.failure.describe()}"]
+        if self.deadlock_hops:
+            lines.append("wait-for cycle:")
+            lines.extend(f"  {hop}" for hop in self.deadlock_hops)
+        if self.suspect_races:
+            lines.append(
+                f"suspect races (closest to the failure, of "
+                f"{len(self.suspect_races)} total):"
+            )
+            lines.extend(
+                f"  {race.describe()}" for race in self.suspect_races[:max_races]
+            )
+        if self.unprotected_addresses:
+            lines.append("inconsistently protected shared state:")
+            lines.extend(f"  {addr!r}" for addr in self.unprotected_addresses[:8])
+        if self.potential_deadlocks:
+            lines.append("lock-order hazards (Goodlock):")
+            lines.extend(f"  {hazard}" for hazard in self.potential_deadlocks[:4])
+        for tid, tail in self.thread_tails:
+            lines.append(f"T{tid} final operations:")
+            lines.extend(f"  {entry}" for entry in tail)
+        if self.timeline:
+            lines.append("timeline around the failure:")
+            lines.extend(f"  {row}" for row in self.timeline.splitlines())
+        return "\n".join(lines)
+
+
+def _involved_tids(trace: Trace, failure: Failure) -> Tuple[int, ...]:
+    if failure.involved_tids:
+        return failure.involved_tids
+    if failure.tid is not None:
+        return (failure.tid,)
+    return ()
+
+
+def _deadlock_hops(trace: Trace, failure: Failure) -> List[str]:
+    hops = []
+    for tid in failure.involved_tids:
+        lock_events = [
+            e
+            for e in trace.events_of(tid)
+            if e.kind in (OpKind.LOCK, OpKind.UNLOCK)
+        ]
+        held = []
+        for event in lock_events:
+            if event.kind is OpKind.LOCK:
+                held.append(event.obj)
+            else:
+                if event.obj in held:
+                    held.remove(event.obj)
+        hops.append(f"T{tid} holds {held or 'nothing'} and cannot proceed")
+    return hops
+
+
+def diagnose(trace: Trace, failure: Optional[Failure] = None) -> Diagnosis:
+    """Analyze a failing trace; ``failure`` defaults to the trace's own."""
+    if failure is None:
+        failure = trace.failure
+    if failure is None:
+        raise ValueError("cannot diagnose a trace that did not fail")
+
+    analysis = HBAnalysis(trace)
+    anchor = failure.gidx if failure.gidx is not None else len(trace.events)
+    involved = _involved_tids(trace, failure)
+
+    def relevance(race: RacePair) -> Tuple[int, int]:
+        # races touching an involved thread first, then by proximity to
+        # the failure point
+        touches = int(
+            race.first.tid in involved or race.second.tid in involved
+        )
+        return (-touches, abs(anchor - race.second.gidx))
+
+    races = sorted(analysis.races, key=relevance)
+
+    locksets = lockset_report(trace)
+    unprotected = locksets.inconsistent_addresses()
+
+    tails = []
+    for tid in involved:
+        events = trace.events_of(tid)
+        tails.append((tid, [e.describe() for e in events[-4:]]))
+
+    hops = (
+        _deadlock_hops(trace, failure)
+        if failure.kind is FailureKind.DEADLOCK
+        else []
+    )
+    hazards = [
+        p.describe() for p in lock_order_report(trace).potential_deadlocks
+    ]
+
+    return Diagnosis(
+        failure=failure,
+        suspect_races=races,
+        unprotected_addresses=unprotected,
+        involved_tids=involved,
+        thread_tails=tails,
+        deadlock_hops=hops,
+        potential_deadlocks=hazards,
+        timeline=failure_window(trace),
+    )

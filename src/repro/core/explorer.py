@@ -1,0 +1,184 @@
+"""Exploration strategies over the unrecorded non-deterministic space.
+
+:class:`FeedbackExplorer` is PRES proper: a best-first search whose
+frontier is fed by :class:`~repro.core.feedback.FeedbackGenerator`.
+:class:`RandomExplorer` is the ablation the paper's evaluation isolates —
+the sketch is still enforced, but unsuccessful attempts teach it nothing;
+it just re-rolls the unrecorded choices with a fresh seed.  With no sketch
+at all, RandomExplorer degenerates to plain stress testing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.core.constraints import ConstraintSet, OrderConstraint
+from repro.core.feedback import Candidate, FeedbackDB, FeedbackGenerator
+from repro.core.sketches import SketchKind
+from repro.sim.trace import Trace
+
+#: Runs one attempt under (constraints, base_seed); returns the trace and
+#: whether the recorded failure was reproduced.
+AttemptRunner = Callable[[ConstraintSet, int], Tuple[Trace, bool]]
+
+_EMPTY: ConstraintSet = frozenset()
+
+
+@dataclass
+class AttemptRecord:
+    """Summary of one replay attempt."""
+
+    index: int
+    base_seed: int
+    n_constraints: int
+    outcome: str  # "matched" | "diverged" | "no_failure" | "other_failure"
+    steps: int
+    detail: str = ""
+
+
+@dataclass
+class ExplorationResult:
+    """What an explorer found."""
+
+    success: bool
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    winning_trace: Optional[Trace] = None
+    winning_constraints: ConstraintSet = _EMPTY
+    winning_seed: int = 0
+    duplicate_traces: int = 0
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(record.steps for record in self.attempts)
+
+
+@dataclass
+class ExplorerConfig:
+    """Search budget and shape."""
+
+    max_attempts: int = 200
+    base_seed: int = 0
+    seed_restarts: int = 16
+    max_candidates_per_attempt: int = 24
+    max_constraint_depth: int = 8
+
+
+def _classify(trace: Trace, matched: bool) -> Tuple[str, str]:
+    if matched:
+        return "matched", trace.failure.describe() if trace.failure else ""
+    if trace.diverged:
+        return "diverged", trace.divergence or ""
+    if trace.failure is not None:
+        return "other_failure", trace.failure.describe()
+    return "no_failure", ""
+
+
+class FeedbackExplorer:
+    """Best-first search steered by failed-attempt analysis."""
+
+    def __init__(self, sketch: SketchKind, config: Optional[ExplorerConfig] = None):
+        self.sketch = sketch
+        self.config = config or ExplorerConfig()
+        self.db = FeedbackDB()
+        self.generator = FeedbackGenerator(
+            sketch=sketch,
+            db=self.db,
+            max_candidates_per_attempt=self.config.max_candidates_per_attempt,
+            max_constraint_depth=self.config.max_constraint_depth,
+        )
+
+    def explore(self, runner: AttemptRunner) -> ExplorationResult:
+        result = ExplorationResult(success=False)
+        config = self.config
+        frontier: List[Tuple[Tuple[int, int], int, ConstraintSet, int]] = []
+        counter = 0
+        restarts_used = 0
+
+        def push(candidate: Candidate, seed: int) -> None:
+            nonlocal counter
+            counter += 1
+            heapq.heappush(
+                frontier,
+                (candidate.sort_key(), counter, candidate.constraints, seed),
+            )
+
+        push(Candidate(_EMPTY, 0, 0), config.base_seed)
+
+        while result.attempt_count < config.max_attempts:
+            if not frontier:
+                restarts_used += 1
+                if restarts_used > config.seed_restarts:
+                    break
+                # A restart re-rolls every unrecorded choice: same (empty)
+                # constraint set, fresh base seed.
+                push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
+                continue
+
+            _, _, constraints, seed = heapq.heappop(frontier)
+            if self.db.tried(constraints, seed):
+                continue
+            self.db.mark_tried(constraints, seed)
+
+            trace, matched = runner(constraints, seed)
+            outcome, detail = _classify(trace, matched)
+            result.attempts.append(
+                AttemptRecord(
+                    index=result.attempt_count,
+                    base_seed=seed,
+                    n_constraints=len(constraints),
+                    outcome=outcome,
+                    steps=trace.steps,
+                    detail=detail,
+                )
+            )
+            if matched:
+                result.success = True
+                result.winning_trace = trace
+                result.winning_constraints = constraints
+                result.winning_seed = seed
+                break
+
+            # Feedback: mine the failed attempt, even a diverged prefix.
+            if self.db.record_trace(trace):
+                for candidate in self.generator.candidates(trace, constraints):
+                    push(candidate, seed)
+
+        result.duplicate_traces = self.db.duplicate_traces
+        return result
+
+
+class RandomExplorer:
+    """No feedback: re-roll the unrecorded choices every attempt."""
+
+    def __init__(self, sketch: SketchKind, config: Optional[ExplorerConfig] = None):
+        self.sketch = sketch
+        self.config = config or ExplorerConfig()
+
+    def explore(self, runner: AttemptRunner) -> ExplorationResult:
+        result = ExplorationResult(success=False)
+        for index in range(self.config.max_attempts):
+            seed = self.config.base_seed + index
+            trace, matched = runner(_EMPTY, seed)
+            outcome, detail = _classify(trace, matched)
+            result.attempts.append(
+                AttemptRecord(
+                    index=index,
+                    base_seed=seed,
+                    n_constraints=0,
+                    outcome=outcome,
+                    steps=trace.steps,
+                    detail=detail,
+                )
+            )
+            if matched:
+                result.success = True
+                result.winning_trace = trace
+                result.winning_seed = seed
+                break
+        return result

@@ -1,0 +1,243 @@
+"""PIR: the Partial-Information Replay scheduler.
+
+One replay attempt = one machine run under a :class:`PIRScheduler`, which
+enforces three things at every step:
+
+1. **Sketch order** (via :class:`SketchCursor`): the i-th sketch-visible
+   event of the attempt must match the i-th recorded entry.  A thread
+   whose pending op is sketch-visible but out of turn simply waits; a
+   thread that is *in* turn but about to do something *different* than the
+   recorded entry proves the attempt has diverged, and the attempt is
+   aborted immediately (failing fast is a large chunk of PRES's replay
+   efficiency).
+2. **Flip constraints** (via :class:`~repro.core.constraints.
+   ConstraintGate`): ordering edges injected by feedback generation.
+3. **Base policy** for everything still unconstrained: a seeded RNG, so an
+   attempt is a pure function of (sketch, constraints, base seed).
+
+If no thread can be scheduled while unfinished threads remain *because of
+the gates* (the machine itself had runnable threads), the attempt is stuck
+— also a divergence.  Genuine program deadlocks (no machine-runnable
+threads at all) are left to the machine, which records them as failures;
+those are legitimate reproductions when the recorded bug *is* a deadlock.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.constraints import ConstraintGate, OrderConstraint
+from repro.core.sketches import SketchKind, entry_for_op, op_visible
+from repro.core.sketchlog import SketchLog
+from repro.errors import ReplayDivergence
+from repro.sim.machine import Machine
+from repro.sim.ops import Op
+from repro.sim.scheduler import Scheduler
+
+
+class Gate(enum.Enum):
+    """Verdict of a gate for one (thread, pending op)."""
+
+    FREE = "free"  # not governed by this gate
+    ALLOWED = "allowed"  # governed and it is this op's turn
+    BLOCKED = "blocked"  # governed, not its turn yet
+
+
+class SketchCursor:
+    """Walks the recorded sketch log during one attempt."""
+
+    def __init__(self, log: SketchLog) -> None:
+        self.sketch: SketchKind = log.sketch
+        self.entries = log.entries
+        self.position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.entries)
+
+    def gate(self, tid: int, op: Op) -> Gate:
+        """Classify a pending op against the next expected entry.
+
+        Raises :class:`ReplayDivergence` when the expected thread's next
+        visible action provably differs from the recorded one.
+        """
+        if not op_visible(self.sketch, op):
+            return Gate.FREE
+        if self.exhausted:
+            # Past the recorded horizon (the production run ended here,
+            # e.g. at its failure); the remainder is unconstrained.
+            return Gate.FREE
+        expected = self.entries[self.position]
+        if tid != expected.tid:
+            return Gate.BLOCKED
+        if expected.matches_op(tid, op):
+            return Gate.ALLOWED
+        raise ReplayDivergence(
+            f"thread {tid} is due to produce sketch entry "
+            f"[{expected.describe()}] but its next visible op is "
+            f"{entry_for_op(tid, op).describe()}",
+            step=self.position,
+        )
+
+    def observe(self, tid: int, op: Op) -> None:
+        """Advance past an executed sketch-visible op."""
+        if self.exhausted or not op_visible(self.sketch, op):
+            return
+        self.position += 1
+
+
+class BaseChooser:
+    """Policy for the genuinely unconstrained choices within an attempt."""
+
+    def restart(self) -> None:
+        raise NotImplementedError
+
+    def choose(self, allowed: List[int]) -> int:
+        raise NotImplementedError
+
+
+class RandomChooser(BaseChooser):
+    """Uniform random over the allowed set (the default)."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def restart(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, allowed: List[int]) -> int:
+        return allowed[self._rng.randrange(len(allowed))]
+
+
+class PCTChooser(BaseChooser):
+    """PCT-style priorities over the allowed set.
+
+    Used by the exploration-strategy ablation: a sketch-respecting PCT
+    replayer that concentrates probability on few-ordering-point bugs
+    without any feedback.
+    """
+
+    def __init__(self, seed: int, depth: int = 3, max_steps_hint: int = 1000):
+        self.seed = seed
+        self.depth = depth
+        self.max_steps_hint = max_steps_hint
+        self._rng = random.Random(seed)
+        self._priorities: dict = {}
+        self._change_points: set = set()
+        self._steps = 0
+
+    def restart(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._priorities = {}
+        self._steps = 0
+        self._change_points = {
+            self._rng.randrange(self.max_steps_hint)
+            for _ in range(max(0, self.depth - 1))
+        }
+
+    def _priority_of(self, tid: int) -> float:
+        if tid not in self._priorities:
+            self._priorities[tid] = 1.0 + self._rng.random()
+        return self._priorities[tid]
+
+    def choose(self, allowed: List[int]) -> int:
+        self._steps += 1
+        winner = max(allowed, key=self._priority_of)
+        if self._steps in self._change_points:
+            self._priorities[winner] = self._rng.random()
+            winner = max(allowed, key=self._priority_of)
+        return winner
+
+
+def make_chooser(policy: str, seed: int) -> BaseChooser:
+    """Build a chooser by name: 'random' or 'pct'."""
+    if policy == "random":
+        return RandomChooser(seed)
+    if policy == "pct":
+        return PCTChooser(seed)
+    raise ValueError(f"unknown base policy {policy!r}; expected 'random' or 'pct'")
+
+
+class PIRScheduler(Scheduler):
+    """Scheduler enforcing sketch + constraints, randomizing the rest."""
+
+    def __init__(
+        self,
+        log: SketchLog,
+        constraints: Sequence[OrderConstraint] = (),
+        base_seed: int = 0,
+        base_policy: str = "random",
+    ) -> None:
+        self.log = log
+        self.constraints = list(constraints)
+        self.base_seed = base_seed
+        self.base_policy = base_policy
+        self.cursor = SketchCursor(log)
+        self.gate = ConstraintGate(self.constraints)
+        self._chooser = make_chooser(base_policy, base_seed)
+        self._seen_events = 0
+
+    def on_run_start(self, machine: Machine) -> None:
+        self.cursor = SketchCursor(self.log)
+        self.gate = ConstraintGate(self.constraints)
+        self._chooser = make_chooser(self.base_policy, self.base_seed)
+        self._chooser.restart()
+        self._seen_events = 0
+
+    def pick(self, machine: Machine, runnable: Sequence[int]) -> int:
+        self._catch_up(machine)
+        allowed: List[int] = []
+        blocked_reasons: List[str] = []
+        for tid in runnable:
+            op = machine.pending_op_of(tid)
+            verdict = self.cursor.gate(tid, op)  # may raise ReplayDivergence
+            if verdict is Gate.BLOCKED:
+                blocked_reasons.append(f"T{tid} awaits its sketch turn")
+                continue
+            if self.gate.blocks(tid, op):
+                blocked_reasons.append(f"T{tid} awaits an order constraint")
+                continue
+            allowed.append(tid)
+        if not allowed:
+            raise ReplayDivergence(
+                "no schedulable thread: "
+                + ("; ".join(blocked_reasons) or "all gated"),
+                step=len(machine.events),
+            )
+        if len(allowed) == 1:
+            return allowed[0]
+        return self._chooser.choose(allowed)
+
+    def _catch_up(self, machine: Machine) -> None:
+        """Feed events executed since the last pick to cursor and gate."""
+        events = machine.events
+        while self._seen_events < len(events):
+            event = events[self._seen_events]
+            self._seen_events += 1
+            self.gate.observe(event)
+            if self.cursor.exhausted:
+                continue
+            expected = self.cursor.entries[self.cursor.position]
+            if event.kind in _visible_cache(self.cursor.sketch):
+                if event.tid != expected.tid:
+                    raise ReplayDivergence(
+                        f"executed visible event {event.describe()} out of "
+                        f"sketch order (expected {expected.describe()})",
+                        step=event.gidx,
+                    )
+                self.cursor.position += 1
+
+    def describe(self) -> str:
+        return (
+            f"PIR(sketch={self.log.sketch.value}, "
+            f"constraints={len(self.constraints)}, seed={self.base_seed})"
+        )
+
+
+def _visible_cache(sketch: SketchKind):
+    from repro.core.sketches import visible_kinds
+
+    return visible_kinds(sketch)

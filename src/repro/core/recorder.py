@@ -1,0 +1,209 @@
+"""Production-run recording.
+
+:func:`record` executes a program once under a seeded random scheduler
+(standing in for the production OS scheduler) with a
+:class:`SketchRecorder` observer attached.  The observer appends every
+sketch-visible event to the log and charges the cost model to the
+machine's recorded clock, so the returned :class:`RecordedRun` carries
+both the sketch and the overhead figures.
+
+A RecordedRun deliberately does *not* contain the schedule or the full
+event list — only what PRES's production-side instrumentation could know:
+the program identity and inputs, the machine configuration, the sketch
+log, the observed failure and the cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.cost import DEFAULT_COST_MODEL, CostModel
+from repro.core.sketches import SketchEntry, SketchKind, event_visible
+from repro.core.sketchlog import SketchLog
+from repro.sim.events import Event
+from repro.sim.failures import Failure, FailureKind
+from repro.sim.machine import Machine, MachineConfig, Observer
+from repro.sim.program import Program
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.trace import Trace
+
+#: An end-state oracle: inspects a finished trace and reports a failure the
+#: machine could not see on its own (wrong output, corrupted file, ...).
+Oracle = Callable[[Trace], Optional[Failure]]
+
+
+class SketchRecorder(Observer):
+    """Machine observer that builds the sketch log and charges its cost."""
+
+    def __init__(self, sketch: SketchKind, cost_model: CostModel) -> None:
+        self.sketch = sketch
+        self.cost_model = cost_model
+        self.log = SketchLog(sketch=sketch)
+
+    def on_event(self, machine: Machine, event: Event) -> None:
+        if not event_visible(self.sketch, event):
+            return
+        machine.clock.charge_instrumentation(event.cpu, self.cost_model.intercept_cost)
+        if self.cost_model.serializes(event.kind):
+            # Ordering naturally-parallel events manufactures serialization.
+            machine.clock.charge_log_append(event.cpu, self.cost_model.serial_log_cost)
+        else:
+            # Sync ops / syscalls already serialize; log on their coattails.
+            machine.clock.charge_instrumentation(
+                event.cpu, self.cost_model.piggyback_log_cost
+            )
+        self.log.append(SketchEntry.from_event(event))
+
+
+@dataclass
+class RecordingStats:
+    """Cost accounting for one recorded run."""
+
+    native_time: int
+    recorded_time: int
+    total_events: int
+    logged_entries: int
+    log_bytes: int
+
+    @property
+    def overhead(self) -> float:
+        if self.native_time <= 0:
+            return 0.0
+        return self.recorded_time / self.native_time - 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.overhead * 100.0
+
+    @property
+    def bytes_per_kilo_events(self) -> float:
+        if self.total_events <= 0:
+            return 0.0
+        return 1000.0 * self.log_bytes / self.total_events
+
+
+@dataclass
+class RecordedRun:
+    """Everything the production side hands to the diagnosis side."""
+
+    program: Program
+    sketch: SketchKind
+    log: SketchLog
+    failure: Optional[Failure]
+    config: MachineConfig
+    seed: int
+    stats: RecordingStats
+    oracle: Optional[Oracle] = field(default=None, repr=False)
+    #: the production run's captured output.  Recording it is free (the
+    #: program already produced it); output-strict reproduction
+    #: (ODR-style) matches against it.
+    stdout: list = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def describe(self) -> str:
+        """One-line summary: sketch size, overhead, observed failure."""
+        status = self.failure.describe() if self.failure else "no failure"
+        return (
+            f"recorded {self.program.describe()} with {self.sketch.value} sketch: "
+            f"{len(self.log)} entries ({self.stats.log_bytes} bytes), "
+            f"overhead {self.stats.overhead_percent:.1f}%, {status}"
+        )
+
+
+def apply_oracle(trace: Trace, oracle: Optional[Oracle]) -> Optional[Failure]:
+    """The failure of a run: what the machine saw, else what the oracle sees.
+
+    Machine-visible failures (assertions, crashes, deadlocks, hangs) win;
+    the oracle only examines runs that completed, mirroring how a
+    wrong-output bug is noticed only after the program finishes.
+    """
+    if trace.failure is not None:
+        return trace.failure
+    if oracle is not None:
+        verdict = oracle(trace)
+        if verdict is not None and verdict.kind is not FailureKind.WRONG_OUTPUT:
+            raise ValueError(
+                "end-state oracles must report WRONG_OUTPUT failures, got "
+                f"{verdict.kind}"
+            )
+        return verdict
+    return None
+
+
+def record(
+    program: Program,
+    sketch: SketchKind = SketchKind.SYNC,
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    oracle: Optional[Oracle] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> RecordedRun:
+    """Run ``program`` once in "production" and record a sketch.
+
+    :param seed: scheduler seed — the production run's identity.  Two
+        records with the same seed observe the same execution.
+    :param oracle: optional end-state check for failures the machine
+        cannot detect (stored on the RecordedRun for the replayer).
+    :param scheduler: override the production scheduler (tests only).
+    """
+    run, _ = record_with_trace(
+        program,
+        sketch=sketch,
+        seed=seed,
+        config=config,
+        cost_model=cost_model,
+        oracle=oracle,
+        scheduler=scheduler,
+    )
+    return run
+
+
+def record_with_trace(
+    program: Program,
+    sketch: SketchKind = SketchKind.SYNC,
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    oracle: Optional[Oracle] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> tuple:
+    """Like :func:`record` but also returns the full production trace.
+
+    The trace is for tests and benchmarks that need ground truth; the
+    replayer itself must never look at it.
+    """
+    machine_config = config or MachineConfig()
+    recorder = SketchRecorder(sketch, cost_model)
+    machine = Machine(
+        program,
+        scheduler if scheduler is not None else RandomScheduler(seed),
+        machine_config,
+        observers=[recorder],
+    )
+    trace = machine.run()
+    failure = apply_oracle(trace, oracle)
+    clock = trace.clock
+    stats = RecordingStats(
+        native_time=clock.native_time,
+        recorded_time=clock.recorded_time,
+        total_events=len(trace.events),
+        logged_entries=len(recorder.log),
+        log_bytes=recorder.log.size_bytes(),
+    )
+    run = RecordedRun(
+        program=program,
+        sketch=sketch,
+        log=recorder.log,
+        failure=failure,
+        config=machine_config,
+        seed=seed,
+        stats=stats,
+        oracle=oracle,
+        stdout=list(trace.stdout),
+    )
+    return run, trace

@@ -1,0 +1,164 @@
+"""The top-level reproduction driver.
+
+Ties everything together: given a :class:`~repro.core.recorder.RecordedRun`
+whose production run failed, run replay attempts (each a fresh machine
+under a :class:`~repro.core.pir.PIRScheduler`) until one re-triggers the
+recorded failure, then package the winning schedule as a
+:class:`~repro.core.full_replay.CompleteLog`.
+
+The usual flow::
+
+    recorded = record(program, sketch=SketchKind.SYNC, seed=failing_seed)
+    report = reproduce(recorded)
+    assert report.success and report.attempts <= 10
+    trace = replay_complete(program, report.complete_log)   # every time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.constraints import ConstraintSet
+from repro.core.explorer import (
+    AttemptRecord,
+    ExplorationResult,
+    ExplorerConfig,
+    FeedbackExplorer,
+    RandomExplorer,
+)
+from repro.core.full_replay import CompleteLog
+from repro.core.pir import PIRScheduler
+from repro.core.recorder import RecordedRun, apply_oracle
+from repro.core.sketches import SketchKind
+from repro.errors import SimUsageError
+from repro.sim.machine import Machine
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ReproductionReport:
+    """Outcome of one reproduction session."""
+
+    program_name: str
+    sketch: SketchKind
+    success: bool
+    attempts: int
+    records: List[AttemptRecord] = field(default_factory=list)
+    complete_log: Optional[CompleteLog] = None
+    winning_constraints: ConstraintSet = frozenset()
+    total_replay_steps: int = 0
+    duplicate_traces: int = 0
+
+    def describe(self) -> str:
+        """One-line outcome summary for logs and the CLI."""
+        status = (
+            f"reproduced in {self.attempts} attempt(s)"
+            if self.success
+            else f"NOT reproduced within {self.attempts} attempts"
+        )
+        return (
+            f"{self.program_name} [{self.sketch.value} sketch]: {status}, "
+            f"{self.total_replay_steps} replay steps, "
+            f"{len(self.winning_constraints)} feedback constraints"
+        )
+
+
+class Reproducer:
+    """Runs replay attempts against one recorded run."""
+
+    def __init__(
+        self,
+        recorded: RecordedRun,
+        config: Optional[ExplorerConfig] = None,
+        use_feedback: bool = True,
+        base_policy: str = "random",
+        match_output: bool = False,
+    ) -> None:
+        if recorded.failure is None:
+            raise SimUsageError(
+                "the recorded run did not fail; there is nothing to reproduce"
+            )
+        self.recorded = recorded
+        self.config = config or ExplorerConfig()
+        self.base_policy = base_policy
+        #: ODR-style strictness: besides re-triggering the failure, the
+        #: attempt must reproduce the production run's observable output.
+        self.match_output = match_output
+        if use_feedback:
+            self.explorer = FeedbackExplorer(recorded.sketch, self.config)
+        else:
+            self.explorer = RandomExplorer(recorded.sketch, self.config)
+
+    def run(self) -> ReproductionReport:
+        """Run the exploration loop and package the outcome."""
+        result = self.explorer.explore(self._attempt)
+        return self._package(result)
+
+    # -- one attempt -------------------------------------------------------
+
+    def _attempt(self, constraints: ConstraintSet, seed: int) -> Tuple[Trace, bool]:
+        scheduler = PIRScheduler(
+            self.recorded.log,
+            sorted(constraints, key=str),
+            base_seed=seed,
+            base_policy=self.base_policy,
+        )
+        machine = Machine(self.recorded.program, scheduler, self.recorded.config)
+        trace = machine.run()
+        failure = apply_oracle(trace, self.recorded.oracle)
+        if failure is not None and trace.failure is None:
+            trace.failure = failure
+        matched = (
+            not trace.diverged
+            and failure is not None
+            and self.recorded.failure.matches(failure)
+        )
+        if matched and self.match_output:
+            matched = trace.stdout == self.recorded.stdout
+        return trace, matched
+
+    # -- packaging ------------------------------------------------------------
+
+    def _package(self, result: ExplorationResult) -> ReproductionReport:
+        complete_log = None
+        if result.success and result.winning_trace is not None:
+            complete_log = CompleteLog(
+                program_name=self.recorded.program.name,
+                schedule=list(result.winning_trace.schedule),
+                config=self.recorded.config,
+                failure_signature=self.recorded.failure.signature(),
+            )
+        return ReproductionReport(
+            program_name=self.recorded.program.name,
+            sketch=self.recorded.sketch,
+            success=result.success,
+            attempts=result.attempt_count,
+            records=result.attempts,
+            complete_log=complete_log,
+            winning_constraints=result.winning_constraints,
+            total_replay_steps=result.total_steps,
+            duplicate_traces=result.duplicate_traces,
+        )
+
+
+def reproduce(
+    recorded: RecordedRun,
+    config: Optional[ExplorerConfig] = None,
+    use_feedback: bool = True,
+    base_policy: str = "random",
+    match_output: bool = False,
+) -> ReproductionReport:
+    """Reproduce a recorded failure; see :class:`Reproducer`.
+
+    :param base_policy: how unconstrained choices are made within an
+        attempt — ``"random"`` (uniform) or ``"pct"`` (PCT priorities,
+        the stronger stress baseline for the E9 ablation).
+    :param match_output: ODR-style strictness — the attempt must also
+        reproduce the production run's captured output exactly, not just
+        its failure.  Typically needs more attempts.
+    """
+    return Reproducer(
+        recorded, config=config, use_feedback=use_feedback,
+        base_policy=base_policy, match_output=match_output,
+    ).run()

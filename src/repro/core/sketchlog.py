@@ -1,0 +1,196 @@
+"""Sketch logs: the on-disk artifact of a production run.
+
+A :class:`SketchLog` is the ordered list of :class:`~repro.core.sketches.
+SketchEntry` plus enough metadata to size it.  Serialization is a compact
+binary framing (interned keys, fixed-width entries) with a JSON alternative
+for debugging; both round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.core.sketches import SketchEntry, SketchKind
+from repro.errors import SketchFormatError
+from repro.sim.ops import OpKind
+
+_MAGIC = b"PRES"
+_CMAGIC = b"PREZ"
+_VERSION = 1
+_ENTRY = struct.Struct("<IBH")  # tid, kind code, key index
+
+_KIND_CODES = {kind: i for i, kind in enumerate(OpKind)}
+_CODE_KINDS = {i: kind for kind, i in _KIND_CODES.items()}
+
+
+def _key_to_token(key: Any) -> str:
+    """Stable string form of an entry key for the intern table."""
+    return json.dumps(_jsonable(key), sort_keys=True, separators=(",", ":"))
+
+
+def _jsonable(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return {"__t": [_jsonable(k) for k in key]}
+    return key
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict) and "__t" in value:
+        return tuple(_from_jsonable(v) for v in value["__t"])
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    return value
+
+
+def _token_to_key(token: str) -> Any:
+    return _from_jsonable(json.loads(token))
+
+
+@dataclass
+class SketchLog:
+    """The recorded sketch of one production run."""
+
+    sketch: SketchKind
+    entries: List[SketchEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[SketchEntry]:
+        return iter(self.entries)
+
+    def append(self, entry: SketchEntry) -> None:
+        self.entries.append(entry)
+
+    # -- sizing ----------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Size of the binary serialization (the paper's log-size metric)."""
+        return len(self.to_bytes())
+
+    def entries_per_kilo_events(self, total_events: int) -> float:
+        """Entries logged per 1000 executed operations."""
+        if total_events <= 0:
+            return 0.0
+        return 1000.0 * len(self.entries) / total_events
+
+    # -- binary serialization ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Compact framing: header, interned key table, fixed entries."""
+        tokens: Dict[str, int] = {}
+        packed_entries = []
+        for entry in self.entries:
+            token = _key_to_token(entry.key)
+            index = tokens.setdefault(token, len(tokens))
+            if index > 0xFFFF:
+                raise SketchFormatError("too many distinct keys for 16-bit intern table")
+            packed_entries.append(
+                _ENTRY.pack(entry.tid, _KIND_CODES[entry.kind], index)
+            )
+        table = json.dumps(list(tokens)).encode("utf-8")
+        header = _MAGIC + struct.pack(
+            "<BBII", _VERSION, _SKETCH_CODES[self.sketch], len(table), len(packed_entries)
+        )
+        return header + table + b"".join(packed_entries)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SketchLog":
+        if data[:4] != _MAGIC:
+            raise SketchFormatError("bad magic; not a PRES sketch log")
+        try:
+            version, sketch_code, table_len, n_entries = struct.unpack_from(
+                "<BBII", data, 4
+            )
+        except struct.error as exc:
+            raise SketchFormatError(f"truncated header: {exc}") from None
+        if version != _VERSION:
+            raise SketchFormatError(f"unsupported sketch log version {version}")
+        offset = 4 + struct.calcsize("<BBII")
+        try:
+            tokens = json.loads(data[offset:offset + table_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SketchFormatError(f"corrupt key table: {exc}") from None
+        keys = [_token_to_key(t) for t in tokens]
+        offset += table_len
+        expected = offset + n_entries * _ENTRY.size
+        if len(data) < expected:
+            raise SketchFormatError(
+                f"truncated entries: have {len(data)} bytes, need {expected}"
+            )
+        log = cls(sketch=_CODE_SKETCHES[sketch_code])
+        for i in range(n_entries):
+            tid, kind_code, key_index = _ENTRY.unpack_from(data, offset + i * _ENTRY.size)
+            try:
+                key = keys[key_index]
+            except IndexError:
+                raise SketchFormatError(f"entry {i} references unknown key {key_index}") from None
+            log.append(SketchEntry(tid=tid, kind=_CODE_KINDS[kind_code], key=key))
+        return log
+
+    # -- compressed serialization ----------------------------------------------
+
+    def to_bytes_compressed(self, level: int = 6) -> bytes:
+        """Deflate-compressed binary framing.
+
+        Sketch entries are extremely repetitive (the same handful of
+        threads touching the same handful of objects), so generic
+        compression recovers most of the redundancy the fixed-width
+        framing leaves behind — the same trick production recorders use
+        before shipping logs off-box.
+        """
+        return _CMAGIC + zlib.compress(self.to_bytes(), level)
+
+    @classmethod
+    def from_bytes_compressed(cls, data: bytes) -> "SketchLog":
+        if data[:4] != _CMAGIC:
+            raise SketchFormatError("bad magic; not a compressed PRES sketch log")
+        try:
+            raw = zlib.decompress(data[4:])
+        except zlib.error as exc:
+            raise SketchFormatError(f"corrupt compressed payload: {exc}") from None
+        return cls.from_bytes(raw)
+
+    def compressed_size_bytes(self) -> int:
+        """Size of the compressed serialization."""
+        return len(self.to_bytes_compressed())
+
+    # -- JSON serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "sketch": self.sketch.value,
+                "entries": [
+                    [e.tid, e.kind.value, _jsonable(e.key)] for e in self.entries
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SketchLog":
+        try:
+            payload = json.loads(text)
+            log = cls(sketch=SketchKind(payload["sketch"]))
+            for tid, kind, key in payload["entries"]:
+                log.append(
+                    SketchEntry(tid=tid, kind=OpKind(kind), key=_from_jsonable(key))
+                )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SketchFormatError(f"corrupt JSON sketch log: {exc}") from None
+        return log
+
+    def describe(self, limit: int = 10) -> str:
+        lines = [f"{self.sketch.value} sketch, {len(self.entries)} entries"]
+        lines.extend(e.describe() for e in self.entries[:limit])
+        if len(self.entries) > limit:
+            lines.append(f"... {len(self.entries) - limit} more")
+        return "\n".join(lines)
+
+
+_SKETCH_CODES = {kind: i for i, kind in enumerate(SketchKind)}
+_CODE_SKETCHES = {i: kind for kind, i in _SKETCH_CODES.items()}

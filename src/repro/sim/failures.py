@@ -1,0 +1,69 @@
+"""Failure taxonomy.
+
+A :class:`Failure` is the observable symptom of a bug manifesting — the
+thing a production run records and a replay attempt must re-trigger.
+Matching is by :meth:`Failure.signature`, which deliberately excludes the
+event index: the same assertion firing a few steps earlier in a replay is
+still the same bug.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class FailureKind(enum.Enum):
+    """How a simulated run can go wrong."""
+
+    ASSERTION = "assertion"  # an application ctx.check() failed
+    CRASH = "crash"  # illegal memory access / sync misuse
+    DEADLOCK = "deadlock"  # lock-cycle: no thread can ever run again
+    HANG = "hang"  # no runnable thread but no lock cycle (lost wakeup)
+    WRONG_OUTPUT = "wrong_output"  # end-state oracle rejected the result
+    TIMEOUT = "timeout"  # step budget exhausted (treated as a hang)
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A concrete failure observed in one run.
+
+    :param kind: failure category.
+    :param where: stable location descriptor — the assertion message, the
+        crashing address, the set of deadlocked resources, or the oracle
+        name.  This is what bug signatures are built from.
+    :param tid: thread that failed, when meaningful.
+    :param gidx: global index of the failing event, if any.
+    :param detail: free-form human-readable explanation.
+    """
+
+    kind: FailureKind
+    where: str
+    tid: Optional[int] = None
+    gidx: Optional[int] = None
+    detail: str = ""
+    involved_tids: Tuple[int, ...] = field(default=())
+
+    def signature(self) -> Tuple[str, str]:
+        """Schedule-independent identity of the failure."""
+        return (self.kind.value, self.where)
+
+    def matches(self, other: "Failure") -> bool:
+        """Whether two failures are the same bug manifesting.
+
+        HANG and TIMEOUT are considered interchangeable: a lost wakeup that
+        exhausts the step budget during replay is the same symptom as one
+        the machine proved outright.
+        """
+        stuck = {FailureKind.HANG, FailureKind.TIMEOUT}
+        if self.kind in stuck and other.kind in stuck:
+            return True
+        return self.signature() == other.signature()
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        who = f" in T{self.tid}" if self.tid is not None else ""
+        at = f" at event {self.gidx}" if self.gidx is not None else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind.value}{who}{at}: {self.where}{detail}"

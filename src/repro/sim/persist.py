@@ -1,0 +1,200 @@
+"""Trace persistence: serialize executions for offline analysis.
+
+A reproduced bug is most useful when the whole execution can be attached
+to the bug report.  This module round-trips a :class:`~repro.sim.trace.
+Trace` through a JSON-lines format: one header object, then one line per
+event.  Values survive when they are JSON-representable (the simulator's
+conventions — ints, strings, tuples, lists, None — all are; tuples are
+tagged so they come back as tuples, which matters because addresses are
+tuples).
+
+Round-tripped traces support everything the analyses need: race
+detection, lockset, timelines, diffing, and `schedule`-based re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, List
+
+from repro.errors import SketchFormatError
+from repro.sim.events import Event
+from repro.sim.failures import Failure, FailureKind
+from repro.sim.ops import OpKind
+from repro.sim.trace import Trace
+from repro.sim.vtime import ClockSummary
+
+_FORMAT = "pres-trace"
+_VERSION = 1
+
+
+def _pack(value: Any) -> Any:
+    """JSON-encode simulator values, tagging tuples."""
+    if isinstance(value, tuple):
+        return {"__t": [_pack(v) for v in value]}
+    if isinstance(value, list):
+        return [_pack(v) for v in value]
+    if isinstance(value, dict):
+        return {"__d": [[_pack(k), _pack(v)] for k, v in value.items()]}
+    return value
+
+
+def _unpack(value: Any) -> Any:
+    if isinstance(value, dict) and "__t" in value:
+        return tuple(_unpack(v) for v in value["__t"])
+    if isinstance(value, dict) and "__d" in value:
+        return {_unpack(k): _unpack(v) for k, v in value["__d"]}
+    if isinstance(value, list):
+        return [_unpack(v) for v in value]
+    return value
+
+
+def dump_trace(trace: Trace, handle: IO[str]) -> None:
+    """Write a trace as JSON lines: header first, then one event per line."""
+    header = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "program": trace.program_name,
+        "ncpus": trace.ncpus,
+        "steps": trace.steps,
+        "schedule": trace.schedule,
+        "stdout": _pack(trace.stdout),
+        "files": _pack(trace.files),
+        "final_memory": _pack(trace.final_memory),
+        "thread_returns": _pack(
+            {str(tid): value for tid, value in trace.thread_returns.items()}
+        ),
+        "thread_names": {str(tid): n for tid, n in trace.thread_names.items()},
+        "divergence": trace.divergence,
+        "failure": None
+        if trace.failure is None
+        else {
+            "kind": trace.failure.kind.value,
+            "where": trace.failure.where,
+            "tid": trace.failure.tid,
+            "gidx": trace.failure.gidx,
+            "detail": trace.failure.detail,
+            "involved_tids": list(trace.failure.involved_tids),
+        },
+        "clock": None
+        if trace.clock is None
+        else {
+            "native_time": trace.clock.native_time,
+            "recorded_time": trace.clock.recorded_time,
+            "per_cpu_native": trace.clock.per_cpu_native,
+            "per_cpu_recorded": trace.clock.per_cpu_recorded,
+        },
+    }
+    handle.write(json.dumps(header) + "\n")
+    for event in trace.events:
+        handle.write(
+            json.dumps(
+                [
+                    event.gidx,
+                    event.tid,
+                    event.kind.value,
+                    _pack(event.addr),
+                    _pack(event.obj),
+                    event.name,
+                    event.label,
+                    _pack(list(event.args)),
+                    _pack(event.value),
+                    event.cpu,
+                ]
+            )
+            + "\n"
+        )
+
+
+def load_trace(handle: IO[str]) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    header_line = handle.readline()
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise SketchFormatError(f"corrupt trace header: {exc}") from None
+    if header.get("format") != _FORMAT:
+        raise SketchFormatError("not a PRES trace file")
+    if header.get("version") != _VERSION:
+        raise SketchFormatError(
+            f"unsupported trace version {header.get('version')}"
+        )
+
+    events: List[Event] = []
+    for line in handle:
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+            gidx, tid, kind, addr, obj, name, label, args, value, cpu = row
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise SketchFormatError(f"corrupt trace event: {exc}") from None
+        events.append(
+            Event(
+                gidx=gidx,
+                tid=tid,
+                kind=OpKind(kind),
+                addr=_unpack(addr),
+                obj=_unpack(obj),
+                name=name,
+                label=label,
+                args=tuple(_unpack(args)),
+                value=_unpack(value),
+                cpu=cpu,
+            )
+        )
+
+    failure = None
+    if header["failure"] is not None:
+        raw = header["failure"]
+        failure = Failure(
+            kind=FailureKind(raw["kind"]),
+            where=raw["where"],
+            tid=raw["tid"],
+            gidx=raw["gidx"],
+            detail=raw["detail"],
+            involved_tids=tuple(raw["involved_tids"]),
+        )
+    clock = None
+    if header["clock"] is not None:
+        raw = header["clock"]
+        clock = ClockSummary(
+            native_time=raw["native_time"],
+            recorded_time=raw["recorded_time"],
+            per_cpu_native=raw["per_cpu_native"],
+            per_cpu_recorded=raw["per_cpu_recorded"],
+        )
+
+    return Trace(
+        program_name=header["program"],
+        events=events,
+        schedule=list(header["schedule"]),
+        final_memory=_unpack(header["final_memory"]),
+        stdout=_unpack(header["stdout"]),
+        files=_unpack(header["files"]),
+        thread_returns={
+            int(tid): value
+            for tid, value in _unpack(header["thread_returns"]).items()
+        },
+        thread_names={
+            int(tid): name
+            for tid, name in header.get("thread_names", {}).items()
+        },
+        failure=failure,
+        clock=clock,
+        steps=header["steps"],
+        ncpus=header["ncpus"],
+        divergence=header["divergence"],
+    )
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump_trace(trace, handle)
+
+
+def read_trace(path: str) -> Trace:
+    """Load a trace from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_trace(handle)

@@ -1,0 +1,207 @@
+"""Schedulers: the single source of execution non-determinism.
+
+At every machine step, :meth:`Scheduler.pick` chooses which runnable
+thread's pending operation executes.  Production runs use
+:class:`RandomScheduler` (the "OS scheduler" of the simulated world);
+deterministic re-execution from a complete log uses
+:class:`FixedOrderScheduler`; PRES's partial-information replayer provides
+its own scheduler (:class:`repro.core.pir.PIRScheduler`) built on the
+same interface.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.errors import ReplayDivergence, SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class Scheduler:
+    """Base class; subclasses implement :meth:`pick`."""
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        """Choose the next thread to step from ``runnable`` (non-empty).
+
+        ``runnable`` is in ascending tid order.  Implementations may
+        inspect the machine (pending ops, memory, trace so far) but must
+        not mutate it.
+        """
+        raise NotImplementedError
+
+    def on_run_start(self, machine: "Machine") -> None:
+        """Hook invoked once before the first step."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice — the model of a production OS scheduler.
+
+    The same seed always yields the same execution, which is how benchmark
+    harnesses pin down a "production run that failed".
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        """Uniform choice among the runnable threads."""
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def on_run_start(self, machine: "Machine") -> None:
+        """Re-arm the RNG so one scheduler object is reusable across runs."""
+        self._rng = random.Random(self.seed)
+
+    def describe(self) -> str:
+        """Identify the scheduler and its seed (for reports)."""
+        return f"RandomScheduler(seed={self.seed})"
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010).
+
+    Each thread gets a random priority; the highest-priority runnable
+    thread always runs, except at ``depth - 1`` randomly chosen steps
+    where the running thread's priority drops below everyone else's.  For
+    a bug of depth d, one run finds it with probability >= 1/(n * k^(d-1))
+    — much better than uniform random for ordering bugs, which makes PCT
+    the strong stress-testing baseline for the exploration-strategy
+    ablation (benchmarks/bench_e9_exploration_strategies.py).
+    """
+
+    def __init__(self, seed: int, depth: int = 3, max_steps_hint: int = 1000):
+        self.seed = seed
+        self.depth = depth
+        self.max_steps_hint = max_steps_hint
+        self._rng = random.Random(seed)
+        self._priorities: dict = {}
+        self._change_points: set = set()
+        self._steps = 0
+
+    def on_run_start(self, machine: "Machine") -> None:
+        self._rng = random.Random(self.seed)
+        self._priorities = {}
+        self._steps = 0
+        self._change_points = {
+            self._rng.randrange(self.max_steps_hint)
+            for _ in range(max(0, self.depth - 1))
+        }
+
+    def _priority_of(self, tid: int) -> float:
+        if tid not in self._priorities:
+            # fresh threads draw a high base priority band
+            self._priorities[tid] = 1.0 + self._rng.random()
+        return self._priorities[tid]
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        self._steps += 1
+        winner = max(runnable, key=self._priority_of)
+        if self._steps in self._change_points:
+            # demote the would-be winner below every base priority
+            self._priorities[winner] = self._rng.random()
+            winner = max(runnable, key=self._priority_of)
+        return winner
+
+    def describe(self) -> str:
+        return f"PCTScheduler(seed={self.seed}, depth={self.depth})"
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through runnable threads — a deterministic base policy."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        for tid in runnable:
+            if tid > self._last:
+                self._last = tid
+                return tid
+        self._last = runnable[0]
+        return runnable[0]
+
+    def on_run_start(self, machine: "Machine") -> None:
+        self._last = -1
+
+
+class FixedOrderScheduler(Scheduler):
+    """Replay an exact schedule (a list of tids) — complete-log replay.
+
+    Once PRES has reproduced a bug, the successful attempt's schedule is
+    saved and this scheduler replays it verbatim: the "reproduce every
+    time" guarantee.  A mismatch (the scheduled tid is not runnable, or the
+    log is exhausted while threads still run) raises
+    :class:`~repro.errors.ReplayDivergence`, because it means the recorded
+    schedule does not correspond to this program/input.
+    """
+
+    def __init__(self, schedule: Sequence[int]) -> None:
+        self.schedule: List[int] = list(schedule)
+        self._cursor = 0
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        if self._cursor >= len(self.schedule):
+            raise ReplayDivergence(
+                "complete log exhausted while threads are still runnable",
+                step=self._cursor,
+            )
+        tid = self.schedule[self._cursor]
+        if tid not in runnable:
+            raise ReplayDivergence(
+                f"scheduled thread {tid} is not runnable (runnable={list(runnable)})",
+                step=self._cursor,
+            )
+        self._cursor += 1
+        return tid
+
+    def on_run_start(self, machine: "Machine") -> None:
+        self._cursor = 0
+
+
+class PrefixScheduler(Scheduler):
+    """Replay an exact schedule prefix, then hand over to another policy.
+
+    The developer's "what-if" tool once a bug is captured: replay the
+    complete log up to just before the failure, then let a different
+    scheduler vary the ending — e.g. to check whether a candidate fix
+    closes *every* bad ending reachable from that state, not just the
+    recorded one.
+    """
+
+    def __init__(self, prefix: Sequence[int], then: Scheduler) -> None:
+        self.prefix: List[int] = list(prefix)
+        self.then = then
+        self._cursor = 0
+
+    def pick(self, machine: "Machine", runnable: Sequence[int]) -> int:
+        if self._cursor < len(self.prefix):
+            tid = self.prefix[self._cursor]
+            if tid not in runnable:
+                raise ReplayDivergence(
+                    f"prefix step {self._cursor}: thread {tid} not runnable",
+                    step=self._cursor,
+                )
+            self._cursor += 1
+            return tid
+        return self.then.pick(machine, runnable)
+
+    def on_run_start(self, machine: "Machine") -> None:
+        self._cursor = 0
+        self.then.on_run_start(machine)
+
+    def describe(self) -> str:
+        return f"PrefixScheduler({len(self.prefix)} steps, then {self.then.describe()})"
+
+
+def validate_pick(tid: int, runnable: Sequence[int]) -> None:
+    """Machine-side guard: a scheduler must return a runnable tid."""
+    if tid not in runnable:
+        raise SchedulerError(
+            f"scheduler chose thread {tid}, runnable set is {list(runnable)}"
+        )

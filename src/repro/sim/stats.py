@@ -1,0 +1,100 @@
+"""Execution statistics: what a trace was made of.
+
+Summaries the benchmarks and docs quote — operation mix, per-thread
+activity, synchronization density, lock contention — computed in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.ops import MEMORY_KINDS, SYNC_KINDS, OpKind
+from repro.sim.trace import Trace
+
+
+@dataclass
+class LockStats:
+    """Acquisition counts and handoffs for one mutex/rwlock."""
+
+    name: str
+    acquisitions: int = 0
+    handoffs: int = 0  # consecutive acquisitions by different threads
+    last_owner: int = -1
+
+
+@dataclass
+class TraceStats:
+    """One-pass summary of an execution."""
+
+    total_events: int = 0
+    by_kind: Dict[OpKind, int] = field(default_factory=dict)
+    per_thread: Dict[int, int] = field(default_factory=dict)
+    memory_ops: int = 0
+    sync_ops: int = 0
+    syscall_ops: int = 0
+    distinct_addresses: int = 0
+    locks: Dict[str, LockStats] = field(default_factory=dict)
+
+    @property
+    def sync_density(self) -> float:
+        """Sync operations per 1000 events — the knob SYNC-sketch cost
+        tracks, and the reason scientific kernels record almost for free."""
+        if self.total_events == 0:
+            return 0.0
+        return 1000.0 * self.sync_ops / self.total_events
+
+    @property
+    def memory_density(self) -> float:
+        if self.total_events == 0:
+            return 0.0
+        return 1000.0 * self.memory_ops / self.total_events
+
+    def contended_locks(self) -> List[str]:
+        """Locks whose ownership actually moved between threads."""
+        return sorted(
+            name for name, stats in self.locks.items() if stats.handoffs > 0
+        )
+
+    def describe(self) -> str:
+        top_kinds = sorted(
+            self.by_kind.items(), key=lambda kv: -kv[1]
+        )[:5]
+        kinds = ", ".join(f"{k.value}:{n}" for k, n in top_kinds)
+        return (
+            f"{self.total_events} events across {len(self.per_thread)} threads; "
+            f"sync density {self.sync_density:.1f}/1k, "
+            f"memory density {self.memory_density:.1f}/1k; "
+            f"top kinds: {kinds}; "
+            f"contended locks: {', '.join(self.contended_locks()) or 'none'}"
+        )
+
+
+_ACQUIRE_KINDS = (OpKind.LOCK, OpKind.WRLOCK, OpKind.RDLOCK)
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute the summary for one trace."""
+    stats = TraceStats(total_events=len(trace.events))
+    addresses = set()
+    for event in trace.events:
+        stats.by_kind[event.kind] = stats.by_kind.get(event.kind, 0) + 1
+        stats.per_thread[event.tid] = stats.per_thread.get(event.tid, 0) + 1
+        if event.kind in MEMORY_KINDS:
+            stats.memory_ops += 1
+            addresses.add(event.addr)
+        elif event.kind in SYNC_KINDS:
+            stats.sync_ops += 1
+        elif event.kind is OpKind.SYSCALL:
+            stats.syscall_ops += 1
+        acquired = event.kind in _ACQUIRE_KINDS or (
+            event.kind is OpKind.TRYLOCK and event.value
+        )
+        if acquired:
+            lock = stats.locks.setdefault(event.obj, LockStats(event.obj))
+            lock.acquisitions += 1
+            if lock.last_owner not in (-1, event.tid):
+                lock.handoffs += 1
+            lock.last_owner = event.tid
+    stats.distinct_addresses = len(addresses)
+    return stats

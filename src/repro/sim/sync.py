@@ -1,0 +1,222 @@
+"""Synchronization objects: mutexes, condition variables, semaphores,
+barriers.
+
+These classes hold *state only*; all blocking/waking policy lives in the
+machine, which is what keeps the nondeterminism (who wins a lock handoff,
+which waiter a signal wakes) under the scheduler's control.  In particular:
+
+* Releasing a contended mutex does not pick a winner — every waiter becomes
+  eligible again and the *scheduler* decides who acquires next.
+* ``signal`` wakes the longest-waiting thread (FIFO, like glibc), but the
+  woken thread still races through the mutex re-acquire, so the effective
+  wake order is again schedule-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SimSyncError
+
+
+@dataclass
+class Mutex:
+    """A non-reentrant mutual-exclusion lock."""
+
+    name: str
+    owner: Optional[int] = None
+
+    def acquire(self, tid: int) -> None:
+        if self.owner is not None:
+            raise SimSyncError(f"mutex {self.name!r} already held by {self.owner}")
+        self.owner = tid
+
+    def release(self, tid: int) -> None:
+        if self.owner != tid:
+            raise SimSyncError(
+                f"thread {tid} unlocking mutex {self.name!r} owned by {self.owner}"
+            )
+        self.owner = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.owner is None
+
+
+@dataclass
+class RWLock:
+    """A reader-writer lock: many readers or one writer.
+
+    No fairness policy is built in — when the lock frees up, whichever
+    waiter the scheduler runs first wins, so writer starvation is a
+    schedule the replayer can (and should be able to) explore.
+    """
+
+    name: str
+    writer: Optional[int] = None
+    readers: List[int] = field(default_factory=list)
+
+    def acquire_read(self, tid: int) -> None:
+        if self.writer is not None:
+            raise SimSyncError(
+                f"rwlock {self.name!r} read-acquired while writer {self.writer} holds it"
+            )
+        if tid in self.readers:
+            raise SimSyncError(f"thread {tid} already holds rwlock {self.name!r} read-side")
+        self.readers.append(tid)
+
+    def acquire_write(self, tid: int) -> None:
+        if self.writer is not None or self.readers:
+            raise SimSyncError(f"rwlock {self.name!r} write-acquired while held")
+        self.writer = tid
+
+    def release(self, tid: int) -> None:
+        if self.writer == tid:
+            self.writer = None
+        elif tid in self.readers:
+            self.readers.remove(tid)
+        else:
+            raise SimSyncError(
+                f"thread {tid} releasing rwlock {self.name!r} it does not hold"
+            )
+
+    @property
+    def can_read(self) -> bool:
+        return self.writer is None
+
+    @property
+    def can_write(self) -> bool:
+        return self.writer is None and not self.readers
+
+    def holders(self) -> List[int]:
+        if self.writer is not None:
+            return [self.writer]
+        return list(self.readers)
+
+
+@dataclass
+class CondVar:
+    """A condition variable; waiters are kept in arrival order."""
+
+    name: str
+    waiters: List[int] = field(default_factory=list)
+
+    def add_waiter(self, tid: int) -> None:
+        self.waiters.append(tid)
+
+    def wake_one(self) -> Optional[int]:
+        """Remove and return the longest-waiting thread, if any."""
+        if not self.waiters:
+            return None
+        return self.waiters.pop(0)
+
+    def wake_all(self) -> List[int]:
+        """Remove and return every waiter (in arrival order)."""
+        woken, self.waiters = self.waiters, []
+        return woken
+
+
+@dataclass
+class Semaphore:
+    """A counting semaphore."""
+
+    name: str
+    count: int = 0
+
+    def acquire(self, tid: int) -> None:
+        if self.count <= 0:
+            raise SimSyncError(f"semaphore {self.name!r} acquired at zero")
+        self.count -= 1
+
+    def release(self) -> None:
+        self.count += 1
+
+    @property
+    def available(self) -> bool:
+        return self.count > 0
+
+
+@dataclass
+class Barrier:
+    """A reusable (cyclic) barrier for a fixed number of parties."""
+
+    name: str
+    parties: int
+    arrived: List[int] = field(default_factory=list)
+    generation: int = 0
+
+    def arrive(self, tid: int) -> bool:
+        """Register arrival; returns True if this arrival trips the barrier."""
+        if self.parties <= 0:
+            raise SimSyncError(f"barrier {self.name!r} has no parties")
+        self.arrived.append(tid)
+        if len(self.arrived) >= self.parties:
+            return True
+        return False
+
+    def release(self) -> List[int]:
+        """Open the barrier: return the waiting parties and reset."""
+        released, self.arrived = self.arrived, []
+        self.generation += 1
+        return released
+
+
+class SyncTable:
+    """All synchronization objects of one machine, created on demand.
+
+    Mutexes and condition variables are auto-created on first use (as in C,
+    where they are just initialized structs).  Semaphores and barriers must
+    be declared by the :class:`~repro.sim.program.Program` because they
+    need an initial count / party count.
+    """
+
+    def __init__(
+        self,
+        semaphores: Optional[Dict[str, int]] = None,
+        barriers: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._mutexes: Dict[str, Mutex] = {}
+        self._rwlocks: Dict[str, RWLock] = {}
+        self._conds: Dict[str, CondVar] = {}
+        self._semaphores = {
+            name: Semaphore(name, count) for name, count in (semaphores or {}).items()
+        }
+        self._barriers = {
+            name: Barrier(name, parties) for name, parties in (barriers or {}).items()
+        }
+
+    def mutex(self, name: str) -> Mutex:
+        if name not in self._mutexes:
+            self._mutexes[name] = Mutex(name)
+        return self._mutexes[name]
+
+    def rwlock(self, name: str) -> RWLock:
+        if name not in self._rwlocks:
+            self._rwlocks[name] = RWLock(name)
+        return self._rwlocks[name]
+
+    def cond(self, name: str) -> CondVar:
+        if name not in self._conds:
+            self._conds[name] = CondVar(name)
+        return self._conds[name]
+
+    def semaphore(self, name: str) -> Semaphore:
+        try:
+            return self._semaphores[name]
+        except KeyError:
+            raise SimSyncError(
+                f"semaphore {name!r} was not declared by the program"
+            ) from None
+
+    def barrier(self, name: str) -> Barrier:
+        try:
+            return self._barriers[name]
+        except KeyError:
+            raise SimSyncError(
+                f"barrier {name!r} was not declared by the program"
+            ) from None
+
+    def held_mutexes(self, tid: int) -> List[str]:
+        """Names of mutexes currently owned by ``tid`` (creation order)."""
+        return [m.name for m in self._mutexes.values() if m.owner == tid]

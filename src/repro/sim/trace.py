@@ -1,0 +1,107 @@
+"""Execution traces.
+
+A :class:`Trace` is everything one run produced: the event list in global
+order, the schedule (the exact sequence of scheduler decisions — which is a
+*complete* replay log), the final shared-memory snapshot, captured output,
+the failure (if any) and timing figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.events import Event
+from repro.sim.failures import Failure
+from repro.sim.ops import Address, OpKind
+from repro.sim.vtime import ClockSummary
+
+
+@dataclass
+class Trace:
+    """The complete record of one simulated execution."""
+
+    program_name: str
+    events: List[Event] = field(default_factory=list)
+    schedule: List[int] = field(default_factory=list)
+    final_memory: Dict[Address, Any] = field(default_factory=dict)
+    stdout: List[Any] = field(default_factory=list)
+    files: Dict[str, List[Any]] = field(default_factory=dict)
+    thread_returns: Dict[int, Any] = field(default_factory=dict)
+    #: thread id -> body function name ("worker", "rotator", ...)
+    thread_names: Dict[int, str] = field(default_factory=dict)
+    failure: Optional[Failure] = None
+    clock: Optional[ClockSummary] = None
+    steps: int = 0
+    ncpus: int = 1
+    #: set when a replay scheduler aborted the run (sketch divergence);
+    #: the trace then covers only the prefix up to the abort.
+    divergence: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    @property
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def events_of(self, tid: int) -> List[Event]:
+        """Events executed by one thread, in program order."""
+        return [e for e in self.events if e.tid == tid]
+
+    def events_at(self, addr: Address) -> List[Event]:
+        """Memory events touching exactly this address, in global order."""
+        return [e for e in self.events if e.addr == addr]
+
+    def tids(self) -> List[int]:
+        """Thread ids that executed at least one event, ascending."""
+        return sorted({e.tid for e in self.events})
+
+    def thread_label(self, tid: int) -> str:
+        """Display label: 'T<tid>:<body name>' when the name is known."""
+        name = self.thread_names.get(tid)
+        return f"T{tid}:{name}" if name else f"T{tid}"
+
+    def count_kind(self, kind: OpKind) -> int:
+        """Number of executed events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def access_index(self) -> Dict[Tuple[int, Address], int]:
+        """Per-(thread, address) memory-access counts.
+
+        This is the coordinate system replay constraints use: the *k*-th
+        access by thread *t* to address *a* names the same program action
+        across different schedules as long as the thread's control flow has
+        not diverged.
+        """
+        counts: Dict[Tuple[int, Address], int] = {}
+        for event in self.events:
+            if event.kind in (
+                OpKind.READ,
+                OpKind.WRITE,
+                OpKind.RMW,
+                OpKind.CAS,
+                OpKind.FREE,
+            ):
+                key = (event.tid, event.addr)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def describe(self, limit: int = 20) -> str:
+        """Multi-line human-readable summary (first ``limit`` events)."""
+        lines = [
+            f"trace of {self.program_name}: {len(self.events)} events, "
+            f"{len(self.tids())} threads, "
+            f"{'FAILED: ' + self.failure.describe() if self.failure else 'ok'}"
+        ]
+        lines.extend(e.describe() for e in self.events[:limit])
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)

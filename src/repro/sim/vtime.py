@@ -1,0 +1,104 @@
+"""Virtual-time model of a multiprocessor.
+
+The machine charges every operation's latency to the CPU its thread is
+pinned on; the program's runtime is the *maximum* CPU clock, so independent
+work on different CPUs overlaps for free — exactly the property recording
+overhead is measured against.
+
+Two clocks are kept side by side for the same execution:
+
+* the **native** clock charges only the operations themselves and tells us
+  what the run would have cost without any instrumentation;
+* the **recorded** clock additionally charges instrumentation
+  (:meth:`VirtualClock.charge_instrumentation`) and global-log appends
+  (:meth:`VirtualClock.charge_log_append`).
+
+A global-order log is a serializing resource: appending means winning an
+atomic increment on a shared counter and writing a shared buffer, so the
+appender must wait for the previous append to finish regardless of which
+CPU it ran on.  :meth:`charge_log_append` models that with a single
+``log_clock`` that every append passes through.  This is the mechanism that
+makes heavyweight sketches (RW, BB) scale *badly* with CPU count while
+SYNC/SYS stay flat — the shape PRES's scalability figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SimUsageError
+
+
+@dataclass
+class ClockSummary:
+    """Final timing figures for one run."""
+
+    native_time: int
+    recorded_time: int
+    per_cpu_native: List[int]
+    per_cpu_recorded: List[int]
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown caused by recording (0.0 = free)."""
+        if self.native_time <= 0:
+            return 0.0
+        return self.recorded_time / self.native_time - 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.overhead * 100.0
+
+
+class VirtualClock:
+    """Per-CPU virtual clocks plus the serializing log clock."""
+
+    def __init__(self, ncpus: int) -> None:
+        if ncpus < 1:
+            raise SimUsageError(f"ncpus must be >= 1, got {ncpus}")
+        self.ncpus = ncpus
+        self._native = [0] * ncpus
+        self._recorded = [0] * ncpus
+        self._log_clock = 0
+
+    def cpu_of(self, tid: int) -> int:
+        """Static thread-to-CPU affinity."""
+        return tid % self.ncpus
+
+    def charge_op(self, cpu: int, cost: int) -> None:
+        """Charge an operation's own latency (both clocks)."""
+        self._native[cpu] += cost
+        self._recorded[cpu] += cost
+
+    def charge_instrumentation(self, cpu: int, cost: int) -> None:
+        """Charge CPU-local instrumentation work (recorded clock only)."""
+        self._recorded[cpu] += cost
+
+    def charge_log_append(self, cpu: int, cost: int) -> None:
+        """Charge an append to the global-order log (recorded clock only).
+
+        The append serializes: it starts no earlier than both the CPU's own
+        recorded clock and the completion of the previous append anywhere.
+        """
+        start = max(self._recorded[cpu], self._log_clock)
+        finish = start + cost
+        self._log_clock = finish
+        self._recorded[cpu] = finish
+
+    def now(self) -> int:
+        """Current simulated wall time (max over recorded CPU clocks)."""
+        return max(self._recorded)
+
+    def advance(self, cpu: int, duration: int) -> None:
+        """Let time pass on a CPU without work being done (sleep)."""
+        self._native[cpu] += duration
+        self._recorded[cpu] += duration
+
+    def summary(self) -> ClockSummary:
+        return ClockSummary(
+            native_time=max(self._native),
+            recorded_time=max(self._recorded),
+            per_cpu_native=list(self._native),
+            per_cpu_recorded=list(self._recorded),
+        )

@@ -1,0 +1,276 @@
+"""Tests for the happens-before race detector.
+
+Each synchronization primitive gets a pair of programs: one where it
+orders the conflicting accesses (no race may be reported) and one where
+it does not (the race must be found).
+"""
+
+import pytest
+
+from repro.analysis import HBAnalysis, find_races
+from repro.sim import Machine, Program, RandomScheduler
+
+from tests.conftest import counter_program, run_program
+
+
+def trace_of(main, seed=0, **program_kwargs):
+    program = Program("t", main, **program_kwargs)
+    return Machine(program, RandomScheduler(seed)).run()
+
+
+class TestBasicRaces:
+    def test_unlocked_counter_races(self):
+        trace = run_program(counter_program(locked=False), 3)
+        races = find_races(trace)
+        assert races
+        assert all(r.addr == "counter" for r in races)
+
+    def test_locked_counter_has_no_races(self):
+        trace = run_program(counter_program(locked=True), 3)
+        assert find_races(trace) == []
+
+    def test_race_pair_ordered_by_gidx(self):
+        trace = run_program(counter_program(locked=False), 3)
+        for race in find_races(trace):
+            assert race.first.gidx < race.second.gidx
+
+    def test_read_read_is_not_a_race(self):
+        def reader(ctx):
+            yield ctx.read("x")
+            yield ctx.read("x")
+
+        def main(ctx):
+            a = yield ctx.spawn(reader)
+            b = yield ctx.spawn(reader)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        trace = trace_of(main, initial_memory={"x": 1})
+        assert find_races(trace) == []
+
+    def test_same_thread_accesses_never_race(self):
+        def main(ctx):
+            yield ctx.write("x", 1)
+            yield ctx.write("x", 2)
+            yield ctx.read("x")
+
+        assert find_races(trace_of(main)) == []
+
+    def test_atomics_still_conflict(self):
+        def bump(ctx):
+            yield ctx.rmw("n", lambda v: v + 1)
+
+        def main(ctx):
+            a = yield ctx.spawn(bump)
+            b = yield ctx.spawn(bump)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        trace = trace_of(main, initial_memory={"n": 0})
+        races = find_races(trace)
+        assert len(races) == 1  # the two RMWs are unordered
+
+
+class TestSyncEdges:
+    def test_mutex_handoff_orders_accesses(self):
+        def writer(ctx):
+            yield ctx.lock("m")
+            yield ctx.write("x", 1)
+            yield ctx.unlock("m")
+
+        def main(ctx):
+            tid = yield ctx.spawn(writer)
+            yield ctx.lock("m")
+            yield ctx.read("x")
+            yield ctx.unlock("m")
+            yield ctx.join(tid)
+
+        trace = trace_of(main, initial_memory={"x": 0})
+        assert find_races(trace) == []
+
+    def test_spawn_edge_orders_parent_writes(self):
+        def child(ctx):
+            yield ctx.read("x")
+
+        def main(ctx):
+            yield ctx.write("x", 1)  # before spawn: ordered
+            tid = yield ctx.spawn(child)
+            yield ctx.join(tid)
+
+        assert find_races(trace_of(main)) == []
+
+    def test_join_edge_orders_child_writes(self):
+        def child(ctx):
+            yield ctx.write("x", 1)
+
+        def main(ctx):
+            tid = yield ctx.spawn(child)
+            yield ctx.join(tid)
+            yield ctx.read("x")  # after join: ordered
+
+        assert find_races(trace_of(main)) == []
+
+    def test_unjoined_child_write_races_with_parent_read(self):
+        def child(ctx):
+            yield ctx.write("x", 1)
+
+        def main(ctx):
+            tid = yield ctx.spawn(child)
+            yield ctx.read("x")  # no join first
+            yield ctx.join(tid)
+
+        # Across seeds, some order both ways; the race must be reported
+        # regardless of which side won.
+        for seed in range(5):
+            trace = trace_of(main, seed=seed, initial_memory={"x": 0})
+            races = [r for r in find_races(trace) if r.addr == "x"]
+            assert len(races) == 1
+
+    def test_semaphore_release_acquire_orders(self):
+        def producer(ctx):
+            yield ctx.write("x", 42)
+            yield ctx.sem_release("s")
+
+        def main(ctx):
+            tid = yield ctx.spawn(producer)
+            yield ctx.sem_acquire("s")
+            yield ctx.read("x")
+            yield ctx.join(tid)
+
+        trace = trace_of(main, initial_memory={"x": 0}, semaphores={"s": 0})
+        assert find_races(trace) == []
+
+    def test_channel_send_recv_orders(self):
+        def producer(ctx):
+            yield ctx.write("x", 42)
+            yield ctx.syscall("send", "ch", "ready")
+
+        def main(ctx):
+            tid = yield ctx.spawn(producer)
+            yield ctx.syscall("recv", "ch")
+            yield ctx.read("x")
+            yield ctx.join(tid)
+
+        trace = trace_of(main, initial_memory={"x": 0})
+        assert find_races(trace) == []
+
+    def test_barrier_orders_across_participants(self):
+        def worker(ctx, i):
+            yield ctx.write(("a", i), 1)
+            yield ctx.barrier("b")
+            yield ctx.read(("a", 1 - i))
+
+        def main(ctx):
+            t0 = yield ctx.spawn(worker, 0)
+            t1 = yield ctx.spawn(worker, 1)
+            yield ctx.join(t0)
+            yield ctx.join(t1)
+
+        for seed in range(5):
+            trace = trace_of(
+                main,
+                seed=seed,
+                initial_memory={("a", 0): 0, ("a", 1): 0},
+                barriers={"b": 2},
+            )
+            assert find_races(trace) == []
+
+    def test_condvar_signal_orders_waker_writes(self):
+        def waiter(ctx):
+            yield ctx.lock("m")
+            while True:
+                ready = yield ctx.read("ready")
+                if ready:
+                    break
+                yield ctx.wait("cv", "m")
+            yield ctx.unlock("m")
+            yield ctx.read("x")  # outside the lock: ordered only via signal
+
+        def main(ctx):
+            tid = yield ctx.spawn(waiter)
+            yield ctx.write("x", 1)
+            yield ctx.lock("m")
+            yield ctx.write("ready", True)
+            yield ctx.signal("cv")
+            yield ctx.unlock("m")
+            yield ctx.join(tid)
+
+        for seed in range(8):
+            trace = trace_of(
+                main, seed=seed, initial_memory={"x": 0, "ready": False}
+            )
+            races = [r for r in find_races(trace) if r.addr == "x"]
+            assert races == [], (seed, [r.describe() for r in races])
+
+
+class TestFreeRaces:
+    def test_free_races_with_cell_access(self):
+        def freer(ctx):
+            yield ctx.local(1)
+            yield ctx.free("buf")
+
+        def user(ctx):
+            yield ctx.read(("buf", 0))
+
+        def main(ctx):
+            a = yield ctx.spawn(user)
+            b = yield ctx.spawn(freer)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        # pick a seed where the read happens first (no crash) and the
+        # race must still be detected
+        for seed in range(30):
+            trace = trace_of(main, seed=seed, initial_memory={("buf", 0): 1})
+            if not trace.failed:
+                races = find_races(trace)
+                assert any(
+                    r.first.addr == ("buf", 0) or r.second.addr == "buf"
+                    for r in races
+                )
+                return
+        pytest.fail("no crash-free schedule found")
+
+
+class TestLockEdgeToggle:
+    def test_disabling_lock_edges_exposes_protected_races(self):
+        trace = run_program(counter_program(locked=True), 3)
+        assert find_races(trace, use_lock_edges=True) == []
+        unlocked_view = find_races(trace, use_lock_edges=False)
+        assert unlocked_view
+
+    def test_race_carries_held_locks(self):
+        trace = run_program(counter_program(locked=True), 3)
+        races = find_races(trace, use_lock_edges=False)
+        race = races[0]
+        commons = race.common_mutexes()
+        assert commons
+        (first_lock, second_lock) = commons[0]
+        assert first_lock[0] == "m" and second_lock[0] == "m"
+        assert first_lock[1] != second_lock[1]  # different acquisitions
+
+
+class TestAnalysisAPI:
+    def test_event_vcs_aligned_with_events(self):
+        trace = run_program(counter_program(), 1)
+        analysis = HBAnalysis(trace)
+        assert len(analysis.event_vcs) == len(trace.events)
+
+    def test_program_order_reflected_in_vcs(self):
+        trace = run_program(counter_program(), 1)
+        analysis = HBAnalysis(trace)
+        for tid in trace.tids():
+            events = trace.events_of(tid)
+            for earlier, later in zip(events, events[1:]):
+                assert analysis.ordered(earlier.gidx, later.gidx)
+
+    def test_max_races_caps_output(self):
+        trace = run_program(counter_program(nworkers=3, iters=5), 2)
+        races = find_races(trace, max_races=3)
+        assert len(races) == 3
+
+    def test_races_involving_filters_by_address(self):
+        trace = run_program(counter_program(), 3)
+        analysis = HBAnalysis(trace)
+        assert analysis.races_involving("counter") == analysis.races
+        assert analysis.races_involving("other") == []

@@ -1,0 +1,171 @@
+"""Tests for Goodlock-style deadlock prediction."""
+
+import pytest
+
+from repro.analysis.lockorder import (
+    lock_order_report,
+    predicts_deadlock,
+)
+from repro.apps import get_bug
+from repro.sim import Machine, Program, RandomScheduler
+
+from tests.conftest import deadlock_program, run_program
+
+
+def trace_of(main, seed=0, **kwargs):
+    return Machine(Program("lo", main, **kwargs), RandomScheduler(seed)).run()
+
+
+class TestEdgeCollection:
+    def test_nested_acquisition_makes_an_edge(self):
+        def main(ctx):
+            yield ctx.lock("a")
+            yield ctx.lock("b")
+            yield ctx.unlock("b")
+            yield ctx.unlock("a")
+
+        report = lock_order_report(trace_of(main))
+        assert ("a", "b") in report.edge_pairs()
+        assert ("b", "a") not in report.edge_pairs()
+
+    def test_sequential_acquisition_makes_no_edge(self):
+        def main(ctx):
+            yield ctx.lock("a")
+            yield ctx.unlock("a")
+            yield ctx.lock("b")
+            yield ctx.unlock("b")
+
+        assert lock_order_report(trace_of(main)).edge_pairs() == set()
+
+    def test_cond_wait_releases_for_ordering(self):
+        def waiter(ctx):
+            yield ctx.lock("a")
+            yield ctx.wait("cv", "a")  # releases a
+            yield ctx.unlock("a")
+
+        def main(ctx):
+            tid = yield ctx.spawn(waiter)
+            yield ctx.local(3)
+            yield ctx.lock("a")
+            yield ctx.signal("cv")
+            yield ctx.unlock("a")
+            yield ctx.join(tid)
+            # if the wait had not released 'a', this would be a->b edge
+            yield ctx.lock("b")
+            yield ctx.unlock("b")
+
+        report = lock_order_report(trace_of(main))
+        assert ("a", "b") not in report.edge_pairs()
+
+    def test_rwlock_acquisitions_participate(self):
+        def main(ctx):
+            yield ctx.wrlock("rw")
+            yield ctx.lock("m")
+            yield ctx.unlock("m")
+            yield ctx.rwunlock("rw")
+
+        report = lock_order_report(trace_of(main))
+        assert ("rw", "m") in report.edge_pairs()
+
+
+class TestCycleDetection:
+    def test_single_thread_nesting_is_not_a_deadlock(self):
+        def main(ctx):
+            yield ctx.lock("a")
+            yield ctx.lock("b")
+            yield ctx.unlock("b")
+            yield ctx.unlock("a")
+            yield ctx.lock("b")
+            yield ctx.lock("a")
+            yield ctx.unlock("a")
+            yield ctx.unlock("b")
+
+        # one thread creating both edges cannot deadlock with itself
+        report = lock_order_report(trace_of(main))
+        assert report.potential_deadlocks == []
+
+    def test_two_thread_inversion_predicted_from_clean_run(self):
+        program = deadlock_program()
+        # find a seed where the run completes WITHOUT deadlocking
+        for seed in range(100):
+            trace = run_program(program, seed)
+            if not trace.failed:
+                report = lock_order_report(trace)
+                assert report.potential_deadlocks, "inversion not predicted"
+                cycle = report.potential_deadlocks[0]
+                assert set(cycle.cycle) == {"A", "B"}
+                assert len(cycle.tids) == 2
+                assert predicts_deadlock(trace, "A", "B")
+                return
+        pytest.fail("no clean run found")
+
+    def test_three_lock_cycle(self):
+        def worker(ctx, first, second):
+            yield ctx.lock(first)
+            yield ctx.lock(second)
+            yield ctx.unlock(second)
+            yield ctx.unlock(first)
+
+        def main(ctx):
+            # a->b, b->c, c->a across three threads, sequentially (no
+            # actual deadlock in this run)
+            for first, second in (("a", "b"), ("b", "c"), ("c", "a")):
+                tid = yield ctx.spawn(worker, first, second)
+                yield ctx.join(tid)
+
+        report = lock_order_report(trace_of(main))
+        assert report.potential_deadlocks
+        assert set(report.potential_deadlocks[0].cycle) == {"a", "b", "c"}
+
+    def test_consistent_ordering_reports_nothing(self):
+        def worker(ctx):
+            yield ctx.lock("a")
+            yield ctx.lock("b")
+            yield ctx.unlock("b")
+            yield ctx.unlock("a")
+
+        def main(ctx):
+            t1 = yield ctx.spawn(worker)
+            t2 = yield ctx.spawn(worker)
+            yield ctx.join(t1)
+            yield ctx.join(t2)
+
+        report = lock_order_report(trace_of(main))
+        assert report.potential_deadlocks == []
+        assert "no cycles" in report.describe()
+
+
+class TestOnTheSuite:
+    def test_openldap_deadlock_predicted_from_clean_trace(self):
+        spec = get_bug("openldap-deadlock")
+        program = spec.make_program()
+        for seed in range(100):
+            trace = run_program(program, seed)
+            if trace.failed:
+                continue
+            # the writer must actually have touched a connection this run
+            if predicts_deadlock(trace, "writer_mu"):
+                report = lock_order_report(trace)
+                assert any(
+                    "writer_mu" in p.cycle for p in report.potential_deadlocks
+                )
+                return
+        pytest.fail("no clean run exhibited the inversion edges")
+
+    def test_fixed_openldap_has_no_cycle(self):
+        spec = get_bug("openldap-deadlock")
+        program = spec.make_fixed_program()
+        for seed in range(30):
+            trace = run_program(program, seed)
+            assert not trace.failed
+            assert lock_order_report(trace).potential_deadlocks == []
+
+    def test_describe_names_the_cycle(self):
+        program = deadlock_program()
+        for seed in range(100):
+            trace = run_program(program, seed)
+            if not trace.failed:
+                text = lock_order_report(trace).describe()
+                assert "potential deadlock" in text
+                return
+        pytest.fail("no clean run found")

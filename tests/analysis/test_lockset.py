@@ -1,0 +1,116 @@
+"""Tests for the Eraser-style lockset detector."""
+
+from repro.analysis import lockset_report
+from repro.sim import Machine, Program, RandomScheduler
+
+from tests.conftest import counter_program, run_program
+
+
+def trace_of(main, seed=0, **kwargs):
+    return Machine(Program("t", main, **kwargs), RandomScheduler(seed)).run()
+
+
+class TestLockset:
+    def test_consistently_locked_address_is_clean(self):
+        def worker(ctx):
+            yield ctx.lock("m")
+            value = yield ctx.read("x")
+            yield ctx.write("x", value + 1)
+            yield ctx.unlock("m")
+
+        def main(ctx):
+            a = yield ctx.spawn(worker)
+            b = yield ctx.spawn(worker)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        report = lockset_report(trace_of(main, initial_memory={"x": 0}))
+        prot = report.by_address["x"]
+        assert "m" in prot.candidate_set
+        assert not prot.inconsistent
+
+    def test_join_ordered_read_is_an_eraser_false_positive(self):
+        # Lockset analysis is flow-insensitive: main's final read after
+        # joining the workers is perfectly ordered, but it empties the
+        # candidate set anyway.  This documents the classic Eraser
+        # limitation (the HB detector gets this right).
+        trace = run_program(counter_program(locked=True), 1)
+        report = lockset_report(trace)
+        assert "counter" in report.inconsistent_addresses()
+
+    def test_unlocked_shared_write_flagged(self):
+        trace = run_program(counter_program(locked=False), 1)
+        report = lockset_report(trace)
+        assert "counter" in report.inconsistent_addresses()
+
+    def test_single_thread_address_not_flagged(self):
+        def main(ctx):
+            yield ctx.write("private", 1)
+            yield ctx.write("private", 2)
+
+        report = lockset_report(trace_of(main))
+        assert report.inconsistent_addresses() == []
+        prot = report.by_address["private"]
+        assert len(prot.accessing_tids) == 1
+
+    def test_read_only_shared_address_not_flagged(self):
+        def reader(ctx):
+            yield ctx.read("config")
+
+        def main(ctx):
+            a = yield ctx.spawn(reader)
+            b = yield ctx.spawn(reader)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        report = lockset_report(trace_of(main, initial_memory={"config": 7}))
+        prot = report.by_address["config"]
+        assert not prot.written
+        assert not prot.inconsistent
+
+    def test_candidate_set_intersects_across_accesses(self):
+        def worker_ab(ctx):
+            yield ctx.lock("a")
+            yield ctx.lock("b")
+            yield ctx.write("x", 1)
+            yield ctx.unlock("b")
+            yield ctx.unlock("a")
+
+        def worker_b(ctx):
+            yield ctx.lock("b")
+            yield ctx.write("x", 2)
+            yield ctx.unlock("b")
+
+        def main(ctx):
+            t1 = yield ctx.spawn(worker_ab)
+            t2 = yield ctx.spawn(worker_b)
+            yield ctx.join(t1)
+            yield ctx.join(t2)
+
+        report = lockset_report(trace_of(main, initial_memory={"x": 0}))
+        assert report.by_address["x"].candidate_set == frozenset({"b"})
+
+    def test_access_counts_recorded(self):
+        trace = run_program(counter_program(nworkers=2, iters=3), 0)
+        report = lockset_report(trace)
+        # 2 workers x (3 reads + 3 writes) + main's final read
+        assert report.by_address["counter"].accesses == 13
+
+    def test_cond_wait_releases_lock_for_lockset(self):
+        def waiter(ctx):
+            yield ctx.lock("m")
+            yield ctx.wait("cv", "m")
+            yield ctx.write("x", 1)  # holds m again here (re-acquired)
+            yield ctx.unlock("m")
+
+        def main(ctx):
+            tid = yield ctx.spawn(waiter)
+            yield ctx.local(2)
+            yield ctx.lock("m")
+            yield ctx.write("x", 2)
+            yield ctx.signal("cv")
+            yield ctx.unlock("m")
+            yield ctx.join(tid)
+
+        report = lockset_report(trace_of(main, initial_memory={"x": 0}))
+        assert report.by_address["x"].candidate_set == frozenset({"m"})

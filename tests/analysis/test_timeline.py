@@ -1,0 +1,74 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.analysis.timeline import failure_window, render_timeline
+from repro.sim.ops import OpKind
+
+from tests.conftest import (
+    counter_program,
+    find_seed,
+    order_violation_program,
+    run_program,
+)
+
+
+class TestRenderTimeline:
+    def test_one_column_per_thread(self):
+        trace = run_program(counter_program(nworkers=2, iters=2), 1)
+        text = render_timeline(trace)
+        header = text.splitlines()[0]
+        for tid in trace.tids():
+            assert f"T{tid}" in header
+
+    def test_each_visible_event_gets_a_row(self):
+        trace = run_program(counter_program(nworkers=2, iters=2), 1)
+        text = render_timeline(trace, hide=())
+        # +2 for header and divider
+        assert len(text.splitlines()) == len(trace.events) + 2
+
+    def test_default_filter_hides_local_noise(self):
+        trace = run_program(counter_program(nworkers=2, iters=2), 1)
+        text = render_timeline(trace)
+        assert "local" not in text
+
+    def test_window_bounds_respected(self):
+        trace = run_program(counter_program(nworkers=2, iters=4), 1)
+        text = render_timeline(trace, start=5, end=10, hide=())
+        steps = [
+            int(line.split()[0])
+            for line in text.splitlines()[2:]
+            if line.strip()
+        ]
+        assert steps and min(steps) >= 5 and max(steps) <= 9
+
+    def test_mark_flags_the_event(self):
+        trace = run_program(counter_program(), 1)
+        target = trace.events[3].gidx
+        text = render_timeline(trace, hide=(), mark=target)
+        marked = [line for line in text.splitlines() if "<- here" in line]
+        assert len(marked) == 1
+        assert marked[0].lstrip().startswith(str(target))
+
+    def test_long_cells_truncated(self):
+        trace = run_program(counter_program(), 1)
+        text = render_timeline(trace, hide=(), max_cell_width=8)
+        for line in text.splitlines()[2:]:
+            for token in line.split("  "):
+                assert len(token.strip()) <= 12  # cell + padding slack
+
+    def test_empty_window(self):
+        trace = run_program(counter_program(), 1)
+        assert "no events" in render_timeline(trace, start=10_000)
+
+
+class TestFailureWindow:
+    def test_marks_the_failure(self):
+        program = order_violation_program()
+        trace = run_program(program, find_seed(program))
+        text = failure_window(trace)
+        assert "<- here" in text
+        assert "assert" in text
+
+    def test_clean_trace_shows_the_tail(self):
+        trace = run_program(counter_program(), 0)
+        text = failure_window(trace)
+        assert "step" in text

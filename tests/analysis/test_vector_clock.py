@@ -1,0 +1,108 @@
+"""Unit and property tests for vector clocks."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.vector_clock import VectorClock
+
+
+class TestBasics:
+    def test_zero_has_no_components(self):
+        assert VectorClock.zero().get(0) == 0
+        assert VectorClock.zero().get(99) == 0
+
+    def test_tick_advances_one_component(self):
+        vc = VectorClock.zero().tick(3)
+        assert vc.get(3) == 1
+        assert vc.get(2) == 0
+
+    def test_tick_is_immutable(self):
+        vc = VectorClock.zero()
+        vc.tick(1)
+        assert vc.get(1) == 0
+
+    def test_join_takes_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 2, 2: 5, 3: 1})
+        j = a.join(b)
+        assert (j.get(1), j.get(2), j.get(3)) == (3, 5, 1)
+
+    def test_zero_entries_are_dropped(self):
+        vc = VectorClock({1: 0, 2: 3})
+        assert vc == VectorClock({2: 3})
+        assert hash(vc) == hash(VectorClock({2: 3}))
+
+    def test_repr_readable(self):
+        assert "T1:2" in repr(VectorClock({1: 2}))
+
+
+class TestOrdering:
+    def test_happens_before_strict(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+        assert not a.happens_before(a)
+
+    def test_leq_reflexive(self):
+        a = VectorClock({1: 2, 2: 3})
+        assert a.leq(a)
+
+    def test_concurrent_when_incomparable(self):
+        a = VectorClock({1: 2})
+        b = VectorClock({2: 2})
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_not_concurrent_when_ordered(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 1, 2: 4})
+        assert not a.concurrent_with(b)
+
+    def test_zero_precedes_everything_nonzero(self):
+        assert VectorClock.zero().happens_before(VectorClock({1: 1}))
+
+
+clocks = st.dictionaries(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=20),
+    max_size=6,
+).map(VectorClock)
+
+
+class TestProperties:
+    @given(clocks, clocks)
+    def test_join_is_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(clocks, clocks)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(clocks, clocks, clocks)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(clocks)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(clocks, clocks)
+    def test_exactly_one_relation_holds(self, a, b):
+        relations = [
+            a.happens_before(b),
+            b.happens_before(a),
+            a == b,
+            a.concurrent_with(b),
+        ]
+        assert sum(relations) == 1
+
+    @given(clocks, st.integers(min_value=0, max_value=5))
+    def test_tick_strictly_advances(self, a, tid):
+        assert a.happens_before(a.tick(tid))
+
+    @given(clocks, clocks)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b

@@ -1,0 +1,176 @@
+"""Behavioral tests for the application suite.
+
+Every bug must (a) stay dormant on most schedules, (b) manifest on some
+schedule within a bounded seed search, (c) manifest as its declared
+failure kind, and (d) where the app supports a fixed build, run clean when
+the bug is compiled out.
+"""
+
+import pytest
+
+from repro.apps import ALL_BUG_IDS, get_bug
+from repro.apps.spec import ATOMICITY, DEADLOCK, ORDER
+from repro.core.recorder import apply_oracle
+from repro.sim.failures import FailureKind
+
+from tests.conftest import run_program
+
+SEED_BUDGET = 300
+
+_EXPECTED_KINDS = {
+    ATOMICITY: {FailureKind.ASSERTION, FailureKind.CRASH},
+    ORDER: {FailureKind.ASSERTION, FailureKind.CRASH,
+            FailureKind.WRONG_OUTPUT},
+    DEADLOCK: {FailureKind.DEADLOCK},
+}
+
+
+def _failure_of(spec, trace):
+    return apply_oracle(trace, spec.oracle)
+
+
+def _first_failure(spec, budget=SEED_BUDGET):
+    program = spec.make_program()
+    for seed in range(budget):
+        trace = run_program(program, seed)
+        if _failure_of(spec, trace) is not None:
+            return seed, trace
+    return None, None
+
+
+@pytest.mark.parametrize("bug_id", ALL_BUG_IDS)
+class TestEveryBug:
+    def test_manifests_within_seed_budget(self, bug_id):
+        seed, trace = _first_failure(get_bug(bug_id))
+        assert seed is not None, f"{bug_id} never manifested in {SEED_BUDGET} seeds"
+
+    def test_failure_kind_matches_declared_type(self, bug_id):
+        spec = get_bug(bug_id)
+        _, trace = _first_failure(spec)
+        assert trace is not None
+        failure = _failure_of(spec, trace)
+        assert failure.kind in _EXPECTED_KINDS[spec.bug_type], (
+            bug_id,
+            failure.describe(),
+        )
+
+    def test_dormant_on_some_schedules(self, bug_id):
+        spec = get_bug(bug_id)
+        program = spec.make_program()
+        clean = sum(
+            1
+            for seed in range(40)
+            if _failure_of(spec, run_program(program, seed)) is None
+        )
+        assert clean >= 10, f"{bug_id} fails on almost every schedule"
+
+    def test_deterministic_per_seed(self, bug_id):
+        program = get_bug(bug_id).make_program()
+        a = run_program(program, 17)
+        b = run_program(program, 17)
+        assert a.failed == b.failed
+        assert a.schedule == b.schedule
+
+
+class TestFailureRates:
+    def test_rates_are_in_the_rare_band(self):
+        # The suite is calibrated so bugs are rare enough that stress
+        # testing is slow but a failing production run is findable.
+        rates = {}
+        for bug_id in ALL_BUG_IDS:
+            spec = get_bug(bug_id)
+            program = spec.make_program()
+            fails = sum(
+                1
+                for seed in range(100)
+                if _failure_of(spec, run_program(program, seed)) is not None
+            )
+            rates[bug_id] = fails
+        assert all(fails <= 60 for fails in rates.values()), rates
+        assert any(fails <= 15 for fails in rates.values()), rates
+
+
+class TestFixedVariants:
+    def test_openldap_without_inversion_never_deadlocks(self):
+        program = get_bug("openldap-deadlock").make_program(inversion=False)
+        for seed in range(60):
+            trace = run_program(program, seed)
+            assert not trace.failed, (seed, trace.failure.describe())
+
+    def test_fft_without_bug_always_correct(self):
+        program = get_bug("fft-order-sync").make_program(buggy=False)
+        for seed in range(60):
+            trace = run_program(program, seed)
+            assert not trace.failed, (seed, trace.failure.describe())
+
+    def test_lu_without_bug_always_correct(self):
+        program = get_bug("lu-atom-diag").make_program(buggy=False)
+        for seed in range(60):
+            trace = run_program(program, seed)
+            assert not trace.failed, (seed, trace.failure.describe())
+
+
+class TestAppSpecificInvariants:
+    def test_mysql_binlog_matches_rows_on_clean_runs(self):
+        program = get_bug("mysql-atom-log").make_program()
+        for seed in range(30):
+            trace = run_program(program, seed)
+            if trace.failed:
+                continue
+            logged = trace.final_memory["logged_entries"]
+            assert logged == trace.final_memory["rows"]
+            binlog_records = sum(
+                len(records)
+                for name, records in trace.files.items()
+                if name.startswith("binlog")
+            )
+            assert binlog_records == logged
+
+    def test_apache_log_audit_on_clean_runs(self):
+        program = get_bug("apache-atom-buf").make_program()
+        for seed in range(20):
+            trace = run_program(program, seed)
+            if trace.failed:
+                continue
+            served = trace.final_memory["served"]
+            flushed = trace.final_memory["flushed"]
+            remaining = trace.final_memory["ap_buf_len"]
+            assert flushed + remaining == served
+
+    def test_pbzip2_writes_every_block_on_clean_runs(self):
+        program = get_bug("pbzip2-order-free").make_program()
+        blocks = program.params["blocks"]
+        saw_clean = False
+        for seed in range(20):
+            trace = run_program(program, seed)
+            if trace.failed:
+                continue
+            saw_clean = True
+            assert len(trace.files.get("out.bz2", [])) == blocks
+        assert saw_clean
+
+    def test_radix_sorts_on_clean_runs(self):
+        spec = get_bug("radix-order-rank")
+        program = spec.make_program()
+        for seed in range(20):
+            trace = run_program(program, seed)
+            if _failure_of(spec, trace) is not None:
+                continue
+            out = [value for key, value in sorted(
+                ((addr, v) for addr, v in trace.final_memory.items()
+                 if isinstance(addr, tuple) and addr[0] == "out"),
+            )]
+            assert out == sorted(out)
+
+    def test_barnes_conserves_bodies_on_clean_runs(self):
+        program = get_bug("barnes-atom-cell").make_program()
+        expected = program.params["workers"] * program.params["bodies"]
+        for seed in range(20):
+            trace = run_program(program, seed)
+            if trace.failed:
+                continue
+            total = sum(
+                v for addr, v in trace.final_memory.items()
+                if isinstance(addr, tuple) and addr[0] == "cell_count"
+            )
+            assert total == expected

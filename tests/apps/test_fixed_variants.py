@@ -1,0 +1,90 @@
+"""Every bug ships with its upstream fix compiled in as a variant.
+
+This is the suite's ground-truth check: the failure must come from the
+modeled defect, not from the surrounding miniature — so the fixed build
+must be clean on every schedule we can throw at it, while the buggy build
+still fails somewhere.
+"""
+
+import pytest
+
+from repro.apps import ALL_BUG_IDS, get_bug
+from repro.core.recorder import apply_oracle
+
+from tests.conftest import run_program
+
+SEEDS = 60
+
+
+@pytest.mark.parametrize("bug_id", ALL_BUG_IDS)
+class TestFixedVariants:
+    def test_every_bug_has_a_fix(self, bug_id):
+        assert get_bug(bug_id).has_fix
+
+    def test_fixed_variant_is_clean(self, bug_id):
+        spec = get_bug(bug_id)
+        program = spec.make_fixed_program()
+        for seed in range(SEEDS):
+            trace = run_program(program, seed)
+            failure = apply_oracle(trace, spec.oracle)
+            assert failure is None, (bug_id, seed, failure.describe())
+
+    def test_fixed_variant_does_equivalent_work(self, bug_id):
+        # The fix must not dodge the workload: the fixed build still
+        # executes a comparable number of operations.
+        spec = get_bug(bug_id)
+        buggy = run_program(spec.make_program(), 0)
+        fixed = run_program(spec.make_fixed_program(), 0)
+        assert len(fixed.events) >= len(buggy.events) * 0.5
+
+
+class TestFixSemantics:
+    def test_mysql_fixed_still_rotates(self):
+        spec = get_bug("mysql-atom-log")
+        trace = run_program(spec.make_fixed_program(), 3)
+        # rotation still happened: two binlog files or a closed first log
+        assert trace.final_memory["binlog_current"] != "binlog.1"
+        assert trace.final_memory["logged_entries"] == (
+            spec.make_program().params["workers"]
+            * spec.make_program().params["queries"]
+        )
+
+    def test_pbzip2_fixed_still_frees_the_queue(self):
+        spec = get_bug("pbzip2-order-free")
+        trace = run_program(spec.make_fixed_program(), 3)
+        blocks = spec.make_program().params["blocks"]
+        assert len(trace.files["out.bz2"]) == blocks
+        # the queue region was freed at teardown (no leak)
+        assert not any(
+            isinstance(addr, tuple) and addr[0] == "q_item"
+            for addr in trace.final_memory
+        )
+
+    def test_httrack_fixed_workers_fetch_everything(self):
+        spec = get_bug("httrack-order-init")
+        trace = run_program(spec.make_fixed_program(), 0)
+        params = spec.make_program().params
+        assert ("fetched", params["workers"] * params["urls"]) in trace.stdout
+
+    def test_radix_fixed_sorts(self):
+        spec = get_bug("radix-order-rank")
+        trace = run_program(spec.make_fixed_program(), 12)
+        out = [
+            value
+            for addr, value in sorted(
+                (a, v) for a, v in trace.final_memory.items()
+                if isinstance(a, tuple) and a[0] == "out"
+            )
+        ]
+        assert out == sorted(out) and None not in out
+
+    def test_make_fixed_program_rejects_unknown(self):
+        from repro.apps.spec import BugSpec
+        from repro.sim.program import Program
+
+        spec = BugSpec(
+            bug_id="x", app="x", category="server", bug_type="deadlock",
+            build=lambda **kw: Program("x", None),
+        )
+        with pytest.raises(ValueError, match="no fixed variant"):
+            spec.make_fixed_program()

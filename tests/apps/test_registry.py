@@ -1,0 +1,64 @@
+"""Tests for the bug registry: the suite must match the paper's Table 1
+shape (11 applications; 13 bugs; 4 servers / 3 desktop / 4 scientific;
+atomicity violations, order violations and deadlocks)."""
+
+import pytest
+
+from repro.apps import ALL_BUG_IDS, all_bugs, bugs_by_category, get_bug
+from repro.apps.registry import apps
+from repro.apps.spec import ATOMICITY, DEADLOCK, DESKTOP, ORDER, SCIENTIFIC, SERVER
+
+
+class TestSuiteShape:
+    def test_thirteen_bugs(self):
+        assert len(all_bugs()) == 13
+
+    def test_eleven_applications(self):
+        assert len(apps()) == 11
+
+    def test_category_split_matches_paper(self):
+        assert len({s.app for s in bugs_by_category(SERVER)}) == 4
+        assert len({s.app for s in bugs_by_category(DESKTOP)}) == 3
+        assert len({s.app for s in bugs_by_category(SCIENTIFIC)}) == 4
+
+    def test_bug_type_taxonomy_covered(self):
+        types = {s.bug_type for s in all_bugs()}
+        assert types == {ATOMICITY, ORDER, DEADLOCK}
+
+    def test_exactly_one_deadlock(self):
+        assert sum(1 for s in all_bugs() if s.bug_type == DEADLOCK) == 1
+
+    def test_multi_variable_bugs_called_out(self):
+        multi = [s.bug_id for s in all_bugs() if s.multi_variable]
+        assert len(multi) >= 2  # the paper highlights multi-variable cases
+
+    def test_ids_unique_and_stable(self):
+        assert len(set(ALL_BUG_IDS)) == len(ALL_BUG_IDS)
+        assert "mysql-atom-log" in ALL_BUG_IDS
+        assert "pbzip2-order-free" in ALL_BUG_IDS
+
+
+class TestLookup:
+    def test_get_bug(self):
+        spec = get_bug("openldap-deadlock")
+        assert spec.app == "openldap"
+        assert spec.bug_type == DEADLOCK
+
+    def test_get_unknown_bug_lists_known(self):
+        with pytest.raises(KeyError, match="mysql-atom-log"):
+            get_bug("no-such-bug")
+
+    def test_describe_mentions_type(self):
+        assert "deadlock" in get_bug("openldap-deadlock").describe()
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("bug_id", ALL_BUG_IDS)
+    def test_every_bug_builds_a_program(self, bug_id):
+        program = get_bug(bug_id).make_program()
+        assert program.name == bug_id
+        assert callable(program.main)
+
+    def test_make_program_applies_overrides(self):
+        program = get_bug("mysql-atom-log").make_program(workers=7)
+        assert program.params["workers"] == 7

@@ -1,0 +1,67 @@
+"""Tests for compressed sketch-log serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.recorder import record
+from repro.core.sketches import SketchEntry, SketchKind
+from repro.core.sketchlog import SketchLog
+from repro.errors import SketchFormatError
+from repro.sim.ops import OpKind
+
+from tests.conftest import counter_program
+
+
+def _recorded_log(sketch=SketchKind.RW, nworkers=3, iters=8):
+    recorded = record(
+        counter_program(nworkers=nworkers, iters=iters), sketch, seed=5
+    )
+    return recorded.log
+
+
+class TestCompression:
+    def test_round_trip(self):
+        log = _recorded_log()
+        restored = SketchLog.from_bytes_compressed(log.to_bytes_compressed())
+        assert restored.sketch is log.sketch
+        assert restored.entries == log.entries
+
+    def test_empty_log_round_trips(self):
+        log = SketchLog(SketchKind.NONE)
+        assert SketchLog.from_bytes_compressed(
+            log.to_bytes_compressed()
+        ).entries == []
+
+    def test_compression_shrinks_real_logs(self):
+        log = _recorded_log(SketchKind.RW, nworkers=4, iters=20)
+        raw = log.size_bytes()
+        packed = log.compressed_size_bytes()
+        assert packed < raw
+        # repetitive sketch entries compress well
+        assert packed < raw * 0.7
+
+    def test_compression_level_tunable(self):
+        log = _recorded_log(SketchKind.RW, nworkers=4, iters=20)
+        fast = len(log.to_bytes_compressed(level=1))
+        best = len(log.to_bytes_compressed(level=9))
+        assert best <= fast
+
+    def test_wrong_magic_rejected(self):
+        log = _recorded_log()
+        with pytest.raises(SketchFormatError, match="magic"):
+            SketchLog.from_bytes_compressed(log.to_bytes())  # uncompressed
+
+    def test_corrupt_payload_rejected(self):
+        data = bytearray(_recorded_log().to_bytes_compressed())
+        data[10] ^= 0xFF
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_bytes_compressed(bytes(data))
+
+    @given(st.integers(0, 200))
+    def test_property_round_trip_synthetic(self, n):
+        log = SketchLog(SketchKind.SYNC)
+        for i in range(n):
+            log.append(SketchEntry(tid=i % 4, kind=OpKind.LOCK, key=f"m{i % 3}"))
+        restored = SketchLog.from_bytes_compressed(log.to_bytes_compressed())
+        assert restored.entries == log.entries

@@ -1,0 +1,119 @@
+"""Tests for root-cause diagnosis."""
+
+import pytest
+
+from repro.core.diagnose import diagnose
+from repro.sim.failures import FailureKind
+
+from tests.conftest import (
+    counter_program,
+    deadlock_program,
+    find_seed,
+    order_violation_program,
+    run_program,
+)
+
+
+def failing_trace(program):
+    return run_program(program, find_seed(program))
+
+
+def _lost_update_program():
+    """Unlocked increments + end-of-run audit: the failing trace is a
+    complete execution, so all race evidence is present in it."""
+    from repro.sim import Program
+
+    def worker(ctx, n):
+        for _ in range(n):
+            value = yield ctx.read("hits")
+            yield ctx.local(1)
+            yield ctx.write("hits", value + 1)
+
+    def main(ctx):
+        a = yield ctx.spawn(worker, 3)
+        b = yield ctx.spawn(worker, 3)
+        yield ctx.join(a)
+        yield ctx.join(b)
+        hits = yield ctx.read("hits")
+        yield ctx.check(hits == 6, "lost update on hits")
+
+    return Program("lostupdate", main, initial_memory={"hits": 0})
+
+
+class TestDiagnose:
+    def test_requires_a_failure(self):
+        trace = run_program(counter_program(), 0)
+        assert not trace.failed
+        with pytest.raises(ValueError, match="did not fail"):
+            diagnose(trace)
+
+    def test_atomicity_violation_diagnosis(self):
+        trace = failing_trace(_lost_update_program())
+        report = diagnose(trace)
+        assert report.failure.kind is FailureKind.ASSERTION
+        # the root-cause race on "hits" is among the top suspects
+        top_addrs = {race.addr for race in report.suspect_races[:3]}
+        assert "hits" in top_addrs
+        assert "hits" in report.unprotected_addresses
+        assert report.involved_tids == (trace.failure.tid,)
+
+    def test_truncated_failing_trace_may_lack_race_evidence(self):
+        # An order violation that crashes *before* the other side of the
+        # race executes leaves no race pair in its own trace — diagnosis
+        # still reports the failure and tails, just without suspects.
+        trace = failing_trace(order_violation_program())
+        report = diagnose(trace)
+        assert report.failure.kind is FailureKind.ASSERTION
+        assert report.thread_tails
+        assert "failure:" in report.render()
+
+    def test_deadlock_diagnosis_shows_cycle(self):
+        trace = failing_trace(deadlock_program())
+        report = diagnose(trace)
+        assert report.failure.kind is FailureKind.DEADLOCK
+        assert len(report.deadlock_hops) == 2
+        held = " ".join(report.deadlock_hops)
+        assert "'A'" in held and "'B'" in held
+
+    def test_thread_tails_cover_involved_threads(self):
+        trace = failing_trace(deadlock_program())
+        report = diagnose(trace)
+        tail_tids = {tid for tid, _ in report.thread_tails}
+        assert tail_tids == set(trace.failure.involved_tids)
+        for _, tail in report.thread_tails:
+            assert 1 <= len(tail) <= 4
+
+    def test_render_is_readable(self):
+        trace = failing_trace(_lost_update_program())
+        text = diagnose(trace).render()
+        assert "failure:" in text
+        assert "suspect races" in text
+        assert "final operations" in text
+
+    def test_races_ranked_by_proximity_to_failure(self):
+        trace = failing_trace(_lost_update_program())
+        report = diagnose(trace)
+        involved = set(report.involved_tids)
+        anchor = report.failure.gidx
+
+        def key(race):
+            touches = int(
+                race.first.tid in involved or race.second.tid in involved
+            )
+            return (-touches, abs(anchor - race.second.gidx))
+
+        keys = [key(race) for race in report.suspect_races]
+        assert keys == sorted(keys)
+
+    def test_diagnose_on_app_bug(self):
+        from repro.apps import get_bug
+
+        spec = get_bug("pbzip2-order-free")
+        program = spec.make_program()
+        trace = failing_trace(program)
+        report = diagnose(trace)
+        assert report.failure.kind is FailureKind.CRASH
+        assert any(
+            race.first.kind.value == "free" or race.second.kind.value == "free"
+            for race in report.suspect_races
+        )

@@ -1,0 +1,140 @@
+"""Tests for exploration strategies (driven through stub runners)."""
+
+from repro.core.constraints import EventRef, OrderConstraint
+from repro.core.explorer import (
+    ExplorerConfig,
+    FeedbackExplorer,
+    RandomExplorer,
+)
+from repro.core.sketches import SketchKind
+from repro.sim.failures import Failure, FailureKind
+from repro.sim.trace import Trace
+
+from tests.conftest import order_violation_program, run_program
+
+
+def _trace(failed=False, diverged=False, steps=10):
+    trace = Trace(program_name="stub", steps=steps)
+    if failed:
+        trace.failure = Failure(FailureKind.ASSERTION, where="stub")
+    if diverged:
+        trace.divergence = "stub divergence"
+    return trace
+
+
+class TestRandomExplorer:
+    def test_stops_on_first_match(self):
+        calls = []
+
+        def runner(constraints, seed):
+            calls.append(seed)
+            return _trace(failed=(seed == 3)), seed == 3
+
+        result = RandomExplorer(SketchKind.NONE, ExplorerConfig(max_attempts=10)).explore(runner)
+        assert result.success
+        assert result.attempt_count == 4
+        assert calls == [0, 1, 2, 3]
+        assert result.winning_seed == 3
+
+    def test_respects_budget(self):
+        def runner(constraints, seed):
+            return _trace(), False
+
+        result = RandomExplorer(SketchKind.NONE, ExplorerConfig(max_attempts=7)).explore(runner)
+        assert not result.success
+        assert result.attempt_count == 7
+
+    def test_never_passes_constraints(self):
+        seen = []
+
+        def runner(constraints, seed):
+            seen.append(constraints)
+            return _trace(), False
+
+        RandomExplorer(SketchKind.NONE, ExplorerConfig(max_attempts=3)).explore(runner)
+        assert all(c == frozenset() for c in seen)
+
+    def test_outcome_classification(self):
+        outcomes = iter(
+            [
+                (_trace(), False),  # no_failure
+                (_trace(diverged=True), False),  # diverged
+                (_trace(failed=True), False),  # other_failure (no match)
+                (_trace(failed=True), True),  # matched
+            ]
+        )
+
+        def runner(constraints, seed):
+            return next(outcomes)
+
+        result = RandomExplorer(SketchKind.NONE, ExplorerConfig(max_attempts=10)).explore(runner)
+        assert [r.outcome for r in result.attempts] == [
+            "no_failure",
+            "diverged",
+            "other_failure",
+            "matched",
+        ]
+
+
+class TestFeedbackExplorer:
+    def test_reproduces_real_bug_and_uses_constraints(self):
+        # Drive the real attempt machinery through the explorer: build a
+        # runner over the order-violation program with a SYNC sketch.
+        from repro.core.recorder import record
+        from repro.core.reproducer import Reproducer
+
+        program = order_violation_program()
+        failing = None
+        for seed in range(50):
+            recorded = record(program, SketchKind.SYNC, seed=seed)
+            if recorded.failed:
+                failing = recorded
+                break
+        assert failing is not None
+        reproducer = Reproducer(failing, ExplorerConfig(max_attempts=50))
+        result = reproducer.explorer.explore(reproducer._attempt)
+        assert result.success
+
+    def test_seed_restarts_when_frontier_empties(self):
+        # A runner whose traces yield no flip candidates under a SYNC
+        # sketch (all races lock-protected): the frontier stays empty, so
+        # the explorer must re-roll base seeds.
+        from tests.conftest import counter_program as locked_counter
+
+        seeds_seen = []
+
+        def runner(constraints, seed):
+            seeds_seen.append(seed)
+            return run_program(locked_counter(locked=True), 999), False
+
+        config = ExplorerConfig(max_attempts=4, seed_restarts=10)
+        FeedbackExplorer(SketchKind.SYNC, config).explore(runner)
+        # all four attempts ran, each with a fresh seed after the first
+        assert len(seeds_seen) == 4
+        assert len(set(seeds_seen)) == 4
+
+    def test_restart_budget_bounds_attempts(self):
+        def runner(constraints, seed):
+            return _trace(), False  # empty traces -> no candidates
+
+        config = ExplorerConfig(max_attempts=100, seed_restarts=3)
+        result = FeedbackExplorer(SketchKind.SYNC, config).explore(runner)
+        assert not result.success
+        # initial attempt + 3 restarts
+        assert result.attempt_count == 4
+
+    def test_duplicate_traces_counted(self):
+        def runner(constraints, seed):
+            return run_program(order_violation_program(), 999), False
+
+        config = ExplorerConfig(max_attempts=5, seed_restarts=10)
+        result = FeedbackExplorer(SketchKind.SYNC, config).explore(runner)
+        assert result.duplicate_traces >= 1
+
+    def test_total_steps_accumulates(self):
+        def runner(constraints, seed):
+            return _trace(steps=25), False
+
+        config = ExplorerConfig(max_attempts=3, seed_restarts=5)
+        result = FeedbackExplorer(SketchKind.SYNC, config).explore(runner)
+        assert result.total_steps == 25 * result.attempt_count

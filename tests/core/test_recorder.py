@@ -1,0 +1,163 @@
+"""Tests for production-run recording."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.recorder import apply_oracle, record, record_with_trace
+from repro.core.sketches import SketchKind, event_visible
+from repro.sim import MachineConfig
+from repro.sim.failures import Failure, FailureKind
+
+from tests.conftest import counter_program, find_seed, order_violation_program
+
+
+class TestSketchContents:
+    def test_log_contains_exactly_visible_events(self):
+        for sketch in SketchKind:
+            recorded, trace = record_with_trace(
+                counter_program(), sketch=sketch, seed=3
+            )
+            visible = [e for e in trace.events if event_visible(sketch, e)]
+            assert len(recorded.log) == len(visible)
+            for entry, event in zip(recorded.log, visible):
+                assert entry.tid == event.tid
+                assert entry.kind is event.kind
+
+    def test_none_sketch_is_empty(self):
+        recorded = record(counter_program(), sketch=SketchKind.NONE, seed=3)
+        assert len(recorded.log) == 0
+        assert recorded.stats.overhead == 0.0
+
+    def test_sketch_order_is_global_order(self):
+        recorded, trace = record_with_trace(
+            counter_program(), sketch=SketchKind.RW, seed=3
+        )
+        gidxs = []
+        cursor = 0
+        for entry in recorded.log:
+            while trace.events[cursor].signature() != (
+                entry.tid,
+                entry.kind,
+                trace.events[cursor].addr,
+                trace.events[cursor].obj,
+                trace.events[cursor].name,
+                trace.events[cursor].label,
+            ):
+                cursor += 1
+            gidxs.append(cursor)
+            cursor += 1
+        assert gidxs == sorted(gidxs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_record(self):
+        a = record(counter_program(), sketch=SketchKind.SYNC, seed=7)
+        b = record(counter_program(), sketch=SketchKind.SYNC, seed=7)
+        assert a.log.entries == b.log.entries
+        assert a.stats.recorded_time == b.stats.recorded_time
+
+    def test_recording_does_not_perturb_execution(self):
+        # The observer charges virtual time but must not change which
+        # events execute: heavy and absent instrumentation see the same
+        # event sequence for the same seed.
+        _, bare = record_with_trace(counter_program(), SketchKind.NONE, seed=5)
+        _, heavy = record_with_trace(counter_program(), SketchKind.RW, seed=5)
+        assert [e.signature() for e in bare.events] == [
+            e.signature() for e in heavy.events
+        ]
+        assert bare.final_memory == heavy.final_memory
+
+
+class TestOverheadAccounting:
+    def test_overhead_increases_with_sketch_level(self):
+        overheads = []
+        for sketch in (SketchKind.NONE, SketchKind.SYNC, SketchKind.RW):
+            recorded = record(counter_program(nworkers=3, iters=6), sketch, seed=2)
+            overheads.append(recorded.stats.overhead)
+        assert overheads[0] < overheads[1] < overheads[2]
+
+    def test_rw_overhead_grows_with_cpus(self):
+        program = counter_program(nworkers=4, iters=8)
+        small = record(program, SketchKind.RW, seed=2, config=MachineConfig(ncpus=2))
+        large = record(program, SketchKind.RW, seed=2, config=MachineConfig(ncpus=8))
+        assert large.stats.overhead > small.stats.overhead
+
+    def test_cost_model_scaling(self):
+        cheap = record(
+            counter_program(), SketchKind.RW, seed=2, cost_model=CostModel()
+        )
+        pricey = record(
+            counter_program(),
+            SketchKind.RW,
+            seed=2,
+            cost_model=CostModel().scaled(4.0),
+        )
+        assert pricey.stats.overhead > cheap.stats.overhead
+
+    def test_stats_fields_consistent(self):
+        recorded, trace = record_with_trace(
+            counter_program(), SketchKind.SYNC, seed=2
+        )
+        stats = recorded.stats
+        assert stats.total_events == len(trace.events)
+        assert stats.logged_entries == len(recorded.log)
+        assert stats.log_bytes == recorded.log.size_bytes()
+        assert stats.bytes_per_kilo_events > 0
+
+    def test_describe_mentions_overhead(self):
+        recorded = record(counter_program(), SketchKind.SYNC, seed=2)
+        assert "overhead" in recorded.describe()
+
+
+class TestFailureCapture:
+    def test_failing_run_recorded_with_failure(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded = record(program, SketchKind.SYNC, seed=seed)
+        assert recorded.failed
+        assert recorded.failure.kind is FailureKind.ASSERTION
+
+    def test_clean_run_has_no_failure(self):
+        recorded = record(counter_program(), SketchKind.SYNC, seed=0)
+        assert not recorded.failed
+
+
+class TestOracles:
+    @staticmethod
+    def _oracle(trace):
+        if trace.final_memory.get("counter", 0) != 6:
+            return Failure(FailureKind.WRONG_OUTPUT, where="counter != 6")
+        return None
+
+    def test_oracle_flags_wrong_output(self):
+        program = counter_program(nworkers=2, iters=3, locked=False)
+        seed = None
+        for candidate in range(100):
+            recorded = record(program, SketchKind.SYNC, seed=candidate,
+                              oracle=self._oracle)
+            if recorded.failed:
+                seed = candidate
+                break
+        assert seed is not None, "no lost update in 100 seeds"
+        assert recorded.failure.kind is FailureKind.WRONG_OUTPUT
+
+    def test_machine_failure_wins_over_oracle(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+
+        def greedy_oracle(trace):
+            return Failure(FailureKind.WRONG_OUTPUT, where="should not be used")
+
+        recorded = record(program, SketchKind.SYNC, seed=seed, oracle=greedy_oracle)
+        assert recorded.failure.kind is FailureKind.ASSERTION
+
+    def test_oracle_must_report_wrong_output_kind(self):
+        def bad_oracle(trace):
+            return Failure(FailureKind.CRASH, where="wrong kind")
+
+        with pytest.raises(ValueError, match="WRONG_OUTPUT"):
+            record(counter_program(), SketchKind.SYNC, seed=0, oracle=bad_oracle)
+
+    def test_apply_oracle_none_passthrough(self):
+        _, trace = record_with_trace(counter_program(), SketchKind.NONE, seed=0)
+        assert apply_oracle(trace, None) is None

@@ -1,0 +1,208 @@
+"""End-to-end tests for the reproduction driver on micro-bugs covering
+every failure category."""
+
+import pytest
+
+from repro import (
+    ExplorerConfig,
+    SketchKind,
+    record,
+    replay_complete,
+    reproduce,
+)
+from repro.core.full_replay import CompleteLog
+from repro.errors import SimUsageError
+from repro.sim import MachineConfig, Program
+from repro.sim.failures import Failure, FailureKind
+
+from tests.conftest import (
+    counter_program,
+    deadlock_program,
+    find_seed,
+    order_violation_program,
+)
+
+FAST = ExplorerConfig(max_attempts=80)
+
+
+def reproduce_bug(program, sketch, seed, oracle=None, use_feedback=True,
+                  config=FAST):
+    recorded = record(program, sketch=sketch, seed=seed, oracle=oracle)
+    assert recorded.failed, "production run must fail"
+    return recorded, reproduce(recorded, config, use_feedback=use_feedback)
+
+
+class TestAssertionBug:
+    @pytest.mark.parametrize("sketch", list(SketchKind))
+    def test_order_violation_reproduces_under_every_sketch(self, sketch):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded, report = reproduce_bug(program, sketch, seed)
+        assert report.success
+        assert report.attempts <= 80
+        assert report.complete_log is not None
+
+    def test_rw_sketch_reproduces_first_try(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        _, report = reproduce_bug(program, SketchKind.RW, seed)
+        assert report.attempts == 1
+
+
+class TestDeadlockBug:
+    def test_deadlock_reproduces(self):
+        program = deadlock_program()
+        seed = find_seed(program)
+        recorded, report = reproduce_bug(program, SketchKind.SYNC, seed)
+        assert report.success
+        assert recorded.failure.kind is FailureKind.DEADLOCK
+        trace = replay_complete(program, report.complete_log)
+        assert trace.failure.kind is FailureKind.DEADLOCK
+        assert trace.failure.where == recorded.failure.where
+
+
+class TestCrashBug:
+    @staticmethod
+    def _uaf_program():
+        def freer(ctx):
+            yield ctx.local(2)
+            yield ctx.free("buf")
+
+        def user(ctx):
+            yield ctx.local(1)
+            value = yield ctx.read(("buf", 0))
+            return value
+
+        def main(ctx):
+            a = yield ctx.spawn(user)
+            b = yield ctx.spawn(freer)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        return Program("uaf", main, initial_memory={("buf", 0): 42})
+
+    def test_use_after_free_reproduces(self):
+        program = self._uaf_program()
+        seed = find_seed(program)
+        recorded, report = reproduce_bug(program, SketchKind.SYNC, seed)
+        assert report.success
+        assert recorded.failure.kind is FailureKind.CRASH
+
+
+class TestWrongOutputBug:
+    @staticmethod
+    def _oracle(trace):
+        if trace.final_memory.get("counter") != 6:
+            return Failure(FailureKind.WRONG_OUTPUT, where="lost increment")
+        return None
+
+    def test_wrong_output_reproduces_via_oracle(self):
+        program = counter_program(nworkers=2, iters=3, locked=False)
+        seed = None
+        for candidate in range(150):
+            if record(program, SketchKind.SYNC, seed=candidate,
+                      oracle=self._oracle).failed:
+                seed = candidate
+                break
+        assert seed is not None
+        recorded, report = reproduce_bug(
+            program, SketchKind.SYNC, seed, oracle=self._oracle
+        )
+        assert report.success
+        trace = replay_complete(program, report.complete_log, oracle=self._oracle)
+        assert trace.failure.kind is FailureKind.WRONG_OUTPUT
+
+
+class TestReproduceEveryTime:
+    def test_complete_log_replays_identically_many_times(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded, report = reproduce_bug(program, SketchKind.SYNC, seed)
+        first = replay_complete(program, report.complete_log)
+        for _ in range(5):
+            again = replay_complete(program, report.complete_log)
+            assert again.failure is not None
+            assert again.failure.signature() == first.failure.signature()
+            assert again.schedule == first.schedule
+
+    def test_complete_log_json_round_trip(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        _, report = reproduce_bug(program, SketchKind.SYNC, seed)
+        log = report.complete_log
+        restored = CompleteLog.from_json(log.to_json())
+        assert restored.schedule == log.schedule
+        assert restored.config == log.config
+        assert restored.failure_signature == log.failure_signature
+        trace = replay_complete(program, restored)
+        assert trace.failed
+
+
+class TestReportContents:
+    def test_report_records_every_attempt(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        _, report = reproduce_bug(program, SketchKind.SYNC, seed)
+        assert len(report.records) == report.attempts
+        assert report.records[-1].outcome == "matched"
+        assert report.total_replay_steps >= sum(
+            r.steps for r in report.records
+        )
+        assert "reproduced" in report.describe()
+
+    def test_failure_required_to_reproduce(self):
+        recorded = record(counter_program(), SketchKind.SYNC, seed=0)
+        assert not recorded.failed
+        with pytest.raises(SimUsageError, match="did not fail"):
+            reproduce(recorded)
+
+    def test_budget_exhaustion_reports_failure(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded = record(program, SketchKind.NONE, seed=seed)
+        report = reproduce(
+            recorded,
+            ExplorerConfig(max_attempts=1, seed_restarts=0),
+            use_feedback=False,
+        )
+        if not report.success:  # a 1-attempt budget usually fails
+            assert report.complete_log is None
+            assert "NOT reproduced" in report.describe()
+
+    def test_machine_config_propagates_to_replay(self):
+        program = order_violation_program()
+        config = MachineConfig(ncpus=2, kernel_seed=5)
+        seed = None
+        for candidate in range(100):
+            recorded = record(program, SketchKind.SYNC, seed=candidate,
+                              config=config)
+            if recorded.failed:
+                seed = candidate
+                break
+        assert seed is not None
+        report = reproduce(recorded, FAST)
+        assert report.success
+        assert report.complete_log.config.ncpus == 2
+        assert report.complete_log.config.kernel_seed == 5
+
+
+class TestFeedbackAblation:
+    def test_random_explorer_also_eventually_reproduces(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded = record(program, SketchKind.SYNC, seed=seed)
+        report = reproduce(
+            recorded, ExplorerConfig(max_attempts=200), use_feedback=False
+        )
+        assert report.success  # the bug is frequent enough for stress mode
+
+    def test_feedback_never_slower_on_this_bug(self):
+        program = order_violation_program()
+        seed = find_seed(program)
+        recorded = record(program, SketchKind.SYNC, seed=seed)
+        with_fb = reproduce(recorded, ExplorerConfig(max_attempts=200))
+        without_fb = reproduce(
+            recorded, ExplorerConfig(max_attempts=200), use_feedback=False
+        )
+        assert with_fb.success
+        assert with_fb.attempts <= without_fb.attempts

@@ -1,0 +1,141 @@
+"""Tests for sketch mechanisms and visibility."""
+
+import pytest
+
+from repro.core.sketches import (
+    SKETCH_ORDER,
+    SketchEntry,
+    SketchKind,
+    entry_for_op,
+    event_visible,
+    op_key,
+    op_visible,
+    parse_sketch_kind,
+    visible_kinds,
+)
+from repro.sim.events import Event
+from repro.sim.ops import Op, OpKind
+from repro.sim.program import ThreadContext
+
+
+@pytest.fixture
+def ctx():
+    return ThreadContext(1)
+
+
+class TestSpectrum:
+    def test_order_is_none_to_rw(self):
+        assert SKETCH_ORDER[0] is SketchKind.NONE
+        assert SKETCH_ORDER[-1] is SketchKind.RW
+
+    def test_mechanisms_are_cumulative(self):
+        for lighter, heavier in zip(SKETCH_ORDER, SKETCH_ORDER[1:]):
+            assert visible_kinds(lighter) < visible_kinds(heavier)
+            assert heavier.includes(lighter)
+            assert not lighter.includes(heavier)
+
+    def test_none_records_nothing(self):
+        assert visible_kinds(SketchKind.NONE) == frozenset()
+
+    def test_level_matches_order(self):
+        for i, kind in enumerate(SKETCH_ORDER):
+            assert kind.level == i
+
+
+class TestVisibility:
+    @pytest.mark.parametrize(
+        "sketch, kind, visible",
+        [
+            (SketchKind.SYNC, OpKind.LOCK, True),
+            (SketchKind.SYNC, OpKind.SPAWN, True),
+            (SketchKind.SYNC, OpKind.SYSCALL, False),
+            (SketchKind.SYNC, OpKind.READ, False),
+            (SketchKind.SYS, OpKind.SYSCALL, True),
+            (SketchKind.SYS, OpKind.FUNC_ENTER, False),
+            (SketchKind.FUNC, OpKind.FUNC_ENTER, True),
+            (SketchKind.FUNC, OpKind.BASIC_BLOCK, False),
+            (SketchKind.BB, OpKind.BASIC_BLOCK, True),
+            (SketchKind.BB, OpKind.WRITE, False),
+            (SketchKind.RW, OpKind.WRITE, True),
+            (SketchKind.RW, OpKind.FREE, True),
+            (SketchKind.RW, OpKind.LOCAL, False),
+            (SketchKind.RW, OpKind.YIELD, False),
+        ],
+    )
+    def test_kind_visibility(self, sketch, kind, visible):
+        op = Op(kind)
+        assert op_visible(sketch, op) is visible
+        event = Event(gidx=0, tid=1, kind=kind)
+        assert event_visible(sketch, event) is visible
+
+    def test_local_invisible_everywhere(self, ctx):
+        for sketch in SKETCH_ORDER:
+            assert not op_visible(sketch, ctx.local())
+
+
+class TestKeys:
+    def test_sync_key_is_object(self, ctx):
+        assert op_key(OpKind.LOCK, ctx.lock("m")) == "m"
+
+    def test_syscall_key_is_name_and_channel(self, ctx):
+        assert op_key(OpKind.SYSCALL, ctx.syscall("send", "ch", "payload")) == (
+            "send",
+            "ch",
+        )
+
+    def test_syscall_key_without_args(self, ctx):
+        assert op_key(OpKind.SYSCALL, ctx.now()) == ("now", None)
+
+    def test_syscall_key_ignores_non_scalar_first_arg(self, ctx):
+        op = ctx.syscall("write_stdout", ("tuple", "payload"))
+        assert op_key(OpKind.SYSCALL, op) == ("write_stdout", None)
+
+    def test_func_key_is_name(self):
+        assert op_key(OpKind.FUNC_ENTER, Op(OpKind.FUNC_ENTER, name="f")) == "f"
+
+    def test_bb_key_is_label(self, ctx):
+        assert op_key(OpKind.BASIC_BLOCK, ctx.bb("loop")) == "loop"
+
+    def test_memory_key_is_address(self, ctx):
+        assert op_key(OpKind.WRITE, ctx.write(("a", 1), 9)) == ("a", 1)
+
+
+class TestEntries:
+    def test_entry_matches_its_op(self, ctx):
+        op = ctx.lock("m")
+        entry = entry_for_op(1, op)
+        assert entry.matches_op(1, op)
+
+    def test_entry_rejects_wrong_thread(self, ctx):
+        entry = entry_for_op(1, ctx.lock("m"))
+        assert not entry.matches_op(2, ctx.lock("m"))
+
+    def test_entry_rejects_wrong_object(self, ctx):
+        entry = entry_for_op(1, ctx.lock("m"))
+        assert not entry.matches_op(1, ctx.lock("other"))
+
+    def test_entry_rejects_wrong_kind(self, ctx):
+        entry = entry_for_op(1, ctx.lock("m"))
+        assert not entry.matches_op(1, ctx.unlock("m"))
+
+    def test_entry_from_event_round_trips(self, ctx):
+        op = ctx.syscall("send", "ch", "x")
+        event = Event.from_op(0, 1, 0, op)
+        entry = SketchEntry.from_event(event)
+        assert entry.matches_op(1, op)
+
+    def test_describe(self, ctx):
+        assert "lock" in entry_for_op(1, ctx.lock("m")).describe()
+
+
+class TestParse:
+    @pytest.mark.parametrize("name", ["none", "sync", "sys", "func", "bb", "rw"])
+    def test_parse_valid(self, name):
+        assert parse_sketch_kind(name).value == name
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_sketch_kind("SYNC") is SketchKind.SYNC
+
+    def test_parse_invalid_lists_options(self):
+        with pytest.raises(ValueError, match="sync"):
+            parse_sketch_kind("bogus")

@@ -1,0 +1,138 @@
+"""Tests for sketch-log serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sketches import SketchEntry, SketchKind
+from repro.core.sketchlog import SketchLog
+from repro.errors import SketchFormatError
+from repro.sim.ops import OpKind
+
+
+def make_log(entries, sketch=SketchKind.SYNC):
+    log = SketchLog(sketch=sketch)
+    for tid, kind, key in entries:
+        log.append(SketchEntry(tid=tid, kind=kind, key=key))
+    return log
+
+
+SAMPLE = [
+    (1, OpKind.LOCK, "m"),
+    (2, OpKind.UNLOCK, "m"),
+    (1, OpKind.SYSCALL, ("send", "ch")),
+    (3, OpKind.BASIC_BLOCK, "loop.head"),
+    (1, OpKind.WRITE, ("buf", 3)),
+    (0, OpKind.SPAWN, None),
+]
+
+
+class TestBinaryRoundTrip:
+    def test_round_trip_preserves_entries(self):
+        log = make_log(SAMPLE, SketchKind.RW)
+        restored = SketchLog.from_bytes(log.to_bytes())
+        assert restored.sketch is SketchKind.RW
+        assert restored.entries == log.entries
+
+    def test_empty_log_round_trips(self):
+        log = make_log([], SketchKind.NONE)
+        restored = SketchLog.from_bytes(log.to_bytes())
+        assert restored.sketch is SketchKind.NONE
+        assert len(restored) == 0
+
+    def test_key_interning_shrinks_repeated_keys(self):
+        many_same = make_log([(1, OpKind.LOCK, "m")] * 100)
+        many_diff = make_log([(1, OpKind.LOCK, f"m{i}") for i in range(100)])
+        assert many_same.size_bytes() < many_diff.size_bytes()
+
+    def test_size_grows_linearly_with_entries(self):
+        small = make_log([(1, OpKind.LOCK, "m")] * 10)
+        large = make_log([(1, OpKind.LOCK, "m")] * 1000)
+        per_entry = (large.size_bytes() - small.size_bytes()) / 990
+        assert 4 <= per_entry <= 16
+
+
+class TestBinaryErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SketchFormatError, match="magic"):
+            SketchLog.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_bytes(b"PRES\x01")
+
+    def test_truncated_entries_rejected(self):
+        data = make_log(SAMPLE).to_bytes()
+        with pytest.raises(SketchFormatError, match="truncated"):
+            SketchLog.from_bytes(data[:-3])
+
+    def test_corrupt_key_table_rejected(self):
+        data = bytearray(make_log([(1, OpKind.LOCK, "m")]).to_bytes())
+        # smash a byte inside the JSON key table
+        data[15] ^= 0xFF
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_bytes(bytes(data))
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(make_log(SAMPLE).to_bytes())
+        data[4] = 99
+        with pytest.raises(SketchFormatError, match="version"):
+            SketchLog.from_bytes(bytes(data))
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        log = make_log(SAMPLE, SketchKind.SYS)
+        restored = SketchLog.from_json(log.to_json())
+        assert restored.sketch is SketchKind.SYS
+        assert restored.entries == log.entries
+
+    def test_tuple_keys_survive(self):
+        log = make_log([(1, OpKind.WRITE, ("buf", 3))], SketchKind.RW)
+        restored = SketchLog.from_json(log.to_json())
+        assert restored.entries[0].key == ("buf", 3)
+        assert isinstance(restored.entries[0].key, tuple)
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_json('{"not": "a sketch"}')
+
+
+class TestMetrics:
+    def test_entries_per_kilo_events(self):
+        log = make_log([(1, OpKind.LOCK, "m")] * 5)
+        assert log.entries_per_kilo_events(1000) == pytest.approx(5.0)
+        assert log.entries_per_kilo_events(0) == 0.0
+
+    def test_describe_truncates(self):
+        log = make_log([(1, OpKind.LOCK, "m")] * 30)
+        text = log.describe(limit=3)
+        assert "30 entries" in text and "27 more" in text
+
+
+# Hypothesis: arbitrary logs survive both serializations.
+keys = st.one_of(
+    st.text(max_size=8),
+    st.integers(-1000, 1000),
+    st.none(),
+    st.tuples(st.text(max_size=5), st.integers(0, 50)),
+)
+entries = st.lists(
+    st.tuples(st.integers(0, 500), st.sampled_from(list(OpKind)), keys),
+    max_size=40,
+)
+
+
+@given(entries, st.sampled_from(list(SketchKind)))
+def test_property_binary_round_trip(entry_spec, sketch):
+    log = make_log(entry_spec, sketch)
+    restored = SketchLog.from_bytes(log.to_bytes())
+    assert restored.sketch is sketch
+    assert restored.entries == log.entries
+
+
+@given(entries, st.sampled_from(list(SketchKind)))
+def test_property_json_round_trip(entry_spec, sketch):
+    log = make_log(entry_spec, sketch)
+    restored = SketchLog.from_json(log.to_json())
+    assert restored.entries == log.entries

@@ -1,0 +1,145 @@
+"""Tests for bounded systematic schedule exploration."""
+
+import pytest
+
+from repro.core.systematic import systematic_search
+from repro.sim import MachineConfig, Program
+from repro.sim.failures import Failure, FailureKind
+
+from tests.conftest import (
+    counter_program,
+    deadlock_program,
+    order_violation_program,
+)
+
+
+def _lost_update_program(locked=False):
+    def worker(ctx):
+        if locked:
+            yield ctx.lock("m")
+        value = yield ctx.read("n")
+        yield ctx.write("n", value + 1)
+        if locked:
+            yield ctx.unlock("m")
+
+    def main(ctx):
+        a = yield ctx.spawn(worker)
+        b = yield ctx.spawn(worker)
+        yield ctx.join(a)
+        yield ctx.join(b)
+        n = yield ctx.read("n")
+        yield ctx.check(n == 2, "lost update")
+
+    return Program("lu", main, initial_memory={"n": 0})
+
+
+class TestFindsBugs:
+    def test_order_violation_found_at_bound_zero(self):
+        result = systematic_search(order_violation_program(), preemption_bound=0)
+        assert result.found_failure
+        assert result.exhausted
+        assert result.first_failing_schedule is not None
+
+    def test_lost_update_needs_exactly_one_preemption(self):
+        program = _lost_update_program()
+        at_zero = systematic_search(program, preemption_bound=0)
+        at_one = systematic_search(program, preemption_bound=1)
+        assert not at_zero.found_failure and at_zero.exhausted
+        assert at_one.found_failure
+
+    def test_deadlock_found(self):
+        result = systematic_search(deadlock_program(), preemption_bound=1)
+        assert result.found_failure
+        signatures = {sig[0] for sig in result.failure_signatures}
+        assert "deadlock" in signatures
+
+    def test_first_failing_schedule_replays(self):
+        from repro.sim import FixedOrderScheduler, Machine
+
+        program = order_violation_program()
+        result = systematic_search(program, preemption_bound=1)
+        replay = Machine(
+            program, FixedOrderScheduler(result.first_failing_schedule)
+        ).run()
+        assert replay.failed
+        assert replay.failure.signature() in result.failure_signatures
+
+
+class TestProvesAbsence:
+    def test_locked_counter_proven_safe(self):
+        result = systematic_search(
+            _lost_update_program(locked=True), preemption_bound=2,
+            max_schedules=50_000,
+        )
+        assert result.exhausted
+        assert not result.found_failure
+
+    def test_exhaustion_reported(self):
+        result = systematic_search(order_violation_program(), preemption_bound=2)
+        assert result.exhausted
+        assert "exhausted" in result.describe()
+
+
+class TestBudgets:
+    def test_schedule_budget_respected(self):
+        result = systematic_search(
+            counter_program(nworkers=3, iters=3),
+            preemption_bound=3,
+            max_schedules=25,
+        )
+        assert result.schedules_run <= 25
+        if not result.exhausted:
+            assert "budget hit" in result.describe()
+
+    def test_stop_at_first_failure(self):
+        full = systematic_search(order_violation_program(), preemption_bound=2)
+        early = systematic_search(
+            order_violation_program(), preemption_bound=2,
+            stop_at_first_failure=True,
+        )
+        assert early.found_failure
+        assert early.schedules_run <= full.schedules_run
+
+    def test_higher_bound_explores_more(self):
+        program = _lost_update_program()
+        low = systematic_search(program, preemption_bound=0)
+        high = systematic_search(program, preemption_bound=2)
+        assert high.schedules_run > low.schedules_run
+
+
+class TestOracleIntegration:
+    def test_wrong_output_oracle(self):
+        def oracle(trace):
+            if trace.final_memory.get("n") != 2:
+                return Failure(FailureKind.WRONG_OUTPUT, where="n != 2")
+            return None
+
+        def worker(ctx):
+            value = yield ctx.read("n")
+            yield ctx.write("n", value + 1)
+
+        def main(ctx):
+            a = yield ctx.spawn(worker)
+            b = yield ctx.spawn(worker)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        program = Program("oracle", main, initial_memory={"n": 0})
+        result = systematic_search(program, preemption_bound=1, oracle=oracle)
+        assert result.found_failure
+        assert ("wrong_output", "n != 2") in result.failure_signatures
+
+    def test_every_schedule_is_distinct(self):
+        # DFS must never re-run an identical schedule.
+        seen = set()
+
+        def oracle(trace):
+            key = tuple(trace.schedule)
+            assert key not in seen, "schedule explored twice"
+            seen.add(key)
+            return None
+
+        systematic_search(
+            order_violation_program(), preemption_bound=2, oracle=oracle
+        )
+        assert len(seen) >= 3

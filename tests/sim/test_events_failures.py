@@ -1,0 +1,88 @@
+"""Unit tests for Event records and the failure taxonomy."""
+
+from repro.sim.events import Event
+from repro.sim.failures import Failure, FailureKind
+from repro.sim.ops import Op, OpKind
+
+
+class TestEvent:
+    def test_from_op_copies_fields(self):
+        op = Op(OpKind.WRITE, addr="x", value=5)
+        event = Event.from_op(3, tid=1, cpu=2, op=op, value=5)
+        assert event.gidx == 3
+        assert event.tid == 1
+        assert event.cpu == 2
+        assert event.kind is OpKind.WRITE
+        assert event.addr == "x"
+        assert event.value == 5
+
+    def test_syscall_args_preserved(self):
+        op = Op(OpKind.SYSCALL, name="send", args=("ch", "m"))
+        event = Event.from_op(0, 1, 0, op, value=None)
+        assert event.args == ("ch", "m")
+
+    def test_non_syscall_args_dropped(self):
+        op = Op(OpKind.SPAWN, func=None, args=(1, 2), name="w")
+        event = Event.from_op(0, 1, 0, op, value=7)
+        assert event.args == ()
+
+    def test_signature_excludes_position_and_value(self):
+        op = Op(OpKind.READ, addr="x")
+        a = Event.from_op(1, 2, 0, op, value=10)
+        b = Event.from_op(99, 2, 3, op, value=20)
+        assert a.signature() == b.signature()
+
+    def test_signature_distinguishes_threads(self):
+        op = Op(OpKind.READ, addr="x")
+        assert (
+            Event.from_op(0, 1, 0, op).signature()
+            != Event.from_op(0, 2, 0, op).signature()
+        )
+
+    def test_signature_distinguishes_addresses(self):
+        a = Event.from_op(0, 1, 0, Op(OpKind.READ, addr="x"))
+        b = Event.from_op(0, 1, 0, Op(OpKind.READ, addr="y"))
+        assert a.signature() != b.signature()
+
+    def test_describe_mentions_thread_and_kind(self):
+        event = Event.from_op(7, 3, 0, Op(OpKind.LOCK, obj="m"))
+        text = event.describe()
+        assert "T3" in text and "lock" in text and "#7" in text
+
+
+class TestFailure:
+    def test_signature_is_kind_and_where(self):
+        f = Failure(FailureKind.ASSERTION, where="invariant broken", tid=2, gidx=9)
+        assert f.signature() == ("assertion", "invariant broken")
+
+    def test_matches_same_bug_different_position(self):
+        a = Failure(FailureKind.ASSERTION, where="x", gidx=10)
+        b = Failure(FailureKind.ASSERTION, where="x", gidx=99, tid=5)
+        assert a.matches(b) and b.matches(a)
+
+    def test_different_where_does_not_match(self):
+        a = Failure(FailureKind.ASSERTION, where="x")
+        b = Failure(FailureKind.ASSERTION, where="y")
+        assert not a.matches(b)
+
+    def test_different_kind_does_not_match(self):
+        a = Failure(FailureKind.ASSERTION, where="x")
+        b = Failure(FailureKind.CRASH, where="x")
+        assert not a.matches(b)
+
+    def test_hang_and_timeout_are_interchangeable(self):
+        hang = Failure(FailureKind.HANG, where="no runnable thread")
+        timeout = Failure(FailureKind.TIMEOUT, where="step budget exhausted")
+        assert hang.matches(timeout) and timeout.matches(hang)
+
+    def test_deadlock_matches_on_cycle_resources(self):
+        a = Failure(FailureKind.DEADLOCK, where="cycle:A,B")
+        b = Failure(FailureKind.DEADLOCK, where="cycle:A,B", involved_tids=(1, 2))
+        c = Failure(FailureKind.DEADLOCK, where="cycle:A,C")
+        assert a.matches(b)
+        assert not a.matches(c)
+
+    def test_describe_includes_location(self):
+        f = Failure(FailureKind.CRASH, where="boom", tid=4, gidx=17, detail="ouch")
+        text = f.describe()
+        assert "crash" in text and "T4" in text and "17" in text and "ouch" in text

@@ -1,0 +1,215 @@
+"""Edge-case coverage for machine semantics not exercised elsewhere."""
+
+import pytest
+
+from repro.sim import Machine, MachineConfig, Program, RandomScheduler
+from repro.sim.failures import FailureKind
+from repro.sim.ops import OpKind
+
+
+def run(main, seed=0, **kwargs):
+    cfg = kwargs.pop("config", MachineConfig(ncpus=4))
+    return Machine(Program("edge", main, **kwargs), RandomScheduler(seed), cfg).run()
+
+
+class TestCallNesting:
+    def test_nested_calls_bracket_correctly(self):
+        def inner(ctx, x):
+            yield ctx.local(1)
+            return x * 2
+
+        def outer(ctx, x):
+            value = yield from ctx.call(inner, x, name="inner")
+            return value + 1
+
+        def main(ctx):
+            value = yield from ctx.call(outer, 10, name="outer")
+            yield ctx.check(value == 21, "nested call value")
+
+        trace = run(main)
+        assert not trace.failed
+        names = [
+            (e.kind.value, e.name)
+            for e in trace.events
+            if e.kind in (OpKind.FUNC_ENTER, OpKind.FUNC_EXIT)
+        ]
+        assert names == [
+            ("func_enter", "outer"),
+            ("func_enter", "inner"),
+            ("func_exit", "inner"),
+            ("func_exit", "outer"),
+        ]
+
+    def test_call_default_name_is_function_name(self):
+        def helper(ctx):
+            yield ctx.local(1)
+
+        def main(ctx):
+            yield from ctx.call(helper)
+
+        trace = run(main)
+        enters = [e for e in trace.events if e.kind is OpKind.FUNC_ENTER]
+        assert enters[0].name == "helper"
+
+
+class TestFreeRegionHelper:
+    def test_free_region_removes_cells_and_name(self):
+        def main(ctx):
+            yield from ctx.free_region("buf", [0, 1])
+
+        memory = {("buf", 0): "a", ("buf", 1): "b", "buf": "hdr"}
+        trace = run(main, initial_memory=memory)
+        assert not trace.failed
+        assert trace.final_memory == {}
+
+    def test_free_region_missing_cell_crashes(self):
+        def main(ctx):
+            yield from ctx.free_region("buf", [0, 1])
+
+        trace = run(main, initial_memory={("buf", 0): "a", "buf": "hdr"})
+        assert trace.failed
+        assert trace.failure.kind is FailureKind.CRASH
+
+
+class TestSleepAndTime:
+    def test_sleep_advances_virtual_time(self):
+        def main(ctx):
+            yield ctx.sleep(500)
+
+        trace = run(main)
+        assert trace.clock.native_time >= 500
+
+    def test_now_is_monotone_per_thread(self):
+        def main(ctx):
+            a = yield ctx.now()
+            yield ctx.local(1)
+            b = yield ctx.now()
+            yield ctx.check(b >= a, "time went backwards")
+
+        assert not run(main).failed
+
+
+class TestSpawnEdgeCases:
+    def test_child_crash_at_first_op_stops_run(self):
+        def child(ctx):
+            raise RuntimeError("immediate crash")
+            yield ctx.local(1)  # pragma: no cover
+
+        def main(ctx):
+            tid = yield ctx.spawn(child)
+            yield ctx.join(tid)
+
+        trace = run(main)
+        assert trace.failed
+        assert trace.failure.kind is FailureKind.CRASH
+        assert "immediate crash" in trace.failure.where
+
+    def test_thread_returning_without_yield(self):
+        def child(ctx):
+            return 5
+            yield  # pragma: no cover - makes it a generator
+
+        def main(ctx):
+            tid = yield ctx.spawn(child)
+            value = yield ctx.join(tid)
+            yield ctx.check(value == 5, "empty thread return")
+
+        assert not run(main).failed
+
+    def test_join_out_of_order(self):
+        def child(ctx, n):
+            yield ctx.local(n)
+            return n
+
+        def main(ctx):
+            a = yield ctx.spawn(child, 1)
+            b = yield ctx.spawn(child, 2)
+            vb = yield ctx.join(b)
+            va = yield ctx.join(a)
+            yield ctx.check((va, vb) == (1, 2), "join order independence")
+
+        for seed in range(5):
+            assert not run(main, seed).failed
+
+    def test_double_join_is_fine(self):
+        def child(ctx):
+            yield ctx.local(1)
+            return "x"
+
+        def main(ctx):
+            tid = yield ctx.spawn(child)
+            first = yield ctx.join(tid)
+            second = yield ctx.join(tid)
+            yield ctx.check(first == second == "x", "double join")
+
+        assert not run(main).failed
+
+
+class TestSemaphoreHang:
+    def test_starved_semaphore_is_a_hang(self):
+        def main(ctx):
+            yield ctx.sem_acquire("never")
+
+        trace = run(main, semaphores={"never": 0})
+        assert trace.failed
+        assert trace.failure.kind is FailureKind.HANG
+
+    def test_blocked_recv_is_a_hang(self):
+        def main(ctx):
+            yield ctx.syscall("recv", "silent_channel")
+
+        trace = run(main)
+        assert trace.failed
+        assert trace.failure.kind is FailureKind.HANG
+
+
+class TestKernelInteraction:
+    def test_syscall_event_carries_args(self):
+        def main(ctx):
+            yield ctx.syscall("send", "ch", "hello")
+
+        trace = run(main)
+        send = next(e for e in trace.events if e.kind is OpKind.SYSCALL)
+        assert send.args == ("ch", "hello")
+
+    def test_kernel_seed_changes_rand_stream(self):
+        def main(ctx):
+            value = yield ctx.rand(10_000)
+            yield ctx.output(value)
+
+        a = run(main, config=MachineConfig(kernel_seed=1))
+        b = run(main, config=MachineConfig(kernel_seed=2))
+        assert a.stdout != b.stdout
+
+    def test_same_kernel_seed_same_stream(self):
+        def main(ctx):
+            value = yield ctx.rand(10_000)
+            yield ctx.output(value)
+
+        a = run(main, config=MachineConfig(kernel_seed=1))
+        b = run(main, config=MachineConfig(kernel_seed=1))
+        assert a.stdout == b.stdout
+
+
+class TestCondVarEdges:
+    def test_wait_without_holding_lock_crashes(self):
+        def main(ctx):
+            yield ctx.wait("cv", "m")  # never locked m
+
+        trace = run(main)
+        assert trace.failed
+        assert trace.failure.kind is FailureKind.CRASH
+
+    def test_signal_with_no_waiters_is_noop(self):
+        def main(ctx):
+            woken = yield ctx.signal("cv")
+            yield ctx.check(woken is None, "no waiter to wake")
+
+        assert not run(main).failed
+
+    def test_broadcast_with_no_waiters(self):
+        def main(ctx):
+            woken = yield ctx.broadcast("cv")
+            yield ctx.check(woken == (), "empty broadcast")
+
+        assert not run(main).failed

@@ -1,0 +1,142 @@
+"""Unit tests for the operation vocabulary and ThreadContext constructors."""
+
+import pytest
+
+from repro.sim.ops import (
+    BLOCKING_KINDS,
+    MEMORY_KINDS,
+    SYNC_KINDS,
+    WRITE_KINDS,
+    Op,
+    OpKind,
+)
+from repro.sim.program import ThreadContext
+
+
+@pytest.fixture
+def ctx():
+    return ThreadContext(tid=1)
+
+
+class TestKindSets:
+    def test_writes_are_memory_accesses(self):
+        assert WRITE_KINDS <= MEMORY_KINDS
+
+    def test_read_is_memory_but_not_write(self):
+        assert OpKind.READ in MEMORY_KINDS
+        assert OpKind.READ not in WRITE_KINDS
+
+    def test_free_counts_as_write(self):
+        assert OpKind.FREE in WRITE_KINDS
+
+    def test_thread_lifecycle_is_sync(self):
+        assert OpKind.SPAWN in SYNC_KINDS
+        assert OpKind.JOIN in SYNC_KINDS
+
+    def test_markers_are_not_sync(self):
+        assert OpKind.BASIC_BLOCK not in SYNC_KINDS
+        assert OpKind.FUNC_ENTER not in SYNC_KINDS
+
+    def test_blocking_kinds_include_lock_and_join(self):
+        assert OpKind.LOCK in BLOCKING_KINDS
+        assert OpKind.JOIN in BLOCKING_KINDS
+        assert OpKind.UNLOCK not in BLOCKING_KINDS
+
+
+class TestOpPredicates:
+    def test_read_predicates(self, ctx):
+        op = ctx.read("x")
+        assert op.is_memory_access()
+        assert not op.is_write()
+        assert not op.is_sync()
+
+    def test_write_predicates(self, ctx):
+        op = ctx.write("x", 1)
+        assert op.is_memory_access() and op.is_write()
+
+    def test_lock_predicates(self, ctx):
+        op = ctx.lock("m")
+        assert op.is_sync() and not op.is_memory_access()
+
+
+class TestContextConstructors:
+    def test_read(self, ctx):
+        op = ctx.read("x")
+        assert op.kind is OpKind.READ and op.addr == "x"
+
+    def test_write_carries_value(self, ctx):
+        op = ctx.write(("a", 1), 42)
+        assert op.kind is OpKind.WRITE and op.value == 42
+
+    def test_cas_packs_expected_and_new(self, ctx):
+        op = ctx.cas("x", 1, 2)
+        assert op.value == (1, 2)
+
+    def test_wait_packs_cond_and_lock(self, ctx):
+        op = ctx.wait("cv", "m")
+        assert op.kind is OpKind.COND_WAIT and op.obj == ("cv", "m")
+
+    def test_spawn_records_body_name(self, ctx):
+        def body(c):
+            yield c.local()
+
+        op = ctx.spawn(body, 1, 2)
+        assert op.kind is OpKind.SPAWN
+        assert op.func is body
+        assert op.args == (1, 2)
+        assert op.name == "body"
+
+    def test_syscall(self, ctx):
+        op = ctx.syscall("send", "ch", "msg")
+        assert op.kind is OpKind.SYSCALL
+        assert op.name == "send" and op.args == ("ch", "msg")
+
+    def test_output_is_stdout_syscall(self, ctx):
+        op = ctx.output("v")
+        assert op.kind is OpKind.SYSCALL and op.name == "write_stdout"
+
+    def test_rand_and_now_and_sleep_are_syscalls(self, ctx):
+        assert ctx.rand(5).name == "rand"
+        assert ctx.now().name == "now"
+        assert ctx.sleep(3).name == "sleep"
+
+    def test_check_coerces_to_bool(self, ctx):
+        op = ctx.check([], "empty is falsy")
+        assert op.kind is OpKind.ASSERT and op.value is False
+        assert ctx.check([1], "truthy").value is True
+
+    def test_bb_has_zero_cost(self, ctx):
+        assert ctx.bb("loop").cost == 0
+
+    def test_work_emits_n_quanta(self, ctx):
+        ops = list(ctx.work(3, cost=2))
+        assert len(ops) == 3
+        assert all(op.kind is OpKind.LOCAL and op.cost == 2 for op in ops)
+
+    def test_work_zero_is_empty(self, ctx):
+        assert list(ctx.work(0)) == []
+
+    def test_free_region_yields_cells_then_region(self, ctx):
+        ops = list(ctx.free_region("buf", [0, 1]))
+        assert [op.addr for op in ops] == [("buf", 0), ("buf", 1), "buf"]
+        assert all(op.kind is OpKind.FREE for op in ops)
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "op_factory, fragment",
+        [
+            (lambda c: c.read("x"), "read('x')"),
+            (lambda c: c.lock("m"), "lock('m')"),
+            (lambda c: c.syscall("send", "ch"), "syscall send"),
+            (lambda c: c.bb("L1"), "bb(L1)"),
+            (lambda c: c.check(True, "inv"), "assert(inv)"),
+        ],
+    )
+    def test_describe_is_informative(self, ctx, op_factory, fragment):
+        assert fragment in op_factory(ctx).describe()
+
+    def test_op_is_frozen(self, ctx):
+        op = ctx.read("x")
+        with pytest.raises(Exception):
+            op.addr = "y"

@@ -1,0 +1,157 @@
+"""Tests for trace persistence and trace statistics."""
+
+import io
+
+import pytest
+
+from repro.analysis import find_races, same_execution
+from repro.errors import SketchFormatError
+from repro.sim import FixedOrderScheduler, Machine
+from repro.sim.persist import dump_trace, load_trace, read_trace, save_trace
+from repro.sim.stats import trace_stats
+
+from tests.conftest import (
+    counter_program,
+    deadlock_program,
+    find_seed,
+    producer_consumer_program,
+    run_program,
+)
+
+
+def round_trip(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_events(self):
+        trace = run_program(producer_consumer_program(3), 7)
+        restored = round_trip(trace)
+        assert len(restored.events) == len(trace.events)
+        for a, b in zip(trace.events, restored.events):
+            assert a.signature() == b.signature()
+            assert a.value == b.value
+            assert a.args == b.args
+        assert restored.schedule == trace.schedule
+        assert restored.final_memory == trace.final_memory
+        assert restored.stdout == trace.stdout
+        assert restored.files == trace.files
+        assert restored.thread_returns == trace.thread_returns
+
+    def test_tuple_addresses_survive(self):
+        trace = run_program(counter_program(), 1)
+        # synthesize tuple addresses via an app-like program
+        from repro.apps import get_bug
+
+        trace = run_program(get_bug("fft-order-sync").make_program(), 2)
+        restored = round_trip(trace)
+        tuple_addrs = [
+            e.addr for e in restored.events if isinstance(e.addr, tuple)
+        ]
+        assert tuple_addrs, "expected tuple addresses"
+        assert restored.final_memory == trace.final_memory
+
+    def test_failure_survives(self):
+        program = deadlock_program()
+        trace = run_program(program, find_seed(program))
+        restored = round_trip(trace)
+        assert restored.failure is not None
+        assert restored.failure.signature() == trace.failure.signature()
+        assert restored.failure.involved_tids == trace.failure.involved_tids
+
+    def test_clock_survives(self):
+        trace = run_program(counter_program(), 1)
+        restored = round_trip(trace)
+        assert restored.clock.native_time == trace.clock.native_time
+        assert restored.clock.per_cpu_native == trace.clock.per_cpu_native
+
+    def test_analyses_work_on_restored_trace(self):
+        trace = run_program(counter_program(locked=False), 3)
+        restored = round_trip(trace)
+        assert len(find_races(restored)) == len(find_races(trace))
+        assert same_execution(trace, restored)
+
+    def test_restored_schedule_re_executes(self):
+        program = counter_program()
+        trace = run_program(program, 5)
+        restored = round_trip(trace)
+        replay = Machine(program, FixedOrderScheduler(restored.schedule)).run()
+        assert [e.signature() for e in replay.events] == [
+            e.signature() for e in trace.events
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        trace = run_program(counter_program(), 1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, str(path))
+        restored = read_trace(str(path))
+        assert same_execution(trace, restored)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SketchFormatError, match="not a PRES trace"):
+            load_trace(io.StringIO('{"format": "other"}\n'))
+
+    def test_corrupt_header_rejected(self):
+        with pytest.raises(SketchFormatError, match="corrupt trace header"):
+            load_trace(io.StringIO("not json\n"))
+
+    def test_corrupt_event_rejected(self):
+        trace = run_program(counter_program(), 1)
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        text = buffer.getvalue().splitlines()
+        text[3] = "garbage"
+        with pytest.raises(SketchFormatError, match="corrupt trace event"):
+            load_trace(io.StringIO("\n".join(text)))
+
+
+class TestStats:
+    def test_counts_add_up(self):
+        trace = run_program(counter_program(nworkers=2, iters=3), 4)
+        stats = trace_stats(trace)
+        assert stats.total_events == len(trace.events)
+        assert sum(stats.by_kind.values()) == stats.total_events
+        assert sum(stats.per_thread.values()) == stats.total_events
+
+    def test_densities(self):
+        trace = run_program(producer_consumer_program(3), 4)
+        stats = trace_stats(trace)
+        assert 0 < stats.sync_density < 1000
+        assert 0 < stats.memory_density < 1000
+
+    def test_contended_lock_detected(self):
+        trace = run_program(producer_consumer_program(4), 4)
+        stats = trace_stats(trace)
+        assert "m" in stats.contended_locks()
+        assert stats.locks["m"].acquisitions >= 2
+
+    def test_uncontended_lock_not_flagged(self):
+        def main(ctx):
+            yield ctx.lock("solo")
+            yield ctx.unlock("solo")
+            yield ctx.lock("solo")
+            yield ctx.unlock("solo")
+
+        from repro.sim import Program, RandomScheduler
+
+        trace = Machine(Program("p", main), RandomScheduler(0)).run()
+        stats = trace_stats(trace)
+        assert stats.locks["solo"].acquisitions == 2
+        assert stats.contended_locks() == []
+
+    def test_scientific_apps_have_low_sync_density(self):
+        from repro.apps import get_bug
+
+        fft = trace_stats(run_program(get_bug("fft-order-sync").make_program(), 2))
+        ldap = trace_stats(
+            run_program(get_bug("openldap-deadlock").make_program(), 5)
+        )
+        assert fft.sync_density < ldap.sync_density
+
+    def test_describe(self):
+        trace = run_program(producer_consumer_program(3), 4)
+        text = trace_stats(trace).describe()
+        assert "events" in text and "sync density" in text

@@ -1,0 +1,246 @@
+"""Tests for reader-writer lock semantics across the stack."""
+
+import pytest
+
+from repro.analysis import find_races, lockset_report
+from repro.errors import SimSyncError
+from repro.sim import Machine, MachineConfig, Program, RandomScheduler
+from repro.sim.failures import FailureKind
+from repro.sim.sync import RWLock
+
+from tests.conftest import run_program
+
+
+def run(main, seed=0, **kwargs):
+    return Machine(
+        Program("rw", main, **kwargs), RandomScheduler(seed), MachineConfig(ncpus=4)
+    ).run()
+
+
+class TestRWLockObject:
+    def test_many_readers(self):
+        lock = RWLock("l")
+        lock.acquire_read(1)
+        lock.acquire_read(2)
+        assert lock.holders() == [1, 2]
+        assert lock.can_read and not lock.can_write
+
+    def test_writer_excludes_everyone(self):
+        lock = RWLock("l")
+        lock.acquire_write(1)
+        assert not lock.can_read and not lock.can_write
+        assert lock.holders() == [1]
+
+    def test_write_acquire_while_read_held_is_an_error(self):
+        lock = RWLock("l")
+        lock.acquire_read(1)
+        with pytest.raises(SimSyncError):
+            lock.acquire_write(2)
+
+    def test_read_acquire_while_write_held_is_an_error(self):
+        lock = RWLock("l")
+        lock.acquire_write(1)
+        with pytest.raises(SimSyncError):
+            lock.acquire_read(2)
+
+    def test_release_unheld_is_an_error(self):
+        with pytest.raises(SimSyncError):
+            RWLock("l").release(3)
+
+    def test_release_restores_availability(self):
+        lock = RWLock("l")
+        lock.acquire_write(1)
+        lock.release(1)
+        assert lock.can_write
+
+    def test_reentrant_read_rejected(self):
+        lock = RWLock("l")
+        lock.acquire_read(1)
+        with pytest.raises(SimSyncError):
+            lock.acquire_read(1)
+
+
+class TestMachineSemantics:
+    def test_concurrent_readers_overlap(self):
+        def reader(ctx):
+            yield ctx.rdlock("rw")
+            inside = yield ctx.rmw("inside", lambda v: v + 1)
+            peak = yield ctx.read("peak")
+            yield ctx.write("peak", max(peak, inside + 1))
+            yield ctx.local(3)
+            yield ctx.rmw("inside", lambda v: v - 1)
+            yield ctx.rwunlock("rw")
+
+        def main(ctx):
+            tids = []
+            for _ in range(3):
+                tid = yield ctx.spawn(reader)
+                tids.append(tid)
+            for tid in tids:
+                yield ctx.join(tid)
+
+        # across seeds, at least one schedule overlaps two readers
+        peaks = set()
+        for seed in range(20):
+            trace = run(main, seed, initial_memory={"inside": 0, "peak": 0})
+            assert not trace.failed
+            peaks.add(trace.final_memory["peak"])
+        assert max(peaks) >= 2
+
+    def test_writer_is_exclusive(self):
+        def writer(ctx, value):
+            yield ctx.wrlock("rw")
+            inside = yield ctx.rmw("inside", lambda v: v + 1)
+            yield ctx.check(inside == 0, "two writers inside the rwlock")
+            yield ctx.write("x", value)
+            yield ctx.rmw("inside", lambda v: v - 1)
+            yield ctx.rwunlock("rw")
+
+        def reader(ctx):
+            yield ctx.rdlock("rw")
+            inside = yield ctx.read("inside")
+            yield ctx.check(inside == 0, "reader overlapped a writer")
+            yield ctx.read("x")
+            yield ctx.rwunlock("rw")
+
+        def main(ctx):
+            tids = []
+            for i in range(2):
+                tid = yield ctx.spawn(writer, i)
+                tids.append(tid)
+            for _ in range(2):
+                tid = yield ctx.spawn(reader)
+                tids.append(tid)
+            for tid in tids:
+                yield ctx.join(tid)
+
+        for seed in range(25):
+            trace = run(main, seed, initial_memory={"inside": 0, "x": 0})
+            assert not trace.failed, (seed, trace.failure.describe())
+
+    def test_writer_blocks_until_readers_drain(self):
+        def reader(ctx):
+            yield ctx.rdlock("rw")
+            yield ctx.write("reader_in", True)
+            yield ctx.local(4)
+            yield ctx.rwunlock("rw")
+
+        def writer(ctx):
+            while True:
+                ready = yield ctx.read("reader_in")
+                if ready:
+                    break
+                yield ctx.cpu_yield()
+            yield ctx.wrlock("rw")  # must wait for the reader
+            yield ctx.write("writer_done", True)
+            yield ctx.rwunlock("rw")
+
+        def main(ctx):
+            r = yield ctx.spawn(reader)
+            w = yield ctx.spawn(writer)
+            yield ctx.join(r)
+            yield ctx.join(w)
+
+        trace = run(main, 1, initial_memory={"reader_in": False,
+                                             "writer_done": False})
+        assert not trace.failed
+        assert trace.final_memory["writer_done"]
+
+    def test_rwlock_deadlock_detected(self):
+        def left(ctx):
+            yield ctx.wrlock("A")
+            yield ctx.local(1)
+            yield ctx.wrlock("B")
+            yield ctx.rwunlock("B")
+            yield ctx.rwunlock("A")
+
+        def right(ctx):
+            yield ctx.wrlock("B")
+            yield ctx.local(1)
+            yield ctx.wrlock("A")
+            yield ctx.rwunlock("A")
+            yield ctx.rwunlock("B")
+
+        def main(ctx):
+            a = yield ctx.spawn(left)
+            b = yield ctx.spawn(right)
+            yield ctx.join(a)
+            yield ctx.join(b)
+
+        hit = False
+        for seed in range(60):
+            trace = run(main, seed)
+            if trace.failed:
+                assert trace.failure.kind is FailureKind.DEADLOCK
+                hit = True
+        assert hit, "rwlock inversion never deadlocked in 60 seeds"
+
+
+class TestAnalysisIntegration:
+    @staticmethod
+    def _guarded_program():
+        def writer(ctx):
+            yield ctx.wrlock("rw")
+            value = yield ctx.read("shared")
+            yield ctx.write("shared", value + 1)
+            yield ctx.rwunlock("rw")
+
+        def reader(ctx):
+            yield ctx.rdlock("rw")
+            yield ctx.read("shared")
+            yield ctx.rwunlock("rw")
+
+        def main(ctx):
+            w = yield ctx.spawn(writer)
+            r = yield ctx.spawn(reader)
+            yield ctx.join(w)
+            yield ctx.join(r)
+
+        return Program("rwguard", main, initial_memory={"shared": 0})
+
+    def test_rwlock_protected_accesses_do_not_race(self):
+        program = self._guarded_program()
+        for seed in range(10):
+            trace = Machine(program, RandomScheduler(seed)).run()
+            assert find_races(trace) == []
+
+    def test_lockset_sees_rwlock_protection(self):
+        trace = Machine(self._guarded_program(), RandomScheduler(2)).run()
+        report = lockset_report(trace)
+        prot = report.by_address["shared"]
+        assert "rw:r" in prot.candidate_set
+        assert not prot.inconsistent
+
+
+class TestReplayIntegration:
+    def test_rwlock_bug_reproduces_under_sync_sketch(self):
+        # a stale-read bug guarded only on the writer side
+        def writer(ctx):
+            yield ctx.local(2)
+            yield ctx.wrlock("rw")
+            yield ctx.write("config", 7)
+            yield ctx.rwunlock("rw")
+
+        def reader(ctx):
+            yield ctx.local(1)
+            value = yield ctx.read("config")  # BUG: no rdlock
+            yield ctx.check(value == 7, "read config before writer published")
+
+        def main(ctx):
+            w = yield ctx.spawn(writer)
+            r = yield ctx.spawn(reader)
+            yield ctx.join(w)
+            yield ctx.join(r)
+
+        from repro import ExplorerConfig, SketchKind, record, reproduce
+
+        program = Program("rwbug", main, initial_memory={"config": 0})
+        failing = None
+        for seed in range(80):
+            recorded = record(program, SketchKind.SYNC, seed=seed)
+            if recorded.failed:
+                failing = recorded
+                break
+        assert failing is not None
+        report = reproduce(failing, ExplorerConfig(max_attempts=100))
+        assert report.success

@@ -1,0 +1,219 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Model-based testing of the two stateful substrates everything rests on:
+shared memory (against a plain dict model) and the synchronization table
+(against simple invariants like "a mutex has at most one owner").
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import SimMemoryError, SimSyncError
+from repro.sim.memory import SharedMemory, region_of
+from repro.sim.sync import SyncTable
+
+ADDRS = st.one_of(
+    st.sampled_from(["a", "b", "c"]),
+    st.tuples(st.sampled_from(["buf", "q"]), st.integers(0, 3)),
+)
+VALUES = st.integers(-5, 5)
+
+
+class MemoryModel(RuleBasedStateMachine):
+    """SharedMemory must behave like a dict + poisoned-free set."""
+
+    def __init__(self):
+        super().__init__()
+        self.memory = SharedMemory()
+        self.model = {}
+        self.freed = set()
+
+    def _poisoned(self, addr):
+        return addr in self.freed or region_of(addr) in self.freed
+
+    @rule(addr=ADDRS, value=VALUES)
+    def store(self, addr, value):
+        if self._poisoned(addr):
+            try:
+                self.memory.store(addr, value)
+            except SimMemoryError:
+                return
+            raise AssertionError("store to freed address succeeded")
+        self.memory.store(addr, value)
+        self.model[addr] = value
+
+    @rule(addr=ADDRS)
+    def load(self, addr):
+        if addr in self.model:
+            assert self.memory.load(addr) == self.model[addr]
+        else:
+            try:
+                self.memory.load(addr)
+            except SimMemoryError:
+                return
+            raise AssertionError("load of absent address succeeded")
+
+    @rule(addr=ADDRS)
+    def free(self, addr):
+        victims = [
+            a for a in self.model if a == addr or region_of(a) == addr
+        ]
+        if victims:
+            self.memory.free(addr)
+            for victim in victims:
+                del self.model[victim]
+                self.freed.add(victim)
+            self.freed.add(addr)
+        else:
+            try:
+                self.memory.free(addr)
+            except SimMemoryError:
+                return
+            raise AssertionError("free of absent address succeeded")
+
+    @rule(addr=ADDRS, delta=VALUES)
+    def rmw(self, addr, delta):
+        if addr in self.model:
+            old = self.memory.rmw(addr, lambda v: v + delta)
+            assert old == self.model[addr]
+            self.model[addr] += delta
+        else:
+            try:
+                self.memory.rmw(addr, lambda v: v + delta)
+            except SimMemoryError:
+                return
+            raise AssertionError("rmw of absent address succeeded")
+
+    @invariant()
+    def snapshot_matches_model(self):
+        assert self.memory.snapshot() == self.model
+
+
+class SyncModel(RuleBasedStateMachine):
+    """SyncTable invariants: single mutex owner, rwlock exclusivity."""
+
+    MUTEXES = ["m1", "m2"]
+    RWLOCKS = ["rw1"]
+    TIDS = [1, 2, 3]
+
+    def __init__(self):
+        super().__init__()
+        self.table = SyncTable(semaphores={"s": 1})
+        self.mutex_owner = {}
+        self.rw_writer = {}
+        self.rw_readers = {name: set() for name in self.RWLOCKS}
+        self.sem = 1
+
+    @rule(name=st.sampled_from(MUTEXES), tid=st.sampled_from(TIDS))
+    def mutex_acquire(self, name, tid):
+        if self.mutex_owner.get(name) is None:
+            self.table.mutex(name).acquire(tid)
+            self.mutex_owner[name] = tid
+        else:
+            try:
+                self.table.mutex(name).acquire(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("double acquire succeeded")
+
+    @rule(name=st.sampled_from(MUTEXES), tid=st.sampled_from(TIDS))
+    def mutex_release(self, name, tid):
+        if self.mutex_owner.get(name) == tid:
+            self.table.mutex(name).release(tid)
+            self.mutex_owner[name] = None
+        else:
+            try:
+                self.table.mutex(name).release(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("foreign release succeeded")
+
+    @rule(name=st.sampled_from(RWLOCKS), tid=st.sampled_from(TIDS))
+    def rw_read(self, name, tid):
+        ok = self.rw_writer.get(name) is None and tid not in self.rw_readers[name]
+        if ok:
+            self.table.rwlock(name).acquire_read(tid)
+            self.rw_readers[name].add(tid)
+        else:
+            try:
+                self.table.rwlock(name).acquire_read(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("read acquire should have failed")
+
+    @rule(name=st.sampled_from(RWLOCKS), tid=st.sampled_from(TIDS))
+    def rw_write(self, name, tid):
+        ok = self.rw_writer.get(name) is None and not self.rw_readers[name]
+        if ok:
+            self.table.rwlock(name).acquire_write(tid)
+            self.rw_writer[name] = tid
+        else:
+            try:
+                self.table.rwlock(name).acquire_write(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("write acquire should have failed")
+
+    @rule(name=st.sampled_from(RWLOCKS), tid=st.sampled_from(TIDS))
+    def rw_release(self, name, tid):
+        holds = self.rw_writer.get(name) == tid or tid in self.rw_readers[name]
+        if holds:
+            self.table.rwlock(name).release(tid)
+            if self.rw_writer.get(name) == tid:
+                self.rw_writer[name] = None
+            else:
+                self.rw_readers[name].discard(tid)
+        else:
+            try:
+                self.table.rwlock(name).release(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("foreign rwlock release succeeded")
+
+    @rule(tid=st.sampled_from(TIDS))
+    def sem_acquire(self, tid):
+        if self.sem > 0:
+            self.table.semaphore("s").acquire(tid)
+            self.sem -= 1
+        else:
+            try:
+                self.table.semaphore("s").acquire(tid)
+            except SimSyncError:
+                return
+            raise AssertionError("semaphore went negative")
+
+    @rule()
+    def sem_release(self):
+        self.table.semaphore("s").release()
+        self.sem += 1
+
+    @invariant()
+    def mutex_owners_match(self):
+        for name in self.MUTEXES:
+            assert self.table.mutex(name).owner == self.mutex_owner.get(name)
+
+    @invariant()
+    def rwlock_exclusivity(self):
+        for name in self.RWLOCKS:
+            lock = self.table.rwlock(name)
+            assert lock.writer == self.rw_writer.get(name)
+            assert set(lock.readers) == self.rw_readers[name]
+            assert not (lock.writer is not None and lock.readers)
+
+    @invariant()
+    def semaphore_count_matches(self):
+        assert self.table.semaphore("s").count == self.sem
+
+
+TestMemoryModel = MemoryModel.TestCase
+TestSyncModel = SyncModel.TestCase
+TestMemoryModel.settings = settings(max_examples=60, stateful_step_count=40,
+                                    deadline=None)
+TestSyncModel.settings = settings(max_examples=60, stateful_step_count=40,
+                                  deadline=None)

@@ -1,0 +1,146 @@
+"""Unit tests for synchronization object state machines."""
+
+import pytest
+
+from repro.errors import SimSyncError
+from repro.sim.sync import Barrier, CondVar, Mutex, Semaphore, SyncTable
+
+
+class TestMutex:
+    def test_acquire_sets_owner(self):
+        m = Mutex("m")
+        m.acquire(3)
+        assert m.owner == 3
+        assert not m.is_free
+
+    def test_release_frees(self):
+        m = Mutex("m")
+        m.acquire(3)
+        m.release(3)
+        assert m.is_free
+
+    def test_double_acquire_raises(self):
+        m = Mutex("m")
+        m.acquire(1)
+        with pytest.raises(SimSyncError, match="already held"):
+            m.acquire(2)
+
+    def test_non_reentrant(self):
+        m = Mutex("m")
+        m.acquire(1)
+        with pytest.raises(SimSyncError):
+            m.acquire(1)
+
+    def test_release_by_non_owner_raises(self):
+        m = Mutex("m")
+        m.acquire(1)
+        with pytest.raises(SimSyncError, match="owned by 1"):
+            m.release(2)
+
+    def test_release_unheld_raises(self):
+        m = Mutex("m")
+        with pytest.raises(SimSyncError):
+            m.release(1)
+
+
+class TestCondVar:
+    def test_wake_one_is_fifo(self):
+        cv = CondVar("cv")
+        cv.add_waiter(5)
+        cv.add_waiter(6)
+        assert cv.wake_one() == 5
+        assert cv.wake_one() == 6
+
+    def test_wake_one_empty_returns_none(self):
+        assert CondVar("cv").wake_one() is None
+
+    def test_wake_all_drains(self):
+        cv = CondVar("cv")
+        cv.add_waiter(1)
+        cv.add_waiter(2)
+        assert cv.wake_all() == [1, 2]
+        assert cv.waiters == []
+
+    def test_wake_all_empty(self):
+        assert CondVar("cv").wake_all() == []
+
+
+class TestSemaphore:
+    def test_acquire_decrements(self):
+        s = Semaphore("s", count=2)
+        s.acquire(1)
+        assert s.count == 1
+        assert s.available
+
+    def test_release_increments(self):
+        s = Semaphore("s", count=0)
+        s.release()
+        assert s.available
+
+    def test_acquire_at_zero_raises(self):
+        s = Semaphore("s", count=0)
+        with pytest.raises(SimSyncError, match="at zero"):
+            s.acquire(1)
+
+
+class TestBarrier:
+    def test_trips_on_last_arrival(self):
+        b = Barrier("b", parties=3)
+        assert b.arrive(1) is False
+        assert b.arrive(2) is False
+        assert b.arrive(3) is True
+
+    def test_release_returns_arrivals_and_resets(self):
+        b = Barrier("b", parties=2)
+        b.arrive(1)
+        b.arrive(2)
+        assert b.release() == [1, 2]
+        assert b.arrived == []
+        assert b.generation == 1
+
+    def test_reusable_across_generations(self):
+        b = Barrier("b", parties=2)
+        b.arrive(1)
+        b.arrive(2)
+        b.release()
+        assert b.arrive(1) is False
+        assert b.arrive(2) is True
+        b.release()
+        assert b.generation == 2
+
+    def test_zero_parties_raises(self):
+        b = Barrier("b", parties=0)
+        with pytest.raises(SimSyncError):
+            b.arrive(1)
+
+
+class TestSyncTable:
+    def test_mutexes_autocreate(self):
+        table = SyncTable()
+        assert table.mutex("m").name == "m"
+        assert table.mutex("m") is table.mutex("m")
+
+    def test_conds_autocreate(self):
+        table = SyncTable()
+        assert table.cond("cv") is table.cond("cv")
+
+    def test_semaphores_require_declaration(self):
+        table = SyncTable(semaphores={"s": 2})
+        assert table.semaphore("s").count == 2
+        with pytest.raises(SimSyncError, match="not declared"):
+            table.semaphore("undeclared")
+
+    def test_barriers_require_declaration(self):
+        table = SyncTable(barriers={"b": 3})
+        assert table.barrier("b").parties == 3
+        with pytest.raises(SimSyncError, match="not declared"):
+            table.barrier("undeclared")
+
+    def test_held_mutexes(self):
+        table = SyncTable()
+        table.mutex("a").acquire(1)
+        table.mutex("b").acquire(2)
+        table.mutex("c").acquire(1)
+        assert table.held_mutexes(1) == ["a", "c"]
+        assert table.held_mutexes(2) == ["b"]
+        assert table.held_mutexes(3) == []

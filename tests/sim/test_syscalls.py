@@ -1,0 +1,136 @@
+"""Unit tests for the simulated kernel."""
+
+import pytest
+
+from repro.errors import SimSyscallError
+from repro.sim.syscalls import Kernel
+
+
+class TestStdout:
+    def test_write_stdout_captures(self):
+        k = Kernel()
+        k.execute("write_stdout", ("hello",), now=0)
+        k.execute("write_stdout", (2,), now=0)
+        assert k.stdout == ["hello", 2]
+
+
+class TestFiles:
+    def test_write_returns_record_index(self):
+        k = Kernel()
+        assert k.execute("write_file", ("log", "a"), now=0) == 0
+        assert k.execute("write_file", ("log", "b"), now=0) == 1
+
+    def test_read_file(self):
+        k = Kernel()
+        k.execute("write_file", ("log", "a"), now=0)
+        assert k.execute("read_file", ("log", 0), now=0) == "a"
+
+    def test_read_out_of_range_raises(self):
+        k = Kernel()
+        with pytest.raises(SimSyscallError, match="out of range"):
+            k.execute("read_file", ("log", 0), now=0)
+
+    def test_file_len(self):
+        k = Kernel()
+        assert k.execute("file_len", ("log",), now=0) == 0
+        k.execute("write_file", ("log", "a"), now=0)
+        assert k.execute("file_len", ("log",), now=0) == 1
+
+    def test_seed_files(self):
+        k = Kernel()
+        k.seed_files({"htdocs": ["index", "about"]})
+        assert k.execute("read_file", ("htdocs", 1), now=0) == "about"
+        assert k.file_contents("htdocs") == ["index", "about"]
+
+    def test_file_names(self):
+        k = Kernel()
+        k.execute("write_file", ("b", 1), now=0)
+        k.execute("write_file", ("a", 1), now=0)
+        assert k.file_names() == ["b", "a"]
+
+
+class TestChannels:
+    def test_send_recv_fifo(self):
+        k = Kernel()
+        k.execute("send", ("ch", "x"), now=0)
+        k.execute("send", ("ch", "y"), now=0)
+        assert k.execute("recv", ("ch",), now=0) == "x"
+        assert k.execute("recv", ("ch",), now=0) == "y"
+
+    def test_recv_blocks_while_empty(self):
+        k = Kernel()
+        assert k.can_execute("recv", ("ch",)) is False
+        k.execute("send", ("ch", 1), now=0)
+        assert k.can_execute("recv", ("ch",)) is True
+
+    def test_recv_on_empty_is_kernel_bug(self):
+        # The machine must gate recv with can_execute; executing anyway
+        # is a hard error rather than silent misbehavior.
+        k = Kernel()
+        with pytest.raises(SimSyscallError, match="empty channel"):
+            k.execute("recv", ("ch",), now=0)
+
+    def test_try_recv_returns_none_when_empty(self):
+        k = Kernel()
+        assert k.execute("try_recv", ("ch",), now=0) is None
+
+    def test_try_recv_consumes(self):
+        k = Kernel()
+        k.execute("send", ("ch", 9), now=0)
+        assert k.execute("try_recv", ("ch",), now=0) == 9
+        assert k.execute("try_recv", ("ch",), now=0) is None
+
+    def test_chan_len(self):
+        k = Kernel()
+        k.execute("send", ("ch", 1), now=0)
+        k.execute("send", ("ch", 2), now=0)
+        assert k.execute("chan_len", ("ch",), now=0) == 2
+
+    def test_non_blocking_syscalls_always_executable(self):
+        k = Kernel()
+        for name in ("send", "write_stdout", "rand", "now", "sleep"):
+            assert k.can_execute(name, (1,)) is True
+
+
+class TestMisc:
+    def test_rand_in_range_and_deterministic(self):
+        draws_a = [Kernel(seed=5).execute("rand", (10,), now=0) for _ in range(1)]
+        k1, k2 = Kernel(seed=5), Kernel(seed=5)
+        seq1 = [k1.execute("rand", (10,), now=0) for _ in range(20)]
+        seq2 = [k2.execute("rand", (10,), now=0) for _ in range(20)]
+        assert seq1 == seq2
+        assert all(0 <= v < 10 for v in seq1)
+
+    def test_rand_different_seeds_differ(self):
+        seq1 = [Kernel(seed=1).execute("rand", (1000,), now=0) for _ in range(1)]
+        k1, k2 = Kernel(seed=1), Kernel(seed=2)
+        a = [k1.execute("rand", (1000,), now=0) for _ in range(10)]
+        b = [k2.execute("rand", (1000,), now=0) for _ in range(10)]
+        assert a != b
+
+    def test_rand_requires_positive(self):
+        with pytest.raises(SimSyscallError):
+            Kernel().execute("rand", (0,), now=0)
+
+    def test_now_returns_machine_time(self):
+        assert Kernel().execute("now", (), now=42) == 42
+
+    def test_sleep_validates_duration(self):
+        k = Kernel()
+        k.execute("sleep", (5,), now=0)  # fine
+        with pytest.raises(SimSyscallError):
+            k.execute("sleep", (-1,), now=0)
+
+    def test_unknown_syscall_raises(self):
+        with pytest.raises(SimSyscallError, match="unknown syscall"):
+            Kernel().execute("fork_bomb", (), now=0)
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(SimSyscallError, match="bad arguments"):
+            Kernel().execute("send", ("only-one-arg",), now=0)
+
+    def test_syscall_count_increments(self):
+        k = Kernel()
+        k.execute("now", (), now=0)
+        k.execute("send", ("c", 1), now=0)
+        assert k.syscall_count == 2

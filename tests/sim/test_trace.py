@@ -1,0 +1,81 @@
+"""Unit tests for Trace accessors."""
+
+from repro.sim.ops import OpKind
+
+from tests.conftest import counter_program, run_program
+
+
+class TestAccessors:
+    def test_len_and_iter(self):
+        trace = run_program(counter_program(), 0)
+        assert len(trace) == len(trace.events)
+        assert list(trace) == trace.events
+
+    def test_events_of_preserves_program_order(self):
+        trace = run_program(counter_program(), 0)
+        for tid in trace.tids():
+            events = trace.events_of(tid)
+            assert all(e.tid == tid for e in events)
+            assert [e.gidx for e in events] == sorted(e.gidx for e in events)
+
+    def test_events_at_address(self):
+        trace = run_program(counter_program(), 0)
+        events = trace.events_at("counter")
+        assert events
+        assert all(e.addr == "counter" for e in events)
+
+    def test_tids_sorted(self):
+        trace = run_program(counter_program(nworkers=3), 0)
+        assert trace.tids() == sorted(trace.tids())
+        assert 0 in trace.tids()
+
+    def test_count_kind(self):
+        trace = run_program(counter_program(nworkers=2, iters=3), 0)
+        # each worker: 3 reads of counter; main: 1 final read
+        assert trace.count_kind(OpKind.READ) == 2 * 3 + 1
+        assert trace.count_kind(OpKind.SPAWN) == 2
+
+    def test_access_index_counts_per_thread_address(self):
+        trace = run_program(counter_program(nworkers=2, iters=3), 0)
+        index = trace.access_index()
+        workers = [tid for tid in trace.tids() if tid != 0]
+        for tid in workers:
+            # 3 reads + 3 writes of 'counter' per worker
+            assert index[(tid, "counter")] == 6
+        assert index[(0, "counter")] == 1
+
+    def test_describe_summarizes(self):
+        trace = run_program(counter_program(), 0)
+        text = trace.describe(limit=5)
+        assert "counter" in text
+        assert "events" in text
+        assert "more" in text  # truncation marker
+
+
+class TestThreadNames:
+    def test_trace_carries_body_names(self):
+        trace = run_program(counter_program(nworkers=2), 0)
+        assert trace.thread_names[0] == "_counter_main"
+        assert trace.thread_names[1] == "_counter_worker"
+
+    def test_thread_label(self):
+        trace = run_program(counter_program(), 0)
+        assert trace.thread_label(1) == "T1:_counter_worker"
+        assert trace.thread_label(99) == "T99"
+
+    def test_timeline_headers_use_labels(self):
+        from repro.analysis import render_timeline
+
+        trace = run_program(counter_program(), 0)
+        header = render_timeline(trace).splitlines()[0]
+        assert "_counter_worker" in header
+
+    def test_names_survive_persistence(self):
+        import io
+        from repro.sim.persist import dump_trace, load_trace
+
+        trace = run_program(counter_program(), 0)
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        assert load_trace(buffer).thread_names == trace.thread_names

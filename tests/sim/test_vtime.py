@@ -1,0 +1,109 @@
+"""Unit tests for the virtual-time model."""
+
+import pytest
+
+from repro.errors import SimUsageError
+from repro.sim.vtime import VirtualClock
+
+
+class TestBasics:
+    def test_requires_at_least_one_cpu(self):
+        with pytest.raises(SimUsageError):
+            VirtualClock(0)
+
+    def test_cpu_affinity_is_modulo(self):
+        clock = VirtualClock(4)
+        assert clock.cpu_of(0) == 0
+        assert clock.cpu_of(5) == 1
+        assert clock.cpu_of(7) == 3
+
+    def test_charge_op_hits_both_clocks(self):
+        clock = VirtualClock(2)
+        clock.charge_op(0, 5)
+        s = clock.summary()
+        assert s.per_cpu_native[0] == 5
+        assert s.per_cpu_recorded[0] == 5
+
+    def test_instrumentation_hits_recorded_only(self):
+        clock = VirtualClock(2)
+        clock.charge_op(0, 5)
+        clock.charge_instrumentation(0, 3)
+        s = clock.summary()
+        assert s.per_cpu_native[0] == 5
+        assert s.per_cpu_recorded[0] == 8
+
+    def test_runtime_is_max_over_cpus(self):
+        clock = VirtualClock(2)
+        clock.charge_op(0, 10)
+        clock.charge_op(1, 4)
+        s = clock.summary()
+        assert s.native_time == 10
+
+    def test_advance_models_sleep(self):
+        clock = VirtualClock(1)
+        clock.advance(0, 100)
+        s = clock.summary()
+        assert s.native_time == 100
+        assert s.recorded_time == 100
+
+
+class TestLogSerialization:
+    def test_appends_on_one_cpu_accumulate(self):
+        clock = VirtualClock(2)
+        clock.charge_log_append(0, 10)
+        clock.charge_log_append(0, 10)
+        assert clock.summary().per_cpu_recorded[0] == 20
+
+    def test_appends_serialize_across_cpus(self):
+        # Two CPUs each doing one append cannot overlap: the second append
+        # starts after the first finishes, wherever it ran.
+        clock = VirtualClock(2)
+        clock.charge_log_append(0, 10)
+        clock.charge_log_append(1, 10)
+        s = clock.summary()
+        assert s.per_cpu_recorded[0] == 10
+        assert s.per_cpu_recorded[1] == 20  # waited for CPU 0's append
+        assert s.recorded_time == 20
+
+    def test_append_waits_for_local_clock_too(self):
+        clock = VirtualClock(2)
+        clock.charge_op(1, 50)
+        clock.charge_log_append(0, 10)  # log clock now 10
+        clock.charge_log_append(1, 10)  # starts at max(50, 10) = 50
+        assert clock.summary().per_cpu_recorded[1] == 60
+
+    def test_parallel_work_overlaps_but_logging_does_not(self):
+        # 4 CPUs x 100 units of work: native 100.  Add one serialized
+        # append per 10 units on each CPU: recorded grows superlinearly.
+        clock = VirtualClock(4)
+        for cpu in range(4):
+            clock.charge_op(cpu, 100)
+        for _ in range(10):
+            for cpu in range(4):
+                clock.charge_log_append(cpu, 5)
+        s = clock.summary()
+        assert s.native_time == 100
+        assert s.recorded_time >= 100 + 40 * 5
+
+
+class TestSummary:
+    def test_overhead_zero_without_instrumentation(self):
+        clock = VirtualClock(2)
+        clock.charge_op(0, 10)
+        assert clock.summary().overhead == pytest.approx(0.0)
+
+    def test_overhead_percent(self):
+        clock = VirtualClock(1)
+        clock.charge_op(0, 100)
+        clock.charge_instrumentation(0, 50)
+        s = clock.summary()
+        assert s.overhead == pytest.approx(0.5)
+        assert s.overhead_percent == pytest.approx(50.0)
+
+    def test_overhead_on_empty_run_is_zero(self):
+        assert VirtualClock(1).summary().overhead == 0.0
+
+    def test_now_tracks_recorded_max(self):
+        clock = VirtualClock(2)
+        clock.charge_op(1, 7)
+        assert clock.now() == 7

@@ -1,0 +1,95 @@
+"""Repository health: the public API surface is complete and documented.
+
+These tests are the "would a reviewer accept this as a release" gate:
+every name a package exports must exist, be importable from the package,
+and carry a docstring; modules must document themselves; `__all__` lists
+must be accurate.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.analysis",
+    "repro.core",
+    "repro.apps",
+    "repro.bench",
+]
+
+
+def _all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_imports_and_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} has no module docstring"
+    )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_dunder_all_is_accurate(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} has no __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name}"
+    assert exported == sorted(exported), f"{package_name}.__all__ not sorted"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{package_name}: no docstring on {undocumented}"
+
+
+def test_public_classes_have_documented_public_methods():
+    sparse = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if not inspect.isclass(obj):
+            continue
+        for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+            if method_name.startswith("_"):
+                continue
+            if method.__qualname__.split(".")[0] != obj.__name__:
+                continue  # inherited
+            if not (method.__doc__ and method.__doc__.strip()):
+                sparse.append(f"{name}.{method_name}")
+    # dataclass-style value objects may have trivially-named accessors;
+    # hold the line at zero anyway - everything is currently documented
+    # except describe()/render() style one-liners we still document.
+    allowed = set()
+    missing = [entry for entry in sparse if entry not in allowed]
+    assert not missing, f"undocumented public methods: {missing}"
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_cli_entry_point_resolves():
+    from repro.cli import main
+
+    assert callable(main)

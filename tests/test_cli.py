@@ -1,0 +1,131 @@
+"""Tests for the `pres` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBugs:
+    def test_lists_all_thirteen(self, capsys):
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 13
+        assert "mysql-atom-log" in out
+        assert "deadlock" in out
+
+
+class TestFindSeed:
+    def test_prints_a_seed(self, capsys):
+        assert main(["find-seed", "openldap-deadlock"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.isdigit()
+
+    def test_unknown_bug_is_an_error(self, capsys):
+        assert main(["find-seed", "no-such-bug"]) == 2
+        assert "known bugs" in capsys.readouterr().err
+
+
+class TestRecord:
+    def test_record_reports_stats(self, capsys):
+        assert main(["record", "fft-order-sync", "--seed", "43"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "entries" in out
+
+    def test_record_writes_sketch_json(self, capsys, tmp_path):
+        out_file = tmp_path / "sketch.json"
+        assert main(
+            ["record", "fft-order-sync", "--seed", "43", "--out", str(out_file)]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["sketch"] == "sync"
+        assert payload["entries"]
+
+    def test_sketch_flag_selects_mechanism(self, capsys, tmp_path):
+        out_file = tmp_path / "sketch.json"
+        assert main(
+            ["record", "fft-order-sync", "--seed", "43", "--sketch", "rw",
+             "--out", str(out_file)]
+        ) == 0
+        assert json.loads(out_file.read_text())["sketch"] == "rw"
+
+
+class TestReproduce:
+    def test_full_pipeline_and_replay(self, capsys, tmp_path):
+        log_file = tmp_path / "complete.json"
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--out", str(log_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced in" in out
+        assert log_file.exists()
+
+        code = main(["replay", "pbzip2-order-free", "--log", str(log_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced:" in out
+
+    def test_clean_seed_is_rejected(self, capsys):
+        # seed 0 of fft does not fail
+        code = main(["reproduce", "fft-order-sync", "--seed", "0"])
+        assert code == 1
+        assert "did not fail" in capsys.readouterr().err
+
+    def test_no_feedback_flag_accepted(self, capsys):
+        code = main(
+            ["reproduce", "openldap-deadlock", "--seed", "0", "--no-feedback",
+             "--max-attempts", "50"]
+        )
+        assert code == 0
+
+
+class TestDiagnose:
+    def test_diagnose_prints_report(self, capsys):
+        code = main(["diagnose", "openldap-deadlock", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failure: deadlock" in out
+        assert "wait-for cycle" in out
+
+
+class TestBench:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "t1" in out
+
+    def test_bench_renders_a_table(self, capsys):
+        assert main(["bench", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "sketch log size" in out
+        assert "mysql-atom-log" in out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "e99"]) == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestTraceOut:
+    def test_reproduce_saves_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "repro.jsonl"
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--trace-out", str(trace_file)]
+        )
+        assert code == 0
+        from repro.sim.persist import read_trace
+
+        trace = read_trace(str(trace_file))
+        assert trace.failed
+        assert trace.failure.kind.value == "crash"
+
+
+class TestStats:
+    def test_stats_prints_summary_and_hazards(self, capsys):
+        assert main(["stats", "openldap-deadlock", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "sync density" in out
+        assert "lock-order graph" in out

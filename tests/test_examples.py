@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+These are the repository's "does the front door open" tests — examples
+rot faster than anything else, so they are executed for real (in-process,
+so coverage and failures point at actual lines).
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 4
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_to_completion(example, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"
+
+
+def test_quickstart_reports_deterministic_replay(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "deterministic replay #3" in out
+    assert "the bug is captured" in out
+
+
+def test_deadlock_hunt_verifies_the_fix(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "deadlock_hunt.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "100/100 clean runs" in out
+
+
+def test_whatif_shows_doom_gradient(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "whatif_replay.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "what-if sweep" in out
+    assert "fix verified" in out

@@ -1,0 +1,54 @@
+"""Cross-process determinism: results must not depend on PYTHONHASHSEED.
+
+Reproduction attempt counts feed the published experiment tables, so they
+must be identical across interpreter invocations.  Python randomizes
+string hashing per process; any result-affecting iteration over a set or
+hash-ordered structure would leak that randomness into the numbers (this
+regression actually happened: race *ordering* once depended on set
+iteration order in the detector).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_SNIPPET = """
+from repro import SketchKind, record, reproduce, ExplorerConfig
+from repro.apps import get_bug
+from repro.analysis import find_races
+
+spec = get_bug("pbzip2-order-free")
+rec = record(spec.make_program(), SketchKind.SYS, seed=3, oracle=spec.oracle)
+rep = reproduce(rec, ExplorerConfig(max_attempts=400))
+
+from repro.core.recorder import record_with_trace
+_, trace = record_with_trace(spec.make_program(), SketchKind.NONE, seed=1)
+races = find_races(trace)
+race_key = ";".join(f"{r.first.gidx}-{r.second.gidx}" for r in races[:20])
+
+print(f"RESULT {rep.attempts} {rep.total_replay_steps} {race_key}")
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for line in proc.stdout.splitlines():
+        if line.startswith("RESULT "):
+            return line
+    pytest.fail(f"no RESULT line in output: {proc.stdout!r}")
+
+
+def test_results_identical_across_hash_seeds():
+    results = {_run_with_hashseed(seed) for seed in ("1", "7", "1234")}
+    assert len(results) == 1, f"hash-seed-dependent results: {results}"

@@ -1,0 +1,259 @@
+"""Property-based tests over randomly generated concurrent programs.
+
+Hypothesis generates small thread structures (random mixes of shared
+accesses, locks and local work); the properties are the core invariants
+the whole system rests on:
+
+* executions are a pure function of (program, scheduler decisions);
+* complete-log replay reproduces an execution exactly;
+* the recorded sketch is exactly the visible subsequence of the trace;
+* PIR replay of a sketch preserves the recorded order;
+* happens-before is consistent with observed execution order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import HBAnalysis
+from repro.core.pir import PIRScheduler
+from repro.core.recorder import record_with_trace
+from repro.core.sketches import SketchKind, event_visible
+from repro.sim import (
+    FixedOrderScheduler,
+    Machine,
+    MachineConfig,
+    Program,
+    RandomScheduler,
+)
+
+# ---------------------------------------------------------------------------
+# Program generator: each worker is a list of small instructions.
+# ---------------------------------------------------------------------------
+
+ADDRS = ["x", "y", "z"]
+LOCKS = ["m1", "m2"]
+
+instruction = st.one_of(
+    st.tuples(st.just("read"), st.sampled_from(ADDRS)),
+    st.tuples(st.just("write"), st.sampled_from(ADDRS), st.integers(0, 9)),
+    st.tuples(st.just("rmw"), st.sampled_from(ADDRS)),
+    st.tuples(st.just("locked_write"), st.sampled_from(LOCKS),
+              st.sampled_from(ADDRS), st.integers(0, 9)),
+    st.tuples(st.just("rw_write"), st.sampled_from(ADDRS), st.integers(0, 9)),
+    st.tuples(st.just("rw_read"), st.sampled_from(ADDRS)),
+    st.tuples(st.just("sem_pair"),),
+    st.tuples(st.just("local"),),
+    st.tuples(st.just("bb"), st.sampled_from(["a", "b"])),
+    st.tuples(st.just("syscall_out"), st.integers(0, 9)),
+)
+
+worker_body = st.lists(instruction, min_size=1, max_size=8)
+program_spec = st.lists(worker_body, min_size=1, max_size=3)
+
+
+def _worker(ctx, instructions):
+    acc = 0
+    for idx, ins in enumerate(instructions):
+        kind = ins[0]
+        if kind == "read":
+            acc = yield ctx.read(ins[1])
+        elif kind == "write":
+            yield ctx.write(ins[1], ins[2])
+        elif kind == "rmw":
+            yield ctx.rmw(ins[1], lambda v: (v if isinstance(v, int) else 0) + 1)
+        elif kind == "locked_write":
+            yield ctx.lock(ins[1])
+            yield ctx.write(ins[2], ins[3])
+            yield ctx.unlock(ins[1])
+        elif kind == "rw_write":
+            yield ctx.wrlock("rwg")
+            yield ctx.write(ins[1], ins[2])
+            yield ctx.rwunlock("rwg")
+        elif kind == "rw_read":
+            yield ctx.rdlock("rwg")
+            acc = yield ctx.read(ins[1])
+            yield ctx.rwunlock("rwg")
+        elif kind == "sem_pair":
+            yield ctx.sem_acquire("gsem")
+            yield ctx.local(1)
+            yield ctx.sem_release("gsem")
+        elif kind == "local":
+            yield ctx.local(1)
+        elif kind == "bb":
+            yield ctx.bb(ins[1])
+        elif kind == "syscall_out":
+            yield ctx.output(ins[1])
+    return acc
+
+
+def _main(ctx, spec):
+    tids = []
+    for body in spec:
+        tid = yield ctx.spawn(_worker, body)
+        tids.append(tid)
+    for tid in tids:
+        yield ctx.join(tid)
+
+
+def build(spec):
+    return Program(
+        "generated",
+        _main,
+        params={"spec": spec},
+        initial_memory={a: 0 for a in ADDRS},
+        semaphores={"gsem": 2},
+    )
+
+
+def run(program, scheduler):
+    return Machine(program, scheduler, MachineConfig(ncpus=4)).run()
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_spec, st.integers(0, 10_000))
+def test_seed_determinism(spec, seed):
+    a = run(build(spec), RandomScheduler(seed))
+    b = run(build(spec), RandomScheduler(seed))
+    assert a.schedule == b.schedule
+    assert [e.signature() for e in a.events] == [e.signature() for e in b.events]
+    assert [e.value for e in a.events] == [e.value for e in b.events]
+    assert a.final_memory == b.final_memory
+    assert a.stdout == b.stdout
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_spec, st.integers(0, 10_000))
+def test_complete_log_replay_is_exact(spec, seed):
+    original = run(build(spec), RandomScheduler(seed))
+    replay = run(build(spec), FixedOrderScheduler(original.schedule))
+    assert not replay.diverged
+    assert [e.signature() for e in replay.events] == [
+        e.signature() for e in original.events
+    ]
+    assert replay.final_memory == original.final_memory
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 10_000),
+       st.sampled_from([SketchKind.SYNC, SketchKind.BB, SketchKind.RW]))
+def test_sketch_is_the_visible_subsequence(spec, seed, sketch):
+    recorded, trace = record_with_trace(build(spec), sketch, seed=seed)
+    visible = [e for e in trace.events if event_visible(sketch, e)]
+    assert len(recorded.log) == len(visible)
+    for entry, event in zip(recorded.log, visible):
+        assert entry.tid == event.tid
+        assert entry.kind is event.kind
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 10_000), st.integers(0, 100),
+       st.sampled_from([SketchKind.SYNC, SketchKind.SYS, SketchKind.RW]))
+def test_pir_replay_preserves_sketch_order(spec, record_seed, replay_seed, sketch):
+    program = build(spec)
+    recorded, _ = record_with_trace(program, sketch, seed=record_seed)
+    scheduler = PIRScheduler(recorded.log, (), base_seed=replay_seed)
+    trace = Machine(program, scheduler, MachineConfig(ncpus=4)).run()
+    # Same program, same inputs: the replay must follow the sketch to its
+    # end without diverging.
+    assert not trace.diverged, trace.divergence
+    visible = [
+        (e.tid, e.kind) for e in trace.events if event_visible(sketch, e)
+    ]
+    recorded_pairs = [(entry.tid, entry.kind) for entry in recorded.log]
+    assert visible[: len(recorded_pairs)] == recorded_pairs
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 10_000))
+def test_happens_before_is_consistent_with_execution_order(spec, seed):
+    trace = run(build(spec), RandomScheduler(seed))
+    analysis = HBAnalysis(trace)
+    # HB can only point forward: if a happens-before b, a executed first.
+    events = trace.events
+    for i in range(min(len(events), 40)):
+        for j in range(i + 1, min(len(events), 40)):
+            if analysis.ordered(j, i) and not analysis.ordered(i, j):
+                raise AssertionError(
+                    f"event {j} 'happens-before' earlier event {i}"
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 10_000))
+def test_races_are_truly_unordered(spec, seed):
+    from repro.analysis import find_races
+
+    trace = run(build(spec), RandomScheduler(seed))
+    analysis = HBAnalysis(trace)
+    for race in analysis.races:
+        assert not analysis.ordered(race.first.gidx, race.second.gidx)
+        assert race.first.tid != race.second.tid
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("read"), st.sampled_from(["x", "y"])),
+                st.tuples(st.just("write"), st.sampled_from(["x", "y"]),
+                          st.integers(0, 2)),
+                st.tuples(st.just("check_eq"), st.sampled_from(["x", "y"]),
+                          st.integers(0, 2)),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=2,
+        max_size=2,
+    )
+)
+def test_systematic_search_covers_random_findings(spec):
+    """Cross-validation: any failure signature a random-schedule sweep can
+    hit on a tiny program must also be found by an exhaustive systematic
+    search with an unbounded preemption budget."""
+    from repro.core.systematic import systematic_search
+
+    def _checked_worker(ctx, instructions):
+        for ins in instructions:
+            if ins[0] == "read":
+                yield ctx.read(ins[1])
+            elif ins[0] == "write":
+                yield ctx.write(ins[1], ins[2])
+            else:
+                value = yield ctx.read(ins[1])
+                yield ctx.check(
+                    value == ins[2], f"{ins[1]} != {ins[2]}"
+                )
+
+    def _checked_main(ctx, spec):
+        tids = []
+        for body in spec:
+            tid = yield ctx.spawn(_checked_worker, body)
+            tids.append(tid)
+        for tid in tids:
+            yield ctx.join(tid)
+
+    program = Program(
+        "crossval",
+        _checked_main,
+        params={"spec": spec},
+        initial_memory={"x": 0, "y": 0},
+    )
+
+    random_signatures = set()
+    for seed in range(25):
+        trace = run(program, RandomScheduler(seed))
+        if trace.failed:
+            random_signatures.add(trace.failure.signature())
+
+    result = systematic_search(
+        program, preemption_bound=99, max_schedules=50_000
+    )
+    assert result.exhausted
+    assert random_signatures <= result.failure_signatures

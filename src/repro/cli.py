@@ -7,6 +7,15 @@ Subcommands::
     pres record BUG [--sketch SYNC]   record a production run, show stats
     pres reproduce BUG [...]          full pipeline: record -> PIR -> log
     pres replay BUG --log FILE        deterministic replay of a saved log
+    pres doctor LOG [--out FILE]      validate/salvage an on-disk artifact
+
+Fault tolerance flags (see docs/internals.md, "Fault tolerance"):
+``record``/``reproduce`` accept ``--journal`` (crash-consistent sketch
+journaling) and ``--inject-fault kill@K|truncate@N|garble@S|drop@S``;
+``reproduce`` accepts ``--salvage`` and ``--degrade``; ``replay`` accepts
+``--salvage`` to replay the recovered prefix of a torn trace journal.
+Parse errors in on-disk artifacts exit 2 with a message — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ from repro.core.explorer import ExplorerConfig
 from repro.core.full_replay import CompleteLog, replay_complete
 from repro.core.diagnose import diagnose
 from repro.core.recorder import record
-from repro.core.reproducer import reproduce
+from repro.core.reproducer import reproduce, reproduce_degraded
 from repro.core.sketches import parse_sketch_kind
+from repro.errors import RecorderKilled, SketchFormatError
 from repro.sim import MachineConfig
 
 
@@ -63,23 +73,57 @@ def cmd_find_seed(args) -> int:
     return 0
 
 
+def _parse_fault_arg(spec: Optional[str]):
+    """Parse --inject-fault, turning bad specs into exit-code-2 errors."""
+    if spec is None:
+        return None
+    from repro.robust.inject import parse_fault
+
+    return parse_fault(spec)
+
+
+def _inject_file_fault(path: str, plan) -> None:
+    from repro.robust.inject import apply_fault
+
+    print(f"fault injected: {apply_fault(path, plan)}")
+
+
 def cmd_record(args) -> int:
     spec = get_bug(args.bug)
     seed = _resolve_seed(args, spec)
     if seed is None:
         return 1
-    recorded = record(
-        spec.make_program(),
-        sketch=parse_sketch_kind(args.sketch),
-        seed=seed,
-        config=MachineConfig(ncpus=args.ncpus),
-        oracle=spec.oracle,
-    )
+    fault = _parse_fault_arg(args.inject_fault)
+    kill_at = fault.arg if fault is not None and fault.kind == "kill" else None
+    if fault is not None and fault.kind != "kill" and not (args.journal or args.out):
+        print("--inject-fault needs --journal or --out to damage", file=sys.stderr)
+        return 2
+    try:
+        recorded = record(
+            spec.make_program(),
+            sketch=parse_sketch_kind(args.sketch),
+            seed=seed,
+            config=MachineConfig(ncpus=args.ncpus),
+            oracle=spec.oracle,
+            journal_path=args.journal,
+            kill_at_event=kill_at,
+        )
+    except RecorderKilled as killed:
+        print(f"fault injected: {killed}")
+        if args.journal:
+            from repro.robust.journal import salvage
+
+            print(salvage(args.journal).describe())
+        return 0
     print(recorded.describe())
+    if args.journal:
+        print(f"sketch journal written to {args.journal}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(recorded.log.to_json())
         print(f"sketch log written to {args.out}")
+    if fault is not None and fault.kind != "kill":
+        _inject_file_fault(args.journal or args.out, fault)
     return 0
 
 
@@ -89,13 +133,27 @@ def cmd_reproduce(args) -> int:
     if seed is None:
         return 1
     sketch = parse_sketch_kind(args.sketch)
-    recorded = record(
-        spec.make_program(),
-        sketch=sketch,
-        seed=seed,
-        config=MachineConfig(ncpus=args.ncpus),
-        oracle=spec.oracle,
-    )
+    fault = _parse_fault_arg(args.inject_fault)
+    if fault is not None and fault.kind != "kill" and not args.journal:
+        print("--inject-fault needs --journal on reproduce", file=sys.stderr)
+        return 2
+    kill_at = fault.arg if fault is not None and fault.kind == "kill" else None
+    try:
+        recorded = record(
+            spec.make_program(),
+            sketch=sketch,
+            seed=seed,
+            config=MachineConfig(ncpus=args.ncpus),
+            oracle=spec.oracle,
+            journal_path=args.journal,
+            kill_at_event=kill_at,
+        )
+    except RecorderKilled as killed:
+        print(f"fault injected: {killed}", file=sys.stderr)
+        print("the recorder died before observing a failure; nothing to "
+              "reproduce (salvage the journal with `pres doctor`)",
+              file=sys.stderr)
+        return 1
     if not recorded.failed:
         print("that production run did not fail; try another seed",
               file=sys.stderr)
@@ -104,11 +162,45 @@ def cmd_reproduce(args) -> int:
     print(f"sketch: {len(recorded.log)} entries, "
           f"{recorded.stats.log_bytes} bytes, "
           f"overhead {recorded.stats.overhead_percent:.1f}%")
-    report = reproduce(
-        recorded,
-        ExplorerConfig(max_attempts=args.max_attempts),
-        use_feedback=not args.no_feedback,
-    )
+
+    salvaged_entries = None
+    dropped_records = 0
+    if fault is not None and fault.kind != "kill":
+        _inject_file_fault(args.journal, fault)
+    if args.salvage:
+        if not args.journal:
+            print("--salvage needs --journal on reproduce", file=sys.stderr)
+            return 2
+        import dataclasses
+
+        from repro.robust.journal import load_sketch_journal
+
+        log, salvage_report = load_sketch_journal(args.journal, allow_salvage=True)
+        print(salvage_report.describe())
+        recorded = dataclasses.replace(recorded, log=log)
+        if not salvage_report.intact:
+            salvaged_entries = len(log)
+            dropped_records = salvage_report.dropped_lines
+
+    config = ExplorerConfig(max_attempts=args.max_attempts)
+    if args.degrade:
+        report = reproduce_degraded(
+            recorded,
+            config,
+            use_feedback=not args.no_feedback,
+            salvaged_entries=salvaged_entries,
+            dropped_records=dropped_records,
+        )
+        for rung in report.degradation_path:
+            print(f"  rung {rung.describe()}")
+        if report.outcome_reason:
+            print(f"  outcome: {report.outcome_reason}")
+    else:
+        report = reproduce(
+            recorded,
+            config,
+            use_feedback=not args.no_feedback,
+        )
     print(report.describe())
     for attempt in report.records:
         print(f"  attempt {attempt.index}: {attempt.outcome} "
@@ -191,8 +283,46 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _replay_salvaged_journal(spec, path: str) -> int:
+    """Replay the salvaged schedule prefix of a (possibly torn) trace
+    journal; deterministic up to the salvage horizon."""
+    from repro.sim import Machine
+    from repro.sim.persist import salvage_trace
+    from repro.sim.scheduler import FixedOrderScheduler
+
+    salvaged, report = salvage_trace(path)
+    print(report.describe())
+    machine = Machine(
+        spec.make_program(),
+        FixedOrderScheduler(salvaged.schedule),
+        MachineConfig(ncpus=salvaged.ncpus),
+    )
+    trace = machine.run()
+    replayed = min(len(trace.events), len(salvaged.events))
+    matched = sum(
+        1
+        for mine, theirs in zip(trace.events, salvaged.events)
+        if mine.signature() == theirs.signature()
+    )
+    print(f"replayed {replayed} salvaged step(s), {matched} matching")
+    if trace.failure is not None:
+        print(f"reproduced: {trace.failure.describe()}")
+        return 0
+    if matched == len(salvaged.events):
+        print("salvaged prefix replayed deterministically (no failure "
+              "inside the prefix)")
+        return 0
+    print("replay drifted from the salvaged prefix", file=sys.stderr)
+    return 1
+
+
 def cmd_replay(args) -> int:
     spec = get_bug(args.bug)
+    if args.salvage:
+        with open(args.log, "r", encoding="utf-8") as handle:
+            magic = handle.read(5)
+        if magic == "PRESJ":
+            return _replay_salvaged_journal(spec, args.log)
     with open(args.log, "r", encoding="utf-8") as handle:
         log = CompleteLog.from_json(handle.read())
     trace = replay_complete(spec.make_program(), log, oracle=spec.oracle)
@@ -202,6 +332,18 @@ def cmd_replay(args) -> int:
         return 1
     print(f"reproduced: {trace.failure.describe()}")
     return 0
+
+
+def cmd_doctor(args) -> int:
+    from repro.robust.doctor import SALVAGEABLE, examine, write_salvaged
+
+    diagnosis = examine(args.log)
+    print(diagnosis.describe())
+    if diagnosis.status == SALVAGEABLE:
+        out = args.out or args.log + ".salvaged"
+        write_salvaged(diagnosis, out)
+        print(f"salvaged log written to {out}")
+    return diagnosis.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_record = sub.add_parser("record", help="record one production run")
     _add_common(p_record)
     p_record.add_argument("--out", help="write the sketch log (JSON) here")
+    p_record.add_argument("--journal",
+                          help="journal sketch entries (crash-consistent) here")
+    p_record.add_argument("--inject-fault", metavar="SPEC",
+                          help="kill@K | truncate@N | garble@S | drop@S")
 
     p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
     _add_common(p_repro)
@@ -230,6 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--out", help="write the complete log (JSON) here")
     p_repro.add_argument("--trace-out",
                          help="write the reproduced execution (JSONL) here")
+    p_repro.add_argument("--journal",
+                         help="journal sketch entries (crash-consistent) here")
+    p_repro.add_argument("--inject-fault", metavar="SPEC",
+                         help="damage the journal before replay: "
+                              "truncate@N | garble@S | drop@S (or kill@K)")
+    p_repro.add_argument("--salvage", action="store_true",
+                         help="reload the sketch from the (damaged) journal, "
+                              "recovering the longest valid prefix")
+    p_repro.add_argument("--degrade", action="store_true",
+                         help="walk the sketch degradation ladder "
+                              "(rw->bb->func->sys->sync) if replay fails")
 
     p_diag = sub.add_parser(
         "diagnose", help="reproduce a bug and print a root-cause report"
@@ -240,6 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay = sub.add_parser("replay", help="replay a saved complete log")
     p_replay.add_argument("bug")
     p_replay.add_argument("--log", required=True)
+    p_replay.add_argument("--salvage", action="store_true",
+                          help="accept a (torn) trace journal: salvage and "
+                               "replay its valid schedule prefix")
+
+    p_doctor = sub.add_parser(
+        "doctor", help="validate an on-disk log; salvage what it can"
+    )
+    p_doctor.add_argument("log", help="journal / trace / sketch / complete log")
+    p_doctor.add_argument("--out",
+                          help="where to write the salvaged log "
+                               "(default: <log>.salvaged)")
 
     p_stats = sub.add_parser(
         "stats", help="run once and print execution statistics + lock hazards"
@@ -263,6 +431,7 @@ _HANDLERS = {
     "reproduce": cmd_reproduce,
     "diagnose": cmd_diagnose,
     "replay": cmd_replay,
+    "doctor": cmd_doctor,
     "bench": cmd_bench,
     "stats": cmd_stats,
 }
@@ -274,6 +443,19 @@ def main(argv: Optional[list] = None) -> int:
         return _HANDLERS[args.command](args)
     except KeyError as exc:  # unknown bug id
         print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad --sketch / --inject-fault spec
+        print(exc, file=sys.stderr)
+        return 2
+    except SketchFormatError as exc:
+        # A damaged artifact is an expected condition, not a crash: point
+        # the user at the salvage path instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: `pres doctor <log>` validates and salvages damaged logs",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

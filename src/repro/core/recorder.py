@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.core.cost import DEFAULT_COST_MODEL, CostModel
 from repro.core.sketches import SketchEntry, SketchKind, event_visible
-from repro.core.sketchlog import SketchLog
+from repro.core.sketchlog import SketchLog, entry_record
 from repro.sim.events import Event
 from repro.sim.failures import Failure, FailureKind
 from repro.sim.machine import Machine, MachineConfig, Observer
@@ -34,12 +34,24 @@ Oracle = Callable[[Trace], Optional[Failure]]
 
 
 class SketchRecorder(Observer):
-    """Machine observer that builds the sketch log and charges its cost."""
+    """Machine observer that builds the sketch log and charges its cost.
 
-    def __init__(self, sketch: SketchKind, cost_model: CostModel) -> None:
+    With a ``journal`` attached, every entry is also written through the
+    crash-consistent journal *the moment it is recorded*, so a recorder
+    killed at event *k* leaves a salvageable on-disk prefix of every
+    sketch entry before *k*.
+    """
+
+    def __init__(
+        self,
+        sketch: SketchKind,
+        cost_model: CostModel,
+        journal: Optional[Any] = None,
+    ) -> None:
         self.sketch = sketch
         self.cost_model = cost_model
         self.log = SketchLog(sketch=sketch)
+        self.journal = journal
 
     def on_event(self, machine: Machine, event: Event) -> None:
         if not event_visible(self.sketch, event):
@@ -53,7 +65,21 @@ class SketchRecorder(Observer):
             machine.clock.charge_instrumentation(
                 event.cpu, self.cost_model.piggyback_log_cost
             )
-        self.log.append(SketchEntry.from_event(event))
+        entry = SketchEntry.from_event(event)
+        self.log.append(entry)
+        if self.journal is not None:
+            self.journal.append(entry_record(entry))
+
+    def on_finish(self, machine: Machine, trace: Trace) -> None:
+        if self.journal is not None:
+            self.journal.commit(
+                {
+                    "entries": len(self.log),
+                    "failure": None
+                    if trace.failure is None
+                    else list(trace.failure.signature()),
+                }
+            )
 
 
 @dataclass
@@ -142,6 +168,8 @@ def record(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     oracle: Optional[Oracle] = None,
     scheduler: Optional[Scheduler] = None,
+    journal_path: Optional[str] = None,
+    kill_at_event: Optional[int] = None,
 ) -> RecordedRun:
     """Run ``program`` once in "production" and record a sketch.
 
@@ -150,6 +178,11 @@ def record(
     :param oracle: optional end-state check for failures the machine
         cannot detect (stored on the RecordedRun for the replayer).
     :param scheduler: override the production scheduler (tests only).
+    :param journal_path: also journal every sketch entry through the
+        crash-consistent writer at this path, as it is recorded.
+    :param kill_at_event: fault injection — raise
+        :class:`~repro.errors.RecorderKilled` once this many events have
+        executed, leaving only the journaled prefix behind.
     """
     run, _ = record_with_trace(
         program,
@@ -159,6 +192,8 @@ def record(
         cost_model=cost_model,
         oracle=oracle,
         scheduler=scheduler,
+        journal_path=journal_path,
+        kill_at_event=kill_at_event,
     )
     return run
 
@@ -171,6 +206,8 @@ def record_with_trace(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     oracle: Optional[Oracle] = None,
     scheduler: Optional[Scheduler] = None,
+    journal_path: Optional[str] = None,
+    kill_at_event: Optional[int] = None,
 ) -> tuple:
     """Like :func:`record` but also returns the full production trace.
 
@@ -178,14 +215,40 @@ def record_with_trace(
     replayer itself must never look at it.
     """
     machine_config = config or MachineConfig()
-    recorder = SketchRecorder(sketch, cost_model)
+    journal = None
+    if journal_path is not None:
+        from repro.robust.journal import sketch_journal_writer
+
+        journal = sketch_journal_writer(
+            journal_path,
+            sketch,
+            {
+                "program": program.name,
+                "seed": seed,
+                "ncpus": machine_config.ncpus,
+            },
+        )
+    recorder = SketchRecorder(sketch, cost_model, journal=journal)
+    observers: list = [recorder]
+    if kill_at_event is not None:
+        from repro.robust.inject import KillSwitch
+
+        # After the recorder, so the fatal event is journaled before the
+        # kill fires — the worst case for crash consistency.
+        observers.append(KillSwitch(kill_at_event))
     machine = Machine(
         program,
         scheduler if scheduler is not None else RandomScheduler(seed),
         machine_config,
-        observers=[recorder],
+        observers=observers,
     )
-    trace = machine.run()
+    try:
+        trace = machine.run()
+    finally:
+        # On a kill, the journal stays footer-less (crash-shaped) but its
+        # flushed prefix is already on disk; close the handle either way.
+        if journal is not None:
+            journal.close()
     failure = apply_oracle(trace, oracle)
     clock = trace.clock
     stats = RecordingStats(

@@ -16,6 +16,7 @@ The usual flow::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -30,15 +31,42 @@ from repro.core.explorer import (
 from repro.core.full_replay import CompleteLog
 from repro.core.pir import PIRScheduler
 from repro.core.recorder import RecordedRun, apply_oracle
-from repro.core.sketches import SketchKind
+from repro.core.sketches import SKETCH_ORDER, SketchKind
+from repro.core.sketchlog import derive_coarser
 from repro.errors import SimUsageError
 from repro.sim.machine import Machine
 from repro.sim.trace import Trace
 
 
 @dataclass
+class DegradationRung:
+    """One rung of the degradation ladder: a sketch level that was tried."""
+
+    sketch: SketchKind
+    attempts: int
+    success: bool
+    entries: int
+    reason: str = ""
+
+    def describe(self) -> str:
+        status = "reproduced" if self.success else "failed"
+        tail = f" ({self.reason})" if self.reason else ""
+        return (
+            f"{self.sketch.value}: {status} after {self.attempts} "
+            f"attempt(s), {self.entries} entries{tail}"
+        )
+
+
+@dataclass
 class ReproductionReport:
-    """Outcome of one reproduction session."""
+    """Outcome of one reproduction session.
+
+    The salvage/degradation fields are populated by
+    :func:`reproduce_degraded`; a plain :func:`reproduce` leaves them at
+    their defaults.  They exist so a run against a damaged log ends in a
+    *structured* answer — what was salvaged, which rung succeeded, why it
+    stopped — instead of an unhandled traceback.
+    """
 
     program_name: str
     sketch: SketchKind
@@ -49,6 +77,24 @@ class ReproductionReport:
     winning_constraints: ConstraintSet = frozenset()
     total_replay_steps: int = 0
     duplicate_traces: int = 0
+    #: entries available after salvage, when the log came from salvage
+    #: (``None`` when the log was pristine).
+    salvaged_entries: Optional[int] = None
+    #: journal lines discarded by salvage.
+    dropped_records: int = 0
+    #: every rung the degradation ladder tried, in order.
+    degradation_path: List[DegradationRung] = field(default_factory=list)
+    #: the sketch level that finally reproduced the bug (success only).
+    winning_sketch: Optional[SketchKind] = None
+    #: structured explanation of the final outcome.
+    outcome_reason: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        """Whether success came from a coarser rung than was recorded."""
+        return (
+            self.winning_sketch is not None and self.winning_sketch is not self.sketch
+        )
 
     def describe(self) -> str:
         """One-line outcome summary for logs and the CLI."""
@@ -57,10 +103,16 @@ class ReproductionReport:
             if self.success
             else f"NOT reproduced within {self.attempts} attempts"
         )
+        extras = []
+        if self.degraded:
+            extras.append(f"degraded to {self.winning_sketch.value}")
+        if self.salvaged_entries is not None:
+            extras.append(f"salvaged {self.salvaged_entries} entries")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
         return (
             f"{self.program_name} [{self.sketch.value} sketch]: {status}, "
             f"{self.total_replay_steps} replay steps, "
-            f"{len(self.winning_constraints)} feedback constraints"
+            f"{len(self.winning_constraints)} feedback constraints{suffix}"
         )
 
 
@@ -162,3 +214,130 @@ def reproduce(
         recorded, config=config, use_feedback=use_feedback,
         base_policy=base_policy, match_output=match_output,
     ).run()
+
+
+# -- graceful degradation ----------------------------------------------------
+
+
+def degradation_ladder(start: SketchKind) -> List[SketchKind]:
+    """The rungs tried, finest first: start, then coarser down to SYNC.
+
+    A damaged or salvaged-partial sketch may be un-followable at its
+    recorded fidelity (attempts keep diverging on the torn tail), but
+    because mechanisms are cumulative, a coarser projection of the same
+    prefix constrains *less* and therefore diverges less — at the price
+    of more attempts, which is PRES's home turf anyway.
+    """
+    rungs = [s for s in reversed(SKETCH_ORDER) if SketchKind.NONE.level < s.level <= start.level]
+    return rungs or [SketchKind.SYNC]
+
+
+def reproduce_degraded(
+    recorded: RecordedRun,
+    config: Optional[ExplorerConfig] = None,
+    use_feedback: bool = True,
+    base_policy: str = "random",
+    match_output: bool = False,
+    salvaged_entries: Optional[int] = None,
+    dropped_records: int = 0,
+    seed_backoff: int = 101,
+) -> ReproductionReport:
+    """Reproduce with graceful degradation over the sketch ladder.
+
+    Walks ``recorded.sketch`` → ... → SYNC, deriving each coarser sketch
+    from the (possibly salvaged) log, splitting the attempt budget across
+    rungs and backing the base seed off deterministically per rung
+    (``base_seed + rung_index * seed_backoff``), so the whole session is
+    still a pure function of its inputs.  Always returns a structured
+    :class:`ReproductionReport`; neither ``SketchFormatError`` nor
+    ``ReplayDivergence`` can escape (divergences are already absorbed per
+    attempt by the machine/explorer).
+
+    :param salvaged_entries: entry count recovered by salvage, recorded
+        on the report for the bug ticket (``None`` = log was pristine).
+    :param dropped_records: journal lines salvage had to discard.
+    """
+    base_config = config or ExplorerConfig()
+    rungs = degradation_ladder(recorded.sketch)
+    per_rung = max(1, base_config.max_attempts // len(rungs))
+    path: List[DegradationRung] = []
+    merged_records: List[AttemptRecord] = []
+    total_attempts = 0
+    total_steps = 0
+    duplicates = 0
+
+    for index, rung in enumerate(rungs):
+        rung_log = derive_coarser(recorded.log, rung)
+        rung_recorded = dataclasses.replace(
+            recorded, sketch=rung, log=rung_log
+        )
+        rung_config = dataclasses.replace(
+            base_config,
+            max_attempts=per_rung,
+            base_seed=base_config.base_seed + index * seed_backoff,
+        )
+        report = Reproducer(
+            rung_recorded,
+            config=rung_config,
+            use_feedback=use_feedback,
+            base_policy=base_policy,
+            match_output=match_output,
+        ).run()
+        total_attempts += report.attempts
+        total_steps += report.total_replay_steps
+        duplicates += report.duplicate_traces
+        merged_records.extend(report.records)
+        path.append(
+            DegradationRung(
+                sketch=rung,
+                attempts=report.attempts,
+                success=report.success,
+                entries=len(rung_log),
+                reason="" if report.success else _rung_failure_reason(report),
+            )
+        )
+        if report.success:
+            return dataclasses.replace(
+                report,
+                sketch=recorded.sketch,
+                attempts=total_attempts,
+                records=merged_records,
+                total_replay_steps=total_steps,
+                duplicate_traces=duplicates,
+                salvaged_entries=salvaged_entries,
+                dropped_records=dropped_records,
+                degradation_path=path,
+                winning_sketch=rung,
+                outcome_reason=(
+                    f"reproduced at the {rung.value} rung"
+                    + ("" if rung is recorded.sketch else
+                       f" (degraded from {recorded.sketch.value})")
+                ),
+            )
+
+    return ReproductionReport(
+        program_name=recorded.program.name,
+        sketch=recorded.sketch,
+        success=False,
+        attempts=total_attempts,
+        records=merged_records,
+        total_replay_steps=total_steps,
+        duplicate_traces=duplicates,
+        salvaged_entries=salvaged_entries,
+        dropped_records=dropped_records,
+        degradation_path=path,
+        outcome_reason=(
+            "exhausted the degradation ladder "
+            f"({' -> '.join(r.sketch.value for r in path)}) within "
+            f"{total_attempts} total attempt(s)"
+        ),
+    )
+
+
+def _rung_failure_reason(report: ReproductionReport) -> str:
+    """Summarize why one rung failed, from its attempt outcomes."""
+    outcomes: dict = {}
+    for record in report.records:
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+    summary = ", ".join(f"{count}x {name}" for name, count in sorted(outcomes.items()))
+    return summary or "no attempts ran"

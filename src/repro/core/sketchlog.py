@@ -14,8 +14,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Tuple
 
-from repro.core.sketches import SketchEntry, SketchKind
-from repro.errors import SketchFormatError
+from repro.core.sketches import SketchEntry, SketchKind, visible_kinds
+from repro.errors import SketchFormatError, SimUsageError
 from repro.sim.ops import OpKind
 
 _MAGIC = b"PRES"
@@ -35,12 +35,20 @@ def _key_to_token(key: Any) -> str:
 def _jsonable(key: Any) -> Any:
     if isinstance(key, tuple):
         return {"__t": [_jsonable(k) for k in key]}
+    if isinstance(key, dict):
+        # Dicts are pair-encoded so a payload dict that happens to carry a
+        # "__t"/"__d" key can never be mistaken for a tag on the way back.
+        return {"__d": [[_jsonable(k), _jsonable(v)] for k, v in key.items()]}
+    if isinstance(key, list):
+        return [_jsonable(k) for k in key]
     return key
 
 
 def _from_jsonable(value: Any) -> Any:
-    if isinstance(value, dict) and "__t" in value:
+    if isinstance(value, dict) and set(value) == {"__t"}:
         return tuple(_from_jsonable(v) for v in value["__t"])
+    if isinstance(value, dict) and set(value) == {"__d"}:
+        return {_from_jsonable(k): _from_jsonable(v) for k, v in value["__d"]}
     if isinstance(value, list):
         return [_from_jsonable(v) for v in value]
     return value
@@ -176,12 +184,16 @@ class SketchLog:
         try:
             payload = json.loads(text)
             log = cls(sketch=SketchKind(payload["sketch"]))
-            for tid, kind, key in payload["entries"]:
-                log.append(
-                    SketchEntry(tid=tid, kind=OpKind(kind), key=_from_jsonable(key))
-                )
+            entries = payload["entries"]
         except (KeyError, ValueError, TypeError) as exc:
             raise SketchFormatError(f"corrupt JSON sketch log: {exc}") from None
+        for number, record in enumerate(entries, start=1):
+            try:
+                log.append(entry_from_record(record))
+            except SketchFormatError as exc:
+                raise SketchFormatError(
+                    f"corrupt JSON sketch log: entry {number}: {exc}"
+                ) from None
         return log
 
     def describe(self, limit: int = 10) -> str:
@@ -194,3 +206,47 @@ class SketchLog:
 
 _SKETCH_CODES = {kind: i for i, kind in enumerate(SketchKind)}
 _CODE_SKETCHES = {i: kind for kind, i in _SKETCH_CODES.items()}
+
+
+# -- journal records ---------------------------------------------------------
+
+
+def entry_record(entry: SketchEntry) -> list:
+    """One sketch entry as a journal-record payload ``[tid, kind, key]``."""
+    return [entry.tid, entry.kind.value, _jsonable(entry.key)]
+
+
+def entry_from_record(record: Any) -> SketchEntry:
+    """Decode :func:`entry_record`; raises :class:`SketchFormatError`."""
+    try:
+        tid, kind, key = record
+        return SketchEntry(tid=int(tid), kind=OpKind(kind), key=_from_jsonable(key))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SketchFormatError(f"bad sketch entry {record!r}: {exc}") from None
+
+
+# -- degradation -------------------------------------------------------------
+
+
+def derive_coarser(log: SketchLog, target: SketchKind) -> SketchLog:
+    """Project a sketch log down to a coarser mechanism.
+
+    Because the mechanisms are cumulative, the entries a coarser sketch
+    *would have recorded* are exactly the subset of a finer log whose op
+    kinds the coarser mechanism watches.  This is the degradation ladder's
+    workhorse: a salvaged RW prefix still yields a complete-as-recorded
+    SYNC prefix to replay against.
+    """
+    if target.level > log.sketch.level:
+        raise SimUsageError(
+            f"cannot derive a {target.value} sketch from a coarser "
+            f"{log.sketch.value} log"
+        )
+    if target is log.sketch:
+        return log
+    keep = visible_kinds(target)
+    derived = SketchLog(sketch=target)
+    for entry in log.entries:
+        if entry.kind in keep:
+            derived.append(entry)
+    return derived

@@ -81,5 +81,19 @@ class SketchFormatError(ReproError):
     """A serialized sketch log could not be parsed."""
 
 
+class RecorderKilled(ReproError):
+    """The recorder was killed mid-run by the fault injector.
+
+    Models the production process dying while recording — the defining
+    scenario PRES must survive.  When raised, any journal the recorder was
+    writing holds the flushed prefix of the run, and
+    :func:`repro.robust.journal.salvage` recovers it.
+    """
+
+    def __init__(self, at_event: int) -> None:
+        super().__init__(f"recorder killed at event {at_event}")
+        self.at_event = at_event
+
+
 class BudgetExceededError(ReproError):
     """A reproduction session ran out of its attempt or step budget."""

@@ -1,0 +1,65 @@
+"""Fault tolerance: crash-consistent journaling, fault injection, triage.
+
+PRES's premise is that the production run *fails while recording*, so the
+recording pipeline must assume it will be interrupted at any instant and
+the artifacts it leaves behind may be torn or damaged.  This package is
+that assumption made executable:
+
+* :mod:`repro.robust.journal` — an append-only, incrementally-flushed,
+  per-record-checksummed journal for sketch logs and traces, with a
+  ``salvage()`` reader that recovers the longest valid prefix of a
+  damaged file instead of raising;
+* :mod:`repro.robust.inject` — seeded, deterministic fault injectors
+  (truncate / garble / drop / kill-recorder-at-event) used by the test
+  suite and the ``--inject-fault`` CLI flag;
+* :mod:`repro.robust.doctor` — triage for any on-disk artifact, backing
+  the ``pres doctor`` subcommand and its 0/1/2 exit-code contract.
+
+The replay-side counterpart — the degradation ladder that re-derives
+coarser sketches from a salvaged prefix and retries — lives with the
+reproduction driver in :func:`repro.core.reproducer.reproduce_degraded`.
+"""
+
+from repro.robust.doctor import LogDiagnosis, examine, write_salvaged
+from repro.robust.inject import (
+    FaultPlan,
+    KillSwitch,
+    apply_fault,
+    drop_line,
+    garble_file,
+    parse_fault,
+    seeded_truncate_offset,
+    truncate_file,
+)
+from repro.robust.journal import (
+    JournalWriter,
+    SalvageReport,
+    load_sketch_journal,
+    read_journal,
+    salvage,
+    sketch_journal_writer,
+    sketch_log_from_salvage,
+    write_sketch_journal,
+)
+
+__all__ = [
+    "FaultPlan",
+    "JournalWriter",
+    "KillSwitch",
+    "LogDiagnosis",
+    "SalvageReport",
+    "apply_fault",
+    "drop_line",
+    "examine",
+    "garble_file",
+    "load_sketch_journal",
+    "parse_fault",
+    "read_journal",
+    "salvage",
+    "seeded_truncate_offset",
+    "sketch_journal_writer",
+    "sketch_log_from_salvage",
+    "truncate_file",
+    "write_salvaged",
+    "write_sketch_journal",
+]

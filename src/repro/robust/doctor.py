@@ -1,0 +1,211 @@
+"""Log triage: validate and salvage on-disk recording artifacts.
+
+``pres doctor <log>`` is the operator-facing entry point: point it at any
+file the toolchain writes — a sketch or trace journal, a classic
+JSON-lines trace, a sketch-log JSON blob, a complete log — and it tells
+you whether the file is **ok** (usable as-is), **salvageable** (a valid
+prefix can be recovered and written out), or **unrecoverable** (nothing
+trustworthy inside).  The verdicts map to exit codes 0/1/2 so scripts
+and CI can gate on log health.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.robust import journal as journal_mod
+from repro.robust.journal import MAGIC, SalvageReport, salvage
+from repro.errors import SketchFormatError
+
+#: Verdicts, in order of decreasing health.
+OK = "ok"
+SALVAGEABLE = "salvageable"
+UNRECOVERABLE = "unrecoverable"
+
+_EXIT_CODES = {OK: 0, SALVAGEABLE: 1, UNRECOVERABLE: 2}
+
+
+@dataclass
+class LogDiagnosis:
+    """The doctor's verdict on one file."""
+
+    path: str
+    format: str  # "sketch-journal" | "trace-journal" | "trace-jsonl" |
+    #              "sketch-json" | "complete-log" | "unknown"
+    status: str  # OK | SALVAGEABLE | UNRECOVERABLE
+    detail: str = ""
+    valid_records: int = 0
+    dropped: int = 0
+    salvage: Optional[SalvageReport] = None
+    #: for non-journal formats: the salvageable text prefix, ready to write.
+    salvaged_text: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        return _EXIT_CODES[self.status]
+
+    def describe(self) -> str:
+        lines = [f"{self.path}: {self.format}, {self.status}"]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        lines.append(
+            f"  {self.valid_records} valid record(s), {self.dropped} dropped"
+        )
+        return "\n".join(lines)
+
+
+def _diagnose_journal(path: str) -> LogDiagnosis:
+    report = salvage(path)
+    fmt = f"{report.kind}-journal" if report.kind else "unknown"
+    if report.unrecoverable:
+        return LogDiagnosis(
+            path=path,
+            format=fmt,
+            status=UNRECOVERABLE,
+            detail=report.reason,
+            dropped=report.total_lines,
+            salvage=report,
+        )
+    status = OK if report.intact else SALVAGEABLE
+    return LogDiagnosis(
+        path=path,
+        format=fmt,
+        status=status,
+        detail="" if report.intact else report.reason,
+        valid_records=len(report.records),
+        dropped=report.dropped_lines,
+        salvage=report,
+    )
+
+
+def _diagnose_trace_jsonl(path: str, first_line: str) -> LogDiagnosis:
+    from repro.sim.persist import event_from_row
+
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().splitlines()
+    valid = [first_line]
+    bad_at: Optional[str] = None
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            event_from_row(json.loads(line))
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            bad_at = f"event at line {number} is corrupt: {exc}"
+            break
+        valid.append(line)
+    n_events = len(valid) - 1
+    if bad_at is None:
+        return LogDiagnosis(
+            path=path, format="trace-jsonl", status=OK, valid_records=n_events
+        )
+    return LogDiagnosis(
+        path=path,
+        format="trace-jsonl",
+        status=SALVAGEABLE,
+        detail=bad_at,
+        valid_records=n_events,
+        dropped=len([l for l in lines if l.strip()]) - len(valid),
+        salvaged_text="\n".join(valid) + "\n",
+    )
+
+
+def _diagnose_json_blob(path: str, text: str) -> LogDiagnosis:
+    """Single-blob JSON artifacts: valid or nothing — no prefix to save."""
+    from repro.core.full_replay import CompleteLog
+    from repro.core.sketchlog import SketchLog
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return LogDiagnosis(
+            path=path,
+            format="unknown",
+            status=UNRECOVERABLE,
+            detail=f"not valid JSON: {exc}",
+        )
+    if isinstance(payload, dict) and "entries" in payload and "sketch" in payload:
+        try:
+            log = SketchLog.from_json(text)
+        except SketchFormatError as exc:
+            return LogDiagnosis(
+                path=path, format="sketch-json", status=UNRECOVERABLE,
+                detail=str(exc),
+            )
+        return LogDiagnosis(
+            path=path, format="sketch-json", status=OK,
+            valid_records=len(log),
+        )
+    if isinstance(payload, dict) and "schedule" in payload and "program" in payload:
+        try:
+            log = CompleteLog.from_json(text)
+        except SketchFormatError as exc:
+            return LogDiagnosis(
+                path=path, format="complete-log", status=UNRECOVERABLE,
+                detail=str(exc),
+            )
+        return LogDiagnosis(
+            path=path, format="complete-log", status=OK,
+            valid_records=len(log.schedule),
+        )
+    return LogDiagnosis(
+        path=path, format="unknown", status=UNRECOVERABLE,
+        detail="valid JSON but not a recognized PRES artifact",
+    )
+
+
+def examine(path: str) -> LogDiagnosis:
+    """Sniff the file format and produce a verdict (never raises on
+    corrupt content; missing files still raise ``OSError``)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        first_line = handle.readline().rstrip("\n")
+    if first_line.startswith(MAGIC.rstrip("0123456789")):
+        return _diagnose_journal(path)
+    stripped = first_line.lstrip()
+    if stripped.startswith("{"):
+        try:
+            header = json.loads(first_line)
+        except json.JSONDecodeError:
+            header = None
+        if isinstance(header, dict) and header.get("format") == "pres-trace":
+            return _diagnose_trace_jsonl(path, first_line)
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            return _diagnose_json_blob(path, handle.read())
+    return LogDiagnosis(
+        path=path,
+        format="unknown",
+        status=UNRECOVERABLE,
+        detail="unrecognized file format",
+    )
+
+
+def write_salvaged(diagnosis: LogDiagnosis, out_path: str) -> str:
+    """Write the recovered prefix of a salvageable file; returns the path."""
+    if diagnosis.status != SALVAGEABLE:
+        raise SketchFormatError(
+            f"{diagnosis.path} is {diagnosis.status}; nothing to salvage"
+        )
+    if diagnosis.salvaged_text is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(diagnosis.salvaged_text)
+        return out_path
+    report = diagnosis.salvage
+    if report is None:
+        raise SketchFormatError(f"{diagnosis.path} has no salvageable content")
+    writer = journal_mod.JournalWriter(out_path, report.kind, report.meta)
+    try:
+        for record in report.records:
+            writer.append(record)
+        writer.commit(
+            {
+                "salvaged_from": diagnosis.path,
+                "complete": False,
+                "dropped_lines": report.dropped_lines,
+                "reason": report.reason,
+            }
+        )
+    finally:
+        writer.close()
+    return out_path

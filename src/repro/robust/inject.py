@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the recording/replay pipeline.
+
+Robustness that is not exercised continuously rots, so the failure modes
+PRES must survive are packaged as seeded, reproducible injectors:
+
+* :func:`truncate_file` — a torn tail, what a crash mid-write leaves;
+* :func:`garble_file` — flipped bits, what bad storage leaves;
+* :func:`drop_line` — a missing record, what a lost buffer leaves;
+* :class:`KillSwitch` — a machine observer that kills the recorder at
+  event *k*, the "production process died while recording" scenario.
+
+All file injectors are pure functions of ``(file content, seed)``: the
+same damaged artifact every run, so the fault-injection test suite and
+the ``--inject-fault`` CLI flag are deterministic.  They are meant to be
+aimed at journal files (:mod:`repro.robust.journal`), whose salvage
+reader is the recovery path under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import RecorderKilled
+from repro.sim.events import Event
+from repro.sim.machine import Machine, Observer
+
+#: Fault kinds accepted by :func:`parse_fault` / ``--inject-fault``.
+FAULT_KINDS = ("truncate", "garble", "drop", "kill")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One parsed fault: what to break and the seed/offset to break it at."""
+
+    kind: str
+    arg: int
+
+    def describe(self) -> str:
+        unit = {
+            "truncate": "byte offset",
+            "garble": "seed",
+            "drop": "seed",
+            "kill": "event",
+        }[self.kind]
+        return f"{self.kind} @ {unit} {self.arg}"
+
+
+def parse_fault(spec: str) -> FaultPlan:
+    """Parse ``--inject-fault`` specs like ``kill@25`` or ``truncate@120``.
+
+    ``truncate@N`` truncates at byte N (negative counts from the end);
+    ``garble@S`` / ``drop@S`` use S as the deterministic seed; ``kill@K``
+    kills the recorder at event K.
+    """
+    kind, sep, arg = spec.partition("@")
+    if not sep or kind not in FAULT_KINDS:
+        valid = ", ".join(f"{k}@N" for k in FAULT_KINDS)
+        raise ValueError(f"bad fault spec {spec!r}; expected one of: {valid}")
+    try:
+        value = int(arg)
+    except ValueError:
+        raise ValueError(f"bad fault spec {spec!r}: {arg!r} is not an integer") from None
+    return FaultPlan(kind=kind, arg=value)
+
+
+# -- file-level injectors -----------------------------------------------------
+
+
+def truncate_file(path: str, offset: int) -> int:
+    """Cut the file at ``offset`` bytes (negative: from the end).
+
+    Returns the new size.  Models a crash mid-write / torn tail.
+    """
+    with open(path, "rb+") as handle:
+        size = handle.seek(0, 2)
+        at = max(0, size + offset if offset < 0 else min(offset, size))
+        handle.truncate(at)
+    return at
+
+
+def seeded_truncate_offset(path: str, seed: int) -> int:
+    """A deterministic truncation point inside the file body.
+
+    Skips the first line (the journal header) so the result exercises the
+    torn-*tail* path rather than total loss; garbling covers the header.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    first_break = data.find(b"\n") + 1 or len(data)
+    if first_break >= len(data):
+        return len(data)
+    return random.Random(seed).randrange(first_break, len(data))
+
+
+def garble_file(path: str, seed: int, nbytes: int = 4,
+                protect_header: bool = True) -> List[int]:
+    """Flip one bit in each of ``nbytes`` seeded positions; returns them.
+
+    With ``protect_header`` the first line is spared, modelling damage to
+    the body (salvageable); without it the header itself may be hit
+    (the unrecoverable case).
+    """
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    if not data:
+        return []
+    start = 0
+    if protect_header:
+        start = data.find(b"\n") + 1
+        if start >= len(data):
+            start = 0
+    rng = random.Random(seed)
+    positions = sorted(
+        rng.randrange(start, len(data)) for _ in range(min(nbytes, len(data) - start))
+    )
+    for position in positions:
+        # Never flip a byte into/out of "\n": that would change the line
+        # structure instead of corrupting a record in place.
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        if flipped == 0x0A or data[position] == 0x0A:
+            continue
+        data[position] = flipped
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    return positions
+
+
+def drop_line(path: str, seed: int) -> int:
+    """Delete one seeded non-header line; returns its 1-based number.
+
+    Models a lost write buffer.  The journal's sequence numbers make the
+    resulting gap detectable, so salvage keeps only the prefix before it.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    if len(lines) < 2:
+        return 0
+    victim = random.Random(seed).randrange(1, len(lines))
+    del lines[victim]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    return victim + 1
+
+
+def apply_fault(path: str, plan: FaultPlan) -> str:
+    """Apply a file-level fault plan to ``path``; returns a description.
+
+    ``kill`` plans are not file-level — wire them into the recorder via
+    :class:`KillSwitch` (the CLI does this) — so they are rejected here.
+    """
+    if plan.kind == "truncate":
+        at = truncate_file(path, plan.arg)
+        return f"truncated {path} to {at} bytes"
+    if plan.kind == "garble":
+        positions = garble_file(path, plan.arg)
+        return f"garbled {path} at byte(s) {positions}"
+    if plan.kind == "drop":
+        line = drop_line(path, plan.arg)
+        return f"dropped line {line} of {path}"
+    raise ValueError(f"{plan.kind} is not a file-level fault")
+
+
+# -- in-run injector ----------------------------------------------------------
+
+
+class KillSwitch(Observer):
+    """Kill the recording process after event ``at_event`` executes.
+
+    Attached *after* the sketch recorder in the observer list, so the
+    fatal event itself is already journaled when the kill fires — exactly
+    the "crash right after the interesting event" worst case.  The raised
+    :class:`~repro.errors.RecorderKilled` propagates out of
+    ``Machine.run`` like a real SIGKILL would end the process: no trace
+    is assembled and no journal footer is written.
+    """
+
+    def __init__(self, at_event: int) -> None:
+        self.at_event = max(1, at_event)
+
+    def on_event(self, machine: Machine, event: Event) -> None:
+        if event.gidx + 1 >= self.at_event:
+            raise RecorderKilled(event.gidx + 1)

@@ -1,0 +1,66 @@
+"""Hardening regressions for sketch-log serialization.
+
+Entry keys that collide with the ``__t``/``__d`` encoding tags must
+survive JSON round trips, and parse errors must carry the 1-based entry
+number.
+"""
+
+import json
+
+import pytest
+
+from repro.core.sketches import SketchEntry, SketchKind
+from repro.core.sketchlog import SketchLog, entry_from_record, entry_record
+from repro.errors import SketchFormatError
+from repro.sim.ops import OpKind
+
+ADVERSARIAL_KEYS = [
+    ("addr", 1),
+    {"__t": [1]},
+    {"__t": 1},
+    {"__d": 7},
+    {"__t": 1, "other": 2},
+    {"__d": [["k", "v"]]},
+    ((1, {"__t": [2]}),),
+]
+
+
+def _log_with_keys(keys):
+    log = SketchLog(sketch=SketchKind.RW)
+    for tid, key in enumerate(keys):
+        log.append(SketchEntry(tid=tid, kind=OpKind.WRITE, key=key))
+    return log
+
+
+def test_adversarial_keys_round_trip_via_json():
+    log = _log_with_keys(ADVERSARIAL_KEYS)
+    back = SketchLog.from_json(log.to_json())
+    assert back.entries == log.entries
+
+
+def test_entry_record_round_trips_adversarial_keys():
+    for key in ADVERSARIAL_KEYS:
+        entry = SketchEntry(tid=2, kind=OpKind.LOCK, key=key)
+        assert entry_from_record(entry_record(entry)) == entry
+
+
+def test_from_json_names_the_bad_entry_number():
+    log = _log_with_keys([("a", 1), ("b", 2), ("c", 3)])
+    payload = json.loads(log.to_json())
+    payload["entries"][1] = ["oops"]
+    with pytest.raises(SketchFormatError, match="entry 2"):
+        SketchLog.from_json(json.dumps(payload))
+
+
+def test_from_json_rejects_non_log_payloads():
+    with pytest.raises(SketchFormatError):
+        SketchLog.from_json("[]")
+    with pytest.raises(SketchFormatError):
+        SketchLog.from_json('{"sketch": "warp-core"}')
+
+
+def test_entry_from_record_rejects_garbage():
+    with pytest.raises(SketchFormatError):
+        entry_from_record(["nope"])
+    with pytest.raises(SketchFormatError):
+        entry_from_record([1, "no-such-kind", None])

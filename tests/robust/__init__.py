@@ -1,0 +1,1 @@
+"""Fault-tolerance tests: journaling, salvage, injection, degradation."""

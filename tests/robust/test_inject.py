@@ -1,0 +1,105 @@
+"""The fault injectors themselves: deterministic, seeded, header-aware."""
+
+import pytest
+
+from repro.apps import get_bug
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.errors import RecorderKilled
+from repro.robust.inject import (
+    FaultPlan,
+    apply_fault,
+    drop_line,
+    garble_file,
+    parse_fault,
+    seeded_truncate_offset,
+    truncate_file,
+)
+from repro.robust.journal import salvage, write_sketch_journal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    """An intact sketch journal of the deterministic pbzip2 crash run."""
+    spec = get_bug("pbzip2-order-free")
+    run = record(spec.make_program(), sketch=SketchKind.RW, seed=3)
+    path = tmp_path / "sketch.journal"
+    write_sketch_journal(run.log, str(path))
+    return path
+
+
+class TestParseFault:
+    @pytest.mark.parametrize("kind", ["truncate", "garble", "drop", "kill"])
+    def test_parses_every_kind(self, kind):
+        plan = parse_fault(f"{kind}@7")
+        assert plan == FaultPlan(kind, 7)
+        assert kind in plan.describe()
+
+    def test_negative_offsets_are_allowed(self):
+        assert parse_fault("truncate@-20").arg == -20
+
+    @pytest.mark.parametrize(
+        "spec", ["", "truncate", "explode@3", "kill@x", "@5", "kill@"]
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            parse_fault(spec)
+
+
+class TestFileFaults:
+    def test_truncate_positive_and_negative(self, journal):
+        size = journal.stat().st_size
+        assert truncate_file(str(journal), -10) == size - 10
+        assert truncate_file(str(journal), 40) == 40
+        assert journal.stat().st_size == 40
+
+    def test_truncate_past_the_end_is_a_noop(self, journal):
+        size = journal.stat().st_size
+        assert truncate_file(str(journal), size + 1000) == size
+
+    def test_seeded_truncate_offset_is_deterministic(self, journal):
+        first = seeded_truncate_offset(str(journal), seed=9)
+        assert first == seeded_truncate_offset(str(journal), seed=9)
+        header_len = journal.read_text().index("\n") + 1
+        assert header_len <= first < journal.stat().st_size
+
+    def test_garble_is_deterministic_and_spares_the_header(self, journal):
+        original = journal.read_bytes()
+        garble_file(str(journal), seed=4)
+        first = journal.read_bytes()
+        journal.write_bytes(original)
+        garble_file(str(journal), seed=4)
+        assert journal.read_bytes() == first
+        assert first != original
+        # line structure is preserved; only record bodies are corrupted
+        assert first.count(b"\n") == original.count(b"\n")
+        assert first.split(b"\n")[0] == original.split(b"\n")[0]
+        assert not salvage(str(journal)).unrecoverable
+
+    def test_drop_line_leaves_a_detectable_gap(self, journal):
+        before = journal.read_text().splitlines()
+        line = drop_line(str(journal), seed=2)
+        after = journal.read_text().splitlines()
+        assert 2 <= line <= len(before)
+        assert len(after) == len(before) - 1
+        assert after[0] == before[0]  # header untouched
+        report = salvage(str(journal))
+        assert report.salvageable and not report.intact
+
+    def test_apply_fault_dispatches(self, journal):
+        note = apply_fault(str(journal), FaultPlan("truncate", 40))
+        assert "40" in note
+        assert journal.stat().st_size == 40
+
+    def test_apply_fault_rejects_kill(self, journal):
+        with pytest.raises(ValueError, match="not a file-level fault"):
+            apply_fault(str(journal), FaultPlan("kill", 3))
+
+
+class TestKillSwitch:
+    def test_kills_at_the_requested_event(self):
+        spec = get_bug("pbzip2-order-free")
+        with pytest.raises(RecorderKilled) as info:
+            record(spec.make_program(), seed=3, kill_at_event=25)
+        assert info.value.at_event == 25
+        assert "25" in str(info.value)

@@ -1,0 +1,201 @@
+"""Journal writer/salvage round trips and torn-file recovery.
+
+The crash-consistency contract under test: every appended record is
+flushed before the next one, salvage recovers the longest valid prefix,
+and the strict reader names the first bad line instead of guessing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_bug
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import SketchKind, event_visible
+from repro.core.recorder import record_with_trace
+from repro.errors import RecorderKilled, SketchFormatError
+from repro.robust.journal import (
+    JournalWriter,
+    load_sketch_journal,
+    read_journal,
+    salvage,
+    write_sketch_journal,
+)
+
+BUG = "pbzip2-order-free"
+SEED = 3  # fails deterministically (use-after-free crash)
+
+
+def _write(path, payloads, footer=True):
+    with JournalWriter(str(path), "test", {"who": "tests"}) as writer:
+        for payload in payloads:
+            writer.append(payload)
+        if footer:
+            writer.commit()
+
+
+class TestRoundTrip:
+    def test_intact_journal_round_trips(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, [[1, "a"], {"k": 2}, None])
+        report = salvage(str(path))
+        assert report.intact
+        assert not report.salvageable and not report.unrecoverable
+        assert report.records == [[1, "a"], {"k": 2}, None]
+        assert report.footer["records"] == 3
+        assert report.dropped_lines == 0
+        assert report.meta == {"who": "tests"}
+
+    def test_strict_reader_accepts_intact(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, [1, 2, 3])
+        assert read_journal(str(path)).records == [1, 2, 3]
+
+    def test_sketch_journal_round_trips_a_recording(self, tmp_path):
+        spec = get_bug(BUG)
+        run = record(spec.make_program(), sketch=SketchKind.RW, seed=SEED)
+        path = tmp_path / "s.journal"
+        write_sketch_journal(run.log, str(path), {"seed": SEED})
+        log, report = load_sketch_journal(str(path))
+        assert report.intact
+        assert log.sketch is SketchKind.RW
+        assert log.entries == run.log.entries
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = JournalWriter(str(tmp_path / "j.journal"), "test")
+        writer.close()
+        with pytest.raises(SketchFormatError):
+            writer.append(1)
+
+
+class TestTornFiles:
+    def test_torn_footer_keeps_every_record(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, list(range(10)))
+        path.write_bytes(path.read_bytes()[:-5])  # tear the footer line
+        report = salvage(str(path))
+        assert report.salvageable and not report.intact
+        assert report.records == list(range(10))
+        assert report.footer is None
+        assert report.dropped_lines == 1
+
+    def test_mid_file_truncation_yields_a_prefix(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, list(range(50)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        report = salvage(str(path))
+        assert report.salvageable
+        assert 0 < len(report.records) < 50
+        # the prefix property: exactly records 0..k-1, in order
+        assert report.records == list(range(len(report.records)))
+        assert "line" in report.reason
+
+    def test_missing_footer_is_flagged(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, [1, 2], footer=False)
+        report = salvage(str(path))
+        assert report.salvageable
+        assert report.records == [1, 2]
+        assert "footer" in report.reason
+
+    def test_sequence_gap_stops_salvage(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, list(range(10)))
+        lines = path.read_text().splitlines()
+        del lines[3]  # drop record seq 2
+        path.write_text("\n".join(lines) + "\n")
+        report = salvage(str(path))
+        assert report.records == [0, 1]
+        assert "sequence gap" in report.reason
+
+    def test_corrupt_header_is_unrecoverable(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, [1, 2])
+        path.write_text("X" + path.read_text()[1:])
+        report = salvage(str(path))
+        assert report.unrecoverable
+        assert report.records == []
+        with pytest.raises(SketchFormatError):
+            read_journal(str(path))
+
+    def test_empty_file_is_unrecoverable(self, tmp_path):
+        path = tmp_path / "empty.journal"
+        path.write_text("")
+        report = salvage(str(path))
+        assert report.unrecoverable
+        assert "empty" in report.reason
+
+    def test_strict_reader_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "j.journal"
+        _write(path, list(range(5)))
+        lines = path.read_text().splitlines()
+        lines[3] = lines[3][:-1]  # damage record seq 2, 1-based line 4
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SketchFormatError, match="line 4"):
+            read_journal(str(path))
+
+    def test_salvage_never_raises_on_binary_garbage(self, tmp_path):
+        path = tmp_path / "noise.journal"
+        path.write_bytes(bytes(range(256)) * 4)
+        report = salvage(str(path))
+        assert report.unrecoverable
+
+
+class TestKillAtEvent:
+    """The headline acceptance scenario: a recorder killed at event *k*
+    leaves a journal whose salvaged prefix is usable and deterministic."""
+
+    def test_kill_leaves_exactly_the_visible_prefix(self, tmp_path):
+        spec = get_bug(BUG)
+        path = tmp_path / "killed.journal"
+        with pytest.raises(RecorderKilled) as info:
+            record(
+                spec.make_program(),
+                sketch=SketchKind.RW,
+                seed=SEED,
+                journal_path=str(path),
+                kill_at_event=40,
+            )
+        assert info.value.at_event == 40
+
+        report = salvage(str(path))
+        assert report.salvageable and report.footer is None
+
+        # Ground truth: the same production run, recorded without a kill.
+        full, trace = record_with_trace(
+            spec.make_program(), sketch=SketchKind.RW, seed=SEED
+        )
+        expected = sum(
+            1 for e in trace.events[:40] if event_visible(SketchKind.RW, e)
+        )
+        assert len(report.records) == expected
+
+        log, _ = load_sketch_journal(str(path), allow_salvage=True)
+        assert log.entries == full.log.entries[:expected]
+
+    def test_salvaged_prefix_replays_deterministically(self, tmp_path):
+        spec = get_bug(BUG)
+        path = tmp_path / "killed.journal"
+        with pytest.raises(RecorderKilled):
+            record(
+                spec.make_program(),
+                sketch=SketchKind.RW,
+                seed=SEED,
+                journal_path=str(path),
+                kill_at_event=120,
+            )
+        log_a, _ = load_sketch_journal(str(path), allow_salvage=True)
+        log_b, _ = load_sketch_journal(str(path), allow_salvage=True)
+        assert log_a.entries == log_b.entries
+
+        full = record(spec.make_program(), sketch=SketchKind.RW, seed=SEED)
+        config = ExplorerConfig(max_attempts=60)
+        first = reproduce(dataclasses.replace(full, log=log_a), config)
+        second = reproduce(dataclasses.replace(full, log=log_b), config)
+        assert first.success == second.success
+        assert first.attempts == second.attempts
+        if first.success:
+            assert first.complete_log.schedule == second.complete_log.schedule

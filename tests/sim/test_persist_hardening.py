@@ -1,0 +1,74 @@
+"""Hardening regressions for the trace (de)serializer.
+
+Two past failure classes: payload values that collide with the ``__t``
+tuple / ``__d`` dict tags must survive a round trip unchanged, and parse
+errors must name the 1-based line (and event number) of the bad record.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import SketchFormatError
+from repro.sim.persist import _pack, _unpack, dump_trace, load_trace
+from tests.conftest import counter_program, run_program
+
+ADVERSARIAL = [
+    {"__t": 1},
+    {"__t": [1, 2]},
+    {"__d": []},
+    {"__d": [["k", "v"]]},
+    {"__t": [1], "x": 2},
+    {"__t": {"__d": 3}},
+    [(1, 2), {"__t": [3]}],
+    ((1, {"__d": 5}),),
+    {("a", 1): {"__t": [0]}},
+]
+
+
+@pytest.mark.parametrize("value", ADVERSARIAL, ids=repr)
+def test_adversarial_tag_payloads_round_trip(value):
+    wire = json.loads(json.dumps(_pack(value)))
+    assert _unpack(wire) == value
+
+
+def test_tuples_and_dict_keys_still_round_trip():
+    value = {("region", 3): (1, (2, 3)), "plain": [1, {"nested": (4,)}]}
+    assert _unpack(json.loads(json.dumps(_pack(value)))) == value
+
+
+def _dumped_trace_text() -> str:
+    trace = run_program(counter_program(), seed=1)
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def test_trace_with_adversarial_stdout_round_trips():
+    trace = run_program(counter_program(), seed=1)
+    trace.stdout.append({"__t": [1, 2]})
+    trace.stdout.append({"__d": "payload"})
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    loaded = load_trace(io.StringIO(buffer.getvalue()))
+    assert loaded.stdout == trace.stdout
+
+
+def test_header_error_names_line_1():
+    with pytest.raises(SketchFormatError, match=r"line 1"):
+        load_trace(io.StringIO("not json\n"))
+
+
+def test_event_error_names_line_and_event_number():
+    lines = _dumped_trace_text().splitlines()
+    lines[2] = "{broken"  # third line = event 2
+    with pytest.raises(SketchFormatError, match=r"line 3, event 2"):
+        load_trace(io.StringIO("\n".join(lines) + "\n"))
+
+
+def test_structural_event_error_is_also_numbered():
+    lines = _dumped_trace_text().splitlines()
+    lines[4] = json.dumps(["not", "an", "event"])
+    with pytest.raises(SketchFormatError, match=r"line 5, event 4"):
+        load_trace(io.StringIO("\n".join(lines) + "\n"))

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.core",
     "repro.apps",
     "repro.bench",
+    "repro.robust",
 ]
 
 

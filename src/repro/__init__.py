@@ -22,9 +22,16 @@ application suite from the paper's evaluation lives in :mod:`repro.apps`.
 from repro.core.cost import DEFAULT_COST_MODEL, CostModel
 from repro.core.diagnose import Diagnosis, diagnose
 from repro.core.explorer import ExplorerConfig
+from repro.core.feedback import AttemptCache
 from repro.core.full_replay import CompleteLog, replay_complete
+from repro.core.parallel import ParallelExplorer
 from repro.core.recorder import RecordedRun, record, record_with_trace
-from repro.core.reproducer import ReproductionReport, Reproducer, reproduce
+from repro.core.reproducer import (
+    ReproductionReport,
+    Reproducer,
+    reproduce,
+    reproduce_degraded,
+)
 from repro.core.sketches import SKETCH_ORDER, SketchKind, parse_sketch_kind
 from repro.core.systematic import SystematicResult, systematic_search
 from repro.sim import (
@@ -40,6 +47,7 @@ from repro.sim.failures import Failure, FailureKind
 __version__ = "0.1.0"
 
 __all__ = [
+    "AttemptCache",
     "CompleteLog",
     "CostModel",
     "DEFAULT_COST_MODEL",
@@ -49,6 +57,7 @@ __all__ = [
     "FailureKind",
     "Machine",
     "MachineConfig",
+    "ParallelExplorer",
     "Program",
     "RandomScheduler",
     "RecordedRun",
@@ -65,5 +74,6 @@ __all__ = [
     "record_with_trace",
     "replay_complete",
     "reproduce",
+    "reproduce_degraded",
     "systematic_search",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -22,9 +23,21 @@ class AttemptCell:
     attempts: int
     replay_steps: int
     constraints_used: int
+    #: reproduction wall time in seconds (whole exploration loop).
+    wall_time: float = 0.0
 
     def render(self) -> str:
         return str(self.attempts) if self.success else f">{self.attempts}"
+
+    def to_record(self) -> Dict[str, object]:
+        """Machine-readable cell for ``pres bench --json``."""
+        return {
+            "success": self.success,
+            "attempts": self.attempts,
+            "replay_steps": self.replay_steps,
+            "constraints": self.constraints_used,
+            "wall_time_s": round(self.wall_time, 6),
+        }
 
 
 @dataclass
@@ -42,6 +55,7 @@ def attempts_row(
     ncpus: int = 4,
     use_feedback: bool = True,
     seed: Optional[int] = None,
+    jobs: int = 1,
     **params,
 ) -> AttemptRow:
     """Reproduce one bug under each sketch; returns the attempts per cell."""
@@ -59,16 +73,19 @@ def attempts_row(
             config=MachineConfig(ncpus=ncpus),
             oracle=spec.oracle,
         )
+        started = time.perf_counter()
         report = reproduce(
             recorded,
-            ExplorerConfig(max_attempts=max_attempts),
+            ExplorerConfig(max_attempts=max_attempts, jobs=jobs),
             use_feedback=use_feedback,
         )
+        elapsed = time.perf_counter() - started
         cells[sketch] = AttemptCell(
             success=report.success,
             attempts=report.attempts,
             replay_steps=report.total_replay_steps,
             constraints_used=len(report.winning_constraints),
+            wall_time=elapsed,
         )
     return AttemptRow(
         bug_id=spec.bug_id, bug_type=spec.bug_type, seed=seed, cells=cells
@@ -81,6 +98,7 @@ def attempts_matrix(
     max_attempts: int = 400,
     ncpus: int = 4,
     use_feedback: bool = True,
+    jobs: int = 1,
 ) -> List[AttemptRow]:
     """E3 (and, with use_feedback=False, the E5 ablation arm)."""
     return [
@@ -90,6 +108,7 @@ def attempts_matrix(
             max_attempts=max_attempts,
             ncpus=ncpus,
             use_feedback=use_feedback,
+            jobs=jobs,
         )
         for spec in specs
     ]

@@ -1,0 +1,76 @@
+"""Structured benchmark results.
+
+Every experiment builds a :class:`BenchResult` — the rendered ASCII table
+and the raw per-row records are two views of the same object, so the
+human-readable output and ``pres bench --json`` can never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.bench.tables import format_table
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a table cell / record value into something JSON can hold.
+
+    Non-finite floats (E2's ``inf`` reduction ratio) become strings, and
+    anything exotic falls back to ``str`` rather than failing the dump.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+@dataclass
+class BenchResult:
+    """One experiment's outcome: a renderable table plus raw records.
+
+    ``rows`` back the ASCII table; ``records`` are the machine-readable
+    per-row dicts (richer — raw floats, nested per-sketch figures);
+    ``meta`` holds headline numbers and workload descriptors.
+    """
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The ASCII table ``pres bench`` prints."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON document shape for ``pres bench --json``."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[jsonable(cell) for cell in row] for row in self.rows],
+            "records": jsonable(self.records),
+            "meta": jsonable(self.meta),
+        }
+
+    def write_json(self, directory: Union[str, Path] = ".") -> Path:
+        """Write ``BENCH_<experiment>.json`` under ``directory``."""
+        path = Path(directory) / f"BENCH_{self.experiment}.json"
+        path.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

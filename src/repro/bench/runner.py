@@ -1,9 +1,14 @@
 """Run evaluation experiments directly (without pytest).
 
 ``pres bench <experiment>`` renders the same tables the benchmark suite
-publishes, for quick interactive use.  The pytest benchmarks remain the
-canonical, asserted versions; this runner shares their harness functions
-so the numbers cannot drift apart.
+publishes, for quick interactive use; ``pres bench --json <experiment>``
+additionally writes the raw figures as ``BENCH_<experiment>.json``.  The
+pytest benchmarks remain the canonical, asserted versions; this runner
+shares their harness functions so the numbers cannot drift apart.
+
+Each experiment is a builder returning a
+:class:`~repro.bench.results.BenchResult` — one object backing both the
+ASCII table and the JSON payload.
 """
 
 from __future__ import annotations
@@ -13,14 +18,16 @@ from typing import Callable, Dict, List
 from repro.apps import all_bugs, get_bug
 from repro.bench.attempts import attempts_matrix
 from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
+from repro.bench.results import BenchResult
 from repro.bench.scaling import scaling_curves
 from repro.bench.seeds import failure_rate, find_failing_seed
-from repro.bench.tables import format_table
+from repro.bench.speedup import build_e12
 from repro.core.sketches import SKETCH_ORDER, SketchKind
 
 
-def run_t1() -> str:
+def build_t1() -> BenchResult:
     rows = []
+    records = []
     for spec in all_bugs():
         seed = find_failing_seed(spec)
         rate = failure_rate(spec, samples=100)
@@ -28,60 +35,102 @@ def run_t1() -> str:
             [spec.bug_id, spec.app, spec.category, spec.bug_type,
              f"{rate * 100:.0f}%", seed if seed is not None else "none"]
         )
-    return format_table(
-        ["bug", "app", "category", "type", "fail rate", "failing seed"],
-        rows,
+        records.append(
+            {"bug": spec.bug_id, "app": spec.app, "category": spec.category,
+             "type": spec.bug_type, "failure_rate": rate, "failing_seed": seed}
+        )
+    return BenchResult(
+        experiment="t1",
         title="T1: applications and bugs (11 apps, 13 bugs)",
+        headers=["bug", "app", "category", "type", "fail rate", "failing seed"],
+        rows=rows,
+        records=records,
     )
 
 
-def run_e1() -> str:
+def build_e1() -> BenchResult:
     matrix = overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
     rows = [
         [row.bug_id] + [row.overhead_percent[s] for s in SKETCH_ORDER]
         for row in matrix
     ]
-    return format_table(
-        ["bug"] + [f"{k.value} %" for k in SKETCH_ORDER],
-        rows,
+    records = [
+        {
+            "bug": row.bug_id,
+            "total_events": row.total_events,
+            "overhead_percent": {s.value: row.overhead_percent[s] for s in SKETCH_ORDER},
+            "entries": {s.value: row.entries[s] for s in SKETCH_ORDER},
+        }
+        for row in matrix
+    ]
+    return BenchResult(
+        experiment="e1",
         title="E1: recording overhead (% slowdown) per sketch, 4 CPUs",
+        headers=["bug"] + [f"{k.value} %" for k in SKETCH_ORDER],
+        rows=rows,
+        records=records,
     )
 
 
-def run_e2() -> str:
+def build_e2() -> BenchResult:
     matrix = overhead_matrix(
         all_bugs(), (SketchKind.SYNC, SketchKind.RW), seed=7, ncpus=4
     )
-    rows = [
-        [row.bug_id, row.overhead_percent[SketchKind.SYNC],
-         row.overhead_percent[SketchKind.RW],
-         f"{row.reduction_vs_rw(SketchKind.SYNC):,.0f}x"
-         if row.overhead_percent[SketchKind.SYNC] > 0 else "inf"]
-        for row in matrix
-    ]
+    rows = []
+    records = []
+    for row in matrix:
+        reduction = (
+            row.reduction_vs_rw(SketchKind.SYNC)
+            if row.overhead_percent[SketchKind.SYNC] > 0 else float("inf")
+        )
+        rows.append(
+            [row.bug_id, row.overhead_percent[SketchKind.SYNC],
+             row.overhead_percent[SketchKind.RW],
+             f"{reduction:,.0f}x" if reduction != float("inf") else "inf"]
+        )
+        records.append(
+            {"bug": row.bug_id,
+             "sync_percent": row.overhead_percent[SketchKind.SYNC],
+             "rw_percent": row.overhead_percent[SketchKind.RW],
+             "reduction": reduction}
+        )
     headline = max_reduction(matrix, SketchKind.SYNC)
-    return format_table(
-        ["bug", "sync %", "rw %", "reduction"],
-        rows,
+    return BenchResult(
+        experiment="e2",
         title=f"E2: SYNC vs full-order recording (suite max {headline:,.0f}x)",
+        headers=["bug", "sync %", "rw %", "reduction"],
+        rows=rows,
+        records=records,
+        meta={"max_reduction": headline},
     )
 
 
-def run_e3() -> str:
+def build_e3() -> BenchResult:
     matrix = attempts_matrix(all_bugs(), SKETCH_ORDER, max_attempts=400)
     rows = [
         [row.bug_id, row.seed]
         + [row.cells[s].render() for s in SKETCH_ORDER]
         for row in matrix
     ]
-    return format_table(
-        ["bug", "seed"] + [k.value for k in SKETCH_ORDER],
-        rows,
+    records = [
+        {
+            "bug": row.bug_id,
+            "seed": row.seed,
+            "sketches": {s.value: row.cells[s].to_record() for s in SKETCH_ORDER},
+        }
+        for row in matrix
+    ]
+    return BenchResult(
+        experiment="e3",
         title="E3: replay attempts to reproduce (cap 400)",
+        headers=["bug", "seed"] + [k.value for k in SKETCH_ORDER],
+        rows=rows,
+        records=records,
+        meta={"max_attempts": 400},
     )
 
 
-def run_e4() -> str:
+def build_e4() -> BenchResult:
     spec = get_bug("fft-order-sync")
     curves = scaling_curves(
         spec,
@@ -94,65 +143,104 @@ def run_e4() -> str:
         + [f"{p.overhead_percent:.1f}" for p in curve.points]
         for curve in curves
     ]
-    return format_table(
-        ["app/sketch", "2 cpus %", "4 cpus %", "8 cpus %", "16 cpus %"],
-        rows,
+    records = [
+        {
+            "bug": curve.bug_id,
+            "sketch": curve.sketch.value,
+            "points": [
+                {"ncpus": p.ncpus, "overhead_percent": p.overhead_percent}
+                for p in curve.points
+            ],
+            "growth": curve.growth,
+        }
+        for curve in curves
+    ]
+    return BenchResult(
+        experiment="e4",
         title="E4: recording overhead vs processors (workers = ncpus)",
+        headers=["app/sketch", "2 cpus %", "4 cpus %", "8 cpus %", "16 cpus %"],
+        rows=rows,
+        records=records,
     )
 
 
-def run_e5() -> str:
+def build_e5() -> BenchResult:
     with_fb = attempts_matrix(all_bugs(), (SketchKind.SYNC,), max_attempts=400,
                               use_feedback=True)
     without_fb = attempts_matrix(all_bugs(), (SketchKind.SYNC,),
                                  max_attempts=400, use_feedback=False)
     rows = []
+    records = []
     for fb_row, nofb_row in zip(with_fb, without_fb):
         fb = fb_row.cells[SketchKind.SYNC]
         nofb = nofb_row.cells[SketchKind.SYNC]
         rows.append([fb_row.bug_id, fb.render(), nofb.render()])
-    return format_table(
-        ["bug", "feedback", "no feedback"],
-        rows,
+        records.append(
+            {"bug": fb_row.bug_id, "feedback": fb.to_record(),
+             "no_feedback": nofb.to_record()}
+        )
+    return BenchResult(
+        experiment="e5",
         title="E5: attempts with vs without feedback (SYNC sketch)",
+        headers=["bug", "feedback", "no feedback"],
+        rows=rows,
+        records=records,
+        meta={"max_attempts": 400},
     )
 
 
-def run_e6() -> str:
+def build_e6() -> BenchResult:
     matrix = overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
     rows = [
         [row.bug_id, row.total_events]
         + [row.log_bytes[s] for s in SKETCH_ORDER]
         for row in matrix
     ]
-    return format_table(
-        ["bug", "events"] + [f"{k.value} B" for k in SKETCH_ORDER],
-        rows,
+    records = [
+        {
+            "bug": row.bug_id,
+            "total_events": row.total_events,
+            "log_bytes": {s.value: row.log_bytes[s] for s in SKETCH_ORDER},
+        }
+        for row in matrix
+    ]
+    return BenchResult(
+        experiment="e6",
         title="E6: sketch log size (bytes) per mechanism",
+        headers=["bug", "events"] + [f"{k.value} B" for k in SKETCH_ORDER],
+        rows=rows,
+        records=records,
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "t1": run_t1,
-    "e1": run_e1,
-    "e2": run_e2,
-    "e3": run_e3,
-    "e4": run_e4,
-    "e5": run_e5,
-    "e6": run_e6,
+EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
+    "t1": build_t1,
+    "e1": build_e1,
+    "e2": build_e2,
+    "e3": build_e3,
+    "e4": build_e4,
+    "e5": build_e5,
+    "e6": build_e6,
+    "e12": build_e12,
 }
 
 
-def run_experiment(name: str) -> str:
-    """Render one experiment's table by id (t1, e1..e6)."""
+def run_experiment_result(name: str) -> BenchResult:
+    """Run one experiment by id (t1, e1..e6, e12); structured result."""
     try:
-        return EXPERIMENTS[name.lower()]()
+        builder = EXPERIMENTS[name.lower()]
     except KeyError:
         valid = ", ".join(sorted(EXPERIMENTS))
         raise ValueError(
             f"unknown experiment {name!r}; available: {valid} "
             "(e7-e10 need pytest: `pytest benchmarks/ --benchmark-only`)"
         ) from None
+    return builder()
+
+
+def run_experiment(name: str) -> str:
+    """Render one experiment's table by id (t1, e1..e6, e12)."""
+    return run_experiment_result(name).render()
 
 
 def available_experiments() -> List[str]:

@@ -182,7 +182,7 @@ def cmd_reproduce(args) -> int:
             salvaged_entries = len(log)
             dropped_records = salvage_report.dropped_lines
 
-    config = ExplorerConfig(max_attempts=args.max_attempts)
+    config = ExplorerConfig(max_attempts=args.max_attempts, jobs=args.jobs)
     if args.degrade:
         report = reproduce_degraded(
             recorded,
@@ -269,17 +269,21 @@ def cmd_stats(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench.runner import available_experiments, run_experiment
+    from repro.bench.runner import available_experiments, run_experiment_result
 
     if args.experiment == "list":
         for name in available_experiments():
             print(name)
         return 0
     try:
-        print(run_experiment(args.experiment))
+        result = run_experiment_result(args.experiment)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    print(result.render())
+    if args.json:
+        path = result.write_json(args.json_dir)
+        print(f"results written to {path}")
     return 0
 
 
@@ -371,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
     _add_common(p_repro)
     p_repro.add_argument("--max-attempts", type=int, default=400)
+    p_repro.add_argument("--jobs", type=int, default=1,
+                         help="replay workers; >1 explores attempt batches "
+                              "on a process pool (same result, less wall "
+                              "time on multi-core hosts)")
     p_repro.add_argument("--no-feedback", action="store_true",
                          help="ablation: random re-rolls instead of feedback")
     p_repro.add_argument("--out", help="write the complete log (JSON) here")
@@ -417,9 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--ncpus", type=int, default=4)
 
     p_bench = sub.add_parser(
-        "bench", help="render an evaluation table (t1, e1..e6, or 'list')"
+        "bench", help="render an evaluation table (t1, e1..e6, e12, or 'list')"
     )
     p_bench.add_argument("experiment")
+    p_bench.add_argument("--json", action="store_true",
+                         help="also write BENCH_<experiment>.json "
+                              "(machine-readable rows + records)")
+    p_bench.add_argument("--json-dir", default=".",
+                         help="directory for the JSON file (default: .)")
 
     return parser
 

@@ -20,7 +20,7 @@ Two families are enough:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event
 from repro.sim.ops import MEMORY_KINDS, Address, Op, OpKind
@@ -52,6 +52,46 @@ class OrderConstraint:
 
 #: A replay attempt's full set of constraints, hashable for dedup.
 ConstraintSet = FrozenSet[OrderConstraint]
+
+
+def _key_token(key: Any) -> Tuple:
+    """A totally ordered stand-in for an EventRef key.
+
+    Keys are addresses or mutex names — str, int, or tuples thereof —
+    and Python refuses to compare across those types.  Tagging each
+    value with a type rank (and recursing into tuples) yields a cheap
+    total order without building ``repr`` strings.
+    """
+    if isinstance(key, tuple):
+        return (2, tuple(_key_token(part) for part in key))
+    if isinstance(key, str):
+        return (1, key)
+    return (0, "", key)
+
+
+def ref_sort_key(ref: EventRef) -> Tuple:
+    """Total-order key for an :class:`EventRef` (no string building)."""
+    return (ref.tid, ref.family, _key_token(ref.key), ref.occurrence)
+
+
+def constraint_sort_key(constraint: OrderConstraint) -> Tuple:
+    """Total-order key for an :class:`OrderConstraint`.
+
+    Replaces ``sorted(constraints, key=str)``: dataclass ``__repr__``
+    interpolation dominated the per-attempt setup cost, and the sort only
+    exists to make attempt identity independent of set iteration order.
+    """
+    return (ref_sort_key(constraint.before), ref_sort_key(constraint.after))
+
+
+def canonical_order(constraints: Iterable[OrderConstraint]) -> Tuple[OrderConstraint, ...]:
+    """The canonical (sorted) tuple form of a constraint set.
+
+    Every consumer that needs a deterministic sequence — the PIR gate,
+    attempt fingerprints, parallel dispatch order — sorts through here,
+    so serial and parallel replays see identical constraint order.
+    """
+    return tuple(sorted(constraints, key=constraint_sort_key))
 
 
 def _acquire_key(event_kind: OpKind, obj: object, value: object) -> Optional[str]:

@@ -48,6 +48,8 @@ class ExplorationResult:
     winning_constraints: ConstraintSet = _EMPTY
     winning_seed: int = 0
     duplicate_traces: int = 0
+    #: attempts answered from the attempt cache instead of a replay.
+    cache_hits: int = 0
 
     @property
     def attempt_count(self) -> int:
@@ -67,6 +69,14 @@ class ExplorerConfig:
     seed_restarts: int = 16
     max_candidates_per_attempt: int = 24
     max_constraint_depth: int = 8
+    #: replay workers.  1 = serial in-process; N > 1 dispatches attempt
+    #: batches to a process pool (see :mod:`repro.core.parallel`).
+    #: Exploration results are identical for every value of ``jobs``.
+    jobs: int = 1
+    #: frontier candidates speculatively dispatched per batch; 0 picks
+    #: ``max(jobs, 2 * jobs)`` automatically.  ``batch_size=1`` makes the
+    #: parallel engine's schedule exactly the serial explorer's.
+    batch_size: int = 0
 
 
 def _classify(trace: Trace, matched: bool) -> Tuple[str, str]:

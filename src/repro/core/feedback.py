@@ -31,6 +31,7 @@ fan-out per attempt.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -62,12 +63,25 @@ class Candidate:
         return (self.depth, self.shape, -self.anchor_gidx)
 
 
+def trace_fingerprint(trace: Trace) -> str:
+    """Stable digest of *what* a trace executed (signatures, in order).
+
+    ``hashlib`` rather than ``hash()`` so fingerprints computed in pool
+    worker processes are comparable with the parent's regardless of each
+    interpreter's string-hash randomization.
+    """
+    digest = hashlib.sha1()
+    for event in trace.events:
+        digest.update(repr(event.signature()).encode("utf-8"))
+    return digest.hexdigest()
+
+
 class FeedbackDB:
     """What has been tried; prunes duplicate and inverse schedules."""
 
     def __init__(self) -> None:
         self._tried: Set[Tuple[ConstraintSet, int]] = set()
-        self._trace_fingerprints: Set[int] = set()
+        self._trace_fingerprints: Set[str] = set()
         self.duplicate_traces = 0
 
     def mark_tried(self, constraints: ConstraintSet, seed: int) -> None:
@@ -78,12 +92,68 @@ class FeedbackDB:
 
     def record_trace(self, trace: Trace) -> bool:
         """Remember a trace fingerprint; True if this execution is new."""
-        fingerprint = hash(tuple(e.signature() for e in trace.events))
+        return self.record_fingerprint(trace_fingerprint(trace))
+
+    def record_fingerprint(self, fingerprint: str) -> bool:
+        """Remember a precomputed trace fingerprint; True if new.
+
+        The parallel engine computes fingerprints inside pool workers (the
+        trace itself never crosses the process boundary), so the dedup set
+        accepts the digest directly.
+        """
         if fingerprint in self._trace_fingerprints:
             self.duplicate_traces += 1
             return False
         self._trace_fingerprints.add(fingerprint)
         return True
+
+
+class AttemptCache:
+    """Memoized replay outcomes, keyed by what determines an attempt.
+
+    A replay attempt is a pure function of (sketch log, constraint set,
+    base seed, base policy, output strictness); re-running one that has
+    already executed cannot produce a new interleaving.  The cache lets
+    the exploration engine skip the replay entirely and fold the memoized
+    outcome back in — most valuable when the same recorded run is
+    explored repeatedly (degradation-ladder rungs that rewalk an empty
+    frontier, serial-vs-parallel comparisons, benchmark reruns).
+
+    Keys are built by the caller via :meth:`key_for`; values are opaque
+    to the cache (the engine stores its ``AttemptOutcome`` records).
+    """
+
+    def __init__(self) -> None:
+        self._outcomes: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(
+        log_token: Tuple,
+        constraints: ConstraintSet,
+        seed: int,
+        base_policy: str,
+        match_output: bool,
+    ) -> Tuple:
+        """The cache key for one attempt: everything that determines it."""
+        return (log_token, constraints, seed, base_policy, match_output)
+
+    def get(self, key: Tuple) -> Optional[object]:
+        """The memoized outcome for ``key``, counting the hit or miss."""
+        outcome = self._outcomes.get(key)
+        if outcome is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return outcome
+
+    def put(self, key: Tuple, outcome: object) -> None:
+        """Memoize one attempt outcome under its :meth:`key_for` key."""
+        self._outcomes[key] = outcome
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
 
 
 def _inverse(constraint: OrderConstraint) -> OrderConstraint:

@@ -1,0 +1,466 @@
+"""Parallel replay-attempt exploration.
+
+The paper's pitch is that PRES trades a cheap sketch for *more replay
+attempts* — which makes attempt throughput, not single-replay latency,
+the number that matters at diagnosis time.  Every attempt is a pure
+function of ``(sketch log, constraint set, base seed)``, so attempts are
+embarrassingly parallel: :class:`ParallelExplorer` dispatches *batches*
+of frontier candidates to a ``ProcessPoolExecutor`` of replay workers,
+each of which reconstructs the machine + PIR scheduler from a pickled
+:class:`~repro.core.recorder.RecordedRun` and sends back a compact
+:class:`AttemptOutcome` (never the full trace).
+
+Deterministic merge semantics
+-----------------------------
+
+Parallelism must not change *what* is explored, or the published attempt
+counts would depend on core count.  The engine guarantees that by being
+batch-synchronous:
+
+1. A batch of up to ``batch_size`` candidates is popped from the frontier
+   in canonical best-first order (the same heap order the serial
+   :class:`~repro.core.explorer.FeedbackExplorer` uses).
+2. The batch is evaluated — concurrently or not; each attempt is pure, so
+   worker scheduling cannot affect any outcome.
+3. Outcomes are folded back **in pop order**: records are appended, the
+   first matched outcome (in pop order, not completion order) wins, and
+   mined candidates re-enter the frontier in that same order.
+
+Consequently the exploration schedule depends only on ``batch_size``,
+never on ``jobs``: ``jobs=1`` and ``jobs=64`` report the same winning
+schedule and the same attempt count.  With ``batch_size=1`` the engine
+degenerates to exactly the serial explorer's schedule (property-tested in
+``tests/core/test_parallel.py``).
+
+Early cancellation: once a batch's canonical-first match is known, every
+later future in the batch is cancelled and no further batches are
+dispatched — their results could never be reported anyway.
+
+The attempt cache (:class:`~repro.core.feedback.AttemptCache`) sits in
+front of dispatch: a (constraints, seed) pair whose outcome is already
+memoized cannot produce a new interleaving, so it is folded straight from
+the cache without burning a worker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.constraints import ConstraintSet, canonical_order
+from repro.core.explorer import (
+    AttemptRecord,
+    ExplorationResult,
+    ExplorerConfig,
+    _classify,
+)
+from repro.core.feedback import (
+    AttemptCache,
+    Candidate,
+    FeedbackDB,
+    FeedbackGenerator,
+    trace_fingerprint,
+)
+from repro.core.pir import PIRScheduler
+from repro.core.recorder import RecordedRun, apply_oracle
+from repro.sim.machine import Machine
+from repro.sim.trace import Trace
+
+_EMPTY: ConstraintSet = frozenset()
+
+
+@dataclass
+class AttemptContext:
+    """Everything a replay worker needs to run attempts for one session.
+
+    Pickled once per pool (via the worker initializer), not per task —
+    tasks themselves are just ``(constraints, seed)`` pairs.
+    """
+
+    recorded: RecordedRun
+    base_policy: str = "random"
+    match_output: bool = False
+    max_candidates_per_attempt: int = 24
+    max_constraint_depth: int = 8
+    #: canonical-order memo so each distinct constraint set is sorted
+    #: once per session, not once per replay.
+    sorted_cache: Dict[ConstraintSet, Tuple] = field(default_factory=dict)
+
+    def ordered(self, constraints: ConstraintSet) -> Tuple:
+        cached = self.sorted_cache.get(constraints)
+        if cached is None:
+            cached = canonical_order(constraints)
+            self.sorted_cache[constraints] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """What one replay attempt produced, compact enough to pickle back.
+
+    The full trace stays in the worker; the parent only needs the
+    classification, a stable execution fingerprint for dedup, the mined
+    next-attempt candidates, and (for matches) the winning schedule.
+    """
+
+    constraints: ConstraintSet
+    seed: int
+    outcome: str
+    detail: str
+    steps: int
+    matched: bool
+    fingerprint: str
+    candidates: Tuple[Candidate, ...] = ()
+    schedule: Optional[Tuple[int, ...]] = None
+
+
+def run_attempt(
+    ctx: AttemptContext, constraints: ConstraintSet, seed: int
+) -> Tuple[Trace, bool]:
+    """One replay attempt; the single source of attempt semantics.
+
+    Shared by the serial :class:`~repro.core.reproducer.Reproducer`, the
+    in-process fast path, and pool workers, so all three cannot drift.
+    """
+    recorded = ctx.recorded
+    scheduler = PIRScheduler(
+        recorded.log,
+        ctx.ordered(constraints),
+        base_seed=seed,
+        base_policy=ctx.base_policy,
+    )
+    machine = Machine(recorded.program, scheduler, recorded.config)
+    trace = machine.run()
+    failure = apply_oracle(trace, recorded.oracle)
+    if failure is not None and trace.failure is None:
+        trace.failure = failure
+    matched = (
+        not trace.diverged
+        and failure is not None
+        and recorded.failure.matches(failure)
+    )
+    if matched and ctx.match_output:
+        matched = trace.stdout == recorded.stdout
+    return trace, matched
+
+
+def evaluate_attempt(
+    ctx: AttemptContext,
+    constraints: ConstraintSet,
+    seed: int,
+    mine: bool = True,
+) -> AttemptOutcome:
+    """Run one attempt and summarize it as a picklable outcome.
+
+    Candidate mining happens here, in the worker, so the (potentially
+    large) trace never crosses the process boundary.  A matched attempt
+    skips mining — the search stops at it anyway — and carries the
+    winning schedule instead.
+    """
+    trace, matched = run_attempt(ctx, constraints, seed)
+    outcome, detail = _classify(trace, matched)
+    candidates: Tuple[Candidate, ...] = ()
+    schedule: Optional[Tuple[int, ...]] = None
+    if matched:
+        schedule = tuple(trace.schedule)
+    elif mine:
+        generator = FeedbackGenerator(
+            sketch=ctx.recorded.sketch,
+            max_candidates_per_attempt=ctx.max_candidates_per_attempt,
+            max_constraint_depth=ctx.max_constraint_depth,
+        )
+        candidates = tuple(generator.candidates(trace, constraints))
+    return AttemptOutcome(
+        constraints=constraints,
+        seed=seed,
+        outcome=outcome,
+        detail=detail,
+        steps=trace.steps,
+        matched=matched,
+        fingerprint=trace_fingerprint(trace),
+        candidates=candidates,
+        schedule=schedule,
+    )
+
+
+# -- pool worker plumbing -----------------------------------------------------
+
+#: Per-worker-process context, installed by :func:`_worker_init`.
+_WORKER_CTX: Dict[str, AttemptContext] = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    _WORKER_CTX["ctx"] = pickle.loads(payload)
+
+
+def _worker_run(task: Tuple[ConstraintSet, int, bool]) -> AttemptOutcome:
+    constraints, seed, mine = task
+    return evaluate_attempt(_WORKER_CTX["ctx"], constraints, seed, mine=mine)
+
+
+class ParallelExplorer:
+    """Batch-deterministic exploration over a pool of replay workers.
+
+    Drop-in peer of :class:`~repro.core.explorer.FeedbackExplorer` /
+    :class:`~repro.core.explorer.RandomExplorer` that owns its attempt
+    execution (the serial explorers are handed a runner callable; this
+    one must ship work to other processes, so it holds the
+    :class:`AttemptContext` itself).
+
+    :param use_feedback: with False, explores the predetermined seed
+        sequence of :class:`RandomExplorer` (the E5 ablation arm), still
+        batched and cached.
+    :param cache: optional shared :class:`AttemptCache`; hits are folded
+        without dispatching a replay.
+    """
+
+    def __init__(
+        self,
+        recorded: RecordedRun,
+        config: Optional[ExplorerConfig] = None,
+        base_policy: str = "random",
+        match_output: bool = False,
+        use_feedback: bool = True,
+        cache: Optional[AttemptCache] = None,
+    ) -> None:
+        self.config = config or ExplorerConfig()
+        self.context = AttemptContext(
+            recorded=recorded,
+            base_policy=base_policy,
+            match_output=match_output,
+            max_candidates_per_attempt=self.config.max_candidates_per_attempt,
+            max_constraint_depth=self.config.max_constraint_depth,
+        )
+        self.use_feedback = use_feedback
+        self.cache = cache
+        self.db = FeedbackDB()
+        #: why the process pool could not be used, if it could not.
+        self.pool_disabled_reason: Optional[str] = None
+        self._log_token = (
+            recorded.sketch.value,
+            len(recorded.log),
+            recorded.log.fingerprint(),
+        )
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def batch_size(self) -> int:
+        configured = self.config.batch_size
+        if configured > 0:
+            return configured
+        # Auto: serial stays exactly serial (batch of 1 == the serial
+        # explorer's schedule); pools speculate two batches per worker.
+        if self.config.jobs <= 1:
+            return 1
+        return 2 * self.config.jobs
+
+    def explore(self) -> ExplorationResult:
+        """Run the batched search; identical results for any ``jobs``."""
+        pool = self._make_pool()
+        try:
+            if self.use_feedback:
+                return self._explore_feedback(pool)
+            return self._explore_random(pool)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- pool management ------------------------------------------------
+
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.config.jobs <= 1:
+            return None
+        try:
+            payload = pickle.dumps(self.context)
+        except Exception as exc:  # unpicklable program/oracle: run inline
+            self.pool_disabled_reason = (
+                f"session is not picklable ({exc}); running attempts in-process"
+            )
+            return None
+        try:
+            import multiprocessing
+
+            mp_context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                # fork keeps worker hash seeds identical to the parent's
+                # and skips re-importing the world per worker.
+                mp_context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(
+                max_workers=self.config.jobs,
+                mp_context=mp_context,
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+        except Exception as exc:  # no fork/spawn support in this env
+            self.pool_disabled_reason = (
+                f"process pool unavailable ({exc}); running attempts in-process"
+            )
+            return None
+
+    # -- batch evaluation ------------------------------------------------
+
+    def _evaluate_batch(
+        self,
+        pool: Optional[ProcessPoolExecutor],
+        tasks: Sequence[Tuple[ConstraintSet, int, Optional[AttemptOutcome]]],
+    ) -> List[AttemptOutcome]:
+        """Evaluate one batch, returning outcomes in canonical pop order.
+
+        Stops at the first matched outcome *in pop order*: later entries
+        are cancelled (pool) or never run (inline), so the result list is
+        identical however many workers raced on it.
+        """
+        mine = self.use_feedback
+        if pool is None:
+            outcomes: List[AttemptOutcome] = []
+            for constraints, seed, cached in tasks:
+                outcome = cached if cached is not None else evaluate_attempt(
+                    self.context, constraints, seed, mine=mine
+                )
+                outcomes.append(outcome)
+                if outcome.matched:
+                    break
+            return outcomes
+
+        futures: List[Tuple[Optional[Future], Optional[AttemptOutcome]]] = []
+        for constraints, seed, cached in tasks:
+            if cached is not None:
+                futures.append((None, cached))
+            else:
+                futures.append(
+                    (pool.submit(_worker_run, (constraints, seed, mine)), None)
+                )
+        outcomes = []
+        matched_at: Optional[int] = None
+        for position, (future, cached) in enumerate(futures):
+            if matched_at is not None:
+                if future is not None:
+                    future.cancel()
+                continue
+            outcome = cached if cached is not None else future.result()
+            outcomes.append(outcome)
+            if outcome.matched:
+                matched_at = position
+        return outcomes
+
+    def _cache_key(self, constraints: ConstraintSet, seed: int) -> Tuple:
+        return AttemptCache.key_for(
+            self._log_token,
+            constraints,
+            seed,
+            self.context.base_policy,
+            self.context.match_output,
+        )
+
+    def _cached(self, constraints: ConstraintSet, seed: int) -> Optional[AttemptOutcome]:
+        if self.cache is None:
+            return None
+        return self.cache.get(self._cache_key(constraints, seed))
+
+    def _remember(self, outcome: AttemptOutcome) -> None:
+        if self.cache is not None:
+            self.cache.put(
+                self._cache_key(outcome.constraints, outcome.seed), outcome
+            )
+
+    # -- feedback-driven search ------------------------------------------
+
+    def _explore_feedback(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
+        result = ExplorationResult(success=False)
+        config = self.config
+        frontier: List[Tuple[Tuple[int, int, int], int, ConstraintSet, int]] = []
+        counter = 0
+        restarts_used = 0
+
+        def push(candidate: Candidate, seed: int) -> None:
+            nonlocal counter
+            counter += 1
+            heapq.heappush(
+                frontier,
+                (candidate.sort_key(), counter, candidate.constraints, seed),
+            )
+
+        push(Candidate(_EMPTY, 0, 0), config.base_seed)
+
+        while result.attempt_count < config.max_attempts:
+            # Assemble the next batch in canonical best-first order.
+            batch: List[Tuple[ConstraintSet, int, Optional[AttemptOutcome]]] = []
+            budget_left = config.max_attempts - result.attempt_count
+            want = min(self.batch_size, budget_left)
+            while len(batch) < want and frontier:
+                _, _, constraints, seed = heapq.heappop(frontier)
+                if self.db.tried(constraints, seed):
+                    continue
+                self.db.mark_tried(constraints, seed)
+                batch.append((constraints, seed, self._cached(constraints, seed)))
+            if not batch:
+                restarts_used += 1
+                if restarts_used > config.seed_restarts:
+                    break
+                push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
+                continue
+
+            for outcome in self._evaluate_batch(pool, batch):
+                if result.attempt_count >= config.max_attempts:
+                    break  # speculative overshoot: discard deterministically
+                if self._fold(result, outcome, push):
+                    return result
+        result.duplicate_traces = self.db.duplicate_traces
+        return result
+
+    def _fold(self, result: ExplorationResult, outcome: AttemptOutcome, push) -> bool:
+        """Merge one outcome into the running result; True when done."""
+        result.attempts.append(
+            AttemptRecord(
+                index=result.attempt_count,
+                base_seed=outcome.seed,
+                n_constraints=len(outcome.constraints),
+                outcome=outcome.outcome,
+                steps=outcome.steps,
+                detail=outcome.detail,
+            )
+        )
+        self._remember(outcome)
+        if outcome.matched:
+            result.success = True
+            result.winning_constraints = outcome.constraints
+            result.winning_seed = outcome.seed
+            # Attempts are pure, so re-running the winner in-process
+            # reconstructs the full winning trace the workers did not ship.
+            trace, matched = run_attempt(
+                self.context, outcome.constraints, outcome.seed
+            )
+            assert matched, "winning attempt must re-match deterministically"
+            result.winning_trace = trace
+            result.duplicate_traces = self.db.duplicate_traces
+            if self.cache is not None:
+                result.cache_hits = self.cache.hits
+            return True
+        if self.db.record_fingerprint(outcome.fingerprint):
+            for candidate in outcome.candidates:
+                push(candidate, outcome.seed)
+        if self.cache is not None:
+            result.cache_hits = self.cache.hits
+        return False
+
+    # -- feedback-free (ablation) search ----------------------------------
+
+    def _explore_random(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
+        result = ExplorationResult(success=False)
+        config = self.config
+        next_index = 0
+        while next_index < config.max_attempts:
+            size = min(self.batch_size, config.max_attempts - next_index)
+            batch = []
+            for offset in range(size):
+                seed = config.base_seed + next_index + offset
+                batch.append((_EMPTY, seed, self._cached(_EMPTY, seed)))
+            next_index += size
+            for outcome in self._evaluate_batch(pool, batch):
+                if self._fold(result, outcome, lambda *_: None):
+                    return result
+        return result

@@ -28,13 +28,13 @@ from repro.core.explorer import (
     FeedbackExplorer,
     RandomExplorer,
 )
+from repro.core.feedback import AttemptCache
 from repro.core.full_replay import CompleteLog
-from repro.core.pir import PIRScheduler
-from repro.core.recorder import RecordedRun, apply_oracle
+from repro.core.parallel import AttemptContext, ParallelExplorer, run_attempt
+from repro.core.recorder import RecordedRun
 from repro.core.sketches import SKETCH_ORDER, SketchKind
 from repro.core.sketchlog import derive_coarser
 from repro.errors import SimUsageError
-from repro.sim.machine import Machine
 from repro.sim.trace import Trace
 
 
@@ -77,6 +77,8 @@ class ReproductionReport:
     winning_constraints: ConstraintSet = frozenset()
     total_replay_steps: int = 0
     duplicate_traces: int = 0
+    #: attempts answered from the attempt cache instead of a fresh replay.
+    cache_hits: int = 0
     #: entries available after salvage, when the log came from salvage
     #: (``None`` when the log was pristine).
     salvaged_entries: Optional[int] = None
@@ -126,6 +128,7 @@ class Reproducer:
         use_feedback: bool = True,
         base_policy: str = "random",
         match_output: bool = False,
+        cache: Optional[AttemptCache] = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -137,38 +140,42 @@ class Reproducer:
         #: ODR-style strictness: besides re-triggering the failure, the
         #: attempt must reproduce the production run's observable output.
         self.match_output = match_output
-        if use_feedback:
+        #: shared attempt semantics: sorts each constraint set once per
+        #: session (canonical order) instead of once per replay.
+        self.context = AttemptContext(
+            recorded=recorded,
+            base_policy=base_policy,
+            match_output=match_output,
+            max_candidates_per_attempt=self.config.max_candidates_per_attempt,
+            max_constraint_depth=self.config.max_constraint_depth,
+        )
+        self.explorer: object
+        if self.config.jobs > 1 or self.config.batch_size > 1 or cache is not None:
+            self.explorer = ParallelExplorer(
+                recorded,
+                self.config,
+                base_policy=base_policy,
+                match_output=match_output,
+                use_feedback=use_feedback,
+                cache=cache,
+            )
+        elif use_feedback:
             self.explorer = FeedbackExplorer(recorded.sketch, self.config)
         else:
             self.explorer = RandomExplorer(recorded.sketch, self.config)
 
     def run(self) -> ReproductionReport:
         """Run the exploration loop and package the outcome."""
-        result = self.explorer.explore(self._attempt)
+        if isinstance(self.explorer, ParallelExplorer):
+            result = self.explorer.explore()
+        else:
+            result = self.explorer.explore(self._attempt)
         return self._package(result)
 
     # -- one attempt -------------------------------------------------------
 
     def _attempt(self, constraints: ConstraintSet, seed: int) -> Tuple[Trace, bool]:
-        scheduler = PIRScheduler(
-            self.recorded.log,
-            sorted(constraints, key=str),
-            base_seed=seed,
-            base_policy=self.base_policy,
-        )
-        machine = Machine(self.recorded.program, scheduler, self.recorded.config)
-        trace = machine.run()
-        failure = apply_oracle(trace, self.recorded.oracle)
-        if failure is not None and trace.failure is None:
-            trace.failure = failure
-        matched = (
-            not trace.diverged
-            and failure is not None
-            and self.recorded.failure.matches(failure)
-        )
-        if matched and self.match_output:
-            matched = trace.stdout == self.recorded.stdout
-        return trace, matched
+        return run_attempt(self.context, constraints, seed)
 
     # -- packaging ------------------------------------------------------------
 
@@ -191,6 +198,7 @@ class Reproducer:
             winning_constraints=result.winning_constraints,
             total_replay_steps=result.total_steps,
             duplicate_traces=result.duplicate_traces,
+            cache_hits=result.cache_hits,
         )
 
 
@@ -200,6 +208,8 @@ def reproduce(
     use_feedback: bool = True,
     base_policy: str = "random",
     match_output: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[AttemptCache] = None,
 ) -> ReproductionReport:
     """Reproduce a recorded failure; see :class:`Reproducer`.
 
@@ -209,10 +219,17 @@ def reproduce(
     :param match_output: ODR-style strictness — the attempt must also
         reproduce the production run's captured output exactly, not just
         its failure.  Typically needs more attempts.
+    :param jobs: replay workers (overrides ``config.jobs``).  Results are
+        identical for every value; >1 dispatches attempt batches to a
+        process pool (:class:`~repro.core.parallel.ParallelExplorer`).
+    :param cache: optional shared :class:`AttemptCache`; memoized attempt
+        outcomes are folded in without re-running the replay.
     """
+    if jobs is not None:
+        config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
     return Reproducer(
         recorded, config=config, use_feedback=use_feedback,
-        base_policy=base_policy, match_output=match_output,
+        base_policy=base_policy, match_output=match_output, cache=cache,
     ).run()
 
 
@@ -232,6 +249,21 @@ def degradation_ladder(start: SketchKind) -> List[SketchKind]:
     return rungs or [SketchKind.SYNC]
 
 
+def split_rung_budgets(total: int, rungs: int) -> List[int]:
+    """Split an attempt budget across ladder rungs without losing any.
+
+    ``total // rungs`` alone silently drops the remainder (budget 7 over
+    5 rungs used to run only 5 attempts); the remainder goes to the
+    *finest* rungs — they follow the most recorded detail, so extra
+    attempts there are likeliest to pay off.  Rungs can receive 0 when
+    the budget is smaller than the ladder; callers skip those entirely.
+    """
+    if rungs <= 0:
+        return []
+    base, remainder = divmod(max(0, total), rungs)
+    return [base + (1 if index < remainder else 0) for index in range(rungs)]
+
+
 def reproduce_degraded(
     recorded: RecordedRun,
     config: Optional[ExplorerConfig] = None,
@@ -241,39 +273,59 @@ def reproduce_degraded(
     salvaged_entries: Optional[int] = None,
     dropped_records: int = 0,
     seed_backoff: int = 101,
+    jobs: Optional[int] = None,
+    cache: Optional[AttemptCache] = None,
 ) -> ReproductionReport:
     """Reproduce with graceful degradation over the sketch ladder.
 
     Walks ``recorded.sketch`` → ... → SYNC, deriving each coarser sketch
     from the (possibly salvaged) log, splitting the attempt budget across
-    rungs and backing the base seed off deterministically per rung
+    rungs (exactly — remainders go to the finest rungs) and backing the
+    base seed off deterministically per rung
     (``base_seed + rung_index * seed_backoff``), so the whole session is
     still a pure function of its inputs.  Always returns a structured
     :class:`ReproductionReport`; neither ``SketchFormatError`` nor
     ``ReplayDivergence`` can escape (divergences are already absorbed per
     attempt by the machine/explorer).
 
+    Each rung's log is derived from the previous (finer) rung's — the
+    mechanisms are cumulative, so chained projection is equivalent to
+    projecting from the original log but touches ever-shrinking entry
+    lists; :func:`derive_coarser` additionally memoizes per source log.
+
     :param salvaged_entries: entry count recovered by salvage, recorded
         on the report for the bug ticket (``None`` = log was pristine).
     :param dropped_records: journal lines salvage had to discard.
+    :param jobs: replay workers per rung (overrides ``config.jobs``).
+    :param cache: shared :class:`AttemptCache` for all rungs (one is
+        created when ``None``), so a re-walk of the ladder replays
+        nothing it has already learned.
     """
     base_config = config or ExplorerConfig()
+    if jobs is not None:
+        base_config = dataclasses.replace(base_config, jobs=jobs)
     rungs = degradation_ladder(recorded.sketch)
-    per_rung = max(1, base_config.max_attempts // len(rungs))
+    budgets = split_rung_budgets(base_config.max_attempts, len(rungs))
+    shared_cache = cache if cache is not None else AttemptCache()
     path: List[DegradationRung] = []
     merged_records: List[AttemptRecord] = []
     total_attempts = 0
     total_steps = 0
     duplicates = 0
+    cache_hits = 0
+    source_log = recorded.log
 
     for index, rung in enumerate(rungs):
-        rung_log = derive_coarser(recorded.log, rung)
+        if budgets[index] <= 0:
+            continue
+        rung_log = derive_coarser(source_log, rung)
+        source_log = rung_log
         rung_recorded = dataclasses.replace(
             recorded, sketch=rung, log=rung_log
         )
         rung_config = dataclasses.replace(
             base_config,
-            max_attempts=per_rung,
+            max_attempts=budgets[index],
             base_seed=base_config.base_seed + index * seed_backoff,
         )
         report = Reproducer(
@@ -282,10 +334,12 @@ def reproduce_degraded(
             use_feedback=use_feedback,
             base_policy=base_policy,
             match_output=match_output,
+            cache=shared_cache,
         ).run()
         total_attempts += report.attempts
         total_steps += report.total_replay_steps
         duplicates += report.duplicate_traces
+        cache_hits = shared_cache.hits
         merged_records.extend(report.records)
         path.append(
             DegradationRung(
@@ -323,6 +377,7 @@ def reproduce_degraded(
         records=merged_records,
         total_replay_steps=total_steps,
         duplicate_traces=duplicates,
+        cache_hits=cache_hits,
         salvaged_entries=salvaged_entries,
         dropped_records=dropped_records,
         degradation_path=path,

@@ -8,6 +8,7 @@ for debugging; both round-trip exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zlib
@@ -196,6 +197,25 @@ class SketchLog:
                 ) from None
         return log
 
+    def fingerprint(self) -> str:
+        """Stable content digest (memoized until entries are appended).
+
+        Used as the log half of attempt-cache keys: two logs with equal
+        fingerprints constrain replay identically.  ``hashlib`` rather
+        than ``hash()`` so the digest is comparable across processes.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == len(self.entries):
+            return cached[1]
+        digest = hashlib.sha1(self.sketch.value.encode("utf-8"))
+        for entry in self.entries:
+            digest.update(
+                f"{entry.tid}:{entry.kind.value}:{_key_to_token(entry.key)}".encode("utf-8")
+            )
+        value = digest.hexdigest()
+        self._fingerprint_cache = (len(self.entries), value)
+        return value
+
     def describe(self, limit: int = 10) -> str:
         lines = [f"{self.sketch.value} sketch, {len(self.entries)} entries"]
         lines.extend(e.describe() for e in self.entries[:limit])
@@ -244,9 +264,21 @@ def derive_coarser(log: SketchLog, target: SketchKind) -> SketchLog:
         )
     if target is log.sketch:
         return log
+    # Memoized per source log: the degradation ladder projects the same
+    # salvaged log once per rung, and benchmark reruns hit it repeatedly.
+    # Keyed by entry count so a log appended to after a projection can
+    # never serve a stale result.
+    cache = getattr(log, "_coarser_cache", None)
+    if cache is None:
+        cache = log._coarser_cache = {}
+    key = (target, len(log.entries))
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     keep = visible_kinds(target)
     derived = SketchLog(sketch=target)
     for entry in log.entries:
         if entry.kind in keep:
             derived.append(entry)
+    cache[key] = derived
     return derived

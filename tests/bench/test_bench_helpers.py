@@ -143,4 +143,60 @@ class TestRunner:
         from repro.bench.runner import available_experiments
 
         names = available_experiments()
-        assert "t1" in names and "e1" in names
+        assert "t1" in names and "e1" in names and "e12" in names
+
+
+class TestBenchResults:
+    def test_structured_result_round_trips_json(self, tmp_path):
+        import json
+
+        from repro.bench.runner import run_experiment_result
+
+        result = run_experiment_result("e6")
+        payload = result.to_payload()
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["experiment"] == "e6"
+        assert payload["headers"][0] == "bug"
+        assert len(payload["records"]) == 13
+        assert all("log_bytes" in record for record in payload["records"])
+
+        path = result.write_json(tmp_path)
+        assert path.name == "BENCH_e6.json"
+        assert json.loads(path.read_text())["experiment"] == "e6"
+
+    def test_render_and_payload_agree(self):
+        from repro.bench.results import BenchResult
+
+        result = BenchResult(
+            experiment="x", title="demo", headers=["a", "b"],
+            rows=[["r", 1.5]], records=[{"a": "r", "b": 1.5}],
+        )
+        assert "demo" in result.render()
+        assert result.to_payload()["rows"] == [["r", 1.5]]
+
+    def test_jsonable_coerces_exotic_values(self):
+        from repro.bench.results import jsonable
+
+        assert jsonable(float("inf")) == "inf"
+        assert jsonable((1, 2)) == [1, 2]
+        assert jsonable({1: float("nan")}) == {"1": "nan"}
+
+
+class TestSpeedupHarness:
+    def test_e12_arms_are_equivalent_and_cached(self):
+        from repro.bench.speedup import e12_workload, run_speedup
+
+        recorded = e12_workload()
+        result = run_speedup(
+            jobs=(2,), max_attempts=20, recorded=recorded, sort_repeats=20
+        )
+        labels = [record["label"] for record in result.records]
+        assert labels == ["serial", "pool jobs=2", "cached re-walk"]
+        # Deterministic merge: every arm reports the serial trajectory.
+        assert all(record["matches_serial"] for record in result.records)
+        attempts = {record["attempts"] for record in result.records}
+        assert len(attempts) == 1
+        cached = result.records[-1]
+        assert cached["cache_hits"] == cached["attempts"]
+        micro = result.meta["sort_microbench"]
+        assert micro["sort_once_s"] < micro["per_attempt_sort_s"]

@@ -1,0 +1,93 @@
+"""Pickle round-trips for everything the process pool ships.
+
+The parallel engine's workers reconstruct their session from a pickled
+:class:`RecordedRun`; these tests pin down that the artifacts survive the
+trip *and still replay identically* — structural equality alone would
+miss a generator or closure smuggled into the payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from tests.conftest import counter_program, run_program
+
+from repro.apps import get_bug
+from repro.bench.seeds import find_failing_seed
+from repro.core.constraints import EventRef, OrderConstraint, canonical_order
+from repro.core.parallel import AttemptContext, run_attempt
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.sim import MachineConfig
+
+
+def _recorded(bug_id: str, sketch: SketchKind = SketchKind.SYNC):
+    spec = get_bug(bug_id)
+    seed = find_failing_seed(spec)
+    assert seed is not None
+    return record(
+        spec.make_program(),
+        sketch=sketch,
+        seed=seed,
+        config=MachineConfig(ncpus=4),
+        oracle=spec.oracle,
+    )
+
+
+class TestRecordedRunPickle:
+    @pytest.mark.parametrize("bug_id", ["pbzip2-order-free", "radix-order-rank"])
+    def test_round_trip_preserves_the_session(self, bug_id):
+        recorded = _recorded(bug_id)
+        clone = pickle.loads(pickle.dumps(recorded))
+        assert clone.program.name == recorded.program.name
+        assert clone.sketch is recorded.sketch
+        assert len(clone.log) == len(recorded.log)
+        assert clone.log.fingerprint() == recorded.log.fingerprint()
+        assert clone.failure.matches(recorded.failure)
+        assert clone.stdout == recorded.stdout
+
+    def test_round_trip_replays_identically(self):
+        recorded = _recorded("pbzip2-order-free")
+        clone = pickle.loads(pickle.dumps(recorded))
+        original_trace, original_matched = run_attempt(
+            AttemptContext(recorded=recorded), frozenset(), seed=5
+        )
+        cloned_trace, cloned_matched = run_attempt(
+            AttemptContext(recorded=clone), frozenset(), seed=5
+        )
+        assert cloned_matched == original_matched
+        assert cloned_trace.schedule == original_trace.schedule
+        assert cloned_trace.steps == original_trace.steps
+
+
+class TestTracePickle:
+    def test_round_trip(self):
+        trace = run_program(counter_program(), seed=1)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.schedule == trace.schedule
+        assert clone.failed == trace.failed
+        assert clone.stdout == trace.stdout
+        assert [e.signature() for e in clone.events] == [
+            e.signature() for e in trace.events
+        ]
+
+
+class TestConstraintSetPickle:
+    def test_round_trip_and_canonical_order(self):
+        constraints = frozenset(
+            {
+                OrderConstraint(
+                    before=EventRef(tid=1, family="mem", key=("buf", 3), occurrence=2),
+                    after=EventRef(tid=2, family="mem", key="counter", occurrence=1),
+                ),
+                OrderConstraint(
+                    before=EventRef(tid=2, family="lock", key="m", occurrence=1),
+                    after=EventRef(tid=1, family="lock", key="m", occurrence=2),
+                ),
+            }
+        )
+        clone = pickle.loads(pickle.dumps(constraints))
+        assert clone == constraints
+        assert canonical_order(clone) == canonical_order(constraints)

@@ -81,6 +81,14 @@ class TestReproduce:
         )
         assert code == 0
 
+    def test_jobs_flag_reproduces_on_a_pool(self, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--jobs", "2", "--max-attempts", "40"]
+        )
+        assert code == 0
+        assert "reproduced in" in capsys.readouterr().out
+
 
 class TestDiagnose:
     def test_diagnose_prints_report(self, capsys):
@@ -106,6 +114,15 @@ class TestBench:
     def test_bench_unknown_experiment(self, capsys):
         assert main(["bench", "e99"]) == 2
         assert "available" in capsys.readouterr().err
+
+    def test_bench_json_writes_machine_readable_results(self, capsys, tmp_path):
+        assert main(["bench", "t1", "--json", "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results written to" in out
+        payload = json.loads((tmp_path / "BENCH_t1.json").read_text())
+        assert payload["experiment"] == "t1"
+        assert len(payload["records"]) == 13
+        assert all("failure_rate" in record for record in payload["records"])
 
 
 class TestTraceOut:

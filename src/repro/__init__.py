@@ -34,6 +34,7 @@ from repro.core.reproducer import (
 )
 from repro.core.sketches import SKETCH_ORDER, SketchKind, parse_sketch_kind
 from repro.core.systematic import SystematicResult, systematic_search
+from repro.obs import MetricsRegistry, ObsSession, Tracer
 from repro.sim import (
     Machine,
     MachineConfig,
@@ -57,6 +58,8 @@ __all__ = [
     "FailureKind",
     "Machine",
     "MachineConfig",
+    "MetricsRegistry",
+    "ObsSession",
     "ParallelExplorer",
     "Program",
     "RandomScheduler",
@@ -68,6 +71,7 @@ __all__ = [
     "SystematicResult",
     "ThreadContext",
     "Trace",
+    "Tracer",
     "diagnose",
     "parse_sketch_kind",
     "record",

@@ -13,6 +13,7 @@ ASCII table and the JSON payload.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.apps import all_bugs, get_bug
@@ -225,8 +226,13 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
 }
 
 
-def run_experiment_result(name: str) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12); structured result."""
+def run_experiment_result(name: str, obs=None) -> BenchResult:
+    """Run one experiment by id (t1, e1..e6, e12); structured result.
+
+    :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
+        to builders that are instrumented for it (currently ``e12``) so
+        ``pres bench --trace-out/--metrics-out`` can export the session.
+    """
     try:
         builder = EXPERIMENTS[name.lower()]
     except KeyError:
@@ -235,6 +241,8 @@ def run_experiment_result(name: str) -> BenchResult:
             f"unknown experiment {name!r}; available: {valid} "
             "(e7-e10 need pytest: `pytest benchmarks/ --benchmark-only`)"
         ) from None
+    if obs is not None and "obs" in inspect.signature(builder).parameters:
+        return builder(obs=obs)
     return builder()
 
 

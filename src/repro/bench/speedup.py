@@ -102,10 +102,12 @@ def _timed_reproduce(
     max_attempts: int,
     jobs: int = 1,
     cache: Optional[AttemptCache] = None,
+    obs=None,
 ) -> "tuple[ReproductionReport, float]":
     config = ExplorerConfig(max_attempts=max_attempts, jobs=jobs)
     started = time.perf_counter()
-    report = reproduce(recorded, config, match_output=True, cache=cache)
+    report = reproduce(recorded, config, match_output=True, cache=cache,
+                       obs=obs)
     return report, time.perf_counter() - started
 
 
@@ -167,13 +169,22 @@ def run_speedup(
     max_attempts: int = E12_MAX_ATTEMPTS,
     recorded: Optional[RecordedRun] = None,
     sort_repeats: int = 400,
+    obs=None,
 ) -> BenchResult:
-    """E12: serial vs pooled vs cached exploration of one workload."""
+    """E12: serial vs pooled vs cached exploration of one workload.
+
+    :param obs: optional :class:`~repro.obs.session.ObsSession` shared by
+        every arm — each arm pays the same instrumentation cost, so the
+        relative speedups stay honest.  Its metrics snapshot is attached
+        as ``meta["metrics"]``.
+    """
     if recorded is None:
         recorded = e12_workload()
     arms: List[SpeedupArm] = []
 
-    serial_report, serial_wall = _timed_reproduce(recorded, max_attempts)
+    serial_report, serial_wall = _timed_reproduce(
+        recorded, max_attempts, obs=obs
+    )
     arms.append(
         SpeedupArm(
             label="serial",
@@ -187,7 +198,8 @@ def run_speedup(
     for n in jobs:
         if n <= 1:
             continue
-        report, wall = _timed_reproduce(recorded, max_attempts, jobs=n)
+        report, wall = _timed_reproduce(recorded, max_attempts, jobs=n,
+                                        obs=obs)
         arms.append(
             SpeedupArm(
                 label=f"pool jobs={n}",
@@ -204,8 +216,10 @@ def run_speedup(
     # from the shared AttemptCache instead of replaying — the ladder
     # re-walk scenario reproduce_degraded leans on.
     shared = AttemptCache()
-    _cold_report, cold_wall = _timed_reproduce(recorded, max_attempts, cache=shared)
-    warm_report, warm_wall = _timed_reproduce(recorded, max_attempts, cache=shared)
+    _cold_report, cold_wall = _timed_reproduce(recorded, max_attempts,
+                                               cache=shared, obs=obs)
+    warm_report, warm_wall = _timed_reproduce(recorded, max_attempts,
+                                              cache=shared, obs=obs)
     arms.append(
         SpeedupArm(
             label="cached re-walk",
@@ -232,6 +246,20 @@ def run_speedup(
         ]
         for arm in arms
     ]
+    meta = {
+        "bug": recorded.program.name,
+        "params": dict(E12_PARAMS),
+        "ncpus_simulated": E12_NCPUS,
+        "max_attempts": max_attempts,
+        "host_cpus": os.cpu_count() or 1,
+        "sort_microbench": sort_microbench(repeats=sort_repeats),
+        "note": (
+            "pool-arm wall time needs spare host cores; attempt "
+            "trajectories are jobs-invariant by construction"
+        ),
+    }
+    if obs is not None and obs.metrics.enabled:
+        meta["metrics"] = obs.metrics.snapshot()
     return BenchResult(
         experiment="e12",
         title=(
@@ -242,21 +270,10 @@ def run_speedup(
                  "cache hits", "speedup", "= serial"],
         rows=rows,
         records=[arm.to_record() for arm in arms],
-        meta={
-            "bug": recorded.program.name,
-            "params": dict(E12_PARAMS),
-            "ncpus_simulated": E12_NCPUS,
-            "max_attempts": max_attempts,
-            "host_cpus": os.cpu_count() or 1,
-            "sort_microbench": sort_microbench(repeats=sort_repeats),
-            "note": (
-                "pool-arm wall time needs spare host cores; attempt "
-                "trajectories are jobs-invariant by construction"
-            ),
-        },
+        meta=meta,
     )
 
 
-def build_e12() -> BenchResult:
+def build_e12(obs=None) -> BenchResult:
     """Registry entry point (``pres bench e12``)."""
-    return run_speedup()
+    return run_speedup(obs=obs)

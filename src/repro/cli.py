@@ -7,7 +7,15 @@ Subcommands::
     pres record BUG [--sketch SYNC]   record a production run, show stats
     pres reproduce BUG [...]          full pipeline: record -> PIR -> log
     pres replay BUG --log FILE        deterministic replay of a saved log
+    pres inspect TRACE                render a saved observability trace
     pres doctor LOG [--out FILE]      validate/salvage an on-disk artifact
+
+Observability flags (see docs/observability.md): ``reproduce`` accepts
+``--trace-out FILE`` (Chrome ``trace_event`` JSON — open in Perfetto or
+feed to ``pres inspect``) and ``--metrics-out FILE`` (counters / gauges /
+histograms snapshot); ``bench`` accepts the same pair; ``doctor`` accepts
+``--metrics-out``.  The reproduced execution JSONL that ``--trace-out``
+used to write now lives under ``--exec-out``.
 
 Fault tolerance flags (see docs/internals.md, "Fault tolerance"):
 ``record``/``reproduce`` accept ``--journal`` (crash-consistent sketch
@@ -33,7 +41,37 @@ from repro.core.recorder import record
 from repro.core.reproducer import reproduce, reproduce_degraded
 from repro.core.sketches import parse_sketch_kind
 from repro.errors import RecorderKilled, SketchFormatError
+from repro.obs.session import ObsSession
 from repro.sim import MachineConfig
+
+
+def _obs_from_args(args) -> Optional[ObsSession]:
+    """A live session when ``--trace-out``/``--metrics-out`` ask for one.
+
+    Metrics are always collected alongside a trace (the snapshot is cheap
+    and the pair is how the docs teach reading a session), so
+    ``--trace-out`` alone still yields a metrics-capable session.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return None
+    return ObsSession.create(trace=bool(trace_out), metrics=True)
+
+
+def _write_obs(args, obs: Optional[ObsSession]) -> None:
+    """Flush the session's artifacts to the paths the user asked for."""
+    if obs is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        obs.write_trace(trace_out)
+        print(f"observability trace written to {trace_out} "
+              "(open in Perfetto, or `pres inspect`)")
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"metrics snapshot written to {metrics_out}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +176,7 @@ def cmd_reproduce(args) -> int:
         print("--inject-fault needs --journal on reproduce", file=sys.stderr)
         return 2
     kill_at = fault.arg if fault is not None and fault.kind == "kill" else None
+    obs = _obs_from_args(args)
     try:
         recorded = record(
             spec.make_program(),
@@ -147,6 +186,7 @@ def cmd_reproduce(args) -> int:
             oracle=spec.oracle,
             journal_path=args.journal,
             kill_at_event=kill_at,
+            **({"obs": obs} if obs is not None else {}),
         )
     except RecorderKilled as killed:
         print(f"fault injected: {killed}", file=sys.stderr)
@@ -182,7 +222,11 @@ def cmd_reproduce(args) -> int:
             salvaged_entries = len(log)
             dropped_records = salvage_report.dropped_lines
 
-    config = ExplorerConfig(max_attempts=args.max_attempts, jobs=args.jobs)
+    config = ExplorerConfig(
+        max_attempts=args.max_attempts,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+    )
     if args.degrade:
         report = reproduce_degraded(
             recorded,
@@ -190,6 +234,7 @@ def cmd_reproduce(args) -> int:
             use_feedback=not args.no_feedback,
             salvaged_entries=salvaged_entries,
             dropped_records=dropped_records,
+            obs=obs,
         )
         for rung in report.degradation_path:
             print(f"  rung {rung.describe()}")
@@ -200,25 +245,29 @@ def cmd_reproduce(args) -> int:
             recorded,
             config,
             use_feedback=not args.no_feedback,
+            obs=obs,
         )
     print(report.describe())
     for attempt in report.records:
         print(f"  attempt {attempt.index}: {attempt.outcome} "
               f"(constraints={attempt.n_constraints}, seed={attempt.base_seed})")
+    # Observability artifacts flush whether or not the reproduction
+    # succeeded — a failed session is precisely when the timeline matters.
+    _write_obs(args, obs)
     if not report.success:
         return 1
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.complete_log.to_json())
         print(f"complete log written to {args.out}; replays deterministically")
-    if args.trace_out:
+    if args.exec_out:
         from repro.sim.persist import save_trace
 
         trace = replay_complete(
             spec.make_program(), report.complete_log, oracle=spec.oracle
         )
-        save_trace(trace, args.trace_out)
-        print(f"reproduced execution written to {args.trace_out}")
+        save_trace(trace, args.exec_out)
+        print(f"reproduced execution written to {args.exec_out}")
     return 0
 
 
@@ -251,8 +300,13 @@ def cmd_diagnose(args) -> int:
 
 def cmd_stats(args) -> int:
     from repro.analysis import lock_order_report
+    from repro.core.sketches import event_visible
     from repro.sim import Machine, RandomScheduler, trace_stats
 
+    # Validate the sketch name *before* running anything: an unknown name
+    # exits 2 with the registry's named error (lists the valid kinds)
+    # instead of silently reporting stats for the wrong mechanism.
+    sketch = parse_sketch_kind(args.sketch) if args.sketch else None
     spec = get_bug(args.bug)
     seed = args.seed if args.seed is not None else 0
     machine = Machine(
@@ -265,6 +319,12 @@ def cmd_stats(args) -> int:
           f"{'FAILED - ' + trace.failure.describe() if trace.failed else 'clean'}")
     print(trace_stats(trace).describe())
     print(lock_order_report(trace).describe())
+    if sketch is not None:
+        visible = sum(1 for e in trace.events if event_visible(sketch, e))
+        total = len(trace.events)
+        share = 100.0 * visible / total if total else 0.0
+        print(f"{sketch.value} sketch would record {visible} of {total} "
+              f"events ({share:.1f}%)")
     return 0
 
 
@@ -275,15 +335,29 @@ def cmd_bench(args) -> int:
         for name in available_experiments():
             print(name)
         return 0
+    obs = _obs_from_args(args)
     try:
-        result = run_experiment_result(args.experiment)
+        result = run_experiment_result(args.experiment, obs=obs)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    if obs is not None and obs.metrics.enabled:
+        # The snapshot rides inside the BenchResult JSON so one artifact
+        # carries both the table and the session's instrumentation.
+        result.meta["metrics"] = obs.metrics.snapshot()
     print(result.render())
     if args.json:
         path = result.write_json(args.json_dir)
         print(f"results written to {path}")
+    _write_obs(args, obs)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.obs import load_chrome_trace, render_trace
+
+    payload = load_chrome_trace(args.trace)
+    print(render_trace(payload))
     return 0
 
 
@@ -339,7 +413,12 @@ def cmd_replay(args) -> int:
 
 
 def cmd_doctor(args) -> int:
-    from repro.robust.doctor import SALVAGEABLE, examine, write_salvaged
+    from repro.robust.doctor import (
+        SALVAGEABLE,
+        diagnosis_metrics,
+        examine,
+        write_salvaged,
+    )
 
     diagnosis = examine(args.log)
     print(diagnosis.describe())
@@ -347,6 +426,14 @@ def cmd_doctor(args) -> int:
         out = args.out or args.log + ".salvaged"
         write_salvaged(diagnosis, out)
         print(f"salvaged log written to {out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        diagnosis_metrics(diagnosis, registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json())
+        print(f"metrics snapshot written to {args.metrics_out}")
     return diagnosis.exit_code
 
 
@@ -379,11 +466,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay workers; >1 explores attempt batches "
                               "on a process pool (same result, less wall "
                               "time on multi-core hosts)")
+    p_repro.add_argument("--batch-size", type=int, default=0,
+                         help="frontier candidates dispatched per batch; "
+                              "0 = auto.  The exploration schedule (and "
+                              "every metrics counter) depends only on "
+                              "this, never on --jobs")
     p_repro.add_argument("--no-feedback", action="store_true",
                          help="ablation: random re-rolls instead of feedback")
     p_repro.add_argument("--out", help="write the complete log (JSON) here")
-    p_repro.add_argument("--trace-out",
+    p_repro.add_argument("--exec-out",
                          help="write the reproduced execution (JSONL) here")
+    p_repro.add_argument("--trace-out",
+                         help="write the session's observability trace "
+                              "(Chrome trace_event JSON; open in Perfetto "
+                              "or `pres inspect`) here")
+    p_repro.add_argument("--metrics-out",
+                         help="write the session's metrics snapshot "
+                              "(JSON) here")
     p_repro.add_argument("--journal",
                          help="journal sketch entries (crash-consistent) here")
     p_repro.add_argument("--inject-fault", metavar="SPEC",
@@ -416,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_doctor.add_argument("--out",
                           help="where to write the salvaged log "
                                "(default: <log>.salvaged)")
+    p_doctor.add_argument("--metrics-out",
+                          help="write the diagnosis as a metrics snapshot "
+                               "(JSON) here")
 
     p_stats = sub.add_parser(
         "stats", help="run once and print execution statistics + lock hazards"
@@ -423,6 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("bug")
     p_stats.add_argument("--seed", type=int, default=None)
     p_stats.add_argument("--ncpus", type=int, default=4)
+    p_stats.add_argument("--sketch", default=None,
+                         help="also report how many events this sketch "
+                              "kind would record (none|sync|sys|func|bb|rw)")
 
     p_bench = sub.add_parser(
         "bench", help="render an evaluation table (t1, e1..e6, e12, or 'list')"
@@ -433,6 +538,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(machine-readable rows + records)")
     p_bench.add_argument("--json-dir", default=".",
                          help="directory for the JSON file (default: .)")
+    p_bench.add_argument("--trace-out",
+                         help="write the experiment's observability trace "
+                              "(Chrome trace_event JSON) here")
+    p_bench.add_argument("--metrics-out",
+                         help="write the experiment's metrics snapshot "
+                              "(JSON) here; also embedded in the --json "
+                              "payload as meta.metrics")
+
+    p_inspect = sub.add_parser(
+        "inspect", help="render a saved observability trace as text"
+    )
+    p_inspect.add_argument("trace",
+                           help="Chrome trace_event JSON written by "
+                                "--trace-out")
 
     return parser
 
@@ -447,6 +566,7 @@ _HANDLERS = {
     "doctor": cmd_doctor,
     "bench": cmd_bench,
     "stats": cmd_stats,
+    "inspect": cmd_inspect,
 }
 
 

@@ -17,6 +17,7 @@ from typing import Callable, FrozenSet, List, Optional, Tuple
 from repro.core.constraints import ConstraintSet, OrderConstraint
 from repro.core.feedback import Candidate, FeedbackDB, FeedbackGenerator
 from repro.core.sketches import SketchKind
+from repro.obs.session import ObsSession, resolve_session
 from repro.sim.trace import Trace
 
 #: Runs one attempt under (constraints, base_seed); returns the trace and
@@ -77,6 +78,28 @@ class ExplorerConfig:
     #: ``max(jobs, 2 * jobs)`` automatically.  ``batch_size=1`` makes the
     #: parallel engine's schedule exactly the serial explorer's.
     batch_size: int = 0
+    #: collect spans for this exploration (see :mod:`repro.obs`) when no
+    #: explicit :class:`~repro.obs.session.ObsSession` is passed in.
+    trace: bool = False
+    #: collect metrics (counters/gauges/histograms) likewise.  Counter
+    #: and histogram values are identical for every ``jobs`` at a fixed
+    #: ``batch_size`` — the metrics face of the determinism contract.
+    metrics: bool = False
+
+
+def observe_attempt_record(metrics, record: AttemptRecord) -> None:
+    """Fold one attempt into a metrics registry — the single place both
+    the serial explorers and the parallel engine charge attempt metrics,
+    so the two code paths cannot drift apart.  Called only at
+    schedule-deterministic fold points, which is what makes counter and
+    histogram snapshots ``jobs``-invariant for a fixed ``batch_size``.
+    """
+    metrics.counter("attempts").inc()
+    metrics.counter(f"attempts_{record.outcome}").inc()
+    metrics.histogram("constraint_set_size").observe(record.n_constraints)
+    metrics.histogram("attempt_steps").observe(record.steps)
+    if record.outcome == "diverged":
+        metrics.histogram("divergence_depth").observe(record.steps)
 
 
 def _classify(trace: Trace, matched: bool) -> Tuple[str, str]:
@@ -92,9 +115,15 @@ def _classify(trace: Trace, matched: bool) -> Tuple[str, str]:
 class FeedbackExplorer:
     """Best-first search steered by failed-attempt analysis."""
 
-    def __init__(self, sketch: SketchKind, config: Optional[ExplorerConfig] = None):
+    def __init__(
+        self,
+        sketch: SketchKind,
+        config: Optional[ExplorerConfig] = None,
+        obs: Optional[ObsSession] = None,
+    ):
         self.sketch = sketch
         self.config = config or ExplorerConfig()
+        self.obs = resolve_session(self.config, obs)
         self.db = FeedbackDB()
         self.generator = FeedbackGenerator(
             sketch=sketch,
@@ -104,8 +133,11 @@ class FeedbackExplorer:
         )
 
     def explore(self, runner: AttemptRunner) -> ExplorationResult:
+        """Run the search, calling ``runner`` once per replay attempt."""
         result = ExplorationResult(success=False)
         config = self.config
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
         frontier: List[Tuple[Tuple[int, int], int, ConstraintSet, int]] = []
         counter = 0
         restarts_used = 0
@@ -127,6 +159,7 @@ class FeedbackExplorer:
                     break
                 # A restart re-rolls every unrecorded choice: same (empty)
                 # constraint set, fresh base seed.
+                metrics.counter("seed_restarts").inc()
                 push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
                 continue
 
@@ -135,18 +168,28 @@ class FeedbackExplorer:
                 continue
             self.db.mark_tried(constraints, seed)
 
-            trace, matched = runner(constraints, seed)
-            outcome, detail = _classify(trace, matched)
-            result.attempts.append(
-                AttemptRecord(
-                    index=result.attempt_count,
-                    base_seed=seed,
-                    n_constraints=len(constraints),
-                    outcome=outcome,
-                    steps=trace.steps,
-                    detail=detail,
-                )
+            # Each serial attempt is its own batch of one, so the counter
+            # stream matches the parallel engine at ``batch_size=1``.
+            metrics.counter("batches").inc()
+            span = tracer.span(
+                "attempt", category="attempt",
+                index=result.attempt_count, seed=seed,
+                constraints=len(constraints),
             )
+            with span:
+                trace, matched = runner(constraints, seed)
+                outcome, detail = _classify(trace, matched)
+                span.note(outcome=outcome, steps=trace.steps)
+            record = AttemptRecord(
+                index=result.attempt_count,
+                base_seed=seed,
+                n_constraints=len(constraints),
+                outcome=outcome,
+                steps=trace.steps,
+                detail=detail,
+            )
+            result.attempts.append(record)
+            observe_attempt_record(metrics, record)
             if matched:
                 result.success = True
                 result.winning_trace = trace
@@ -156,36 +199,57 @@ class FeedbackExplorer:
 
             # Feedback: mine the failed attempt, even a diverged prefix.
             if self.db.record_trace(trace):
+                mined = 0
                 for candidate in self.generator.candidates(trace, constraints):
                     push(candidate, seed)
+                    mined += 1
+                metrics.counter("candidates_mined").inc(mined)
+            metrics.gauge("frontier_peak").max(len(frontier))
 
         result.duplicate_traces = self.db.duplicate_traces
+        metrics.counter("duplicate_traces").inc(result.duplicate_traces)
         return result
 
 
 class RandomExplorer:
     """No feedback: re-roll the unrecorded choices every attempt."""
 
-    def __init__(self, sketch: SketchKind, config: Optional[ExplorerConfig] = None):
+    def __init__(
+        self,
+        sketch: SketchKind,
+        config: Optional[ExplorerConfig] = None,
+        obs: Optional[ObsSession] = None,
+    ):
         self.sketch = sketch
         self.config = config or ExplorerConfig()
+        self.obs = resolve_session(self.config, obs)
 
     def explore(self, runner: AttemptRunner) -> ExplorationResult:
+        """Run the predetermined seed sequence until a match or the cap."""
         result = ExplorationResult(success=False)
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
         for index in range(self.config.max_attempts):
             seed = self.config.base_seed + index
-            trace, matched = runner(_EMPTY, seed)
-            outcome, detail = _classify(trace, matched)
-            result.attempts.append(
-                AttemptRecord(
-                    index=index,
-                    base_seed=seed,
-                    n_constraints=0,
-                    outcome=outcome,
-                    steps=trace.steps,
-                    detail=detail,
-                )
+            metrics.counter("batches").inc()
+            span = tracer.span(
+                "attempt", category="attempt", index=index, seed=seed,
+                constraints=0,
             )
+            with span:
+                trace, matched = runner(_EMPTY, seed)
+                outcome, detail = _classify(trace, matched)
+                span.note(outcome=outcome, steps=trace.steps)
+            record = AttemptRecord(
+                index=index,
+                base_seed=seed,
+                n_constraints=0,
+                outcome=outcome,
+                steps=trace.steps,
+                detail=detail,
+            )
+            result.attempts.append(record)
+            observe_attempt_record(metrics, record)
             if matched:
                 result.success = True
                 result.winning_trace = trace

@@ -45,9 +45,10 @@ the cache without burning a worker.
 from __future__ import annotations
 
 import heapq
+import os
 import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import ConstraintSet, canonical_order
@@ -56,6 +57,7 @@ from repro.core.explorer import (
     ExplorationResult,
     ExplorerConfig,
     _classify,
+    observe_attempt_record,
 )
 from repro.core.feedback import (
     AttemptCache,
@@ -66,6 +68,8 @@ from repro.core.feedback import (
 )
 from repro.core.pir import PIRScheduler
 from repro.core.recorder import RecordedRun, apply_oracle
+from repro.obs.session import ObsSession, resolve_session
+from repro.obs.tracer import NULL_TRACER, PARENT_TRACK, SpanRecord, Tracer
 from repro.sim.machine import Machine
 from repro.sim.trace import Trace
 
@@ -88,13 +92,26 @@ class AttemptContext:
     #: canonical-order memo so each distinct constraint set is sorted
     #: once per session, not once per replay.
     sorted_cache: Dict[ConstraintSet, Tuple] = field(default_factory=dict)
+    #: record per-attempt spans inside :func:`evaluate_attempt` (in the
+    #: worker process, when pooled) and ship them on the outcome.
+    trace_attempts: bool = False
+    #: the parent tracer's monotonic-clock epoch, so worker spans land on
+    #: the parent timeline directly (see :mod:`repro.obs.tracer`).
+    trace_epoch: float = 0.0
 
     def ordered(self, constraints: ConstraintSet) -> Tuple:
+        """The canonical ordering of ``constraints``, memoized per session."""
         cached = self.sorted_cache.get(constraints)
         if cached is None:
             cached = canonical_order(constraints)
             self.sorted_cache[constraints] = cached
         return cached
+
+    def attempt_tracer(self) -> Tracer:
+        """A tracer for one attempt evaluation (null when tracing is off)."""
+        if not self.trace_attempts:
+            return NULL_TRACER
+        return Tracer(enabled=True, epoch=self.trace_epoch)
 
 
 @dataclass(frozen=True)
@@ -115,6 +132,10 @@ class AttemptOutcome:
     fingerprint: str
     candidates: Tuple[Candidate, ...] = ()
     schedule: Optional[Tuple[int, ...]] = None
+    #: spans recorded while evaluating this attempt (tracing only);
+    #: stamped with the recording pid so the parent can assign worker
+    #: lanes deterministically at fold time.  Stripped before caching.
+    spans: Tuple[SpanRecord, ...] = ()
 
 
 def run_attempt(
@@ -160,19 +181,29 @@ def evaluate_attempt(
     skips mining — the search stops at it anyway — and carries the
     winning schedule instead.
     """
-    trace, matched = run_attempt(ctx, constraints, seed)
-    outcome, detail = _classify(trace, matched)
-    candidates: Tuple[Candidate, ...] = ()
-    schedule: Optional[Tuple[int, ...]] = None
-    if matched:
-        schedule = tuple(trace.schedule)
-    elif mine:
-        generator = FeedbackGenerator(
-            sketch=ctx.recorded.sketch,
-            max_candidates_per_attempt=ctx.max_candidates_per_attempt,
-            max_constraint_depth=ctx.max_constraint_depth,
+    tracer = ctx.attempt_tracer()
+    attempt_span = tracer.span(
+        "attempt", category="attempt", seed=seed, constraints=len(constraints)
+    )
+    with attempt_span:
+        with tracer.span("replay", category="replay"):
+            trace, matched = run_attempt(ctx, constraints, seed)
+        outcome, detail = _classify(trace, matched)
+        candidates: Tuple[Candidate, ...] = ()
+        schedule: Optional[Tuple[int, ...]] = None
+        if matched:
+            schedule = tuple(trace.schedule)
+        elif mine:
+            with tracer.span("mine", category="feedback"):
+                generator = FeedbackGenerator(
+                    sketch=ctx.recorded.sketch,
+                    max_candidates_per_attempt=ctx.max_candidates_per_attempt,
+                    max_constraint_depth=ctx.max_constraint_depth,
+                )
+                candidates = tuple(generator.candidates(trace, constraints))
+        attempt_span.note(
+            outcome=outcome, steps=trace.steps, candidates=len(candidates)
         )
-        candidates = tuple(generator.candidates(trace, constraints))
     return AttemptOutcome(
         constraints=constraints,
         seed=seed,
@@ -183,6 +214,7 @@ def evaluate_attempt(
         fingerprint=trace_fingerprint(trace),
         candidates=candidates,
         schedule=schedule,
+        spans=tuple(tracer.spans),
     )
 
 
@@ -225,14 +257,18 @@ class ParallelExplorer:
         match_output: bool = False,
         use_feedback: bool = True,
         cache: Optional[AttemptCache] = None,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         self.config = config or ExplorerConfig()
+        self.obs = resolve_session(self.config, obs)
         self.context = AttemptContext(
             recorded=recorded,
             base_policy=base_policy,
             match_output=match_output,
             max_candidates_per_attempt=self.config.max_candidates_per_attempt,
             max_constraint_depth=self.config.max_constraint_depth,
+            trace_attempts=self.obs.tracer.enabled,
+            trace_epoch=self.obs.tracer.epoch,
         )
         self.use_feedback = use_feedback
         self.cache = cache
@@ -244,11 +280,22 @@ class ParallelExplorer:
             len(recorded.log),
             recorded.log.fingerprint(),
         )
+        # Worker lanes are assigned by first appearance *at fold time*,
+        # which happens in pop order — so lane numbering is deterministic
+        # even though OS pids are not.
+        self._parent_pid = os.getpid()
+        self._lanes: Dict[int, int] = {}
 
     # -- public API -----------------------------------------------------
 
     @property
     def batch_size(self) -> int:
+        """Frontier candidates dispatched per batch.
+
+        The exploration schedule — and therefore every counter and
+        histogram the engine charges — depends only on this value, never
+        on ``jobs``.
+        """
         configured = self.config.batch_size
         if configured > 0:
             return configured
@@ -260,14 +307,24 @@ class ParallelExplorer:
 
     def explore(self) -> ExplorationResult:
         """Run the batched search; identical results for any ``jobs``."""
-        pool = self._make_pool()
-        try:
-            if self.use_feedback:
-                return self._explore_feedback(pool)
-            return self._explore_random(pool)
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+        self.obs.metrics.gauge("jobs").set(self.config.jobs)
+        self.obs.metrics.gauge("batch_size").set(self.batch_size)
+        with self.obs.tracer.span(
+            "explore", category="engine",
+            jobs=self.config.jobs, batch_size=self.batch_size,
+            feedback=self.use_feedback,
+        ):
+            pool = self._make_pool()
+            try:
+                if self.use_feedback:
+                    result = self._explore_feedback(pool)
+                else:
+                    result = self._explore_random(pool)
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        self.obs.metrics.counter("duplicate_traces").inc(result.duplicate_traces)
+        return result
 
     # -- pool management ------------------------------------------------
 
@@ -279,6 +336,10 @@ class ParallelExplorer:
         except Exception as exc:  # unpicklable program/oracle: run inline
             self.pool_disabled_reason = (
                 f"session is not picklable ({exc}); running attempts in-process"
+            )
+            self.obs.tracer.instant(
+                "pool-disabled", category="engine",
+                reason=self.pool_disabled_reason,
             )
             return None
         try:
@@ -298,6 +359,10 @@ class ParallelExplorer:
         except Exception as exc:  # no fork/spawn support in this env
             self.pool_disabled_reason = (
                 f"process pool unavailable ({exc}); running attempts in-process"
+            )
+            self.obs.tracer.instant(
+                "pool-disabled", category="engine",
+                reason=self.pool_disabled_reason,
             )
             return None
 
@@ -359,19 +424,49 @@ class ParallelExplorer:
     def _cached(self, constraints: ConstraintSet, seed: int) -> Optional[AttemptOutcome]:
         if self.cache is None:
             return None
-        return self.cache.get(self._cache_key(constraints, seed))
+        # Lookups happen during batch assembly, in pop order, so these
+        # counters are as schedule-deterministic as the search itself.
+        outcome = self.cache.get(self._cache_key(constraints, seed))
+        if outcome is not None:
+            self.obs.metrics.counter("cache_hits").inc()
+            self.obs.tracer.instant(
+                "cache-hit", category="cache",
+                seed=seed, constraints=len(constraints),
+            )
+        else:
+            self.obs.metrics.counter("cache_misses").inc()
+        return outcome
 
     def _remember(self, outcome: AttemptOutcome) -> None:
         if self.cache is not None:
+            # Spans describe *this* run's wall clock; a future session
+            # folding the cached outcome must not inherit them.
             self.cache.put(
-                self._cache_key(outcome.constraints, outcome.seed), outcome
+                self._cache_key(outcome.constraints, outcome.seed),
+                replace(outcome, spans=()),
             )
+
+    def _lane_for(self, pid: int) -> int:
+        """The timeline lane for spans recorded by ``pid``.
+
+        Parent-process spans stay on :data:`~repro.obs.tracer.PARENT_TRACK`;
+        worker pids get 1-based lanes in first-appearance-at-fold order.
+        """
+        if pid == self._parent_pid:
+            return PARENT_TRACK
+        lane = self._lanes.get(pid)
+        if lane is None:
+            lane = len(self._lanes) + 1
+            self._lanes[pid] = lane
+        return lane
 
     # -- feedback-driven search ------------------------------------------
 
     def _explore_feedback(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
         result = ExplorationResult(success=False)
         config = self.config
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
         frontier: List[Tuple[Tuple[int, int, int], int, ConstraintSet, int]] = []
         counter = 0
         restarts_used = 0
@@ -401,29 +496,42 @@ class ParallelExplorer:
                 restarts_used += 1
                 if restarts_used > config.seed_restarts:
                     break
+                metrics.counter("seed_restarts").inc()
                 push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
                 continue
 
-            for outcome in self._evaluate_batch(pool, batch):
+            metrics.counter("batches").inc()
+            with tracer.span(
+                "batch", category="explore", size=len(batch),
+                first_attempt=result.attempt_count,
+            ):
+                outcomes = self._evaluate_batch(pool, batch)
+            for outcome in outcomes:
                 if result.attempt_count >= config.max_attempts:
                     break  # speculative overshoot: discard deterministically
                 if self._fold(result, outcome, push):
                     return result
+            metrics.gauge("frontier_peak").max(len(frontier))
         result.duplicate_traces = self.db.duplicate_traces
         return result
 
     def _fold(self, result: ExplorationResult, outcome: AttemptOutcome, push) -> bool:
         """Merge one outcome into the running result; True when done."""
-        result.attempts.append(
-            AttemptRecord(
-                index=result.attempt_count,
-                base_seed=outcome.seed,
-                n_constraints=len(outcome.constraints),
-                outcome=outcome.outcome,
-                steps=outcome.steps,
-                detail=outcome.detail,
-            )
+        record = AttemptRecord(
+            index=result.attempt_count,
+            base_seed=outcome.seed,
+            n_constraints=len(outcome.constraints),
+            outcome=outcome.outcome,
+            steps=outcome.steps,
+            detail=outcome.detail,
         )
+        result.attempts.append(record)
+        observe_attempt_record(self.obs.metrics, record)
+        if outcome.spans:
+            # All spans of one outcome were recorded by one process.
+            self.obs.tracer.absorb(
+                outcome.spans, self._lane_for(outcome.spans[0].pid)
+            )
         self._remember(outcome)
         if outcome.matched:
             result.success = True
@@ -431,9 +539,12 @@ class ParallelExplorer:
             result.winning_seed = outcome.seed
             # Attempts are pure, so re-running the winner in-process
             # reconstructs the full winning trace the workers did not ship.
-            trace, matched = run_attempt(
-                self.context, outcome.constraints, outcome.seed
-            )
+            with self.obs.tracer.span(
+                "rematerialize-winner", category="replay", seed=outcome.seed
+            ):
+                trace, matched = run_attempt(
+                    self.context, outcome.constraints, outcome.seed
+                )
             assert matched, "winning attempt must re-match deterministically"
             result.winning_trace = trace
             result.duplicate_traces = self.db.duplicate_traces
@@ -441,6 +552,9 @@ class ParallelExplorer:
                 result.cache_hits = self.cache.hits
             return True
         if self.db.record_fingerprint(outcome.fingerprint):
+            self.obs.metrics.counter("candidates_mined").inc(
+                len(outcome.candidates)
+            )
             for candidate in outcome.candidates:
                 push(candidate, outcome.seed)
         if self.cache is not None:
@@ -452,6 +566,8 @@ class ParallelExplorer:
     def _explore_random(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
         result = ExplorationResult(success=False)
         config = self.config
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
         next_index = 0
         while next_index < config.max_attempts:
             size = min(self.batch_size, config.max_attempts - next_index)
@@ -460,7 +576,13 @@ class ParallelExplorer:
                 seed = config.base_seed + next_index + offset
                 batch.append((_EMPTY, seed, self._cached(_EMPTY, seed)))
             next_index += size
-            for outcome in self._evaluate_batch(pool, batch):
+            metrics.counter("batches").inc()
+            with tracer.span(
+                "batch", category="explore", size=len(batch),
+                first_attempt=result.attempt_count,
+            ):
+                outcomes = self._evaluate_batch(pool, batch)
+            for outcome in outcomes:
                 if self._fold(result, outcome, lambda *_: None):
                     return result
         return result

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.core.cost import DEFAULT_COST_MODEL, CostModel
 from repro.core.sketches import SketchEntry, SketchKind, event_visible
 from repro.core.sketchlog import SketchLog, entry_record
+from repro.obs.session import NULL_SESSION, ObsSession
 from repro.sim.events import Event
 from repro.sim.failures import Failure, FailureKind
 from repro.sim.machine import Machine, MachineConfig, Observer
@@ -170,6 +171,7 @@ def record(
     scheduler: Optional[Scheduler] = None,
     journal_path: Optional[str] = None,
     kill_at_event: Optional[int] = None,
+    obs: ObsSession = NULL_SESSION,
 ) -> RecordedRun:
     """Run ``program`` once in "production" and record a sketch.
 
@@ -183,6 +185,8 @@ def record(
     :param kill_at_event: fault injection — raise
         :class:`~repro.errors.RecorderKilled` once this many events have
         executed, leaving only the journaled prefix behind.
+    :param obs: observability session the recording phase reports into
+        (a ``record`` span plus ``record_*`` counters).
     """
     run, _ = record_with_trace(
         program,
@@ -194,6 +198,7 @@ def record(
         scheduler=scheduler,
         journal_path=journal_path,
         kill_at_event=kill_at_event,
+        obs=obs,
     )
     return run
 
@@ -208,6 +213,7 @@ def record_with_trace(
     scheduler: Optional[Scheduler] = None,
     journal_path: Optional[str] = None,
     kill_at_event: Optional[int] = None,
+    obs: ObsSession = NULL_SESSION,
 ) -> tuple:
     """Like :func:`record` but also returns the full production trace.
 
@@ -242,13 +248,20 @@ def record_with_trace(
         machine_config,
         observers=observers,
     )
-    try:
-        trace = machine.run()
-    finally:
-        # On a kill, the journal stays footer-less (crash-shaped) but its
-        # flushed prefix is already on disk; close the handle either way.
-        if journal is not None:
-            journal.close()
+    record_span = obs.tracer.span(
+        "record", category="record",
+        program=program.name, sketch=sketch.value, seed=seed,
+    )
+    with record_span:
+        try:
+            trace = machine.run()
+        finally:
+            # On a kill, the journal stays footer-less (crash-shaped) but
+            # its flushed prefix is already on disk; close the handle
+            # either way.
+            if journal is not None:
+                journal.close()
+        record_span.note(events=len(trace.events), entries=len(recorder.log))
     failure = apply_oracle(trace, oracle)
     clock = trace.clock
     stats = RecordingStats(
@@ -258,6 +271,11 @@ def record_with_trace(
         logged_entries=len(recorder.log),
         log_bytes=recorder.log.size_bytes(),
     )
+    metrics = obs.metrics
+    metrics.counter("record_events").inc(stats.total_events)
+    metrics.counter("record_entries").inc(stats.logged_entries)
+    metrics.counter("record_log_bytes").inc(stats.log_bytes)
+    metrics.gauge("record_overhead_percent").set(stats.overhead_percent)
     run = RecordedRun(
         program=program,
         sketch=sketch,

@@ -35,6 +35,7 @@ from repro.core.recorder import RecordedRun
 from repro.core.sketches import SKETCH_ORDER, SketchKind
 from repro.core.sketchlog import derive_coarser
 from repro.errors import SimUsageError
+from repro.obs.session import ObsSession, resolve_session
 from repro.sim.trace import Trace
 
 
@@ -129,6 +130,7 @@ class Reproducer:
         base_policy: str = "random",
         match_output: bool = False,
         cache: Optional[AttemptCache] = None,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -136,6 +138,7 @@ class Reproducer:
             )
         self.recorded = recorded
         self.config = config or ExplorerConfig()
+        self.obs = resolve_session(self.config, obs)
         self.base_policy = base_policy
         #: ODR-style strictness: besides re-triggering the failure, the
         #: attempt must reproduce the production run's observable output.
@@ -158,19 +161,35 @@ class Reproducer:
                 match_output=match_output,
                 use_feedback=use_feedback,
                 cache=cache,
+                obs=self.obs,
             )
         elif use_feedback:
-            self.explorer = FeedbackExplorer(recorded.sketch, self.config)
+            self.explorer = FeedbackExplorer(
+                recorded.sketch, self.config, obs=self.obs
+            )
         else:
-            self.explorer = RandomExplorer(recorded.sketch, self.config)
+            self.explorer = RandomExplorer(
+                recorded.sketch, self.config, obs=self.obs
+            )
 
     def run(self) -> ReproductionReport:
         """Run the exploration loop and package the outcome."""
-        if isinstance(self.explorer, ParallelExplorer):
-            result = self.explorer.explore()
-        else:
-            result = self.explorer.explore(self._attempt)
-        return self._package(result)
+        with self.obs.tracer.span(
+            "reproduce", category="session",
+            program=self.recorded.program.name,
+            sketch=self.recorded.sketch.value,
+        ):
+            if isinstance(self.explorer, ParallelExplorer):
+                result = self.explorer.explore()
+            else:
+                result = self.explorer.explore(self._attempt)
+        report = self._package(result)
+        metrics = self.obs.metrics
+        metrics.counter("reproductions").inc()
+        if report.success:
+            metrics.counter("reproductions_succeeded").inc()
+            metrics.histogram("attempts_to_match").observe(report.attempts)
+        return report
 
     # -- one attempt -------------------------------------------------------
 
@@ -210,6 +229,7 @@ def reproduce(
     match_output: bool = False,
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ReproductionReport:
     """Reproduce a recorded failure; see :class:`Reproducer`.
 
@@ -224,12 +244,16 @@ def reproduce(
         process pool (:class:`~repro.core.parallel.ParallelExplorer`).
     :param cache: optional shared :class:`AttemptCache`; memoized attempt
         outcomes are folded in without re-running the replay.
+    :param obs: optional :class:`~repro.obs.session.ObsSession` to record
+        spans and metrics into; defaults to the ``config.trace`` /
+        ``config.metrics`` knobs (off = zero cost).
     """
     if jobs is not None:
         config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
     return Reproducer(
         recorded, config=config, use_feedback=use_feedback,
         base_policy=base_policy, match_output=match_output, cache=cache,
+        obs=obs,
     ).run()
 
 
@@ -275,6 +299,7 @@ def reproduce_degraded(
     seed_backoff: int = 101,
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ReproductionReport:
     """Reproduce with graceful degradation over the sketch ladder.
 
@@ -300,10 +325,14 @@ def reproduce_degraded(
     :param cache: shared :class:`AttemptCache` for all rungs (one is
         created when ``None``), so a re-walk of the ladder replays
         nothing it has already learned.
+    :param obs: optional :class:`~repro.obs.session.ObsSession` shared by
+        every rung, so the exported timeline shows the whole ladder walk;
+        defaults to the ``config.trace`` / ``config.metrics`` knobs.
     """
     base_config = config or ExplorerConfig()
     if jobs is not None:
         base_config = dataclasses.replace(base_config, jobs=jobs)
+    session = resolve_session(base_config, obs)
     rungs = degradation_ladder(recorded.sketch)
     budgets = split_rung_budgets(base_config.max_attempts, len(rungs))
     shared_cache = cache if cache is not None else AttemptCache()
@@ -318,6 +347,8 @@ def reproduce_degraded(
     for index, rung in enumerate(rungs):
         if budgets[index] <= 0:
             continue
+        session.metrics.counter("ladder_rungs").inc()
+        session.metrics.histogram("rung_budget").observe(budgets[index])
         rung_log = derive_coarser(source_log, rung)
         source_log = rung_log
         rung_recorded = dataclasses.replace(
@@ -328,14 +359,19 @@ def reproduce_degraded(
             max_attempts=budgets[index],
             base_seed=base_config.base_seed + index * seed_backoff,
         )
-        report = Reproducer(
-            rung_recorded,
-            config=rung_config,
-            use_feedback=use_feedback,
-            base_policy=base_policy,
-            match_output=match_output,
-            cache=shared_cache,
-        ).run()
+        with session.tracer.span(
+            f"rung {rung.value}", category="ladder",
+            budget=budgets[index], entries=len(rung_log),
+        ):
+            report = Reproducer(
+                rung_recorded,
+                config=rung_config,
+                use_feedback=use_feedback,
+                base_policy=base_policy,
+                match_output=match_output,
+                cache=shared_cache,
+                obs=session,
+            ).run()
         total_attempts += report.attempts
         total_steps += report.total_replay_steps
         duplicates += report.duplicate_traces

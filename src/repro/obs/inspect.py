@@ -1,0 +1,162 @@
+"""Render a saved observability trace as text (``pres inspect``).
+
+Where the Chrome exporter targets Perfetto, this module targets a
+terminal: the same document renders as an *attempt timeline* — one row
+per replay attempt, one column per timeline lane, following the
+conventions of :mod:`repro.analysis.timeline` (right-justified time
+column, per-column widths, a ``<-`` marker on the row that matters) —
+plus a phase table and per-category totals, so "why did this
+reproduction take 9 attempts" is answerable without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import PARENT_TRACK
+
+#: categories rendered in the phase table (session-level structure).
+_PHASE_CATEGORIES = frozenset(
+    {"session", "record", "ladder", "engine", "explore"}
+)
+
+
+def _ms(value_us: float) -> str:
+    """Microseconds rendered as fixed-width milliseconds."""
+    return f"{value_us / 1000.0:.3f}"
+
+
+def _split(payload: Dict[str, Any]):
+    """(lane names, span events, instant events) from a trace document."""
+    lanes: Dict[int, str] = {}
+    spans: List[Dict[str, Any]] = []
+    instants: List[Dict[str, Any]] = []
+    for event in payload.get("traceEvents", []):
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                lanes[int(event["tid"])] = event["args"]["name"]
+            continue
+        if phase == "X":
+            spans.append(event)
+        elif phase == "i":
+            instants.append(event)
+    spans.sort(key=lambda e: (e.get("ts", 0), e.get("tid", 0)))
+    instants.sort(key=lambda e: (e.get("ts", 0), e.get("tid", 0)))
+    return lanes, spans, instants
+
+
+def _attempt_cell(event: Dict[str, Any]) -> str:
+    """One attempt span as a compact cell: ``s<seed> c<n> <outcome>``."""
+    args = event.get("args", {})
+    parts: List[str] = []
+    if "seed" in args:
+        parts.append(f"s{args['seed']}")
+    if "constraints" in args:
+        parts.append(f"c{args['constraints']}")
+    parts.append(str(args.get("outcome", "?")))
+    return " ".join(parts)
+
+
+def render_attempt_timeline(payload: Dict[str, Any]) -> str:
+    """The attempt-by-attempt view: one column per timeline lane."""
+    lanes, spans, _ = _split(payload)
+    attempts = [e for e in spans if e.get("cat") == "attempt"]
+    if not attempts:
+        return "(no attempt spans in this trace)"
+    tids = sorted({int(e.get("tid", PARENT_TRACK)) for e in attempts})
+    labels = {tid: lanes.get(tid, f"track {tid}") for tid in tids}
+    cells = [(int(e.get("tid", 0)), _attempt_cell(e), e) for e in attempts]
+    widths = {
+        tid: max(
+            [len(labels[tid])]
+            + [len(text) for cell_tid, text, _ in cells if cell_tid == tid]
+        )
+        for tid in tids
+    }
+    time_width = max(len("ms"), *(len(_ms(e.get("ts", 0))) for e in attempts))
+    header = ["ms".rjust(time_width)] + [
+        labels[tid].ljust(widths[tid]) for tid in tids
+    ]
+    divider = ["-" * time_width] + ["-" * widths[tid] for tid in tids]
+    lines = ["  ".join(header), "  ".join(divider)]
+    for tid, text, event in cells:
+        row = [_ms(event.get("ts", 0)).rjust(time_width)]
+        for col in tids:
+            row.append((text if col == tid else "").ljust(widths[col]))
+        line = "  ".join(row).rstrip()
+        if event.get("args", {}).get("outcome") == "matched":
+            line += "   <- matched"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_phases(payload: Dict[str, Any]) -> str:
+    """Session-level phases (record, explore batches, ladder rungs)."""
+    _, spans, _ = _split(payload)
+    phases = [e for e in spans if e.get("cat") in _PHASE_CATEGORIES]
+    if not phases:
+        return "(no phase spans in this trace)"
+    name_width = max(len("phase"), *(len(e["name"]) for e in phases))
+    lines = [
+        f"{'phase'.ljust(name_width)}  {'start ms'.rjust(9)}  {'dur ms'.rjust(9)}",
+        f"{'-' * name_width}  {'-' * 9}  {'-' * 9}",
+    ]
+    for event in phases:
+        lines.append(
+            f"{event['name'].ljust(name_width)}  "
+            f"{_ms(event.get('ts', 0)).rjust(9)}  "
+            f"{_ms(event.get('dur', 0)).rjust(9)}"
+        )
+    return "\n".join(lines)
+
+
+def render_totals(payload: Dict[str, Any]) -> str:
+    """Per-category span counts and total time."""
+    _, spans, instants = _split(payload)
+    totals: Dict[str, Tuple[int, float]] = {}
+    for event in spans:
+        count, dur = totals.get(event.get("cat", "?"), (0, 0.0))
+        totals[event.get("cat", "?")] = (count + 1, dur + event.get("dur", 0))
+    for event in instants:
+        count, dur = totals.get(event.get("cat", "?"), (0, 0.0))
+        totals[event.get("cat", "?")] = (count + 1, dur)
+    if not totals:
+        return "(empty trace)"
+    width = max(len("category"), *(len(c) for c in totals))
+    lines = [
+        f"{'category'.ljust(width)}  {'events'.rjust(6)}  {'total ms'.rjust(9)}",
+        f"{'-' * width}  {'-' * 6}  {'-' * 9}",
+    ]
+    for category in sorted(totals):
+        count, dur = totals[category]
+        lines.append(
+            f"{category.ljust(width)}  {str(count).rjust(6)}  "
+            f"{_ms(dur).rjust(9)}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(payload: Dict[str, Any]) -> str:
+    """The full ``pres inspect`` report for one trace document."""
+    lanes, spans, instants = _split(payload)
+    workers = sorted(tid for tid in lanes if tid != PARENT_TRACK)
+    span_end = max((e.get("ts", 0) + e.get("dur", 0) for e in spans), default=0)
+    header = (
+        f"pres trace: {len(spans)} span(s), {len(instants)} instant "
+        f"event(s), {len(workers)} worker lane(s), "
+        f"{_ms(span_end)} ms timeline"
+    )
+    sections = [
+        header,
+        "",
+        "phases",
+        render_phases(payload),
+        "",
+        "attempt timeline",
+        render_attempt_timeline(payload),
+        "",
+        "totals by category",
+        render_totals(payload),
+    ]
+    return "\n".join(sections)

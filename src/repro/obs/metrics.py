@@ -1,0 +1,225 @@
+"""Metrics for the record/replay pipeline: counters, gauges, histograms.
+
+Where the tracer (:mod:`repro.obs.tracer`) answers "where did the time
+go", the metrics registry answers "what did the search do" — attempts by
+outcome, cache hit ratio, constraint-set growth, divergence depth,
+per-rung budget burn.  The registry snapshots to JSON
+(:meth:`MetricsRegistry.snapshot`) and prints as an ASCII summary
+(:meth:`MetricsRegistry.render`).
+
+Determinism contract
+--------------------
+
+Counters and histograms are only ever updated at schedule-deterministic
+points (the parallel engine's batch *fold*, never inside racing pool
+workers), so for a fixed ``batch_size`` the counter and histogram
+sections of a snapshot are **identical for every value of ``jobs``** —
+the observability analogue of the engine's jobs-invariance contract,
+pinned by ``tests/obs/test_metrics.py``.  Wall-clock and host-shape
+figures (worker counts, elapsed time) belong in *gauges*, which carry no
+such guarantee.
+
+A disabled registry hands out shared no-op instruments, so hot paths can
+keep their ``metrics.counter("attempts").inc()`` calls unconditional.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Histogram bucket upper bounds: powers of two up to ~1M, then overflow.
+#: Fixed bounds keep snapshots comparable across runs and hosts.
+BUCKET_BOUNDS = tuple(2 ** k for k in range(21))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); amounts must not be negative."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value (wall time, pool size, overhead %)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def max(self, value: Number) -> None:
+        """Keep the running maximum (peak frontier size, ...)."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-bucket distribution (power-of-two bounds).
+
+    Tracks count/sum/min/max plus per-bucket counts, so snapshots are
+    small, mergeable, and independent of observation order.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        label = "inf"
+        for bound in BUCKET_BOUNDS:
+            if value <= bound:
+                label = f"le_{bound}"
+                break
+        self.buckets[label] = self.buckets.get(label, 0) + 1
+
+    def to_record(self) -> Dict[str, Any]:
+        """The snapshot shape for one histogram."""
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": round(mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "buckets": {k: self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """No-op."""
+
+    def set(self, value: Number) -> None:
+        """No-op."""
+
+    def max(self, value: Number) -> None:
+        """No-op."""
+
+    def observe(self, value: Number) -> None:
+        """No-op."""
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotable as JSON."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str):
+        """The counter called ``name`` (a shared no-op when disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str):
+        """The gauge called ``name`` (a shared no-op when disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str):
+        """The histogram called ``name`` (a shared no-op when disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full registry as a JSON-ready dict, keys sorted.
+
+        ``counters`` and ``histograms`` are deterministic for a fixed
+        exploration schedule; ``gauges`` may carry host/wall figures.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_record()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        """The snapshot serialized (stable key order, trailing newline)."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """A compact ASCII summary for the CLI."""
+        lines: List[str] = ["metrics:"]
+        if not (self._counters or self._gauges or self._histograms):
+            lines.append("  (none recorded)")
+            return "\n".join(lines)
+        width = max(
+            (len(n) for n in (*self._counters, *self._gauges, *self._histograms)),
+            default=0,
+        )
+        for name in sorted(self._counters):
+            lines.append(f"  {name.ljust(width)}  {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name.ljust(width)}  {self._gauges[name].value}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name].to_record()
+            lines.append(
+                f"  {name.ljust(width)}  n={h['count']} mean={h['mean']:g} "
+                f"min={h['min']} max={h['max']}"
+            )
+        return "\n".join(lines)
+
+
+#: The shared disabled registry; the default everywhere metrics are off.
+NULL_METRICS = MetricsRegistry(enabled=False)

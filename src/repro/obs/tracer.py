@@ -1,0 +1,229 @@
+"""Span/event tracing for the replay pipeline.
+
+The exploration loop is where PRES earns its headline claim — feedback
+converges "in fewer than 10 attempts" — and where every future perf PR
+must justify itself.  :class:`Tracer` makes that loop visible: code under
+instrumentation opens *spans* (``with tracer.span("attempt", ...)``) and
+drops *instant events* (``tracer.instant("cache-hit")``), and the
+collected :class:`SpanRecord` list exports to Chrome ``trace_event`` JSON
+(:mod:`repro.obs.export`) or the attempt-timeline renderer
+(:mod:`repro.obs.inspect`).
+
+Two properties are load-bearing:
+
+* **Near-zero overhead when disabled.**  A disabled tracer returns one
+  shared no-op span object from every :meth:`Tracer.span` call and
+  records nothing — no per-call allocation, no clock read.  Hot paths
+  may therefore keep their instrumentation unconditional (the E12 bench
+  budget allows < 2% regression with observability off).
+* **Cross-process mergeability.**  Replay workers run in separate
+  processes but share the parent's monotonic-clock epoch (shipped inside
+  the pickled :class:`~repro.core.parallel.AttemptContext`), so worker
+  spans carry parent-comparable timestamps and are merged
+  deterministically — in batch *fold order*, never completion order —
+  into the parent timeline (see ``ParallelExplorer._fold``).
+
+Timestamps are wall-clock and therefore not reproducible run-to-run; the
+deterministic view of a session is the metrics snapshot
+(:mod:`repro.obs.metrics`), not the trace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Track 0 is the session's own timeline; replay-worker lanes are 1..jobs.
+PARENT_TRACK = 0
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (or instant event, when ``duration_us`` is 0).
+
+    Records are plain frozen dataclasses so they pickle compactly across
+    the process-pool boundary (workers ship them back on
+    :class:`~repro.core.parallel.AttemptOutcome`).
+    """
+
+    #: span name, e.g. ``"attempt"`` or ``"rung rw"``.
+    name: str
+    #: coarse grouping used by exporters: ``record`` | ``explore`` |
+    #: ``attempt`` | ``replay`` | ``feedback`` | ``cache`` | ``ladder`` |
+    #: ``engine`` | ``session``.
+    category: str
+    #: microseconds since the owning tracer's epoch.
+    start_us: float
+    #: span length in microseconds; 0 marks an instant event.
+    duration_us: float
+    #: timeline lane (:data:`PARENT_TRACK`, or a worker lane >= 1).
+    track: int = PARENT_TRACK
+    #: pid of the recording process; the parent maps worker pids to
+    #: stable lane numbers at fold time.
+    pid: int = 0
+    #: free-form annotations (seed, outcome, constraint count, ...).
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def retrack(self, track: int) -> "SpanRecord":
+        """A copy of this record on a different timeline lane."""
+        return SpanRecord(
+            name=self.name,
+            category=self.category,
+            start_us=self.start_us,
+            duration_us=self.duration_us,
+            track=track,
+            pid=self.pid,
+            args=dict(self.args),
+        )
+
+
+class _NullSpan:
+    """The shared no-op span a disabled tracer hands out.
+
+    One module-level instance serves every ``span()`` call of every
+    disabled tracer — the zero-allocation property the disabled-mode
+    test pins down by identity.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op; returns itself so ``with ... as span`` still works."""
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        """No-op; never swallows exceptions."""
+        return False
+
+    def note(self, **args: Any) -> None:
+        """Discard annotations."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span; finalizes into a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "track", "args", "_start_us")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str, track: int,
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.track = track
+        self.args = args
+        self._start_us = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start_us = self._tracer.now_us()
+        return self
+
+    def note(self, **args: Any) -> None:
+        """Attach annotations (outcome, steps, ...) to the open span."""
+        self.args.update(args)
+
+    def __exit__(self, *exc: Any) -> bool:
+        tracer = self._tracer
+        tracer.spans.append(
+            SpanRecord(
+                name=self.name,
+                category=self.category,
+                start_us=self._start_us,
+                duration_us=tracer.now_us() - self._start_us,
+                track=self.track,
+                pid=tracer.pid,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events on one monotonic timeline.
+
+    :param enabled: a disabled tracer records nothing and returns the
+        shared :data:`NULL_SPAN` from every :meth:`span` call.
+    :param epoch: timeline origin in ``clock()`` units.  Pass a parent
+        tracer's epoch to a worker-process tracer so both timelines are
+        directly comparable (``time.perf_counter`` is system-wide on the
+        platforms the process pool runs on).
+    :param clock: injectable time source, for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        epoch: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self.epoch = clock() if epoch is None else epoch
+        self.pid = os.getpid()
+        #: finished spans, in completion order; exporters sort by start.
+        self.spans: List[SpanRecord] = []
+
+    def now_us(self) -> float:
+        """Microseconds since this tracer's epoch."""
+        return (self._clock() - self.epoch) * 1e6
+
+    def span(
+        self, name: str, category: str = "replay", track: int = PARENT_TRACK,
+        **args: Any,
+    ):
+        """Open a span as a context manager.
+
+        Disabled tracers return the shared no-op span; callers never need
+        their own ``if tracer.enabled`` guard (though guarding is still
+        worthwhile when *computing the annotations* is itself costly).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _LiveSpan(self, name, category, track, args)
+
+    def instant(
+        self, name: str, category: str = "replay", track: int = PARENT_TRACK,
+        **args: Any,
+    ) -> None:
+        """Record a zero-duration event at the current time."""
+        if not self.enabled:
+            return
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                category=category,
+                start_us=self.now_us(),
+                duration_us=0.0,
+                track=track,
+                pid=self.pid,
+                args=args,
+            )
+        )
+
+    def absorb(self, records: Iterable[SpanRecord], track: int) -> None:
+        """Merge spans recorded elsewhere (a pool worker) onto ``track``.
+
+        Callers are responsible for calling this in a deterministic order
+        — the parallel engine absorbs in batch fold order, so the span
+        *list* is reproducible even though timestamps are not.
+        """
+        if not self.enabled:
+            return
+        for record in records:
+            self.spans.append(record.retrack(track))
+
+    def worker_lanes(self) -> Tuple[int, ...]:
+        """The distinct non-parent lanes present, in sorted order."""
+        return tuple(
+            sorted({s.track for s in self.spans if s.track != PARENT_TRACK})
+        )
+
+
+#: The shared disabled tracer; the default everywhere observability is off.
+NULL_TRACER = Tracer(enabled=False, epoch=0.0)

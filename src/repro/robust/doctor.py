@@ -156,6 +156,22 @@ def _diagnose_json_blob(path: str, text: str) -> LogDiagnosis:
     )
 
 
+def diagnosis_metrics(diagnosis: LogDiagnosis, registry) -> None:
+    """Fold one diagnosis into a metrics registry.
+
+    ``registry`` is anything with the
+    :class:`~repro.obs.metrics.MetricsRegistry` counter/gauge surface
+    (duck-typed, matching the convention of
+    :meth:`~repro.sim.stats.TraceStats.to_metrics`).  ``pres doctor
+    --metrics-out`` uses this so fleet-wide log-health dashboards can
+    aggregate doctor verdicts without parsing the prose report.
+    """
+    registry.counter("doctor_examined").inc()
+    registry.counter(f"doctor_{diagnosis.status}").inc()
+    registry.counter("doctor_valid_records").inc(diagnosis.valid_records)
+    registry.counter("doctor_dropped_records").inc(diagnosis.dropped)
+
+
 def examine(path: str) -> LogDiagnosis:
     """Sniff the file format and produce a verdict (never raises on
     corrupt content; missing files still raise ``OSError``)."""

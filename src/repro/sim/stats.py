@@ -56,6 +56,26 @@ class TraceStats:
             name for name, stats in self.locks.items() if stats.handoffs > 0
         )
 
+    def to_metrics(self, registry, prefix: str = "trace") -> None:
+        """Fold this summary into a metrics registry.
+
+        ``registry`` is anything with the
+        :class:`~repro.obs.metrics.MetricsRegistry` counter/gauge surface
+        (duck-typed so :mod:`repro.sim` keeps no import edge into
+        :mod:`repro.obs`).  Counters are charged with the trace's event
+        totals; densities land on gauges.
+        """
+        registry.counter(f"{prefix}_events").inc(self.total_events)
+        registry.counter(f"{prefix}_memory_ops").inc(self.memory_ops)
+        registry.counter(f"{prefix}_sync_ops").inc(self.sync_ops)
+        registry.counter(f"{prefix}_syscall_ops").inc(self.syscall_ops)
+        registry.gauge(f"{prefix}_threads").set(len(self.per_thread))
+        registry.gauge(f"{prefix}_sync_density").set(self.sync_density)
+        registry.gauge(f"{prefix}_memory_density").set(self.memory_density)
+        registry.gauge(f"{prefix}_contended_locks").set(
+            len(self.contended_locks())
+        )
+
     def describe(self) -> str:
         top_kinds = sorted(
             self.by_kind.items(), key=lambda kv: -kv[1]

@@ -1,0 +1,156 @@
+"""Chrome trace_event export: schema validity, determinism, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import get_bug
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import SketchKind
+from repro.obs.export import (
+    EXPORT_PID,
+    chrome_trace,
+    chrome_trace_events,
+    load_chrome_trace,
+    save_chrome_trace,
+    validate_trace_event,
+)
+from repro.obs.session import ObsSession
+from repro.obs.tracer import PARENT_TRACK, SpanRecord, Tracer
+from repro.sim import MachineConfig
+
+
+def _spans():
+    return [
+        SpanRecord("explore", "engine", 0.0, 100.0),
+        SpanRecord("attempt", "attempt", 10.0, 30.0, track=1, pid=11,
+                   args={"seed": 3, "outcome": "diverged"}),
+        SpanRecord("cache-hit", "cache", 50.0, 0.0, args={"seed": 4}),
+    ]
+
+
+class TestEventShape:
+    def test_spans_become_complete_events(self):
+        events = chrome_trace_events(_spans())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"explore", "attempt"}
+        for event in complete:
+            assert isinstance(event["dur"], float)
+            assert event["pid"] == EXPORT_PID
+
+    def test_zero_duration_becomes_instant(self):
+        events = chrome_trace_events(_spans())
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["name"] == "cache-hit"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_every_lane_gets_a_thread_name(self):
+        events = chrome_trace_events(_spans())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[PARENT_TRACK] == "explorer"
+        assert names[1] == "worker 1"
+
+    def test_every_event_passes_the_schema_check(self):
+        for event in chrome_trace_events(_spans()):
+            assert validate_trace_event(event) == ""
+
+    def test_events_are_sorted_by_start_time(self):
+        events = [e for e in chrome_trace_events(_spans()) if e["ph"] != "M"]
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_exotic_args_are_coerced_to_repr(self):
+        span = SpanRecord("s", "replay", 0.0, 1.0,
+                          args={"kind": SketchKind.SYNC})
+        (event,) = [e for e in chrome_trace_events([span]) if e["ph"] == "X"]
+        assert event["args"]["kind"] == repr(SketchKind.SYNC)
+        json.dumps(event)  # must be serializable
+
+
+class TestValidation:
+    @pytest.mark.parametrize("event,problem", [
+        ("not-a-dict", "is not an object"),
+        ({"ph": "Q", "name": "x", "pid": 1, "tid": 0}, "unknown phase"),
+        ({"ph": "X", "pid": 1, "tid": 0}, "missing name"),
+        ({"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": "late"},
+         "non-numeric ts"),
+        ({"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 1.0},
+         "without a numeric dur"),
+    ])
+    def test_malformed_events_are_named(self, event, problem):
+        assert problem in validate_trace_event(event)
+
+    def test_metadata_needs_no_timestamp(self):
+        event = {"ph": "M", "name": "process_name", "pid": 1, "tid": 0}
+        assert validate_trace_event(event) == ""
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        tracer = Tracer(enabled=True, epoch=0.0)
+        tracer.spans.extend(_spans())
+        path = str(tmp_path / "trace.json")
+        save_chrome_trace(tracer, path)
+        payload = load_chrome_trace(path)
+        assert payload["traceEvents"]
+        assert payload["otherData"]["format"] == "pres-obs-trace"
+
+    def test_load_accepts_bare_array(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(chrome_trace_events(_spans())))
+        payload = load_chrome_trace(str(path))
+        assert isinstance(payload, dict) and payload["traceEvents"]
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"traceEvents": [')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_chrome_trace(str(path))
+
+    def test_load_rejects_non_trace_document(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schedule": [1, 2]}')
+        with pytest.raises(ValueError, match="no traceEvents"):
+            load_chrome_trace(str(path))
+
+    def test_load_rejects_malformed_event(self, tmp_path):
+        path = tmp_path / "bad-event.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        with pytest.raises(ValueError, match="unknown phase"):
+            load_chrome_trace(str(path))
+
+
+class TestEndToEnd:
+    def test_pooled_reproduction_exports_worker_lanes(self, tmp_path):
+        spec = get_bug("pbzip2-order-free")
+        recorded = record(
+            spec.make_program(), sketch=SketchKind.SYNC, seed=3,
+            config=MachineConfig(ncpus=4), oracle=spec.oracle,
+        )
+        session = ObsSession.create(trace=True, metrics=False)
+        reproduce(recorded, ExplorerConfig(max_attempts=20, batch_size=4),
+                  jobs=2, obs=session)
+        path = str(tmp_path / "trace.json")
+        session.write_trace(path)
+        payload = load_chrome_trace(path)
+        lanes = {
+            e["tid"] for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        # attempt spans recorded in pool workers land on lanes >= 1
+        assert PARENT_TRACK in lanes
+        attempt_events = [
+            e for e in payload["traceEvents"]
+            if e.get("cat") == "attempt"
+        ]
+        assert attempt_events
+        for event in payload["traceEvents"]:
+            assert validate_trace_event(event) == ""

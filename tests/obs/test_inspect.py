@@ -1,0 +1,88 @@
+"""The ``pres inspect`` text renderer, pinned by a golden file.
+
+The payload is hand-built from fixed timestamps (no clock involved), so
+the rendering is byte-for-byte reproducible; the golden file at
+``tests/fixtures/inspect_golden.txt`` is the contract for the report
+layout.  Regenerate it by running this module as a script::
+
+    PYTHONPATH=src python tests/obs/test_inspect.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.obs.export import chrome_trace_events
+from repro.obs.inspect import (
+    render_attempt_timeline,
+    render_phases,
+    render_totals,
+    render_trace,
+)
+from repro.obs.tracer import SpanRecord
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "fixtures" / "inspect_golden.txt"
+
+
+def _payload():
+    """A small two-worker session with fixed microsecond timestamps."""
+    spans = [
+        SpanRecord("reproduce", "session", 0.0, 9000.0,
+                   args={"program": "demo", "sketch": "sync"}),
+        SpanRecord("explore", "engine", 100.0, 8800.0,
+                   args={"jobs": 2, "batch_size": 2}),
+        SpanRecord("batch", "explore", 200.0, 4000.0, args={"size": 2}),
+        SpanRecord("attempt", "attempt", 300.0, 1500.0, track=1, pid=11,
+                   args={"seed": 0, "constraints": 0,
+                         "outcome": "no_failure", "steps": 40}),
+        SpanRecord("attempt", "attempt", 350.0, 1800.0, track=2, pid=12,
+                   args={"seed": 0, "constraints": 1,
+                         "outcome": "diverged", "steps": 22}),
+        SpanRecord("cache-hit", "cache", 4300.0, 0.0,
+                   args={"seed": 1, "constraints": 1}),
+        SpanRecord("batch", "explore", 4400.0, 4000.0, args={"size": 1}),
+        SpanRecord("attempt", "attempt", 4500.0, 3000.0, track=1, pid=11,
+                   args={"seed": 0, "constraints": 2,
+                         "outcome": "matched", "steps": 47}),
+    ]
+    return {"traceEvents": chrome_trace_events(spans)}
+
+
+class TestSections:
+    def test_attempt_timeline_has_one_column_per_lane(self):
+        text = render_attempt_timeline(_payload())
+        header = text.splitlines()[0]
+        assert "worker 1" in header and "worker 2" in header
+        assert "<- matched" in text
+
+    def test_phase_table_lists_session_structure(self):
+        text = render_phases(_payload())
+        assert "reproduce" in text
+        assert "explore" in text
+        assert "batch" in text
+        assert "attempt" not in text  # attempts are not phases
+
+    def test_totals_aggregate_by_category(self):
+        text = render_totals(_payload())
+        assert "attempt" in text
+        assert "cache" in text
+
+    def test_empty_trace_renders_placeholders(self):
+        empty = {"traceEvents": []}
+        assert "no attempt spans" in render_attempt_timeline(empty)
+        assert "no phase spans" in render_phases(empty)
+        assert "empty trace" in render_totals(empty)
+
+
+class TestGolden:
+    def test_full_report_matches_golden_file(self):
+        assert render_trace(_payload()) + "\n" == GOLDEN.read_text(), (
+            "pres inspect layout changed; regenerate with "
+            "`PYTHONPATH=src python tests/obs/test_inspect.py` "
+            "if the change is intentional"
+        )
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(render_trace(_payload()) + "\n")
+    print(f"golden file regenerated at {GOLDEN}")

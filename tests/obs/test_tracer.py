@@ -1,0 +1,126 @@
+"""Tracer behavior: disabled-mode cost, span recording, worker merge."""
+
+import pickle
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    PARENT_TRACK,
+    SpanRecord,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start=0.0, step=0.001):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer(enabled=False, epoch=0.0)
+        # Identity, not equality: a disabled tracer allocates nothing
+        # per call — every span() returns the one module-level object.
+        assert tracer.span("attempt") is NULL_SPAN
+        assert tracer.span("other", category="cache", x=1) is NULL_SPAN
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+
+    def test_null_span_has_no_instance_dict(self):
+        assert not hasattr(NULL_SPAN, "__dict__")
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False, epoch=0.0)
+        with tracer.span("attempt", seed=3):
+            pass
+        tracer.instant("cache-hit")
+        tracer.absorb(
+            [SpanRecord("w", "replay", 0.0, 1.0, pid=9)], track=1
+        )
+        assert tracer.spans == []
+
+    def test_disabled_tracer_never_reads_the_clock(self):
+        reads = []
+
+        def clock():
+            reads.append(1)
+            return 0.0
+
+        tracer = Tracer(enabled=False, epoch=0.0, clock=clock)
+        with tracer.span("attempt"):
+            pass
+        tracer.instant("tick")
+        assert reads == []
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        try:
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            return
+        raise AssertionError("exception was swallowed")
+
+
+class TestRecording:
+    def test_span_records_start_and_duration(self):
+        clock = FakeClock(start=1.0, step=0.5)
+        tracer = Tracer(enabled=True, epoch=1.0, clock=clock)
+        with tracer.span("attempt", category="attempt", seed=7) as span:
+            span.note(outcome="matched")
+        (record,) = tracer.spans
+        assert record.name == "attempt"
+        assert record.category == "attempt"
+        assert record.start_us == 0.0
+        assert record.duration_us == 500_000.0  # one 0.5 s clock step
+        assert record.args == {"seed": 7, "outcome": "matched"}
+        assert record.track == PARENT_TRACK
+
+    def test_instant_has_zero_duration(self):
+        tracer = Tracer(enabled=True, epoch=0.0, clock=FakeClock())
+        tracer.instant("cache-hit", category="cache", seed=3)
+        (record,) = tracer.spans
+        assert record.duration_us == 0.0
+        assert record.args == {"seed": 3}
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer(enabled=True, epoch=0.0, clock=FakeClock())
+        try:
+            with tracer.span("attempt"):
+                raise ValueError("attempt blew up")
+        except ValueError:
+            pass
+        assert len(tracer.spans) == 1
+
+
+class TestWorkerMerge:
+    def test_absorb_retracks_worker_spans(self):
+        parent = Tracer(enabled=True, epoch=0.0, clock=FakeClock())
+        worker = [
+            SpanRecord("attempt", "attempt", 10.0, 5.0, pid=4242),
+            SpanRecord("replay", "replay", 11.0, 3.0, pid=4242),
+        ]
+        parent.absorb(worker, track=2)
+        assert [s.track for s in parent.spans] == [2, 2]
+        # absorb copies; the originals keep their track.
+        assert worker[0].track == PARENT_TRACK
+        assert parent.worker_lanes() == (2,)
+
+    def test_span_records_pickle_roundtrip(self):
+        record = SpanRecord(
+            "attempt", "attempt", 1.5, 2.5, track=1, pid=99,
+            args={"seed": 3},
+        )
+        assert pickle.loads(pickle.dumps(record)) == record
+
+    def test_shared_epoch_makes_timestamps_comparable(self):
+        clock = FakeClock(start=5.0, step=0.0)
+        parent = Tracer(enabled=True, epoch=2.0, clock=clock)
+        child = Tracer(enabled=True, epoch=parent.epoch, clock=clock)
+        assert parent.now_us() == child.now_us()

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.apps",
     "repro.bench",
     "repro.robust",
+    "repro.obs",
 ]
 
 

@@ -125,19 +125,87 @@ class TestBench:
         assert all("failure_rate" in record for record in payload["records"])
 
 
-class TestTraceOut:
-    def test_reproduce_saves_trace(self, capsys, tmp_path):
-        trace_file = tmp_path / "repro.jsonl"
+class TestExecOut:
+    def test_reproduce_saves_execution(self, capsys, tmp_path):
+        exec_file = tmp_path / "repro.jsonl"
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--exec-out", str(exec_file)]
+        )
+        assert code == 0
+        from repro.sim.persist import read_trace
+
+        trace = read_trace(str(exec_file))
+        assert trace.failed
+        assert trace.failure.kind.value == "crash"
+
+
+class TestObservability:
+    def test_reproduce_writes_chrome_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
         code = main(
             ["reproduce", "pbzip2-order-free", "--seed", "3",
              "--trace-out", str(trace_file)]
         )
         assert code == 0
-        from repro.sim.persist import read_trace
+        assert "observability trace written" in capsys.readouterr().out
+        payload = json.loads(trace_file.read_text())
+        assert payload["traceEvents"]
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "reproduce" in names and "attempt" in names
 
-        trace = read_trace(str(trace_file))
-        assert trace.failed
-        assert trace.failure.kind.value == "crash"
+    def test_reproduce_writes_metrics_snapshot(self, capsys, tmp_path):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--metrics-out", str(metrics_file)]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["counters"]["attempts"] >= 1
+        assert snapshot["counters"]["attempts_matched"] == 1
+        assert "attempt_steps" in snapshot["histograms"]
+
+    def test_artifacts_written_even_on_failed_reproduction(
+        self, capsys, tmp_path
+    ):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--max-attempts", "1", "--metrics-out", str(metrics_file)]
+        )
+        assert code == 1  # not reproduced within 1 attempt
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["counters"]["attempts"] == 1
+
+    def test_inspect_renders_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--trace-out", str(trace_file)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "attempt timeline" in out
+        assert "<- matched" in out
+
+    def test_inspect_rejects_non_trace_json(self, capsys, tmp_path):
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text('{"schedule": [1, 2, 3]}')
+        assert main(["inspect", str(bogus)]) == 2
+        assert capsys.readouterr().err
+
+    def test_bench_embeds_metrics_in_json(self, capsys, tmp_path):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["bench", "e12", "--json", "--json-dir", str(tmp_path),
+             "--metrics-out", str(metrics_file)]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_e12.json").read_text())
+        assert payload["meta"]["metrics"]["counters"]["attempts"] > 0
+        assert json.loads(metrics_file.read_text()) == payload["meta"]["metrics"]
 
 
 class TestStats:
@@ -146,3 +214,18 @@ class TestStats:
         out = capsys.readouterr().out
         assert "sync density" in out
         assert "lock-order graph" in out
+
+    def test_stats_sketch_flag_reports_visible_events(self, capsys):
+        assert main(
+            ["stats", "openldap-deadlock", "--seed", "5", "--sketch", "sync"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sync sketch would record" in out
+
+    def test_stats_rejects_unknown_sketch_by_name(self, capsys):
+        assert main(
+            ["stats", "openldap-deadlock", "--seed", "5", "--sketch", "bogus"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown sketch kind 'bogus'" in err
+        assert "sync" in err  # the error names the valid kinds

@@ -1,0 +1,44 @@
+"""The docs must not rot: every relative link in the markdown resolves.
+
+Backed by ``tools/check_links.py`` (the same code CI runs), so a doc
+that references a moved or deleted file fails the suite, not a reader.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_links  # noqa: E402  (path set up above)
+
+
+def test_readme_and_docs_have_no_dead_relative_links():
+    files = check_links.default_docs(ROOT)
+    assert files, "no markdown files found to check"
+    problems = check_links.check_files(files)
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_directory_is_covered():
+    covered = {p.name for p in check_links.default_docs(ROOT)}
+    on_disk = {p.name for p in (ROOT / "docs").glob("*.md")}
+    assert on_disk <= covered
+    assert "README.md" in covered
+
+
+def test_checker_flags_a_dead_link(tmp_path):
+    doc = tmp_path / "broken.md"
+    doc.write_text("see [the guide](missing/guide.md) and "
+                   "[the web](https://example.com) and [top](#anchor)")
+    problems = check_links.check_files([doc])
+    assert len(problems) == 1
+    assert "missing/guide.md" in problems[0]
+
+
+def test_checker_accepts_anchored_file_links(tmp_path):
+    target = tmp_path / "real.md"
+    target.write_text("# real")
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [section](real.md#section)")
+    assert check_links.check_files([doc]) == []

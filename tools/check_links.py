@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail on dead *relative* links in markdown files.
+
+Scans ``README.md`` and ``docs/*.md`` (or the files passed as arguments)
+for markdown links and image references, and verifies that every
+relative target resolves to a real file or directory in the repository.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped — this tool guards against
+the docs rot the observability PR is meant to prevent, not network
+flakiness.  Exit code 1 lists every dead link; 0 means the docs are
+internally consistent.
+
+Used by CI (see ``.github/workflows/ci.yml``) and by
+``tests/test_docs_links.py``, which share :func:`check_files`.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: targets that are not files in this repository.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text: str) -> List[str]:
+    """Every link target in one markdown document, in order."""
+    return [match.group(1) for match in _LINK.finditer(text)]
+
+
+def is_checkable(target: str) -> bool:
+    """Whether a link target is a repository-relative path we can verify."""
+    if target.startswith(_EXTERNAL):
+        return False
+    if target.startswith("#"):
+        return False  # in-page anchor
+    return True
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Dead relative links in one markdown file, as (target, reason)."""
+    problems: List[Tuple[str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    for target in iter_links(text):
+        if not is_checkable(target):
+            continue
+        # Strip an anchor suffix: docs/internals.md#section checks the file.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"{resolved} does not exist"))
+    return problems
+
+
+def default_docs(root: Path) -> List[Path]:
+    """The markdown set CI checks: README.md plus everything in docs/."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_files(paths: Sequence[Path]) -> List[str]:
+    """Human-readable problem lines for every dead link in ``paths``."""
+    report: List[str] = []
+    for path in paths:
+        for target, reason in check_file(path):
+            report.append(f"{path}: dead link {target!r} ({reason})")
+    return report
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point; prints problems and returns the exit code."""
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(arg) for arg in argv] if argv else default_docs(root)
+    problems = check_files(paths)
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(paths)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,58 @@
+"""E13 - predictive sanitizer ablation (extension).
+
+The sanitizer reads a rich (RW) recording, predicts races / atomicity
+windows / lock-order cycles statically, and seeds the ranked plan into
+the first replay attempts of the *SYNC projection* of the same run.  The
+asserted shape: the plan never costs attempts on any suite bug (attempt
+1 stays the unplanned baseline attempt by construction), it strictly
+reduces attempts on at least three bugs, and plan-seeded parallel
+exploration stays ``--jobs``-invariant at a fixed batch size.
+"""
+
+import pytest
+
+from repro.bench.prediction import build_e13
+
+MIN_STRICT_WINS = 3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_e13()
+
+
+def test_e13_prediction_table(result, publish, benchmark):
+    def check():
+        publish("e13_prediction_ablation", result.render())
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e13_plan_never_regresses_any_bug(result, benchmark):
+    def check():
+        assert result.meta["regressions"] == 0
+        for record in result.records:
+            assert record["planned"]["success"] >= record["baseline"]["success"]
+            if record["baseline"]["success"] and record["planned"]["success"]:
+                assert (
+                    record["planned"]["attempts"]
+                    <= record["baseline"]["attempts"]
+                )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e13_plan_strictly_improves_several_bugs(result, benchmark):
+    def check():
+        assert result.meta["wins"] >= MIN_STRICT_WINS
+        improved = [r["bug"] for r in result.records if r["improved"]]
+        assert len(improved) >= MIN_STRICT_WINS
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e13_plan_seeded_exploration_is_jobs_invariant(result, benchmark):
+    def check():
+        assert result.meta["jobs_invariant"] is True
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

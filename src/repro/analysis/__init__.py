@@ -7,8 +7,14 @@ scheduling decision the sketch did not pin down and therefore a candidate
 to flip on the next attempt.
 
 Also here: vector clocks, a lockset detector (used to lift flip points for
-lock-protected accesses up to the lock acquisitions), wait-for-graph
-deadlock analysis and trace diffing.
+lock-protected accesses up to the lock acquisitions), Goodlock lock-order
+analysis (with gate-lock suppression), wait-for-graph deadlock analysis
+and trace diffing.
+
+The *predictive* entry points of :mod:`repro.sanitize` (which run the
+same families of analyses over recorded sketch logs instead of traces)
+are re-exported lazily — ``from repro.analysis import build_plan`` works,
+without this package importing the sanitizer at import time.
 """
 
 from repro.analysis.hb_race import HBAnalysis, RacePair, find_races
@@ -19,8 +25,11 @@ from repro.analysis.lockset import (
     lockset_report,
 )
 from repro.analysis.lockorder import (
+    LockOrderEdge,
     LockOrderReport,
     PotentialDeadlock,
+    collect_lock_order,
+    find_potential_deadlocks,
     lock_order_report,
     predicts_deadlock,
 )
@@ -29,23 +38,61 @@ from repro.analysis.tracediff import Divergence, first_divergence, same_executio
 from repro.analysis.vector_clock import VectorClock
 from repro.analysis.waitfor import WaitForGraph
 
+#: sanitize entry points re-exported lazily (PEP 562): importing them
+#: eagerly would create a cycle, because repro.sanitize modules import
+#: from this package during their own initialization.
+_SANITIZE_EXPORTS = (
+    "AtomicityViolation",
+    "PlannedCandidate",
+    "PredictedDeadlock",
+    "PredictedRace",
+    "ReplayPlan",
+    "SketchHB",
+    "build_plan",
+    "predict_atomicity",
+    "predict_deadlocks",
+    "predict_races",
+)
+
 __all__ = [
     "AddressProtection",
+    "AtomicityViolation",
     "Divergence",
     "HBAnalysis",
+    "LockOrderEdge",
     "LockOrderReport",
     "LocksetReport",
+    "PlannedCandidate",
     "PotentialDeadlock",
+    "PredictedDeadlock",
+    "PredictedRace",
     "RacePair",
+    "ReplayPlan",
+    "SketchHB",
     "VectorClock",
     "WaitForGraph",
+    "build_plan",
+    "collect_lock_order",
     "failure_window",
+    "find_potential_deadlocks",
     "find_races",
     "first_divergence",
     "lock_order_report",
     "lockset_candidates",
     "lockset_report",
+    "predict_atomicity",
+    "predict_deadlocks",
+    "predict_races",
     "predicts_deadlock",
     "render_timeline",
     "same_execution",
 ]
+
+
+def __getattr__(name: str):
+    """Resolve the lazy :mod:`repro.sanitize` re-exports on first use."""
+    if name in _SANITIZE_EXPORTS:
+        import repro.sanitize as _sanitize
+
+        return getattr(_sanitize, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

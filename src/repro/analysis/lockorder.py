@@ -6,10 +6,22 @@ A cycle in that graph acquired by at least two distinct threads is a
 *potential deadlock*: some schedule can interleave the acquisitions into a
 real one, even if this run finished cleanly.
 
+Two refinements keep the report honest:
+
+* **Self-edges are suppressed**: a thread re-acquiring a lock it already
+  holds (recursive acquisition) is nested locking, not an ordering hazard.
+* **Gate locks are suppressed**: if every acquisition driving a cycle
+  happened while some common *other* lock was held (a "gate"), no schedule
+  can interleave the acquisitions — the gate serializes them — so the
+  cycle is not reported (Goodlock's guarded-cycle rule).
+
 This is the predictive complement to PRES's reproduction flow: run the
 analysis on any healthy production trace and it names the lock pairs the
 replayer should expect trouble from — for our suite, a clean run of the
-miniOpenLDAP server already predicts its conn/writer inversion.
+miniOpenLDAP server already predicts its conn/writer inversion.  The
+sweep itself is source-agnostic (:func:`collect_lock_order` accepts any
+iterable of event-like records), so :mod:`repro.sanitize.deadlock` can
+run it over *sketch entries* without replaying anything.
 
 Both mutexes and reader-writer locks participate (write-mode acquisitions
 block like mutex acquisitions; read-mode acquisitions can still be blocked
@@ -19,9 +31,8 @@ by writers, so they count too, conservatively).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.sim.events import Event
 from repro.sim.ops import OpKind
 from repro.sim.trace import Trace
 
@@ -31,12 +42,22 @@ _RELEASE = {OpKind.UNLOCK, OpKind.RWUNLOCK}
 
 @dataclass(frozen=True)
 class LockOrderEdge:
-    """Observed: ``holder`` was held while ``acquired`` was acquired."""
+    """Observed: ``holder`` was held while ``acquired`` was acquired.
+
+    Occurrence numbers count the owning thread's acquisitions of each
+    lock (1-based), so an edge can be turned into schedule-independent
+    :class:`~repro.core.constraints.EventRef` coordinates; ``guards``
+    are the *other* locks the thread held at the inner acquisition —
+    the raw material for gate-lock suppression.
+    """
 
     holder: str
     acquired: str
     tid: int
     gidx: int  # where the inner acquisition happened
+    holder_occurrence: int = 1
+    acquired_occurrence: int = 1
+    guards: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -47,6 +68,7 @@ class PotentialDeadlock:
     tids: Tuple[int, ...]  # distinct threads involved in the cycle's edges
 
     def describe(self) -> str:
+        """Render the cycle and its driving threads on one line."""
         hops = " -> ".join(self.cycle + (self.cycle[0],))
         who = ", ".join(f"T{tid}" for tid in self.tids)
         return f"potential deadlock: {hops} (acquired by {who})"
@@ -58,11 +80,16 @@ class LockOrderReport:
 
     edges: List[LockOrderEdge] = field(default_factory=list)
     potential_deadlocks: List[PotentialDeadlock] = field(default_factory=list)
+    #: cycles found but suppressed because a common gate lock serializes
+    #: every acquisition driving them.
+    gated_cycles: int = 0
 
     def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """The distinct (holder, acquired) pairs in the graph."""
         return {(e.holder, e.acquired) for e in self.edges}
 
     def describe(self) -> str:
+        """Multi-line summary: edge count plus each predicted cycle."""
         if not self.potential_deadlocks:
             return (
                 f"lock-order graph: {len(self.edge_pairs())} edges, no cycles"
@@ -75,47 +102,82 @@ class LockOrderReport:
         return "\n".join(lines)
 
 
-def _collect_edges(trace: Trace) -> List[LockOrderEdge]:
-    held: Dict[int, List[str]] = {}
+def collect_lock_order(events: Iterable) -> List[LockOrderEdge]:
+    """Sweep event-like records into the lock-order edge list.
+
+    ``events`` may be trace events or any adapter exposing ``tid``,
+    ``kind``, ``obj``, ``value`` and ``gidx`` — the sketch-based deadlock
+    predictor feeds sketch entries through this same sweep.  Edges are
+    deduplicated on (holder, acquired, tid, guards): the first occurrence
+    of each acquisition context wins, keeping its occurrence numbers.
+    """
+    held: Dict[int, List[Tuple[str, int]]] = {}
+    counts: Dict[Tuple[int, str], int] = {}
     edges: List[LockOrderEdge] = []
-    seen: Set[Tuple[str, str, int]] = set()
-    for event in trace.events:
+    seen: Set[Tuple[str, str, int, Tuple[str, ...]]] = set()
+    for event in events:
         tid_held = held.setdefault(event.tid, [])
         kind = event.kind
         if kind in _ACQUIRE or (kind is OpKind.TRYLOCK and event.value):
-            for holder in tid_held:
-                if holder != event.obj:
-                    key = (holder, event.obj, event.tid)
-                    if key not in seen:
-                        seen.add(key)
-                        edges.append(
-                            LockOrderEdge(
-                                holder=holder,
-                                acquired=event.obj,
-                                tid=event.tid,
-                                gidx=event.gidx,
-                            )
+            count_key = (event.tid, event.obj)
+            counts[count_key] = counts.get(count_key, 0) + 1
+            occurrence = counts[count_key]
+            for holder, holder_occurrence in tid_held:
+                if holder == event.obj:
+                    continue  # recursive re-acquisition: not an ordering edge
+                guards = tuple(
+                    name for name, _ in tid_held
+                    if name != holder and name != event.obj
+                )
+                key = (holder, event.obj, event.tid, guards)
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(
+                        LockOrderEdge(
+                            holder=holder,
+                            acquired=event.obj,
+                            tid=event.tid,
+                            gidx=event.gidx,
+                            holder_occurrence=holder_occurrence,
+                            acquired_occurrence=occurrence,
+                            guards=guards,
                         )
-            tid_held.append(event.obj)
+                    )
+            tid_held.append((event.obj, occurrence))
         elif kind in _RELEASE:
-            if event.obj in tid_held:
-                tid_held.remove(event.obj)
+            for position, (name, _) in enumerate(tid_held):
+                if name == event.obj:
+                    del tid_held[position]
+                    break
         elif kind is OpKind.COND_WAIT:
             _, lock_name = event.obj
-            if lock_name in tid_held:
-                tid_held.remove(lock_name)
+            for position, (name, _) in enumerate(tid_held):
+                if name == lock_name:
+                    del tid_held[position]
+                    break
     return edges
 
 
-def _find_cycles(edges: List[LockOrderEdge]) -> List[PotentialDeadlock]:
+def find_potential_deadlocks(
+    edges: List[LockOrderEdge],
+) -> Tuple[List[PotentialDeadlock], int]:
+    """Cycles of the lock-order graph, minus single-thread and gated ones.
+
+    Returns ``(reported_cycles, gated_cycle_count)``.  A cycle is *gated*
+    when some lock outside the cycle appears in the guard set of every
+    edge instance driving it: that common gate serializes the
+    acquisitions, so no schedule can interleave them into a deadlock.
+    """
     graph: Dict[str, Set[str]] = {}
     for edge in edges:
         graph.setdefault(edge.holder, set()).add(edge.acquired)
 
     cycles: List[PotentialDeadlock] = []
+    gated = 0
     reported: Set[frozenset] = set()
 
     def dfs(start: str, node: str, path: List[str]) -> None:
+        nonlocal gated
         for nxt in sorted(graph.get(node, ())):
             if nxt == start and len(path) >= 2:
                 key = frozenset(path)
@@ -123,32 +185,47 @@ def _find_cycles(edges: List[LockOrderEdge]) -> List[PotentialDeadlock]:
                     continue
                 # Gather the threads driving the cycle's edges; a cycle
                 # driven by a single thread is just nested locking.
-                tids = sorted(
-                    {
-                        e.tid
-                        for e in edges
-                        if e.holder in path and e.acquired in path
-                    }
+                members = set(path)
+                related = [
+                    e
+                    for e in edges
+                    if e.holder in members and e.acquired in members
+                ]
+                tids = sorted({e.tid for e in related})
+                if len(tids) < 2:
+                    continue
+                reported.add(key)
+                hops = {
+                    (path[i], path[(i + 1) % len(path)])
+                    for i in range(len(path))
+                }
+                hop_edges = [
+                    e for e in related if (e.holder, e.acquired) in hops
+                ]
+                common_guards = set(hop_edges[0].guards) if hop_edges else set()
+                for e in hop_edges[1:]:
+                    common_guards &= set(e.guards)
+                if common_guards - members:
+                    gated += 1
+                    continue
+                cycles.append(
+                    PotentialDeadlock(cycle=tuple(path), tids=tuple(tids))
                 )
-                if len(tids) >= 2:
-                    reported.add(key)
-                    cycles.append(
-                        PotentialDeadlock(cycle=tuple(path), tids=tuple(tids))
-                    )
             elif nxt not in path and nxt > start:
                 # canonical form: only walk nodes 'greater' than the start
                 dfs(start, nxt, path + [nxt])
 
     for start in sorted(graph):
         dfs(start, start, [start])
-    return cycles
+    return cycles, gated
 
 
 def lock_order_report(trace: Trace) -> LockOrderReport:
     """Build the lock-order graph and report potential deadlocks."""
-    edges = _collect_edges(trace)
+    edges = collect_lock_order(trace.events)
+    deadlocks, gated = find_potential_deadlocks(edges)
     return LockOrderReport(
-        edges=edges, potential_deadlocks=_find_cycles(edges)
+        edges=edges, potential_deadlocks=deadlocks, gated_cycles=gated
     )
 
 

@@ -7,6 +7,11 @@ and from notebooks.
 
 from repro.bench.attempts import attempts_matrix, attempts_row
 from repro.bench.overhead import overhead_matrix, overhead_row
+from repro.bench.prediction import (
+    plan_jobs_invariant,
+    prediction_ablation,
+    prediction_row,
+)
 from repro.bench.results import BenchResult
 from repro.bench.runner import (
     available_experiments,
@@ -28,6 +33,9 @@ __all__ = [
     "format_table",
     "overhead_matrix",
     "overhead_row",
+    "plan_jobs_invariant",
+    "prediction_ablation",
+    "prediction_row",
     "run_experiment",
     "run_experiment_result",
     "run_speedup",

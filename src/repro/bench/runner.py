@@ -19,6 +19,7 @@ from typing import Callable, Dict, List
 from repro.apps import all_bugs, get_bug
 from repro.bench.attempts import attempts_matrix
 from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
+from repro.bench.prediction import build_e13
 from repro.bench.results import BenchResult
 from repro.bench.scaling import scaling_curves
 from repro.bench.seeds import failure_rate, find_failing_seed
@@ -223,11 +224,12 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
     "e5": build_e5,
     "e6": build_e6,
     "e12": build_e12,
+    "e13": build_e13,
 }
 
 
 def run_experiment_result(name: str, obs=None) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12); structured result.
+    """Run one experiment by id (t1, e1..e6, e12, e13); structured result.
 
     :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
         to builders that are instrumented for it (currently ``e12``) so
@@ -247,7 +249,7 @@ def run_experiment_result(name: str, obs=None) -> BenchResult:
 
 
 def run_experiment(name: str) -> str:
-    """Render one experiment's table by id (t1, e1..e6, e12)."""
+    """Render one experiment's table by id (t1, e1..e6, e12, e13)."""
     return run_experiment_result(name).render()
 
 

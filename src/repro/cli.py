@@ -5,10 +5,19 @@ Subcommands::
     pres bugs                         list the evaluated bug suite
     pres find-seed BUG                find a failing production run
     pres record BUG [--sketch SYNC]   record a production run, show stats
+    pres analyze LOG [--json]         predict races/deadlocks from a sketch
     pres reproduce BUG [...]          full pipeline: record -> PIR -> log
     pres replay BUG --log FILE        deterministic replay of a saved log
     pres inspect TRACE                render a saved observability trace
     pres doctor LOG [--out FILE]      validate/salvage an on-disk artifact
+
+Predictive analysis (see docs/internals.md, "Predictive analysis"):
+``analyze`` runs the sanitizer over a saved sketch log (binary,
+compressed, or JSON — sniffed by magic) and prints the ranked
+:class:`~repro.sanitize.plan.ReplayPlan`; ``reproduce --plan`` records a
+rich RW sketch of the same run, builds the plan from it, and seeds the
+plan's candidates into the first replay attempts at the requested
+(coarser) ``--sketch`` level.
 
 Observability flags (see docs/observability.md): ``reproduce`` accepts
 ``--trace-out FILE`` (Chrome ``trace_event`` JSON — open in Perfetto or
@@ -165,6 +174,42 @@ def cmd_record(args) -> int:
     return 0
 
 
+def _load_sketch_log(path: str):
+    """Load a sketch log from disk, sniffing the format by magic.
+
+    Accepts all three on-disk encodings (binary ``PRES``, compressed
+    ``PREZ``, JSON); damage surfaces as :class:`SketchFormatError`, which
+    :func:`main` turns into exit code 2 plus the ``pres doctor`` hint.
+    """
+    from repro.core.sketchlog import SketchLog
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:4] == b"PRES":
+        return SketchLog.from_bytes(data)
+    if data[:4] == b"PREZ":
+        return SketchLog.from_bytes_compressed(data)
+    return SketchLog.from_json(data.decode("utf-8"))
+
+
+def cmd_analyze(args) -> int:
+    from repro.sanitize import build_plan
+
+    log = _load_sketch_log(args.log)
+    plan = build_plan(log, max_candidates=args.max_candidates)
+    if args.json:
+        print(plan.to_json())
+    else:
+        print(f"analyzed {len(log)} {log.sketch.value} entries "
+              f"from {args.log}")
+        print(plan.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_json())
+        print(f"replay plan written to {args.out}")
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     spec = get_bug(args.bug)
     seed = _resolve_seed(args, spec)
@@ -222,6 +267,29 @@ def cmd_reproduce(args) -> int:
             salvaged_entries = len(log)
             dropped_records = salvage_report.dropped_lines
 
+    plan = None
+    if args.plan:
+        from repro.core.sketches import SketchKind
+        from repro.sanitize import build_plan
+
+        # Re-record the same production run (same seed, deterministic)
+        # at RW fidelity: the sanitizer reads rich, the replayer follows
+        # the cheap sketch the user asked for.
+        rich = record(
+            spec.make_program(),
+            sketch=SketchKind.RW,
+            seed=seed,
+            config=MachineConfig(ncpus=args.ncpus),
+            oracle=spec.oracle,
+        )
+        plan = build_plan(rich.log)
+        applicable = len(plan.seeds_for(sketch))
+        print(f"plan: {len(plan.races)} race(s), "
+              f"{len(plan.violations)} atomicity violation(s), "
+              f"{len(plan.deadlocks)} deadlock cycle(s) predicted; "
+              f"{applicable} of {len(plan.candidates)} candidate(s) "
+              f"applicable at {sketch.value}")
+
     config = ExplorerConfig(
         max_attempts=args.max_attempts,
         jobs=args.jobs,
@@ -235,6 +303,7 @@ def cmd_reproduce(args) -> int:
             salvaged_entries=salvaged_entries,
             dropped_records=dropped_records,
             obs=obs,
+            plan=plan,
         )
         for rung in report.degradation_path:
             print(f"  rung {rung.describe()}")
@@ -246,6 +315,7 @@ def cmd_reproduce(args) -> int:
             config,
             use_feedback=not args.no_feedback,
             obs=obs,
+            plan=plan,
         )
     print(report.describe())
     for attempt in report.records:
@@ -459,9 +529,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--inject-fault", metavar="SPEC",
                           help="kill@K | truncate@N | garble@S | drop@S")
 
+    p_analyze = sub.add_parser(
+        "analyze", help="predict races/deadlocks from a saved sketch log"
+    )
+    p_analyze.add_argument("log", help="sketch log (binary, compressed, "
+                                       "or JSON from `pres record --out`)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the replay plan as JSON instead of "
+                                "the human report")
+    p_analyze.add_argument("--out",
+                           help="also write the replay plan (JSON) here")
+    p_analyze.add_argument("--max-candidates", type=int, default=16,
+                           help="cap on ranked plan candidates (default 16)")
+
     p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
     _add_common(p_repro)
     p_repro.add_argument("--max-attempts", type=int, default=400)
+    p_repro.add_argument("--plan", action="store_true",
+                         help="run the predictive sanitizer over an RW "
+                              "recording of the same run and seed its "
+                              "plan into the first replay attempts")
     p_repro.add_argument("--jobs", type=int, default=1,
                          help="replay workers; >1 explores attempt batches "
                               "on a process pool (same result, less wall "
@@ -530,7 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "kind would record (none|sync|sys|func|bb|rw)")
 
     p_bench = sub.add_parser(
-        "bench", help="render an evaluation table (t1, e1..e6, e12, or 'list')"
+        "bench", help="render an evaluation table (t1, e1..e6, e12, e13, or 'list')"
     )
     p_bench.add_argument("experiment")
     p_bench.add_argument("--json", action="store_true",
@@ -560,6 +647,7 @@ _HANDLERS = {
     "bugs": cmd_bugs,
     "find-seed": cmd_find_seed,
     "record": cmd_record,
+    "analyze": cmd_analyze,
     "reproduce": cmd_reproduce,
     "diagnose": cmd_diagnose,
     "replay": cmd_replay,

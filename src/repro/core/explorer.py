@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.core.constraints import ConstraintSet, OrderConstraint
-from repro.core.feedback import Candidate, FeedbackDB, FeedbackGenerator
+from repro.core.feedback import (
+    TIER_PLAN,
+    TIER_ROOT,
+    Candidate,
+    FeedbackDB,
+    FeedbackGenerator,
+)
 from repro.core.sketches import SketchKind
 from repro.obs.session import ObsSession, resolve_session
 from repro.sim.trace import Trace
@@ -85,6 +91,50 @@ class ExplorerConfig:
     #: and histogram values are identical for every ``jobs`` at a fixed
     #: ``batch_size`` — the metrics face of the determinism contract.
     metrics: bool = False
+    #: constraint sets pre-seeded by the predictive sanitizer pass
+    #: (:meth:`repro.sanitize.ReplayPlan.seeds_for`), explored in order
+    #: right after the root empty attempt and before any mined feedback.
+    plan_seeds: Tuple[ConstraintSet, ...] = ()
+
+
+def plan_candidates(seeds: Tuple[ConstraintSet, ...]) -> List[Candidate]:
+    """Wrap sanitizer plan seeds as :data:`~repro.core.feedback.TIER_PLAN`
+    frontier candidates, preserving the plan's rank order."""
+    return [
+        Candidate(
+            constraints=constraints,
+            depth=len(constraints),
+            anchor_gidx=0,
+            tier=TIER_PLAN,
+            rank=rank,
+        )
+        for rank, constraints in enumerate(seeds)
+    ]
+
+
+def seed_plan(push, config: "ExplorerConfig", metrics) -> FrozenSet[ConstraintSet]:
+    """Push the config's plan seeds onto a frontier (both engines call
+    this right after pushing the root empty candidate, so the counter is
+    charged at the same schedule-deterministic point everywhere).
+
+    Returns the seeded constraint sets, for the ``sanitize.plan_matched``
+    check on success.
+    """
+    seeded = plan_candidates(config.plan_seeds)
+    for candidate in seeded:
+        push(candidate, config.base_seed)
+    if seeded:
+        metrics.counter("sanitize.plan_seeded").inc(len(seeded))
+    return frozenset(c.constraints for c in seeded)
+
+
+def observe_plan_match(
+    metrics, plan_sets: FrozenSet[ConstraintSet], winning: ConstraintSet
+) -> None:
+    """Charge ``sanitize.plan_matched`` when the winning constraint set
+    was one the sanitizer pre-seeded (rather than mined feedback)."""
+    if winning and winning in plan_sets:
+        metrics.counter("sanitize.plan_matched").inc()
 
 
 def observe_attempt_record(metrics, record: AttemptRecord) -> None:
@@ -138,7 +188,7 @@ class FeedbackExplorer:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
-        frontier: List[Tuple[Tuple[int, int], int, ConstraintSet, int]] = []
+        frontier: List[Tuple[Tuple[int, int, int, int], int, ConstraintSet, int]] = []
         counter = 0
         restarts_used = 0
 
@@ -150,7 +200,8 @@ class FeedbackExplorer:
                 (candidate.sort_key(), counter, candidate.constraints, seed),
             )
 
-        push(Candidate(_EMPTY, 0, 0), config.base_seed)
+        push(Candidate(_EMPTY, 0, 0, tier=TIER_ROOT), config.base_seed)
+        plan_sets = seed_plan(push, config, metrics)
 
         while result.attempt_count < config.max_attempts:
             if not frontier:
@@ -160,7 +211,10 @@ class FeedbackExplorer:
                 # A restart re-rolls every unrecorded choice: same (empty)
                 # constraint set, fresh base seed.
                 metrics.counter("seed_restarts").inc()
-                push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
+                push(
+                    Candidate(_EMPTY, 0, 0, tier=TIER_ROOT),
+                    config.base_seed + restarts_used,
+                )
                 continue
 
             _, _, constraints, seed = heapq.heappop(frontier)
@@ -195,6 +249,7 @@ class FeedbackExplorer:
                 result.winning_trace = trace
                 result.winning_constraints = constraints
                 result.winning_seed = seed
+                observe_plan_match(metrics, plan_sets, constraints)
                 break
 
             # Feedback: mine the failed attempt, even a diverged prefix.

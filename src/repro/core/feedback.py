@@ -48,6 +48,16 @@ from repro.sim.ops import OpKind
 from repro.sim.trace import Trace
 
 
+#: Frontier tiers, in exploration order.  The root (empty) attempt always
+#: runs first — it is the baseline's attempt 1, so pre-seeding a plan can
+#: never make a one-attempt bug slower.  Plan candidates (from the
+#: predictive sanitizer pass, see :mod:`repro.sanitize`) run next, in plan
+#: rank order; candidates mined from failed attempts come last.
+TIER_ROOT = 0
+TIER_PLAN = 1
+TIER_MINED = 2
+
+
 @dataclass(frozen=True)
 class Candidate:
     """A constraint set to try, with its ranking key."""
@@ -58,9 +68,24 @@ class Candidate:
     #: 0 for races involving a plain read (check-act shaped; the classic
     #: atomicity/order-violation ingredient), 1 for write/atomic-only races.
     shape: int = 0
+    #: frontier tier (see :data:`TIER_ROOT` / :data:`TIER_PLAN` /
+    #: :data:`TIER_MINED`); exploration is strictly tier-ordered.
+    tier: int = TIER_MINED
+    #: rank within :data:`TIER_PLAN` (the sanitizer's candidate order);
+    #: unused by the other tiers.
+    rank: int = 0
 
-    def sort_key(self) -> Tuple[int, int, int]:
-        return (self.depth, self.shape, -self.anchor_gidx)
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        """Heap key: (tier, major, shape, -anchor).
+
+        The major key is the plan rank inside :data:`TIER_PLAN` and the
+        constraint-set depth inside :data:`TIER_MINED` (fewest constraints
+        first — stay close to schedules already known to follow the
+        sketch), so mined exploration order is unchanged when no plan is
+        seeded.
+        """
+        major = self.rank if self.tier == TIER_PLAN else self.depth
+        return (self.tier, major, self.shape, -self.anchor_gidx)
 
 
 def trace_fingerprint(trace: Trace) -> str:

@@ -58,8 +58,11 @@ from repro.core.explorer import (
     ExplorerConfig,
     _classify,
     observe_attempt_record,
+    observe_plan_match,
+    seed_plan,
 )
 from repro.core.feedback import (
+    TIER_ROOT,
     AttemptCache,
     Candidate,
     FeedbackDB,
@@ -285,6 +288,9 @@ class ParallelExplorer:
         # even though OS pids are not.
         self._parent_pid = os.getpid()
         self._lanes: Dict[int, int] = {}
+        #: constraint sets seeded from the sanitizer plan (feedback mode
+        #: only), for the ``sanitize.plan_matched`` check at fold time.
+        self._plan_sets: frozenset = frozenset()
 
     # -- public API -----------------------------------------------------
 
@@ -467,7 +473,7 @@ class ParallelExplorer:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
-        frontier: List[Tuple[Tuple[int, int, int], int, ConstraintSet, int]] = []
+        frontier: List[Tuple[Tuple[int, int, int, int], int, ConstraintSet, int]] = []
         counter = 0
         restarts_used = 0
 
@@ -479,7 +485,8 @@ class ParallelExplorer:
                 (candidate.sort_key(), counter, candidate.constraints, seed),
             )
 
-        push(Candidate(_EMPTY, 0, 0), config.base_seed)
+        push(Candidate(_EMPTY, 0, 0, tier=TIER_ROOT), config.base_seed)
+        self._plan_sets = seed_plan(push, config, metrics)
 
         while result.attempt_count < config.max_attempts:
             # Assemble the next batch in canonical best-first order.
@@ -497,7 +504,10 @@ class ParallelExplorer:
                 if restarts_used > config.seed_restarts:
                     break
                 metrics.counter("seed_restarts").inc()
-                push(Candidate(_EMPTY, 0, 0), config.base_seed + restarts_used)
+                push(
+                    Candidate(_EMPTY, 0, 0, tier=TIER_ROOT),
+                    config.base_seed + restarts_used,
+                )
                 continue
 
             metrics.counter("batches").inc()
@@ -537,6 +547,9 @@ class ParallelExplorer:
             result.success = True
             result.winning_constraints = outcome.constraints
             result.winning_seed = outcome.seed
+            observe_plan_match(
+                self.obs.metrics, self._plan_sets, outcome.constraints
+            )
             # Attempts are pure, so re-running the winner in-process
             # reconstructs the full winning trace the workers did not ship.
             with self.obs.tracer.span(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.constraints import ConstraintSet
 from repro.core.explorer import (
@@ -37,6 +37,9 @@ from repro.core.sketchlog import derive_coarser
 from repro.errors import SimUsageError
 from repro.obs.session import ObsSession, resolve_session
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # avoid a core -> sanitize import at runtime
+    from repro.sanitize.plan import ReplayPlan
 
 
 @dataclass
@@ -131,6 +134,7 @@ class Reproducer:
         match_output: bool = False,
         cache: Optional[AttemptCache] = None,
         obs: Optional[ObsSession] = None,
+        plan: Optional["ReplayPlan"] = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -138,6 +142,11 @@ class Reproducer:
             )
         self.recorded = recorded
         self.config = config or ExplorerConfig()
+        self.plan = plan
+        if plan is not None:
+            self.config = dataclasses.replace(
+                self.config, plan_seeds=plan.seeds_for(recorded.sketch)
+            )
         self.obs = resolve_session(self.config, obs)
         self.base_policy = base_policy
         #: ODR-style strictness: besides re-triggering the failure, the
@@ -174,6 +183,23 @@ class Reproducer:
 
     def run(self) -> ReproductionReport:
         """Run the exploration loop and package the outcome."""
+        if self.plan is not None:
+            metrics = self.obs.metrics
+            metrics.counter("sanitize.races_predicted").inc(
+                len(self.plan.races)
+            )
+            metrics.counter("sanitize.deadlocks_predicted").inc(
+                len(self.plan.deadlocks)
+            )
+            metrics.counter("sanitize.atomicity_predicted").inc(
+                len(self.plan.violations)
+            )
+            metrics.counter("sanitize.plan_candidates").inc(
+                len(self.plan.candidates)
+            )
+            metrics.counter("sanitize.plan_applicable").inc(
+                len(self.config.plan_seeds)
+            )
         with self.obs.tracer.span(
             "reproduce", category="session",
             program=self.recorded.program.name,
@@ -230,6 +256,7 @@ def reproduce(
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
     obs: Optional[ObsSession] = None,
+    plan: Optional["ReplayPlan"] = None,
 ) -> ReproductionReport:
     """Reproduce a recorded failure; see :class:`Reproducer`.
 
@@ -247,13 +274,16 @@ def reproduce(
     :param obs: optional :class:`~repro.obs.session.ObsSession` to record
         spans and metrics into; defaults to the ``config.trace`` /
         ``config.metrics`` knobs (off = zero cost).
+    :param plan: optional sanitizer :class:`~repro.sanitize.plan.ReplayPlan`;
+        its candidates applicable at ``recorded.sketch`` seed the first
+        attempts (after the baseline empty attempt).
     """
     if jobs is not None:
         config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
     return Reproducer(
         recorded, config=config, use_feedback=use_feedback,
         base_policy=base_policy, match_output=match_output, cache=cache,
-        obs=obs,
+        obs=obs, plan=plan,
     ).run()
 
 
@@ -300,6 +330,7 @@ def reproduce_degraded(
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
     obs: Optional[ObsSession] = None,
+    plan: Optional["ReplayPlan"] = None,
 ) -> ReproductionReport:
     """Reproduce with graceful degradation over the sketch ladder.
 
@@ -328,6 +359,9 @@ def reproduce_degraded(
     :param obs: optional :class:`~repro.obs.session.ObsSession` shared by
         every rung, so the exported timeline shows the whole ladder walk;
         defaults to the ``config.trace`` / ``config.metrics`` knobs.
+    :param plan: optional sanitizer plan; each rung seeds the candidates
+        applicable at *its* sketch level, so a plan built from a rich log
+        keeps helping as the ladder coarsens.
     """
     base_config = config or ExplorerConfig()
     if jobs is not None:
@@ -371,6 +405,7 @@ def reproduce_degraded(
                 match_output=match_output,
                 cache=shared_cache,
                 obs=session,
+                plan=plan,
             ).run()
         total_attempts += report.attempts
         total_steps += report.total_replay_steps

@@ -1,0 +1,134 @@
+"""CTrigger-style atomicity-violation inference over a sketch log.
+
+An atomicity violation is a *window*: two accesses by one thread to the
+same address that the programmer meant to be atomic, with a remote access
+interleaved between them.  Four interleavings are unserializable (no
+serial execution of the two code regions could produce them):
+
+========  ======================================================
+R-W-R     remote write between two local reads (stale re-read)
+W-W-R     remote write between a local write and its read-back
+W-R-W     remote read between two local writes (sees a half state)
+R-W-W     remote write between a local read and the dependent write
+          (the classic lost-update / check-then-act)
+========  ======================================================
+
+The predictor scans the RW-level sketch for exactly these shapes *as they
+manifested in production*: local accesses ``a1``, ``a2`` adjacent in the
+thread's per-address sequence, a remote access ``b`` logged between them,
+matching one of the patterns above, with ``b`` happens-before-unordered
+against both ends (an ordered interleaving is not a violation, it is
+synchronization).  Each finding seeds the window pin ``a1 -> b -> a2`` —
+two production-order constraints that force the next replay to rebuild
+the same unserializable interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.constraints import OrderConstraint
+from repro.core.sketches import SketchKind
+from repro.core.sketchlog import SketchLog
+from repro.sanitize.race import SketchAccess, SketchHB, TRYLOCK_PENALTY
+from repro.sim.ops import Address
+
+#: Base confidence of a manifested unserializable window.
+ATOMICITY_BASE_CONFIDENCE = 0.85
+
+#: The unserializable (local, remote, local) shapes, as R/W triples.
+UNSERIALIZABLE: FrozenSet[Tuple[str, str, str]] = frozenset(
+    {
+        ("R", "W", "R"),
+        ("W", "W", "R"),
+        ("W", "R", "W"),
+        ("R", "W", "W"),
+    }
+)
+
+
+def _rw(access: SketchAccess) -> str:
+    return "W" if access.is_write else "R"
+
+
+@dataclass(frozen=True)
+class AtomicityViolation:
+    """One manifested unserializable window ``local1 -> remote -> local2``."""
+
+    local_first: SketchAccess
+    remote: SketchAccess
+    local_second: SketchAccess
+    addr: Address
+    pattern: str  # e.g. "R-W-R"
+    confidence: float
+
+    def pins(self) -> Tuple[OrderConstraint, OrderConstraint]:
+        """The window pins: ``local1 -> remote`` and ``remote -> local2``."""
+        return (
+            OrderConstraint(
+                before=self.local_first.ref(), after=self.remote.ref()
+            ),
+            OrderConstraint(
+                before=self.remote.ref(), after=self.local_second.ref()
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line summary with the pattern and confidence score."""
+        return (
+            f"atomicity violation ({self.pattern}) on {self.addr!r}: "
+            f"{self.local_first.describe()} .. {self.remote.describe()} .. "
+            f"{self.local_second.describe()} "
+            f"(confidence {self.confidence:.2f})"
+        )
+
+
+def predict_atomicity(
+    log: SketchLog, max_violations: int = 500
+) -> List[AtomicityViolation]:
+    """Infer manifested atomicity violations from an RW-level sketch.
+
+    Coarser logs carry no memory accesses and yield nothing.  Findings
+    are reported in log order of the closing local access, so the result
+    is deterministic for a given log.
+    """
+    if not log.sketch.includes(SketchKind.RW):
+        return []
+    hb = SketchHB(log)
+    violations: List[AtomicityViolation] = []
+    for addr in sorted(hb.by_addr, key=repr):
+        accesses = hb.by_addr[addr]
+        by_tid: Dict[int, List[SketchAccess]] = {}
+        for access in accesses:
+            by_tid.setdefault(access.tid, []).append(access)
+        for tid, locals_ in sorted(by_tid.items()):
+            for a1, a2 in zip(locals_, locals_[1:]):
+                for b in accesses:
+                    if b.tid == tid:
+                        continue
+                    if not (a1.index < b.index < a2.index):
+                        continue
+                    pattern = (_rw(a1), _rw(b), _rw(a2))
+                    if pattern not in UNSERIALIZABLE:
+                        continue
+                    if not (hb.concurrent(a1, b) and hb.concurrent(b, a2)):
+                        continue  # synchronized interleaving, not a bug shape
+                    confidence = ATOMICITY_BASE_CONFIDENCE
+                    if hb.inconsistent(addr):
+                        confidence = min(1.0, confidence + 0.05)
+                    if a1.tentative or b.tentative or a2.tentative:
+                        confidence *= TRYLOCK_PENALTY
+                    violations.append(
+                        AtomicityViolation(
+                            local_first=a1,
+                            remote=b,
+                            local_second=a2,
+                            addr=addr,
+                            pattern="-".join(pattern),
+                            confidence=round(confidence, 4),
+                        )
+                    )
+                    if len(violations) >= max_violations:
+                        return violations
+    return violations

@@ -1,0 +1,431 @@
+"""Assemble sanitizer findings into a ranked, seedable ReplayPlan.
+
+The plan is the sanitizer's contract with the replayer: a deduplicated,
+confidence-ranked list of constraint sets that the explorers try *first*,
+before any feedback-mined candidates (see ``TIER_PLAN`` in
+:mod:`repro.core.feedback`).  Attempt 1 always stays the unconstrained
+baseline attempt, so seeding a plan can never slow down a bug the
+baseline already reproduces immediately.
+
+Candidate order is fixed: the **pin-all** candidate first (every race and
+atomicity pin at once, capped — production manifested the bug, so
+re-pinning all of production's suspicious orderings is the single most
+likely reproducer), then individual findings by descending confidence,
+breaking ties toward windows that close *later* in the log (concurrency
+bugs manifest near the failure).
+
+Applicability is sketch-aware (:meth:`ReplayPlan.seeds_for`): a plan is
+built from a *rich* (RW) recording but applied when replaying a coarser
+projection of it — memory pins are redundant under an RW sketch and
+deadlock triggers contradict any SYNC-or-richer sketch, so each candidate
+only ships to the sketch levels where it can help.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.core.constraints import (
+    ConstraintSet,
+    EventRef,
+    OrderConstraint,
+    canonical_order,
+    constraint_sort_key,
+)
+from repro.core.sketches import SketchKind
+from repro.core.sketchlog import SketchLog, _from_jsonable, _jsonable
+from repro.sanitize.atomicity import AtomicityViolation, predict_atomicity
+from repro.sanitize.deadlock import PredictedDeadlock, predict_deadlocks
+from repro.sanitize.race import PredictedRace, SketchAccess, predict_races
+from repro.sim.ops import OpKind
+
+#: Plan-wide caps: candidates shipped to the explorer, and constraints
+#: folded into the pin-all candidate.
+MAX_PLAN_CANDIDATES = 16
+MAX_PIN_CONSTRAINTS = 64
+#: Minimum distinct production-order pins before memory candidates ship.
+#: Sparse evidence means a small schedule space that feedback mining
+#: already searches in a couple of attempts — seeding a thin plan there
+#: can only delay the mined candidates, never beat them.
+MIN_PLAN_EVIDENCE = 10
+
+
+@dataclass(frozen=True)
+class PlannedCandidate:
+    """One seedable constraint set, with its provenance and score."""
+
+    constraints: ConstraintSet
+    source: str  # "pin-all" | "atomicity" | "race" | "deadlock"
+    confidence: float
+    anchor: int  # latest log index the candidate's findings touch
+    note: str = ""
+
+    @property
+    def family(self) -> str:
+        """``lock`` if any constraint targets the lock family, else ``mem``."""
+        for constraint in self.constraints:
+            if (
+                constraint.before.family == "lock"
+                or constraint.after.family == "lock"
+            ):
+                return "lock"
+        return "mem"
+
+    def describe(self) -> str:
+        """Render as ``[race 0.90] pin T1:mem[x]#2 -> T2:mem[x]#1``."""
+        pins = "; ".join(
+            c.describe() for c in canonical_order(self.constraints)
+        )
+        return f"[{self.source} {self.confidence:.2f}] {pins}"
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """The sanitizer's output: ranked candidates plus the raw findings."""
+
+    sketch: SketchKind  # level of the log the plan was built from
+    candidates: Tuple[PlannedCandidate, ...] = ()
+    races: Tuple[PredictedRace, ...] = ()
+    deadlocks: Tuple[PredictedDeadlock, ...] = ()
+    violations: Tuple[AtomicityViolation, ...] = ()
+
+    @property
+    def evidence(self) -> int:
+        """Distinct production-order pins backing the memory candidates."""
+        pins: Set[OrderConstraint] = set()
+        for violation in self.violations:
+            pins.update(violation.pins())
+        for race in self.races:
+            pins.add(race.pin())
+        return len(pins)
+
+    def seeds_for(self, replay_sketch: SketchKind) -> Tuple[ConstraintSet, ...]:
+        """The candidate constraint sets applicable at a replay level.
+
+        An RW sketch already pins every memory access, so nothing ships;
+        memory-family candidates apply below RW *when the evidence mass
+        clears* ``MIN_PLAN_EVIDENCE`` (sparse plans lose to feedback
+        mining — see the constant's note); lock-family candidates
+        (deadlock triggers, which *invert* the recorded order) apply only
+        to sketchless replay, where no recorded order can contradict
+        them.
+        """
+        if replay_sketch.includes(SketchKind.RW):
+            return ()
+        ship_mem = self.evidence >= MIN_PLAN_EVIDENCE
+        seeds: List[ConstraintSet] = []
+        for candidate in self.candidates:
+            if candidate.family == "lock":
+                if replay_sketch is not SketchKind.NONE:
+                    continue
+            elif not ship_mem:
+                continue
+            seeds.append(candidate.constraints)
+        return tuple(seeds)
+
+    def describe(self) -> str:
+        """Multi-line human report of findings and the ranked candidates."""
+        lines = [
+            f"replay plan from {self.sketch.name} sketch: "
+            f"{len(self.races)} race(s), {len(self.violations)} atomicity "
+            f"violation(s), {len(self.deadlocks)} deadlock cycle(s), "
+            f"{len(self.candidates)} candidate(s)"
+        ]
+        for race in self.races:
+            lines.append(f"  {race.describe()}")
+        for violation in self.violations:
+            lines.append(f"  {violation.describe()}")
+        for deadlock in self.deadlocks:
+            lines.append(f"  {deadlock.describe()}")
+        for rank, candidate in enumerate(self.candidates):
+            lines.append(f"  #{rank} {candidate.describe()}")
+        return "\n".join(lines)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the full plan (candidates and findings) to JSON."""
+        payload = {
+            "format": "pres-plan-v1",
+            "sketch": self.sketch.name,
+            "candidates": [_candidate_json(c) for c in self.candidates],
+            "races": [_race_json(r) for r in self.races],
+            "deadlocks": [_deadlock_json(d) for d in self.deadlocks],
+            "violations": [_violation_json(v) for v in self.violations],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayPlan":
+        """Rebuild a plan from :meth:`to_json` output."""
+        payload = json.loads(text)
+        if payload.get("format") != "pres-plan-v1":
+            raise ValueError("not a PRES replay plan (missing format tag)")
+        return cls(
+            sketch=SketchKind[payload["sketch"]],
+            candidates=tuple(
+                _candidate_from(c) for c in payload["candidates"]
+            ),
+            races=tuple(_race_from(r) for r in payload["races"]),
+            deadlocks=tuple(_deadlock_from(d) for d in payload["deadlocks"]),
+            violations=tuple(
+                _violation_from(v) for v in payload["violations"]
+            ),
+        )
+
+
+def build_plan(
+    log: SketchLog,
+    max_candidates: int = MAX_PLAN_CANDIDATES,
+    max_pin_constraints: int = MAX_PIN_CONSTRAINTS,
+) -> ReplayPlan:
+    """Run every predictor over a sketch log and rank the results.
+
+    Deterministic for a given log: predictors iterate in sorted order and
+    ranking ties break on canonical constraint keys, never on hashes.
+    """
+    races = predict_races(log)
+    violations = predict_atomicity(log)
+    deadlocks = predict_deadlocks(log)
+
+    ranked: List[PlannedCandidate] = []
+    seen: Set[ConstraintSet] = set()
+
+    def add(candidate: PlannedCandidate) -> None:
+        if candidate.constraints and candidate.constraints not in seen:
+            seen.add(candidate.constraints)
+            ranked.append(candidate)
+
+    pin_all = _pin_all_candidate(races, violations, max_pin_constraints)
+    if pin_all is not None:
+        add(pin_all)
+
+    scored: List[PlannedCandidate] = []
+    for violation in violations:
+        scored.append(
+            PlannedCandidate(
+                constraints=frozenset(violation.pins()),
+                source="atomicity",
+                confidence=violation.confidence,
+                anchor=violation.local_second.index,
+                note=violation.describe(),
+            )
+        )
+    for race in races:
+        scored.append(
+            PlannedCandidate(
+                constraints=frozenset({race.pin()}),
+                source="race",
+                confidence=race.confidence,
+                anchor=race.second.index,
+                note=race.describe(),
+            )
+        )
+    for deadlock in deadlocks:
+        scored.append(
+            PlannedCandidate(
+                constraints=deadlock.trigger,
+                source="deadlock",
+                confidence=deadlock.confidence,
+                anchor=0,
+                note=deadlock.describe(),
+            )
+        )
+    scored.sort(
+        key=lambda c: (
+            -c.confidence,
+            -c.anchor,
+            tuple(
+                constraint_sort_key(x) for x in canonical_order(c.constraints)
+            ),
+        )
+    )
+    for candidate in scored:
+        if len(ranked) >= max_candidates:
+            break
+        add(candidate)
+
+    return ReplayPlan(
+        sketch=log.sketch,
+        candidates=tuple(ranked[:max_candidates]),
+        races=tuple(races),
+        deadlocks=tuple(deadlocks),
+        violations=tuple(violations),
+    )
+
+
+def _pin_all_candidate(
+    races: List[PredictedRace],
+    violations: List[AtomicityViolation],
+    max_pin_constraints: int,
+) -> "PlannedCandidate | None":
+    """The rank-0 candidate: every production-order pin at once.
+
+    All pins agree with production order, so their union is satisfiable
+    by construction (the production schedule witnesses it).  When the
+    union overflows the cap, pins anchored latest in the log win.
+    """
+    pool: Dict[OrderConstraint, int] = {}
+    best = 0.0
+    for violation in violations:
+        best = max(best, violation.confidence)
+        for pin in violation.pins():
+            anchor = violation.local_second.index
+            pool[pin] = max(pool.get(pin, 0), anchor)
+    for race in races:
+        best = max(best, race.confidence)
+        pool[race.pin()] = max(pool.get(race.pin(), 0), race.second.index)
+    if not pool:
+        return None
+    chosen = sorted(
+        pool.items(), key=lambda kv: (-kv[1], constraint_sort_key(kv[0]))
+    )[:max_pin_constraints]
+    return PlannedCandidate(
+        constraints=frozenset(pin for pin, _ in chosen),
+        source="pin-all",
+        confidence=best,
+        anchor=max(anchor for _, anchor in chosen),
+        note=f"all {len(chosen)} production-order pins",
+    )
+
+
+# -- JSON helpers --------------------------------------------------------
+
+
+def _ref_json(ref: EventRef) -> Dict[str, Any]:
+    return {
+        "tid": ref.tid,
+        "family": ref.family,
+        "key": _jsonable(ref.key),
+        "occurrence": ref.occurrence,
+    }
+
+
+def _ref_from(data: Dict[str, Any]) -> EventRef:
+    return EventRef(
+        data["tid"], data["family"], _from_jsonable(data["key"]),
+        data["occurrence"],
+    )
+
+
+def _constraint_json(constraint: OrderConstraint) -> Dict[str, Any]:
+    return {
+        "before": _ref_json(constraint.before),
+        "after": _ref_json(constraint.after),
+    }
+
+
+def _constraint_from(data: Dict[str, Any]) -> OrderConstraint:
+    return OrderConstraint(
+        before=_ref_from(data["before"]), after=_ref_from(data["after"])
+    )
+
+
+def _constraints_json(constraints: ConstraintSet) -> List[Dict[str, Any]]:
+    return [_constraint_json(c) for c in canonical_order(constraints)]
+
+
+def _candidate_json(candidate: PlannedCandidate) -> Dict[str, Any]:
+    return {
+        "constraints": _constraints_json(candidate.constraints),
+        "source": candidate.source,
+        "confidence": candidate.confidence,
+        "anchor": candidate.anchor,
+        "note": candidate.note,
+    }
+
+
+def _candidate_from(data: Dict[str, Any]) -> PlannedCandidate:
+    return PlannedCandidate(
+        constraints=frozenset(
+            _constraint_from(c) for c in data["constraints"]
+        ),
+        source=data["source"],
+        confidence=data["confidence"],
+        anchor=data["anchor"],
+        note=data.get("note", ""),
+    )
+
+
+def _access_json(access: SketchAccess) -> Dict[str, Any]:
+    return {
+        "tid": access.tid,
+        "kind": access.kind.value,
+        "addr": _jsonable(access.addr),
+        "index": access.index,
+        "occurrence": access.occurrence,
+        "held": [[name, occ] for name, occ in access.held],
+        "tentative": access.tentative,
+    }
+
+
+def _access_from(data: Dict[str, Any]) -> SketchAccess:
+    return SketchAccess(
+        tid=data["tid"],
+        kind=OpKind(data["kind"]),
+        addr=_from_jsonable(data["addr"]),
+        index=data["index"],
+        occurrence=data["occurrence"],
+        held=tuple((name, occ) for name, occ in data["held"]),
+        tentative=data["tentative"],
+    )
+
+
+def _race_json(race: PredictedRace) -> Dict[str, Any]:
+    return {
+        "first": _access_json(race.first),
+        "second": _access_json(race.second),
+        "addr": _jsonable(race.addr),
+        "confidence": race.confidence,
+    }
+
+
+def _race_from(data: Dict[str, Any]) -> PredictedRace:
+    return PredictedRace(
+        first=_access_from(data["first"]),
+        second=_access_from(data["second"]),
+        addr=_from_jsonable(data["addr"]),
+        confidence=data["confidence"],
+    )
+
+
+def _violation_json(violation: AtomicityViolation) -> Dict[str, Any]:
+    return {
+        "local_first": _access_json(violation.local_first),
+        "remote": _access_json(violation.remote),
+        "local_second": _access_json(violation.local_second),
+        "addr": _jsonable(violation.addr),
+        "pattern": violation.pattern,
+        "confidence": violation.confidence,
+    }
+
+
+def _violation_from(data: Dict[str, Any]) -> AtomicityViolation:
+    return AtomicityViolation(
+        local_first=_access_from(data["local_first"]),
+        remote=_access_from(data["remote"]),
+        local_second=_access_from(data["local_second"]),
+        addr=_from_jsonable(data["addr"]),
+        pattern=data["pattern"],
+        confidence=data["confidence"],
+    )
+
+
+def _deadlock_json(deadlock: PredictedDeadlock) -> Dict[str, Any]:
+    return {
+        "cycle": list(deadlock.cycle),
+        "tids": list(deadlock.tids),
+        "confidence": deadlock.confidence,
+        "trigger": _constraints_json(deadlock.trigger),
+    }
+
+
+def _deadlock_from(data: Dict[str, Any]) -> PredictedDeadlock:
+    return PredictedDeadlock(
+        cycle=tuple(data["cycle"]),
+        tids=tuple(data["tids"]),
+        confidence=data["confidence"],
+        trigger=frozenset(_constraint_from(c) for c in data["trigger"]),
+    )

@@ -1,0 +1,323 @@
+"""Hybrid lockset + happens-before race prediction over a sketch log.
+
+A recorded :class:`~repro.core.sketchlog.SketchLog` is a *total order* of
+production events with no values attached — poorer than a trace, but rich
+enough at the RW level to predict races without running a single replay:
+each entry names (thread, op kind, key), memory entries carry the address,
+and occurrence numbers fall out of simple counting (the RW log records
+every shared access, so per-(thread, address) entry counts equal the
+:class:`~repro.core.constraints.OccurrenceCounter` coordinates the replay
+gate uses).
+
+The sweep rebuilds the happens-before relation the log supports:
+
+* program order within each thread;
+* ``UNLOCK -> LOCK`` (and ``COND_WAIT``'s lock release) per mutex;
+* reader-writer and semaphore release -> acquire, accumulated
+  conservatively;
+* ``SPAWN`` -> child's first event — child tids are not recorded, but the
+  simulator assigns tids sequentially in spawn execution order, so the
+  k-th SPAWN entry in the log created thread k;
+* child's last event -> ``JOIN`` (the join entry's key *is* the tid);
+* barrier arrivals, approximated as each arrival joining all earlier
+  arrivals of the same barrier;
+* channel ``send`` -> the same-ranked ``recv``.
+
+Value-blindness is handled conservatively and *scored*: a ``TRYLOCK``
+entry does not say whether it succeeded, so it is treated as an
+acquisition and every prediction built on top of one carries a confidence
+penalty; condition-variable signals do not name the woken thread, so
+those edges are simply dropped (fewer HB edges can only add predictions,
+never hide one).
+
+The lockset half of the hybrid: per-address Eraser-style candidate sets
+are intersected during the same sweep, and a race on an address with an
+*empty* lockset (shared, written, never consistently protected) is
+upgraded — that is the classic under-protection signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.vector_clock import VectorClock
+from repro.core.constraints import EventRef, OrderConstraint
+from repro.core.sketches import SketchKind
+from repro.core.sketchlog import SketchLog
+from repro.sim.ops import MEMORY_KINDS, WRITE_KINDS, Address, OpKind
+
+#: Base confidence of a race predicted from a full RW order.
+RACE_BASE_CONFIDENCE = 0.9
+#: Extra confidence when the address's lockset is Eraser-inconsistent.
+LOCKSET_BONUS = 0.05
+#: Multiplier applied once per prediction that leans on an assumed-
+#: successful TRYLOCK (the log does not record the outcome).
+TRYLOCK_PENALTY = 0.75
+
+
+@dataclass(frozen=True)
+class SketchAccess:
+    """One memory access as a sketch log names it."""
+
+    tid: int
+    kind: OpKind
+    addr: Address
+    index: int  # position in the sketch log
+    occurrence: int  # k-th access by ``tid`` to ``addr`` (1-based)
+    #: locks held at the access, with acquisition occurrences.
+    held: Tuple[Tuple[str, int], ...] = ()
+    #: whether any held lock was acquired via TRYLOCK (outcome unrecorded).
+    tentative: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this access writes (WRITE / RMW / CAS / FREE)."""
+        return self.kind in WRITE_KINDS
+
+    def ref(self) -> EventRef:
+        """The schedule-independent replay coordinate of this access."""
+        return EventRef(self.tid, "mem", self.addr, self.occurrence)
+
+    def describe(self) -> str:
+        """Render as ``T2 write buf#3``."""
+        return f"T{self.tid} {self.kind.value} {self.addr!r}#{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class PredictedRace:
+    """Two conflicting accesses the recorded HB relation leaves unordered.
+
+    ``first`` preceded ``second`` in the production order; replaying them
+    in that same order is what reproduces whatever the production run
+    observed, so the seed constraint *pins* production order rather than
+    flipping it.
+    """
+
+    first: SketchAccess
+    second: SketchAccess
+    addr: Address
+    confidence: float
+
+    def pin(self) -> OrderConstraint:
+        """The production-order pin: ``first`` before ``second``."""
+        return OrderConstraint(before=self.first.ref(), after=self.second.ref())
+
+    def describe(self) -> str:
+        """One-line summary with the confidence score."""
+        return (
+            f"race on {self.addr!r}: {self.first.describe()} || "
+            f"{self.second.describe()} (confidence {self.confidence:.2f})"
+        )
+
+
+class SketchHB:
+    """Happens-before sweep over sketch entries (shared by the predictors).
+
+    Exposes the per-entry vector clocks, the per-address access history
+    and the Eraser lockset verdicts; :func:`predict_races` and
+    :mod:`repro.sanitize.atomicity` are both thin layers over it.
+    """
+
+    def __init__(self, log: SketchLog) -> None:
+        self.log = log
+        self.entry_vcs: List[VectorClock] = []
+        #: every memory access, in log order.
+        self.accesses: List[SketchAccess] = []
+        #: addr -> accesses, in log order.
+        self.by_addr: Dict[Address, List[SketchAccess]] = {}
+        #: addr -> Eraser candidate lockset (None until first access).
+        self.locksets: Dict[Address, Set[str]] = {}
+        #: addr -> tids that touched it / whether any access wrote.
+        self._addr_tids: Dict[Address, Set[int]] = {}
+        self._addr_written: Dict[Address, bool] = {}
+        self._sweep()
+
+    def inconsistent(self, addr: Address) -> bool:
+        """Eraser verdict: shared, written, and never fully lock-protected."""
+        return (
+            not self.locksets.get(addr, {None})
+            and len(self._addr_tids.get(addr, ())) > 1
+            and self._addr_written.get(addr, False)
+        )
+
+    def concurrent(self, a: SketchAccess, b: SketchAccess) -> bool:
+        """Whether the recorded HB relation orders neither access."""
+        va, vb = self.entry_vcs[a.index], self.entry_vcs[b.index]
+        return not va.leq(vb) and not vb.leq(va)
+
+    # -- the sweep -------------------------------------------------------
+
+    def _sweep(self) -> None:
+        zero = VectorClock.zero()
+        thread_vc: Dict[int, VectorClock] = {}
+        mutex_vc: Dict[str, VectorClock] = {}
+        rwlock_vc: Dict[str, VectorClock] = {}
+        sem_vc: Dict[str, VectorClock] = {}
+        pending: Dict[int, VectorClock] = {}  # joined at tid's next entry
+        barrier_vc: Dict[str, VectorClock] = {}
+        channel_sends: Dict[str, List[VectorClock]] = {}
+        channel_recvs: Dict[str, int] = {}
+        spawned = 0
+
+        mem_counts: Dict[Tuple[int, Address], int] = {}
+        lock_counts: Dict[Tuple[int, str], int] = {}
+        #: tid -> mutex -> (acquisition occurrence, via trylock)
+        held: Dict[int, Dict[str, Tuple[int, bool]]] = {}
+
+        for index, entry in enumerate(self.log):
+            tid, kind, key = entry.tid, entry.kind, entry.key
+            vc = thread_vc.get(tid, zero)
+
+            # Incoming edges ------------------------------------------------
+            if tid in pending:
+                vc = vc.join(pending.pop(tid))
+            if kind in (OpKind.LOCK, OpKind.TRYLOCK):
+                vc = vc.join(mutex_vc.get(key, zero))
+            elif kind in (OpKind.RDLOCK, OpKind.WRLOCK):
+                vc = vc.join(rwlock_vc.get(key, zero))
+            elif kind is OpKind.SEM_ACQUIRE:
+                vc = vc.join(sem_vc.get(key, zero))
+            elif kind is OpKind.JOIN:
+                vc = vc.join(thread_vc.get(key, zero))
+            elif kind is OpKind.BARRIER_WAIT:
+                # Approximation (the tripping arrival is not recorded):
+                # each arrival happens-after every earlier arrival.
+                vc = vc.join(barrier_vc.get(key, zero))
+            elif kind is OpKind.SYSCALL and self._syscall_name(key) in (
+                "recv", "try_recv",
+            ):
+                chan = self._syscall_arg(key)
+                if chan is not None:
+                    k = channel_recvs.get(chan, 0)
+                    sends = channel_sends.get(chan, [])
+                    if k < len(sends):
+                        vc = vc.join(sends[k])
+                    channel_recvs[chan] = k + 1
+
+            vc = vc.tick(tid)
+            thread_vc[tid] = vc
+            self.entry_vcs.append(vc)
+
+            # Lockset maintenance -------------------------------------------
+            tid_held = held.setdefault(tid, {})
+            if kind in (OpKind.LOCK, OpKind.RDLOCK, OpKind.WRLOCK, OpKind.TRYLOCK):
+                count_key = (tid, key)
+                lock_counts[count_key] = lock_counts.get(count_key, 0) + 1
+                tid_held[key] = (lock_counts[count_key], kind is OpKind.TRYLOCK)
+            elif kind in (OpKind.UNLOCK, OpKind.RWUNLOCK):
+                tid_held.pop(key, None)
+            elif kind is OpKind.COND_WAIT:
+                _, lock_name = key
+                tid_held.pop(lock_name, None)
+
+            # Outgoing edges ------------------------------------------------
+            if kind is OpKind.UNLOCK:
+                mutex_vc[key] = vc
+            elif kind is OpKind.RWUNLOCK:
+                rwlock_vc[key] = rwlock_vc.get(key, zero).join(vc)
+            elif kind is OpKind.COND_WAIT:
+                _, lock_name = key
+                mutex_vc[lock_name] = vc
+            elif kind is OpKind.SEM_RELEASE:
+                sem_vc[key] = sem_vc.get(key, zero).join(vc)
+            elif kind is OpKind.BARRIER_WAIT:
+                barrier_vc[key] = barrier_vc.get(key, zero).join(vc)
+            elif kind is OpKind.SPAWN:
+                # tids are assigned sequentially in spawn execution order
+                # (main is 0), so the k-th SPAWN entry created thread k.
+                spawned += 1
+                pending[spawned] = pending.get(spawned, zero).join(vc)
+            elif kind is OpKind.SYSCALL and self._syscall_name(key) == "send":
+                chan = self._syscall_arg(key)
+                if chan is not None:
+                    channel_sends.setdefault(chan, []).append(vc)
+
+            # Access bookkeeping --------------------------------------------
+            if kind in MEMORY_KINDS:
+                count_key = (tid, key)
+                mem_counts[count_key] = mem_counts.get(count_key, 0) + 1
+                access = SketchAccess(
+                    tid=tid,
+                    kind=kind,
+                    addr=key,
+                    index=index,
+                    occurrence=mem_counts[count_key],
+                    held=tuple(sorted(
+                        (name, occ) for name, (occ, _) in tid_held.items()
+                    )),
+                    tentative=any(t for _, t in tid_held.values()),
+                )
+                self.accesses.append(access)
+                self.by_addr.setdefault(key, []).append(access)
+                held_names = set(tid_held)
+                if key in self.locksets:
+                    self.locksets[key] &= held_names
+                else:
+                    self.locksets[key] = set(held_names)
+                self._addr_tids.setdefault(key, set()).add(tid)
+                self._addr_written[key] = (
+                    self._addr_written.get(key, False) or kind in WRITE_KINDS
+                )
+
+    @staticmethod
+    def _syscall_name(key) -> Optional[str]:
+        if isinstance(key, tuple) and key:
+            return key[0]
+        return None
+
+    @staticmethod
+    def _syscall_arg(key) -> Optional[str]:
+        if isinstance(key, tuple) and len(key) > 1:
+            return key[1]
+        return None
+
+
+def race_confidence(hb: SketchHB, a: SketchAccess, b: SketchAccess) -> float:
+    """Score one predicted race pair in [0, 1]."""
+    confidence = RACE_BASE_CONFIDENCE
+    if hb.inconsistent(a.addr):
+        confidence = min(1.0, confidence + LOCKSET_BONUS)
+    if a.tentative or b.tentative:
+        confidence *= TRYLOCK_PENALTY
+    return round(confidence, 4)
+
+
+def predict_races(log: SketchLog, max_races: int = 2_000) -> List[PredictedRace]:
+    """Predict race pairs from a sketch log, best-effort per level.
+
+    Memory accesses only appear in RW-level logs; coarser logs yield no
+    race predictions (the deadlock predictor covers those levels).  Races
+    are reported FastTrack-style — each access against the latest
+    conflicting access of every other thread — in log order, so the
+    result is deterministic for a given log.
+    """
+    if not log.sketch.includes(SketchKind.RW):
+        return []
+    hb = SketchHB(log)
+    races: List[PredictedRace] = []
+    last_read: Dict[Address, Dict[int, SketchAccess]] = {}
+    last_write: Dict[Address, Dict[int, SketchAccess]] = {}
+    for access in hb.accesses:
+        histories = [last_write.setdefault(access.addr, {})]
+        if access.is_write:
+            histories.append(last_read.setdefault(access.addr, {}))
+        for history in histories:
+            for other_tid in sorted(history):
+                if other_tid == access.tid:
+                    continue
+                prev = history[other_tid]
+                if hb.concurrent(prev, access):
+                    races.append(
+                        PredictedRace(
+                            first=prev,
+                            second=access,
+                            addr=access.addr,
+                            confidence=race_confidence(hb, prev, access),
+                        )
+                    )
+                    if len(races) >= max_races:
+                        return races
+        table = last_write if access.is_write else last_read
+        table.setdefault(access.addr, {})[access.tid] = access
+    return races

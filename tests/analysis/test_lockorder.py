@@ -1,11 +1,17 @@
 """Tests for Goodlock-style deadlock prediction."""
 
+from dataclasses import dataclass
+from typing import Tuple, Union
+
 import pytest
 
 from repro.analysis.lockorder import (
+    collect_lock_order,
+    find_potential_deadlocks,
     lock_order_report,
     predicts_deadlock,
 )
+from repro.sim.ops import OpKind
 from repro.apps import get_bug
 from repro.sim import Machine, Program, RandomScheduler
 
@@ -133,6 +139,138 @@ class TestCycleDetection:
         report = lock_order_report(trace_of(main))
         assert report.potential_deadlocks == []
         assert "no cycles" in report.describe()
+
+
+@dataclass(frozen=True)
+class _Ev:
+    """Minimal event-like record for driving the source-agnostic sweep."""
+
+    tid: int
+    kind: OpKind
+    obj: Union[str, Tuple[str, str]]
+    value: object = None
+    gidx: int = 0
+
+
+def _script(*steps):
+    """Build events from (tid, kind, obj[, value]) tuples, gidx = position."""
+    events = []
+    for gidx, step in enumerate(steps):
+        tid, kind, obj = step[:3]
+        value = step[3] if len(step) > 3 else None
+        events.append(_Ev(tid=tid, kind=kind, obj=obj, value=value, gidx=gidx))
+    return events
+
+
+class TestSweepEdgeCases:
+    def test_recursive_reacquisition_makes_no_self_edge(self):
+        events = _script(
+            (1, OpKind.LOCK, "a"),
+            (1, OpKind.LOCK, "a"),  # recursive: same thread, same lock
+            (1, OpKind.LOCK, "b"),
+        )
+        edges = collect_lock_order(events)
+        assert all(e.holder != e.acquired for e in edges)
+        assert {(e.holder, e.acquired) for e in edges} == {("a", "b")}
+
+    def test_occurrence_numbers_count_per_thread_acquisitions(self):
+        events = _script(
+            (1, OpKind.LOCK, "m"),
+            (1, OpKind.UNLOCK, "m"),
+            (1, OpKind.LOCK, "m"),  # second acquisition of m by T1
+            (1, OpKind.LOCK, "n"),
+        )
+        (edge,) = collect_lock_order(events)
+        assert (edge.holder, edge.acquired) == ("m", "n")
+        assert edge.holder_occurrence == 2
+        assert edge.acquired_occurrence == 1
+
+    def test_failed_trylock_makes_no_edge_but_success_does(self):
+        failed = _script(
+            (1, OpKind.LOCK, "a"),
+            (1, OpKind.TRYLOCK, "b", False),
+        )
+        assert collect_lock_order(failed) == []
+        succeeded = _script(
+            (1, OpKind.LOCK, "a"),
+            (1, OpKind.TRYLOCK, "b", True),
+        )
+        assert {(e.holder, e.acquired) for e in collect_lock_order(succeeded)} == {
+            ("a", "b")
+        }
+
+    def test_four_lock_cycle_across_four_threads(self):
+        hops = (("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"))
+        steps = []
+        for tid, (first, second) in enumerate(hops, start=1):
+            steps.extend(
+                (
+                    (tid, OpKind.LOCK, first),
+                    (tid, OpKind.LOCK, second),
+                    (tid, OpKind.UNLOCK, second),
+                    (tid, OpKind.UNLOCK, first),
+                )
+            )
+        cycles, gated = find_potential_deadlocks(collect_lock_order(_script(*steps)))
+        assert gated == 0
+        assert len(cycles) == 1
+        assert set(cycles[0].cycle) == {"a", "b", "c", "d"}
+        assert cycles[0].tids == (1, 2, 3, 4)
+
+    def test_gate_lock_suppresses_the_cycle(self):
+        steps = []
+        for tid, (first, second) in ((1, ("a", "b")), (2, ("b", "a"))):
+            steps.extend(
+                (
+                    (tid, OpKind.LOCK, "gate"),
+                    (tid, OpKind.LOCK, first),
+                    (tid, OpKind.LOCK, second),
+                    (tid, OpKind.UNLOCK, second),
+                    (tid, OpKind.UNLOCK, first),
+                    (tid, OpKind.UNLOCK, "gate"),
+                )
+            )
+        cycles, gated = find_potential_deadlocks(collect_lock_order(_script(*steps)))
+        assert cycles == []
+        assert gated == 1
+
+    def test_partially_gated_cycle_is_still_reported(self):
+        steps = [
+            # T1 takes the inversion under the gate ...
+            (1, OpKind.LOCK, "gate"),
+            (1, OpKind.LOCK, "a"),
+            (1, OpKind.LOCK, "b"),
+            (1, OpKind.UNLOCK, "b"),
+            (1, OpKind.UNLOCK, "a"),
+            (1, OpKind.UNLOCK, "gate"),
+            # ... but T2 inverts without holding it: interleavable.
+            (2, OpKind.LOCK, "b"),
+            (2, OpKind.LOCK, "a"),
+            (2, OpKind.UNLOCK, "a"),
+            (2, OpKind.UNLOCK, "b"),
+        ]
+        cycles, gated = find_potential_deadlocks(collect_lock_order(_script(*steps)))
+        assert gated == 0
+        assert len(cycles) == 1
+        assert set(cycles[0].cycle) == {"a", "b"}
+
+    def test_gated_cycle_count_surfaces_in_report(self):
+        def holder(ctx, first, second):
+            yield ctx.lock("gate")
+            yield ctx.lock(first)
+            yield ctx.lock(second)
+            yield ctx.unlock(second)
+            yield ctx.unlock(first)
+            yield ctx.unlock("gate")
+
+        def main(ctx):
+            for first, second in (("a", "b"), ("b", "a")):
+                tid = yield ctx.spawn(holder, first, second)
+                yield ctx.join(tid)
+
+        report = lock_order_report(trace_of(main))
+        assert report.potential_deadlocks == []
+        assert report.gated_cycles == 1
 
 
 class TestOnTheSuite:

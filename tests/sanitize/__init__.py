@@ -1,0 +1,1 @@
+"""Tests for the predictive sanitizer (:mod:`repro.sanitize`)."""

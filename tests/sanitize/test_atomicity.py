@@ -1,0 +1,59 @@
+"""Atomicity-violation inference: unserializable windows from sketches."""
+
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.sanitize.atomicity import UNSERIALIZABLE, predict_atomicity
+
+from tests.conftest import counter_program
+
+
+def rw_log(program, seed=0):
+    return record(program, sketch=SketchKind.RW, seed=seed).log
+
+
+class TestPrediction:
+    def test_lost_update_window_is_inferred(self):
+        violations = predict_atomicity(rw_log(counter_program(locked=False)))
+        assert violations
+        assert any(v.pattern == "R-W-W" for v in violations)
+        assert all(v.addr == "counter" for v in violations)
+
+    def test_patterns_are_restricted_to_the_unserializable_four(self):
+        violations = predict_atomicity(rw_log(counter_program(locked=False)))
+        for violation in violations:
+            assert tuple(violation.pattern.split("-")) in UNSERIALIZABLE
+
+    def test_windows_are_local_remote_local_in_log_order(self):
+        for violation in predict_atomicity(
+            rw_log(counter_program(locked=False))
+        ):
+            assert violation.local_first.tid == violation.local_second.tid
+            assert violation.remote.tid != violation.local_first.tid
+            assert (
+                violation.local_first.index
+                < violation.remote.index
+                < violation.local_second.index
+            )
+
+    def test_pins_rebuild_the_production_window(self):
+        violations = predict_atomicity(rw_log(counter_program(locked=False)))
+        for violation in violations:
+            first, second = violation.pins()
+            assert first.before == violation.local_first.ref()
+            assert first.after == violation.remote.ref()
+            assert second.before == violation.remote.ref()
+            assert second.after == violation.local_second.ref()
+
+    def test_locked_counter_has_no_windows(self):
+        assert predict_atomicity(rw_log(counter_program(locked=True))) == []
+
+    def test_coarser_logs_yield_no_predictions(self):
+        log = record(
+            counter_program(locked=False), sketch=SketchKind.SYNC, seed=0
+        ).log
+        assert predict_atomicity(log) == []
+
+    def test_max_violations_caps_the_report(self):
+        program = counter_program(nworkers=3, iters=5, locked=False)
+        capped = predict_atomicity(rw_log(program), max_violations=2)
+        assert len(capped) == 2

@@ -1,0 +1,84 @@
+"""Deadlock prediction from sketch logs: cycles and trigger constraints."""
+
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.sanitize.deadlock import (
+    DEADLOCK_BASE_CONFIDENCE,
+    predict_deadlocks,
+    sketch_lock_order,
+)
+
+from tests.conftest import deadlock_program, find_seed, run_program
+
+
+def clean_seed(program):
+    return find_seed(program, want_failure=False)
+
+
+class TestPrediction:
+    def test_inversion_predicted_from_a_clean_sync_recording(self):
+        program = deadlock_program()
+        log = record(
+            program, sketch=SketchKind.SYNC, seed=clean_seed(program)
+        ).log
+        deadlocks = predict_deadlocks(log)
+        assert len(deadlocks) == 1
+        (deadlock,) = deadlocks
+        assert set(deadlock.cycle) == {"A", "B"}
+        assert len(deadlock.tids) == 2
+        assert deadlock.confidence == DEADLOCK_BASE_CONFIDENCE
+
+    def test_trigger_inverts_the_production_lock_order(self):
+        program = deadlock_program()
+        log = record(
+            program, sketch=SketchKind.SYNC, seed=clean_seed(program)
+        ).log
+        (deadlock,) = predict_deadlocks(log)
+        assert deadlock.trigger
+        for constraint in deadlock.trigger:
+            assert constraint.before.family == "lock"
+            assert constraint.after.family == "lock"
+            assert {constraint.before.key, constraint.after.key} <= {"A", "B"}
+        # the two hops come from the two distinct inverting threads
+        assert {c.before.tid for c in deadlock.trigger} == set(deadlock.tids)
+
+    def test_sketchless_log_predicts_nothing(self):
+        program = deadlock_program()
+        log = record(
+            program, sketch=SketchKind.NONE, seed=clean_seed(program)
+        ).log
+        assert predict_deadlocks(log) == []
+
+    def test_sketch_lock_order_matches_the_trace_sweep(self):
+        from repro.analysis.lockorder import collect_lock_order
+
+        program = deadlock_program()
+        seed = clean_seed(program)
+        log = record(program, sketch=SketchKind.SYNC, seed=seed).log
+        sketch_pairs = {
+            (e.holder, e.acquired) for e in sketch_lock_order(log)
+        }
+        trace_pairs = {
+            (e.holder, e.acquired)
+            for e in collect_lock_order(run_program(program, seed).events)
+        }
+        assert sketch_pairs == trace_pairs
+
+    def test_describe_names_the_cycle(self):
+        program = deadlock_program()
+        log = record(
+            program, sketch=SketchKind.SYNC, seed=clean_seed(program)
+        ).log
+        (deadlock,) = predict_deadlocks(log)
+        text = deadlock.describe()
+        assert "A" in text and "B" in text
+        assert f"{DEADLOCK_BASE_CONFIDENCE:.2f}" in text
+
+    def test_rw_recording_predicts_the_same_cycle(self):
+        program = deadlock_program()
+        log = record(
+            program, sketch=SketchKind.RW, seed=clean_seed(program)
+        ).log
+        deadlocks = predict_deadlocks(log)
+        assert len(deadlocks) == 1
+        assert set(deadlocks[0].cycle) == {"A", "B"}

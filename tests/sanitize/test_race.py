@@ -1,0 +1,102 @@
+"""Race prediction from sketch logs: HB sweep, locksets, confidence."""
+
+from repro.core.recorder import record
+from repro.core.sketches import SketchKind
+from repro.sanitize.race import (
+    LOCKSET_BONUS,
+    RACE_BASE_CONFIDENCE,
+    TRYLOCK_PENALTY,
+    SketchHB,
+    predict_races,
+)
+from repro.sim import Program
+
+from tests.conftest import counter_program
+
+
+def rw_log(program, seed=0):
+    return record(program, sketch=SketchKind.RW, seed=seed).log
+
+
+class TestPrediction:
+    def test_unprotected_counter_races_are_predicted(self):
+        races = predict_races(rw_log(counter_program(locked=False)))
+        assert races
+        assert all(race.addr == "counter" for race in races)
+
+    def test_locked_counter_predicts_no_races(self):
+        assert predict_races(rw_log(counter_program(locked=True))) == []
+
+    def test_coarser_logs_yield_no_predictions(self):
+        log = record(
+            counter_program(locked=False), sketch=SketchKind.SYNC, seed=0
+        ).log
+        assert predict_races(log) == []
+
+    def test_predictions_pin_production_order(self):
+        for race in predict_races(rw_log(counter_program(locked=False))):
+            assert race.first.index < race.second.index
+            pin = race.pin()
+            assert pin.before == race.first.ref()
+            assert pin.after == race.second.ref()
+            assert pin.before.family == "mem"
+
+    def test_unprotected_shared_write_gets_the_lockset_bonus(self):
+        races = predict_races(rw_log(counter_program(locked=False)))
+        expected = round(RACE_BASE_CONFIDENCE + LOCKSET_BONUS, 4)
+        assert {race.confidence for race in races} == {expected}
+
+
+class TestHappensBeforeEdges:
+    def test_spawn_and_join_order_parent_and_child(self):
+        def child(ctx):
+            yield ctx.write("x", 1)
+
+        def main(ctx):
+            yield ctx.write("x", 0)  # before spawn: ordered by spawn edge
+            tid = yield ctx.spawn(child)
+            yield ctx.join(tid)
+            yield ctx.read("x")  # after join: ordered by join edge
+
+        races = predict_races(rw_log(Program(name="sj", main=main)))
+        assert races == []
+
+    def test_unlock_lock_edge_orders_critical_sections(self):
+        hb = SketchHB(rw_log(counter_program(locked=True)))
+        accesses = hb.by_addr["counter"]
+        assert all(
+            not hb.concurrent(a, b)
+            for a, b in zip(accesses, accesses[1:])
+        )
+
+    def test_trylock_guarded_predictions_are_penalized(self):
+        def holder(ctx):
+            ok = yield ctx.trylock("m")
+            value = yield ctx.read("x")
+            yield ctx.write("x", value + 1)
+            if ok:
+                yield ctx.unlock("m")
+
+        def free(ctx):
+            value = yield ctx.read("x")
+            yield ctx.write("x", value + 1)
+
+        def main(ctx):
+            t1 = yield ctx.spawn(holder)
+            t2 = yield ctx.spawn(free)
+            yield ctx.join(t1)
+            yield ctx.join(t2)
+
+        program = Program(name="tl", main=main, initial_memory={"x": 0})
+        races = predict_races(rw_log(program))
+        assert races
+        expected = round(
+            (RACE_BASE_CONFIDENCE + LOCKSET_BONUS) * TRYLOCK_PENALTY, 4
+        )
+        assert {race.confidence for race in races} == {expected}
+
+
+class TestDeterminism:
+    def test_same_log_same_predictions(self):
+        log = rw_log(counter_program(locked=False), seed=5)
+        assert predict_races(log) == predict_races(log)

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.bench",
     "repro.robust",
     "repro.obs",
+    "repro.sanitize",
 ]
 
 

@@ -1,0 +1,84 @@
+"""The replay stack must stay deterministic: the lint tree is clean.
+
+Backed by ``tools/lint_determinism.py`` (the same code CI runs), so a
+wall-clock read, unseeded global RNG call, hash-ordered set iteration,
+or ``key=id`` sort that sneaks into the package fails the suite before
+it flakes a replay.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import lint_determinism  # noqa: E402  (path set up above)
+
+
+def _rules(source):
+    return [v.rule for v in lint_determinism.lint_source(source)]
+
+
+def test_package_and_tools_are_hazard_free():
+    violations = lint_determinism.lint_paths(
+        lint_determinism.default_targets(ROOT)
+    )
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+def test_benchmarks_and_tests_are_hazard_free():
+    violations = lint_determinism.lint_paths(
+        [ROOT / "benchmarks", ROOT / "tests"]
+    )
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+def test_flags_wall_clock_reads():
+    assert _rules("import time\nstamp = time.time()\n") == ["wall-clock"]
+    assert _rules("from datetime import datetime\nd = datetime.now()\n") == [
+        "wall-clock"
+    ]
+
+
+def test_allows_monotonic_duration_timers():
+    source = "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n"
+    assert _rules(source) == []
+
+
+def test_flags_global_rng_but_allows_seeded_instances():
+    assert _rules("import random\nx = random.random()\n") == ["global-random"]
+    assert _rules("import random\nrandom.shuffle(items)\n") == [
+        "global-random"
+    ]
+    assert _rules("import random\nrng = random.Random(42)\nx = rng.random()\n") == []
+
+
+def test_flags_set_iteration_feeding_ordered_output():
+    assert _rules("for item in {1, 2, 3}:\n    print(item)\n") == [
+        "set-iteration"
+    ]
+    assert _rules("out = [t for t in set(tids)]\n") == ["set-iteration"]
+    assert _rules("for item in sorted({1, 2, 3}):\n    print(item)\n") == []
+    assert _rules("for item in sorted(set(tids)):\n    print(item)\n") == []
+
+
+def test_flags_id_based_ordering():
+    assert _rules("order = sorted(objs, key=id)\n") == ["id-ordering"]
+    assert _rules("objs.sort(key=lambda o: id(o))\n") == ["id-ordering"]
+    assert _rules("order = sorted(objs, key=lambda o: o.uid)\n") == []
+
+
+def test_pragma_suppresses_a_line():
+    source = "import time\nstamp = time.time()  # determinism: ok\n"
+    assert _rules(source) == []
+
+
+def test_violation_rendering_and_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert lint_determinism.main([str(bad)]) == 1
+    assert "global-random" in capsys.readouterr().err
+    good = tmp_path / "good.py"
+    good.write_text("value = 1\n")
+    assert lint_determinism.main([str(good)]) == 0
+    assert "no determinism hazards" in capsys.readouterr().out

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Determinism lint: flag nondeterminism hazards in the replay stack.
+
+PRES's core contract is that every reproduction session is a pure
+function of its inputs (sketch log, seeds, batch size) — results must
+not depend on wall-clock time, global RNG state, hash order, or object
+identity.  This linter walks Python ASTs and flags the patterns that
+historically break that contract:
+
+* **wall-clock reads** — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` / ``datetime.utcnow()`` / ``datetime.today()``.
+  (``time.perf_counter`` and ``time.monotonic`` are *not* flagged: they
+  measure durations for benchmarks/observability and never feed replay
+  decisions.)
+* **unseeded global randomness** — any call through the ``random``
+  *module* (``random.random()``, ``random.shuffle()``, ...).  Replay
+  code must use an explicitly seeded ``random.Random(seed)`` instance.
+* **unordered iteration feeding ordered output** — ``for`` loops and
+  comprehensions that iterate a syntactic set (literal, comprehension,
+  or ``set()``/``frozenset()`` call) without wrapping it in
+  ``sorted(...)``.  Set iteration order depends on insertion and hash
+  history; anything derived from it is schedule-dependent.
+* **object-identity ordering** — ``id`` used as (or inside) a sort key
+  (``sorted(xs, key=id)``).  CPython ids are allocation addresses;
+  ordering by them differs run to run.
+
+A line can opt out with a trailing ``# determinism: ok`` comment — for
+code that *measures* time rather than deciding on it, or iterates a set
+where order provably cannot escape.  Exit code 1 lists every violation;
+0 means the scanned tree is clean.  Used by CI next to the docs link
+checker and by ``tests/test_determinism_lint.py``, which share
+:func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+#: trailing comment that suppresses findings on its line.
+PRAGMA = "# determinism: ok"
+
+#: (module, attribute) call pairs that read the wall clock.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: callables whose ``key=`` argument orders things.
+_ORDERING_CALLS = {"sorted", "sort", "min", "max"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One determinism hazard at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line: [rule] message`` for tool output."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _attr_call(node: ast.Call):
+    """The (module_name, attr_name) of a ``module.attr(...)`` call."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether a node is syntactically a set (literal, comp, or call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _uses_id_name(node: ast.AST) -> bool:
+    """Whether the builtin name ``id`` appears anywhere under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == "id":
+            return True
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """Collect determinism hazards from one module's AST."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, node.lineno, rule, message)
+        )
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if _is_set_expression(iter_node):
+            self._flag(
+                iter_node,
+                "set-iteration",
+                "iterating a set in hash order; wrap it in sorted(...)",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        pair = _attr_call(node)
+        if pair in _WALL_CLOCK:
+            self._flag(
+                node,
+                "wall-clock",
+                f"{pair[0]}.{pair[1]}() reads the wall clock; results "
+                "must be pure functions of their inputs",
+            )
+        elif pair is not None and pair[0] == "random" and pair[1] != "Random":
+            self._flag(
+                node,
+                "global-random",
+                f"random.{pair[1]}() uses the unseeded global RNG; use "
+                "an explicit random.Random(seed) instance",
+            )
+        name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        if name in _ORDERING_CALLS:
+            for keyword in node.keywords:
+                if keyword.arg == "key" and _uses_id_name(keyword.value):
+                    self._flag(
+                        node,
+                        "id-ordering",
+                        f"{name}(..., key=id) orders by allocation "
+                        "address, which differs run to run",
+                    )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_node(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_node
+    visit_SetComp = visit_comprehension_node
+    visit_DictComp = visit_comprehension_node
+    visit_GeneratorExp = visit_comprehension_node
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one module's source text; pragma-suppressed lines excluded."""
+    checker = _Checker(path)
+    checker.visit(ast.parse(source, filename=path))
+    lines = source.splitlines()
+    kept = []
+    for violation in checker.violations:
+        line_text = (
+            lines[violation.line - 1] if violation.line <= len(lines) else ""
+        )
+        if PRAGMA not in line_text:
+            kept.append(violation)
+    return kept
+
+
+def lint_file(path: Path) -> List[Violation]:
+    """Lint one Python file."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories into the Python files beneath them."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Violation]:
+    """Every violation under the given files/directories, in path order."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def default_targets(root: Path) -> List[Path]:
+    """The tree CI lints: the whole installable package plus the tools."""
+    return [root / "src", root / "tools"]
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point; prints violations and returns the exit code."""
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(arg) for arg in argv] if argv else default_targets(root)
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation.render(), file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} determinism hazard(s)", file=sys.stderr)
+        return 1
+    checked = sum(1 for _ in iter_python_files(paths))
+    print(f"checked {checked} file(s): no determinism hazards")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

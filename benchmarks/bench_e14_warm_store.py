@@ -1,0 +1,61 @@
+"""E14 - warm-start reproduction from a cross-run attempt store (extension).
+
+The store's contract: a warm store only changes where outcomes come from
+(disk folds instead of live replays), never what is explored.  Asserted
+shape: warm runs answer every attempt from the store (zero live
+replays), the warm hit count equals the cold run's attempt count, and
+baseline / cold / warm / gc-partial reproductions report identical
+attempt sequences, winners, and complete logs.
+"""
+
+import pytest
+
+from repro.bench.warmstore import build_e14
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_e14()
+
+
+def test_e14_warm_store_table(result, publish, benchmark):
+    def check():
+        publish("e14_warm_store", result.render())
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e14_reports_identical_across_store_states(result, benchmark):
+    def check():
+        assert result.meta["identical_reports"] is True
+        for record in result.records:
+            assert record["identical_reports"], record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e14_warm_run_replays_nothing_live(result, benchmark):
+    def check():
+        assert result.meta["zero_live_warm"] is True
+        for record in result.records:
+            assert record["warm_live_replays"] == 0, record["bug"]
+            assert record["warm_cache_hits"] == record["attempts"], record["bug"]
+            # A cold store answers nothing: every attempt ran live.
+            assert record["cold_cache_hits"] == 0, record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e14_partial_store_only_replays_evicted_keys(result, benchmark):
+    def check():
+        for record in result.records:
+            assert record["gc_evicted"] > 0, record["bug"]
+            assert (
+                record["partial_live_replays"] <= record["gc_evicted"]
+            ), record["bug"]
+            # Strictly fewer live replays than a cold run, even after gc.
+            assert (
+                record["partial_live_replays"] < record["attempts"]
+            ), record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -67,10 +67,12 @@ class BenchResult:
         }
 
     def write_json(self, directory: Union[str, Path] = ".") -> Path:
-        """Write ``BENCH_<experiment>.json`` under ``directory``."""
+        """Write ``BENCH_<experiment>.json`` under ``directory`` atomically."""
+        from repro.robust.atomic import atomic_write_text
+
         path = Path(directory) / f"BENCH_{self.experiment}.json"
-        path.write_text(
+        atomic_write_text(
+            str(path),
             json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
         return path

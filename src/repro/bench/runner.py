@@ -24,6 +24,7 @@ from repro.bench.results import BenchResult
 from repro.bench.scaling import scaling_curves
 from repro.bench.seeds import failure_rate, find_failing_seed
 from repro.bench.speedup import build_e12
+from repro.bench.warmstore import build_e14
 from repro.core.sketches import SKETCH_ORDER, SketchKind
 
 
@@ -225,15 +226,17 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
     "e6": build_e6,
     "e12": build_e12,
     "e13": build_e13,
+    "e14": build_e14,
 }
 
 
 def run_experiment_result(name: str, obs=None) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12, e13); structured result.
+    """Run one experiment by id (t1, e1..e6, e12..e14); structured result.
 
     :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
-        to builders that are instrumented for it (currently ``e12``) so
-        ``pres bench --trace-out/--metrics-out`` can export the session.
+        to builders that are instrumented for it (currently ``e12`` and
+        ``e14``) so ``pres bench --trace-out/--metrics-out`` can export
+        the session.
     """
     try:
         builder = EXPERIMENTS[name.lower()]
@@ -249,7 +252,7 @@ def run_experiment_result(name: str, obs=None) -> BenchResult:
 
 
 def run_experiment(name: str) -> str:
-    """Render one experiment's table by id (t1, e1..e6, e12, e13)."""
+    """Render one experiment's table by id (t1, e1..e6, e12..e14)."""
     return run_experiment_result(name).render()
 
 

@@ -10,6 +10,15 @@ Subcommands::
     pres replay BUG --log FILE        deterministic replay of a saved log
     pres inspect TRACE                render a saved observability trace
     pres doctor LOG [--out FILE]      validate/salvage an on-disk artifact
+    pres store stats|verify|gc DIR    manage a cross-run attempt store
+
+Cross-run attempt store (see docs/store.md): ``reproduce --store DIR``
+persists every replay-attempt outcome to a crash-safe, sharded store and
+answers repeat attempts from it — a warm second reproduction of the same
+recording replays nothing live and reports the identical schedule.
+``pres store`` exposes the maintenance surface: ``stats`` (size/record
+totals), ``verify`` (per-shard integrity; exit 1 on damage), and ``gc
+--max-records N`` (deterministic oldest-recorded-first eviction).
 
 Predictive analysis (see docs/internals.md, "Predictive analysis"):
 ``analyze`` runs the sanitizer over a saved sketch log (binary,
@@ -51,6 +60,7 @@ from repro.core.reproducer import reproduce, reproduce_degraded
 from repro.core.sketches import parse_sketch_kind
 from repro.errors import RecorderKilled, SketchFormatError
 from repro.obs.session import ObsSession
+from repro.robust.atomic import atomic_write_text
 from repro.sim import MachineConfig
 
 
@@ -166,8 +176,7 @@ def cmd_record(args) -> int:
     if args.journal:
         print(f"sketch journal written to {args.journal}")
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(recorded.log.to_json())
+        atomic_write_text(args.out, recorded.log.to_json())
         print(f"sketch log written to {args.out}")
     if fault is not None and fault.kind != "kill":
         _inject_file_fault(args.journal or args.out, fault)
@@ -204,8 +213,7 @@ def cmd_analyze(args) -> int:
               f"from {args.log}")
         print(plan.describe())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(plan.to_json())
+        atomic_write_text(args.out, plan.to_json())
         print(f"replay plan written to {args.out}")
     return 0
 
@@ -302,6 +310,7 @@ def cmd_reproduce(args) -> int:
             use_feedback=not args.no_feedback,
             salvaged_entries=salvaged_entries,
             dropped_records=dropped_records,
+            store=args.store,
             obs=obs,
             plan=plan,
         )
@@ -314,9 +323,14 @@ def cmd_reproduce(args) -> int:
             recorded,
             config,
             use_feedback=not args.no_feedback,
+            store=args.store,
             obs=obs,
             plan=plan,
         )
+    if args.store:
+        live = report.attempts - report.cache_hits
+        print(f"store {args.store}: {report.cache_hits} attempt(s) answered "
+              f"from the store, {live} replayed live")
     print(report.describe())
     for attempt in report.records:
         print(f"  attempt {attempt.index}: {attempt.outcome} "
@@ -327,8 +341,7 @@ def cmd_reproduce(args) -> int:
     if not report.success:
         return 1
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.complete_log.to_json())
+        atomic_write_text(args.out, report.complete_log.to_json())
         print(f"complete log written to {args.out}; replays deterministically")
     if args.exec_out:
         from repro.sim.persist import save_trace
@@ -501,10 +514,26 @@ def cmd_doctor(args) -> int:
 
         registry = MetricsRegistry(enabled=True)
         diagnosis_metrics(diagnosis, registry)
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(registry.to_json())
+        atomic_write_text(args.metrics_out, registry.to_json())
         print(f"metrics snapshot written to {args.metrics_out}")
     return diagnosis.exit_code
+
+
+def cmd_store(args) -> int:
+    from repro.store import AttemptStore
+
+    store = AttemptStore(args.store_dir)
+    if args.store_command == "stats":
+        print(store.stats().describe())
+        return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        print(report.describe())
+        return report.exit_code
+    # gc
+    report = store.gc(args.max_records)
+    print(report.describe())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -581,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--degrade", action="store_true",
                          help="walk the sketch degradation ladder "
                               "(rw->bb->func->sys->sync) if replay fails")
+    p_repro.add_argument("--store", metavar="DIR",
+                         help="persist attempt outcomes to a cross-run "
+                              "store at DIR and answer repeat attempts "
+                              "from it (warm runs replay nothing live; "
+                              "identical reported results)")
 
     p_diag = sub.add_parser(
         "diagnose", help="reproduce a bug and print a root-cause report"
@@ -617,7 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "kind would record (none|sync|sys|func|bb|rw)")
 
     p_bench = sub.add_parser(
-        "bench", help="render an evaluation table (t1, e1..e6, e12, e13, or 'list')"
+        "bench", help="render an evaluation table (t1, e1..e6, e12..e14, or 'list')"
     )
     p_bench.add_argument("experiment")
     p_bench.add_argument("--json", action="store_true",
@@ -640,6 +674,27 @@ def build_parser() -> argparse.ArgumentParser:
                            help="Chrome trace_event JSON written by "
                                 "--trace-out")
 
+    p_store = sub.add_parser(
+        "store", help="inspect or bound a cross-run attempt store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    s_stats = store_sub.add_parser(
+        "stats", help="record/shard/byte totals for one store"
+    )
+    s_stats.add_argument("store_dir", help="store directory "
+                                           "(from reproduce --store)")
+    s_verify = store_sub.add_parser(
+        "verify", help="validate every shard; exit 1 on any damage"
+    )
+    s_verify.add_argument("store_dir", help="store directory")
+    s_gc = store_sub.add_parser(
+        "gc", help="evict oldest-recorded records down to a bound"
+    )
+    s_gc.add_argument("store_dir", help="store directory")
+    s_gc.add_argument("--max-records", type=int, required=True,
+                      help="records to keep (deterministic "
+                           "oldest-recorded-first eviction)")
+
     return parser
 
 
@@ -655,6 +710,7 @@ _HANDLERS = {
     "bench": cmd_bench,
     "stats": cmd_stats,
     "inspect": cmd_inspect,
+    "store": cmd_store,
 }
 
 

@@ -146,12 +146,26 @@ class AttemptCache:
 
     Keys are built by the caller via :meth:`key_for`; values are opaque
     to the cache (the engine stores its ``AttemptOutcome`` records).
+
+    :param max_entries: optional bound on memoized outcomes.  A long
+        degradation-ladder run over a large frontier would otherwise
+        grow the cache without limit; with a bound, the least recently
+        *used* entry (ties broken by recorded order — dict insertion
+        order, which is schedule-deterministic) is evicted and counted
+        in :attr:`evictions`.  Eviction can only turn a would-be hit
+        into a live replay, and attempts are pure, so exploration
+        results are identical under any bound (pinned by
+        ``tests/core/test_feedback.py``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._outcomes: Dict[Tuple, object] = {}
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key_for(
@@ -169,13 +183,25 @@ class AttemptCache:
         outcome = self._outcomes.get(key)
         if outcome is not None:
             self.hits += 1
+            if self.max_entries is not None:
+                # LRU bookkeeping: a hit refreshes the entry's position
+                # in the (insertion-ordered) dict.
+                del self._outcomes[key]
+                self._outcomes[key] = outcome
         else:
             self.misses += 1
         return outcome
 
     def put(self, key: Tuple, outcome: object) -> None:
         """Memoize one attempt outcome under its :meth:`key_for` key."""
+        if self.max_entries is not None and key in self._outcomes:
+            del self._outcomes[key]  # re-put refreshes recency
         self._outcomes[key] = outcome
+        if self.max_entries is not None:
+            while len(self._outcomes) > self.max_entries:
+                oldest = next(iter(self._outcomes))
+                del self._outcomes[oldest]
+                self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._outcomes)

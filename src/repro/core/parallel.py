@@ -95,6 +95,12 @@ class AttemptContext:
     #: canonical-order memo so each distinct constraint set is sorted
     #: once per session, not once per replay.
     sorted_cache: Dict[ConstraintSet, Tuple] = field(default_factory=dict)
+    #: bound on the memo above — a long ladder walk over a large
+    #: frontier sees an unbounded stream of distinct constraint sets, so
+    #: without a cap the memo is a slow leak.  Eviction is oldest-first
+    #: (dict insertion order, schedule-deterministic) and can only cost
+    #: a re-sort, never change its result.  ``0`` disables the bound.
+    sorted_cache_limit: int = 4096
     #: record per-attempt spans inside :func:`evaluate_attempt` (in the
     #: worker process, when pooled) and ship them on the outcome.
     trace_attempts: bool = False
@@ -107,6 +113,11 @@ class AttemptContext:
         cached = self.sorted_cache.get(constraints)
         if cached is None:
             cached = canonical_order(constraints)
+            if (
+                self.sorted_cache_limit > 0
+                and len(self.sorted_cache) >= self.sorted_cache_limit
+            ):
+                del self.sorted_cache[next(iter(self.sorted_cache))]
             self.sorted_cache[constraints] = cached
         return cached
 
@@ -275,6 +286,12 @@ class ParallelExplorer:
         )
         self.use_feedback = use_feedback
         self.cache = cache
+        bind = getattr(cache, "bind_metrics", None)
+        if bind is not None:
+            # A persistent cache tier charges its store.* counters into
+            # this session's registry (at get/put time, so they stay as
+            # jobs-invariant as every other counter).
+            bind(self.obs.metrics)
         self.db = FeedbackDB()
         #: why the process pool could not be used, if it could not.
         self.pool_disabled_reason: Optional[str] = None

@@ -247,6 +247,38 @@ class Reproducer:
         )
 
 
+def _store_cache(store: object) -> AttemptCache:
+    """A write-through persistent cache over ``store`` (a store directory
+    path or an open :class:`~repro.store.attempt_store.AttemptStore`).
+
+    Imported lazily: ``repro.store`` builds on this module, so the
+    dependency must not run at import time.
+    """
+    from repro.store.persistent import PersistentAttemptCache
+
+    return PersistentAttemptCache(store)
+
+
+def _resolve_store(store: object, cache: Optional[AttemptCache]) -> Tuple[
+    Optional[AttemptCache], Optional[AttemptCache]
+]:
+    """Turn a ``store=`` argument into the cache to use.
+
+    Returns ``(cache, close_after)``: ``close_after`` is the persistent
+    tier this call created and must close on the way out (``None`` when
+    the caller supplied the cache, or no store was requested).
+    """
+    if store is None:
+        return cache, None
+    if cache is not None:
+        raise SimUsageError(
+            "pass either cache= or store=, not both (wrap the store in a "
+            "PersistentAttemptCache to share it with an explicit cache)"
+        )
+    created = _store_cache(store)
+    return created, created
+
+
 def reproduce(
     recorded: RecordedRun,
     config: Optional[ExplorerConfig] = None,
@@ -255,6 +287,7 @@ def reproduce(
     match_output: bool = False,
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
+    store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
 ) -> ReproductionReport:
@@ -271,6 +304,12 @@ def reproduce(
         process pool (:class:`~repro.core.parallel.ParallelExplorer`).
     :param cache: optional shared :class:`AttemptCache`; memoized attempt
         outcomes are folded in without re-running the replay.
+    :param store: optional cross-run attempt store — a store directory
+        path or an open :class:`~repro.store.attempt_store.AttemptStore`.
+        Outcomes are written through to it and a warm store answers
+        attempts without live replays; the reported schedule and winner
+        are identical with the store cold, warm, or partially populated.
+        Mutually exclusive with ``cache``.
     :param obs: optional :class:`~repro.obs.session.ObsSession` to record
         spans and metrics into; defaults to the ``config.trace`` /
         ``config.metrics`` knobs (off = zero cost).
@@ -280,11 +319,16 @@ def reproduce(
     """
     if jobs is not None:
         config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
-    return Reproducer(
-        recorded, config=config, use_feedback=use_feedback,
-        base_policy=base_policy, match_output=match_output, cache=cache,
-        obs=obs, plan=plan,
-    ).run()
+    cache, close_after = _resolve_store(store, cache)
+    try:
+        return Reproducer(
+            recorded, config=config, use_feedback=use_feedback,
+            base_policy=base_policy, match_output=match_output, cache=cache,
+            obs=obs, plan=plan,
+        ).run()
+    finally:
+        if close_after is not None:
+            close_after.close()
 
 
 # -- graceful degradation ----------------------------------------------------
@@ -329,6 +373,7 @@ def reproduce_degraded(
     seed_backoff: int = 101,
     jobs: Optional[int] = None,
     cache: Optional[AttemptCache] = None,
+    store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
 ) -> ReproductionReport:
@@ -356,6 +401,11 @@ def reproduce_degraded(
     :param cache: shared :class:`AttemptCache` for all rungs (one is
         created when ``None``), so a re-walk of the ladder replays
         nothing it has already learned.
+    :param store: optional cross-run attempt store (a directory path or
+        an open :class:`~repro.store.attempt_store.AttemptStore`); every
+        rung shares the one persistent tier, so a crashed or re-run
+        ladder walk resumes warm from whatever earlier rungs persisted.
+        Mutually exclusive with ``cache``.
     :param obs: optional :class:`~repro.obs.session.ObsSession` shared by
         every rung, so the exported timeline shows the whole ladder walk;
         defaults to the ``config.trace`` / ``config.metrics`` knobs.
@@ -363,6 +413,43 @@ def reproduce_degraded(
         applicable at *its* sketch level, so a plan built from a rich log
         keeps helping as the ladder coarsens.
     """
+    cache, close_after = _resolve_store(store, cache)
+    try:
+        return _degraded_walk(
+            recorded,
+            config=config,
+            use_feedback=use_feedback,
+            base_policy=base_policy,
+            match_output=match_output,
+            salvaged_entries=salvaged_entries,
+            dropped_records=dropped_records,
+            seed_backoff=seed_backoff,
+            jobs=jobs,
+            cache=cache,
+            obs=obs,
+            plan=plan,
+        )
+    finally:
+        if close_after is not None:
+            close_after.close()
+
+
+def _degraded_walk(
+    recorded: RecordedRun,
+    *,
+    config: Optional[ExplorerConfig],
+    use_feedback: bool,
+    base_policy: str,
+    match_output: bool,
+    salvaged_entries: Optional[int],
+    dropped_records: int,
+    seed_backoff: int,
+    jobs: Optional[int],
+    cache: Optional[AttemptCache],
+    obs: Optional[ObsSession],
+    plan: Optional["ReplayPlan"],
+) -> ReproductionReport:
+    """The ladder walk behind :func:`reproduce_degraded`."""
     base_config = config or ExplorerConfig()
     if jobs is not None:
         base_config = dataclasses.replace(base_config, jobs=jobs)

@@ -102,8 +102,10 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
 
 
 def save_chrome_trace(tracer: Tracer, path: str) -> str:
-    """Write the Chrome-trace JSON for ``tracer`` to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write the Chrome-trace JSON for ``tracer`` to ``path`` atomically."""
+    from repro.robust.atomic import atomic_writer
+
+    with atomic_writer(path) as handle:
         json.dump(chrome_trace(tracer), handle, indent=1, sort_keys=True)
         handle.write("\n")
     return path

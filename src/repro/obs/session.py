@@ -42,10 +42,10 @@ class ObsSession:
         return save_chrome_trace(self.tracer, path)
 
     def write_metrics(self, path: str) -> str:
-        """Write the metrics snapshot JSON at ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.metrics.to_json())
-        return path
+        """Write the metrics snapshot JSON at ``path`` atomically."""
+        from repro.robust.atomic import atomic_write_text
+
+        return atomic_write_text(path, self.metrics.to_json())
 
 
 #: The shared disabled session: a null tracer and a null registry.

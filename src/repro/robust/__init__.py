@@ -13,13 +13,16 @@ that assumption made executable:
   (truncate / garble / drop / kill-recorder-at-event) used by the test
   suite and the ``--inject-fault`` CLI flag;
 * :mod:`repro.robust.doctor` — triage for any on-disk artifact, backing
-  the ``pres doctor`` subcommand and its 0/1/2 exit-code contract.
+  the ``pres doctor`` subcommand and its 0/1/2 exit-code contract;
+* :mod:`repro.robust.atomic` — crash-safe whole-file writes (temp file,
+  fsync, atomic rename) for every serialize-the-whole-artifact path.
 
 The replay-side counterpart — the degradation ladder that re-derives
 coarser sketches from a salvaged prefix and retries — lives with the
 reproduction driver in :func:`repro.core.reproducer.reproduce_degraded`.
 """
 
+from repro.robust.atomic import atomic_write_text, atomic_writer
 from repro.robust.doctor import LogDiagnosis, examine, write_salvaged
 from repro.robust.inject import (
     FaultPlan,
@@ -36,7 +39,9 @@ from repro.robust.journal import (
     SalvageReport,
     load_sketch_journal,
     read_journal,
+    read_journal_text,
     salvage,
+    salvage_text,
     sketch_journal_writer,
     sketch_log_from_salvage,
     write_sketch_journal,
@@ -49,13 +54,17 @@ __all__ = [
     "LogDiagnosis",
     "SalvageReport",
     "apply_fault",
+    "atomic_write_text",
+    "atomic_writer",
     "drop_line",
     "examine",
     "garble_file",
     "load_sketch_journal",
     "parse_fault",
     "read_journal",
+    "read_journal_text",
     "salvage",
+    "salvage_text",
     "seeded_truncate_offset",
     "sketch_journal_writer",
     "sketch_log_from_salvage",

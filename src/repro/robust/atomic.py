@@ -1,0 +1,62 @@
+"""Crash-safe whole-file writes: temp file, fsync, atomic rename.
+
+``open(path, "w")`` is the classic torn-write hazard: a crash between
+truncation and the final flush leaves a short, unloadable file where a
+good one used to be.  Every whole-artifact writer in the package (traces,
+sketch logs, complete logs, plans, metrics snapshots) routes through
+:func:`atomic_writer` instead: the content is written to a temporary file
+in the *same directory* (so the final rename cannot cross filesystems),
+flushed and fsynced, and only then moved over the destination with
+``os.replace`` — which POSIX guarantees is atomic.  A reader therefore
+always sees either the old complete file or the new complete file, never
+a prefix; a crash mid-write leaves the old file untouched plus at most
+one orphaned ``*.tmp.*`` file, which the next atomic write of the same
+artifact does not trip over.
+
+Incremental, append-only artifacts (sketch/trace journals, the attempt
+store's shards) are the other half of the story — they get their
+crash-consistency from :mod:`repro.robust.journal` instead, where every
+record is individually checksummed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator
+
+__all__ = ["atomic_writer", "atomic_write_text"]
+
+
+@contextlib.contextmanager
+def atomic_writer(path: str, encoding: str = "utf-8") -> Iterator[IO[str]]:
+    """A text handle whose content replaces ``path`` only on clean exit.
+
+    On any exception inside the ``with`` block the temporary file is
+    removed and ``path`` is left exactly as it was — the crash-mid-write
+    case loses the new content, never the old file.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp."
+    )
+    handle = os.fdopen(descriptor, "w", encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(temp_path, path)
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(temp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Atomically replace ``path`` with ``text``; returns ``path``."""
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(text)
+    return path

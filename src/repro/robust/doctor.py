@@ -204,9 +204,9 @@ def write_salvaged(diagnosis: LogDiagnosis, out_path: str) -> str:
             f"{diagnosis.path} is {diagnosis.status}; nothing to salvage"
         )
     if diagnosis.salvaged_text is not None:
-        with open(out_path, "w", encoding="utf-8") as handle:
-            handle.write(diagnosis.salvaged_text)
-        return out_path
+        from repro.robust.atomic import atomic_write_text
+
+        return atomic_write_text(out_path, diagnosis.salvaged_text)
     report = diagnosis.salvage
     if report is None:
         raise SketchFormatError(f"{diagnosis.path} has no salvageable content")

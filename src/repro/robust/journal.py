@@ -80,6 +80,13 @@ class JournalWriter:
     process killed at any instant leaves at most one torn line at the
     tail.  Pass ``fsync=True`` to also force the OS to persist each
     record (slower; the tests don't need it, a real deployment would).
+
+    With ``resume=True`` an existing journal at ``path`` is *continued*
+    instead of truncated: the valid record prefix is kept (a torn tail is
+    healed first — see :func:`resume_journal`), sequence numbering picks
+    up where the file left off, and new appends extend the same file.
+    This is what the attempt store's shards use to accumulate records
+    across process runs.
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class JournalWriter:
         kind: str,
         meta: Optional[Dict[str, Any]] = None,
         fsync: bool = False,
+        resume: bool = False,
     ) -> None:
         self.path = path
         self.kind = kind
@@ -95,9 +103,16 @@ class JournalWriter:
         self.fsync = fsync
         self._seq = 0
         self._closed = False
-        self._handle: IO[str] = open(path, "w", encoding="utf-8")
-        header = {"kind": kind, "meta": self.meta}
-        self._write_line(f"{MAGIC} {_frame(header)}")
+        #: salvage report of the pre-existing file when ``resume`` found
+        #: one (``None`` for a fresh journal); lets callers count healed
+        #: tails without re-reading the file.
+        self.resume_report: Optional["SalvageReport"] = None
+        if resume and os.path.exists(path) and os.path.getsize(path) > 0:
+            self._handle, self._seq = _resume_handle(self, path, kind)
+        else:
+            self._handle: IO[str] = open(path, "w", encoding="utf-8")
+            header = {"kind": kind, "meta": self.meta}
+            self._write_line(f"{MAGIC} {_frame(header)}")
 
     # -- write path -------------------------------------------------------
 
@@ -209,9 +224,19 @@ def salvage(path: str) -> SalvageReport:
     gap left by a dropped record — because records past a gap can no
     longer be trusted to be *the next* records.
     """
-    report = SalvageReport(path=path)
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        lines = handle.read().split("\n")
+        return salvage_text(handle.read(), path)
+
+
+def salvage_text(text: str, path: str = "<memory>") -> SalvageReport:
+    """:func:`salvage`, but over journal content already in memory.
+
+    Lets callers that hold one open handle (:func:`repro.sim.persist.
+    read_trace` sniffing formats, the attempt store healing a shard)
+    validate without a second racy ``open`` of the same path.
+    """
+    report = SalvageReport(path=path)
+    lines = text.split("\n")
     if lines and lines[-1] == "":
         lines.pop()
     report.total_lines = len(lines)
@@ -258,7 +283,15 @@ def salvage(path: str) -> SalvageReport:
 def read_journal(path: str) -> SalvageReport:
     """Strict read: raises :class:`SketchFormatError` on any corruption,
     naming the 1-based line of the first bad record."""
-    report = salvage(path)
+    return _strict(salvage(path), path)
+
+
+def read_journal_text(text: str, path: str = "<memory>") -> SalvageReport:
+    """Strict :func:`read_journal` over content already in memory."""
+    return _strict(salvage_text(text, path), path)
+
+
+def _strict(report: SalvageReport, path: str) -> SalvageReport:
     if report.unrecoverable:
         raise SketchFormatError(f"{path}: {report.reason}")
     if not report.intact:
@@ -270,10 +303,51 @@ def read_journal(path: str) -> SalvageReport:
     return report
 
 
+def _resume_handle(
+    writer: JournalWriter, path: str, kind: str
+) -> Tuple[IO[str], int]:
+    """Open an existing journal for continued appends (see ``resume=``).
+
+    The pre-existing file is salvaged first.  A torn or corrupt tail is
+    *healed* — the valid prefix is rewritten atomically, so records
+    appended afterwards sit directly behind trustworthy lines instead of
+    being stranded past garbage that salvage refuses to cross.  At most
+    the torn line itself is lost, never the journal.
+    """
+    from repro.robust.atomic import atomic_writer
+
+    report = salvage(path)
+    if report.unrecoverable:
+        raise SketchFormatError(
+            f"{path}: cannot resume journal: {report.reason}"
+        )
+    if report.kind != kind:
+        raise SketchFormatError(
+            f"{path}: cannot resume a {report.kind!r} journal as {kind!r}"
+        )
+    if report.footer is not None:
+        raise SketchFormatError(
+            f"{path}: journal is committed; resuming would append past "
+            "its completion footer"
+        )
+    writer.resume_report = report
+    writer.meta = dict(report.meta)
+    if report.dropped_lines > 0:
+        # Heal: keep exactly the valid prefix, drop the torn tail.
+        header = {"kind": report.kind, "meta": report.meta}
+        with atomic_writer(path) as handle:
+            handle.write(f"{MAGIC} {_frame(header)}\n")
+            for seq, payload in enumerate(report.records):
+                handle.write(_frame([seq, payload]) + "\n")
+    return open(path, "a", encoding="utf-8"), len(report.records)
+
+
 # -- sketch journals -------------------------------------------------------
 
 SKETCH_KIND = "sketch"
 TRACE_KIND = "trace"
+#: journal kind of one attempt-store shard (see :mod:`repro.store`).
+ATTEMPTS_KIND = "attempts"
 
 
 def sketch_journal_writer(

@@ -24,6 +24,7 @@ detection, lockset, timelines, diffing, and `schedule`-based re-execution.
 
 from __future__ import annotations
 
+import io
 import json
 from typing import Any, Dict, IO, List, Optional, Tuple
 
@@ -221,19 +222,35 @@ def load_trace(handle: IO[str]) -> Trace:
 
 
 def save_trace(trace: Trace, path: str) -> None:
-    """Write a trace to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a trace to ``path``, atomically.
+
+    The content lands in a temp file first and replaces ``path`` only
+    once complete and fsynced (:mod:`repro.robust.atomic`), so a crash
+    mid-write leaves whatever was at ``path`` before — never a truncated,
+    unloadable trace.
+    """
+    from repro.robust.atomic import atomic_writer
+
+    with atomic_writer(path) as handle:
         dump_trace(trace, handle)
 
 
 def read_trace(path: str) -> Trace:
-    """Load a trace from ``path`` (either format, sniffed by magic)."""
-    with open(path, "r", encoding="utf-8") as handle:
-        first = handle.read(7)
-    if first.startswith("PRESJ"):
-        return load_trace_journaled(path)
-    with open(path, "r", encoding="utf-8") as handle:
-        return load_trace(handle)
+    """Load a trace from ``path`` (either format, sniffed by magic).
+
+    Sniffing and parsing share one handle — one open, one read — so a
+    concurrent :func:`save_trace` replacement cannot swap the file
+    between the sniff and the reload, and hot paths pay a single open.
+    Undecodable bytes are replaced rather than raised on (both formats
+    turn the resulting damage into :class:`SketchFormatError`).
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        text = handle.read()
+    if text.startswith("PRESJ"):
+        from repro.robust.journal import read_journal_text
+
+        return trace_from_salvage(read_journal_text(text, path))
+    return load_trace(io.StringIO(text))
 
 
 # -- crash-consistent journal format -----------------------------------------

@@ -1,0 +1,46 @@
+"""Cross-run attempt store: replay outcomes that survive the process.
+
+PRES's costs concentrate at diagnosis time — replay attempts.  Within one
+session the :class:`~repro.core.feedback.AttemptCache` already memoizes
+them; this package extends the memo across sessions.  Outcomes are
+journaled to a content-addressed, fingerprint-sharded store
+(:class:`AttemptStore`), and :class:`PersistentAttemptCache` layers that
+store behind the existing cache interface, so a *warm* reproduction of a
+previously-seen recording folds its attempts straight from disk — same
+schedule, same winner, strictly fewer live replays (the E14 benchmark
+pins this).
+
+Crash safety comes from the :mod:`repro.robust.journal` machinery: every
+shard is an append-only checksummed journal, resumed (and healed) across
+runs; a torn write costs at most one record, never the store.  See
+``docs/store.md`` for the layout, keying, and GC story, and ``pres store
+stats|verify|gc`` for the operator surface.
+"""
+
+from repro.store.attempt_store import (
+    AttemptStore,
+    GCReport,
+    ShardReport,
+    StoreStats,
+    StoreVerifyReport,
+)
+from repro.store.codec import (
+    decode_key,
+    decode_record,
+    encode_key,
+    encode_record,
+)
+from repro.store.persistent import PersistentAttemptCache
+
+__all__ = [
+    "AttemptStore",
+    "GCReport",
+    "PersistentAttemptCache",
+    "ShardReport",
+    "StoreStats",
+    "StoreVerifyReport",
+    "decode_key",
+    "decode_record",
+    "encode_key",
+    "encode_record",
+]

@@ -11,7 +11,14 @@ import json
 import pytest
 
 from repro.errors import SketchFormatError
-from repro.sim.persist import _pack, _unpack, dump_trace, load_trace
+from repro.sim.persist import (
+    _pack,
+    _unpack,
+    dump_trace,
+    load_trace,
+    read_trace,
+    save_trace,
+)
 from tests.conftest import counter_program, run_program
 
 ADVERSARIAL = [
@@ -72,3 +79,38 @@ def test_structural_event_error_is_also_numbered():
     lines[4] = json.dumps(["not", "an", "event"])
     with pytest.raises(SketchFormatError, match=r"line 5, event 4"):
         load_trace(io.StringIO("\n".join(lines) + "\n"))
+
+
+class TestAtomicSaveTrace:
+    """save_trace is all-or-nothing: a failed write can lose the new
+    content, never the file that was already there."""
+
+    def test_save_then_read_round_trips(self, tmp_path):
+        trace = run_program(counter_program(), seed=1)
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        loaded = read_trace(str(path))
+        assert loaded.schedule == trace.schedule
+        assert loaded.final_memory == trace.final_memory
+
+    def test_failed_write_leaves_the_previous_trace_intact(self, tmp_path):
+        good = run_program(counter_program(), seed=1)
+        path = tmp_path / "trace.json"
+        save_trace(good, str(path))
+        before = path.read_text()
+
+        broken = run_program(counter_program(), seed=1)
+        broken.stdout.append(object())  # defeats JSON serialization
+        with pytest.raises(TypeError):
+            save_trace(broken, str(path))
+
+        assert path.read_text() == before
+        # ... and the aborted temp file was cleaned up, not left behind.
+        assert [p.name for p in sorted(tmp_path.iterdir())] == ["trace.json"]
+
+    def test_failed_first_write_creates_nothing(self, tmp_path):
+        broken = run_program(counter_program(), seed=1)
+        broken.stdout.append(object())
+        with pytest.raises(TypeError):
+            save_trace(broken, str(tmp_path / "trace.json"))
+        assert sorted(tmp_path.iterdir()) == []

@@ -1,0 +1,1 @@
+"""Tests for the cross-run attempt store (:mod:`repro.store`)."""

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.robust",
     "repro.obs",
     "repro.sanitize",
+    "repro.store",
 ]
 
 

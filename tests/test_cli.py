@@ -229,3 +229,44 @@ class TestStats:
         err = capsys.readouterr().err
         assert "unknown sketch kind 'bogus'" in err
         assert "sync" in err  # the error names the valid kinds
+
+
+class TestStore:
+    def _reproduce_into(self, store, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--store", str(store)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        return out
+
+    def test_reproduce_store_round_trip_and_maintenance(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        cold = self._reproduce_into(store, capsys)
+        assert "0 attempt(s) answered from the store" in cold
+
+        assert main(["store", "stats", str(store)]) == 0
+        assert "attempt record(s)" in capsys.readouterr().out
+
+        assert main(["store", "verify", str(store)]) == 0
+        assert "store: ok" in capsys.readouterr().out
+
+        warm = self._reproduce_into(store, capsys)
+        assert "0 replayed live" in warm
+
+        assert main(["store", "gc", str(store), "--max-records", "1"]) == 0
+        assert "evicted" in capsys.readouterr().out
+
+    def test_verify_reports_a_torn_tail(self, capsys, tmp_path):
+        from repro.robust.inject import truncate_file
+
+        store = tmp_path / "store"
+        self._reproduce_into(store, capsys)
+        shard = sorted(store.rglob("attempts.jsonl"))[0]
+        truncate_file(str(shard), -3)
+
+        assert main(["store", "verify", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "torn" in out
+        assert "DAMAGED" in out

@@ -82,3 +82,29 @@ def test_violation_rendering_and_cli_exit_codes(tmp_path, capsys):
     good.write_text("value = 1\n")
     assert lint_determinism.main([str(good)]) == 0
     assert "no determinism hazards" in capsys.readouterr().out
+
+
+class TestUnsortedDirListing:
+    def test_flags_bare_listings(self):
+        assert _rules("import os\nnames = os.listdir(root)\n") == [
+            "unsorted-dir-listing"
+        ]
+        assert _rules(
+            "import os\nfor entry in os.scandir(root):\n    pass\n"
+        ) == ["unsorted-dir-listing"]
+        assert _rules("entries = path.iterdir()\n") == ["unsorted-dir-listing"]
+
+    def test_sorted_wrapping_sanctions_the_listing(self):
+        assert _rules("import os\nnames = sorted(os.listdir(root))\n") == []
+        assert _rules("entries = sorted(path.iterdir(), key=str)\n") == []
+
+    def test_sorting_later_does_not_sanction(self):
+        # The listing itself must be wrapped; sorting a variable made
+        # from it elsewhere is invisible to a local reader.
+        assert _rules("import os\nnames = list(os.listdir(root))\n") == [
+            "unsorted-dir-listing"
+        ]
+
+    def test_pragma_suppresses(self):
+        source = "import os\nnames = os.listdir(root)  # determinism: ok\n"
+        assert _rules(source) == []

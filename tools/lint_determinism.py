@@ -23,6 +23,13 @@ historically break that contract:
 * **object-identity ordering** — ``id`` used as (or inside) a sort key
   (``sorted(xs, key=id)``).  CPython ids are allocation addresses;
   ordering by them differs run to run.
+* **unsorted directory listings** — ``os.listdir(...)``,
+  ``os.scandir(...)``, or ``.iterdir()`` calls not wrapped directly in
+  ``sorted(...)``.  Listing order is filesystem-dependent (and differs
+  across hosts even for identical trees), so anything derived from an
+  unsorted listing — shard load order, GC scan order — is
+  host-dependent.  The attempt store (:mod:`repro.store`) depends on
+  this rule for its deterministic-GC contract.
 
 A line can opt out with a trailing ``# determinism: ok`` comment — for
 code that *measures* time rather than deciding on it, or iterates a set
@@ -101,6 +108,10 @@ class _Checker(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.violations: List[Violation] = []
+        #: argument nodes of a ``sorted(...)`` call currently in scope;
+        #: a directory-listing call found here is sanctioned.  Works
+        #: because a parent Call is visited before its children.
+        self._sorted_args: set = set()
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -115,8 +126,25 @@ class _Checker(ast.NodeVisitor):
                 "iterating a set in hash order; wrap it in sorted(...)",
             )
 
+    def _check_dir_listing(self, node: ast.Call, pair) -> None:
+        listing = None
+        if pair is not None and pair[0] == "os" and pair[1] in ("listdir", "scandir"):
+            listing = f"os.{pair[1]}(...)"
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "iterdir":
+            listing = ".iterdir()"
+        if listing is not None and id(node) not in self._sorted_args:
+            self._flag(
+                node,
+                "unsorted-dir-listing",
+                f"{listing} yields entries in filesystem order, which "
+                "differs across hosts; wrap the call in sorted(...)",
+            )
+
     def visit_Call(self, node: ast.Call) -> None:
         pair = _attr_call(node)
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            self._sorted_args.update(id(arg) for arg in node.args)
+        self._check_dir_listing(node, pair)
         if pair in _WALL_CLOCK:
             self._flag(
                 node,

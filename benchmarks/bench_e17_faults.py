@@ -1,0 +1,48 @@
+"""E17 - report equivalence under injected faults (extension).
+
+The supervisor's contract: retries, inline fallbacks, pool rebuilds, and
+store corruption recovery change where an attempt's outcome is computed,
+never what it is.  Asserted shape: under a fixed-seed chaos mix (10%
+combined crash+hang attempt rate plus store-shard corruption) every
+suite bug's reproduction reports a signature byte-identical to its
+fault-free run, and the harness actually injected faults (the arm is
+not vacuously fault-free).
+"""
+
+import pytest
+
+from repro.bench.faults import build_e17
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_e17()
+
+
+def test_e17_faults_table(result, publish, benchmark):
+    def check():
+        publish("e17_faults", result.render())
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e17_reports_identical_under_chaos(result, benchmark):
+    def check():
+        assert result.meta["identical_reports"] is True
+        for record in result.records:
+            assert record["identical_reports"], record["bug"]
+            assert record["signature_baseline"] == record["signature_chaos"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e17_chaos_arm_actually_injected_faults(result, benchmark):
+    def check():
+        assert result.meta["faults_injected"] > 0
+        total_retries = sum(
+            record["supervise"]["supervise.retries"]
+            for record in result.records
+        )
+        assert total_retries > 0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List
 
 from repro.apps import all_bugs, get_bug
 from repro.bench.attempts import attempts_matrix
+from repro.bench.faults import build_e17
 from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
 from repro.bench.prediction import build_e13
 from repro.bench.results import BenchResult
@@ -227,16 +228,18 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
     "e12": build_e12,
     "e13": build_e13,
     "e14": build_e14,
+    "e17": build_e17,
 }
 
 
 def run_experiment_result(name: str, obs=None) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12..e14); structured result.
+    """Run one experiment by id (t1, e1..e6, e12..e14, e17); structured
+    result.
 
     :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
-        to builders that are instrumented for it (currently ``e12`` and
-        ``e14``) so ``pres bench --trace-out/--metrics-out`` can export
-        the session.
+        to builders that are instrumented for it (currently ``e12``,
+        ``e14``, and ``e17``) so ``pres bench --trace-out/--metrics-out``
+        can export the session.
     """
     try:
         builder = EXPERIMENTS[name.lower()]

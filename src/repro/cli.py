@@ -42,6 +42,18 @@ journaling) and ``--inject-fault kill@K|truncate@N|garble@S|drop@S``;
 ``--salvage`` to replay the recovered prefix of a torn trace journal.
 Parse errors in on-disk artifacts exit 2 with a message — never a
 traceback.
+
+Resilience flags (see docs/resilience.md): ``reproduce`` accepts
+``--attempt-timeout`` / ``--max-retries`` (worker supervision: deadlines,
+retry with deterministic backoff, pool rebuild, serial fallback),
+``--run-id`` / ``--resume`` / ``--runs DIR`` (resumable run journals: a
+resumed run replays only undecided attempts and reports byte-identical
+results), and ``--chaos SPEC`` (seeded fault injection —
+``crash=P,hang=P,corrupt=P,seed=N`` — under which reported results still
+match the fault-free run).  ``pres doctor DIR`` triages a store
+directory; ``--clean`` removes stale temp files a killed run left.  A
+``Ctrl-C`` during ``reproduce`` terminates workers, flushes the run
+journal, prints the partial report, and exits 130 — never a traceback.
 """
 
 from __future__ import annotations
@@ -58,7 +70,7 @@ from repro.core.diagnose import diagnose
 from repro.core.recorder import record
 from repro.core.reproducer import reproduce, reproduce_degraded
 from repro.core.sketches import parse_sketch_kind
-from repro.errors import RecorderKilled, SketchFormatError
+from repro.errors import RecorderKilled, SimUsageError, SketchFormatError
 from repro.obs.session import ObsSession
 from repro.robust.atomic import atomic_write_text
 from repro.sim import MachineConfig
@@ -220,6 +232,27 @@ def cmd_analyze(args) -> int:
 
 def cmd_reproduce(args) -> int:
     spec = get_bug(args.bug)
+    if args.run_id and args.resume:
+        print("--run-id and --resume are mutually exclusive", file=sys.stderr)
+        return 2
+    if (args.run_id or args.resume) and args.degrade:
+        print("run journals do not compose with --degrade (each rung is "
+              "its own exploration); drop one of the flags", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        from repro.robust.inject import parse_chaos
+
+        chaos = parse_chaos(args.chaos)
+    supervise = None
+    if args.attempt_timeout is not None or args.max_retries is not None:
+        from repro.robust.supervise import SuperviseConfig
+
+        supervise = SuperviseConfig(
+            attempt_timeout=args.attempt_timeout or 0.0,
+            **({"max_retries": args.max_retries}
+               if args.max_retries is not None else {}),
+        )
     seed = _resolve_seed(args, spec)
     if seed is None:
         return 1
@@ -303,6 +336,22 @@ def cmd_reproduce(args) -> int:
         jobs=args.jobs,
         batch_size=args.batch_size,
     )
+    run = None
+    if args.run_id or args.resume:
+        from repro.robust.runs import resume_run, run_meta, start_run
+
+        meta = run_meta(recorded, config,
+                        use_feedback=not args.no_feedback)
+        if args.resume:
+            run = resume_run(args.runs, args.resume, expect_meta=meta)
+            print(f"resuming run {args.resume!r}: {run.resumed_attempts} "
+                  f"decided attempt(s) loaded from {run.path}")
+            if run.completed:
+                print("run already completed; replaying it from the journal")
+        else:
+            run = start_run(args.runs, args.run_id, meta=meta)
+            print(f"run journal: {run.path} (resume with "
+                  f"--resume {args.run_id})")
     if args.degrade:
         report = reproduce_degraded(
             recorded,
@@ -313,6 +362,8 @@ def cmd_reproduce(args) -> int:
             store=args.store,
             obs=obs,
             plan=plan,
+            supervise=supervise,
+            chaos=chaos,
         )
         for rung in report.degradation_path:
             print(f"  rung {rung.describe()}")
@@ -326,6 +377,9 @@ def cmd_reproduce(args) -> int:
             store=args.store,
             obs=obs,
             plan=plan,
+            supervise=supervise,
+            chaos=chaos,
+            run=run,
         )
     if args.store:
         live = report.attempts - report.cache_hits
@@ -338,6 +392,11 @@ def cmd_reproduce(args) -> int:
     # Observability artifacts flush whether or not the reproduction
     # succeeded — a failed session is precisely when the timeline matters.
     _write_obs(args, obs)
+    if report.interrupted:
+        # The partial report above is real; the exit code says "stopped
+        # by signal" so wrappers don't mistake it for a verdict.
+        print("interrupted: true")
+        return 130
     if not report.success:
         return 1
     if args.out:
@@ -496,13 +555,24 @@ def cmd_replay(args) -> int:
 
 
 def cmd_doctor(args) -> int:
+    import os
+
     from repro.robust.doctor import (
         SALVAGEABLE,
         diagnosis_metrics,
         examine,
+        examine_store,
         write_salvaged,
     )
 
+    if os.path.isdir(args.log):
+        store_diag = examine_store(args.log)
+        if args.clean and store_diag.stale:
+            store_diag.clean()
+        print(store_diag.describe())
+        if store_diag.stale and not args.clean:
+            print("hint: `pres doctor --clean` removes stale temp files")
+        return store_diag.exit_code
     diagnosis = examine(args.log)
     print(diagnosis.describe())
     if diagnosis.status == SALVAGEABLE:
@@ -520,16 +590,18 @@ def cmd_doctor(args) -> int:
 
 
 def cmd_store(args) -> int:
-    from repro.store import AttemptStore
+    from repro.store import AttemptStore, verify_store
 
+    if args.store_command == "verify":
+        # Read-only on purpose: verifying must not create the store or
+        # bump its epoch (it may belong to a running process).
+        report = verify_store(args.store_dir)
+        print(report.describe())
+        return report.exit_code
     store = AttemptStore(args.store_dir)
     if args.store_command == "stats":
         print(store.stats().describe())
         return 0
-    if args.store_command == "verify":
-        report = store.verify()
-        print(report.describe())
-        return report.exit_code
     # gc
     report = store.gc(args.max_records)
     print(report.describe())
@@ -615,6 +687,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "store at DIR and answer repeat attempts "
                               "from it (warm runs replay nothing live; "
                               "identical reported results)")
+    p_repro.add_argument("--attempt-timeout", type=float, metavar="SECONDS",
+                         help="per-attempt wall-clock deadline for pooled "
+                              "workers; a hung attempt is abandoned and "
+                              "retried (0/unset = no deadline)")
+    p_repro.add_argument("--max-retries", type=int, metavar="N",
+                         help="retries per attempt after a worker death "
+                              "or timeout, with deterministic backoff "
+                              "(default 2; exhaustion falls back to an "
+                              "in-process replay of the same attempt)")
+    p_repro.add_argument("--chaos", metavar="SPEC",
+                         help="deterministically inject faults while "
+                              "exploring: crash=P,hang=P,corrupt=P,seed=N "
+                              "(rates in [0,1]; reported results stay "
+                              "identical to the fault-free run)")
+    p_repro.add_argument("--runs", metavar="DIR", default=".pres-runs",
+                         help="directory for resumable run journals "
+                              "(default: .pres-runs)")
+    p_repro.add_argument("--run-id", metavar="ID",
+                         help="journal every decided attempt under this "
+                              "run id so a killed run can be resumed")
+    p_repro.add_argument("--resume", metavar="ID",
+                         help="resume a journaled run: replay its decided "
+                              "attempts from the journal and explore only "
+                              "the undecided rest (byte-identical report)")
 
     p_diag = sub.add_parser(
         "diagnose", help="reproduce a bug and print a root-cause report"
@@ -632,10 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_doctor = sub.add_parser(
         "doctor", help="validate an on-disk log; salvage what it can"
     )
-    p_doctor.add_argument("log", help="journal / trace / sketch / complete log")
+    p_doctor.add_argument("log", help="journal / trace / sketch / complete "
+                                      "log, or an attempt-store directory")
     p_doctor.add_argument("--out",
                           help="where to write the salvaged log "
                                "(default: <log>.salvaged)")
+    p_doctor.add_argument("--clean", action="store_true",
+                          help="for store directories: remove stale temp "
+                               "files left behind by a killed run")
     p_doctor.add_argument("--metrics-out",
                           help="write the diagnosis as a metrics snapshot "
                                "(JSON) here")
@@ -651,7 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "kind would record (none|sync|sys|func|bb|rw)")
 
     p_bench = sub.add_parser(
-        "bench", help="render an evaluation table (t1, e1..e6, e12..e14, or 'list')"
+        "bench",
+        help="render an evaluation table (t1, e1..e6, e12..e14, e17, "
+             "or 'list')",
     )
     p_bench.add_argument("experiment")
     p_bench.add_argument("--json", action="store_true",
@@ -718,10 +820,19 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        # Commands that can report partial progress (reproduce) catch
+        # the interrupt themselves; anything interrupted earlier or
+        # later still exits 130 without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except KeyError as exc:  # unknown bug id
         print(exc.args[0], file=sys.stderr)
         return 2
-    except ValueError as exc:  # bad --sketch / --inject-fault spec
+    except SimUsageError as exc:  # bad --run-id / --resume usage
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad --sketch / --inject-fault / --chaos spec
         print(exc, file=sys.stderr)
         return 2
     except SketchFormatError as exc:

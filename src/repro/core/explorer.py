@@ -57,6 +57,9 @@ class ExplorationResult:
     duplicate_traces: int = 0
     #: attempts answered from the attempt cache instead of a replay.
     cache_hits: int = 0
+    #: True when the search was cut short by a KeyboardInterrupt: the
+    #: fields above describe a *partial* exploration, not a verdict.
+    interrupted: bool = False
 
     @property
     def attempt_count(self) -> int:
@@ -183,8 +186,24 @@ class FeedbackExplorer:
         )
 
     def explore(self, runner: AttemptRunner) -> ExplorationResult:
-        """Run the search, calling ``runner`` once per replay attempt."""
+        """Run the search, calling ``runner`` once per replay attempt.
+
+        A ``KeyboardInterrupt`` mid-search returns the partial result
+        flagged ``interrupted`` instead of propagating — the same
+        contract the parallel engine honors.
+        """
         result = ExplorationResult(success=False)
+        try:
+            self._search(result, runner)
+        except KeyboardInterrupt:
+            result.interrupted = True
+        result.duplicate_traces = self.db.duplicate_traces
+        self.obs.metrics.counter("duplicate_traces").inc(
+            result.duplicate_traces
+        )
+        return result
+
+    def _search(self, result: ExplorationResult, runner: AttemptRunner) -> None:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
@@ -261,10 +280,6 @@ class FeedbackExplorer:
                 metrics.counter("candidates_mined").inc(mined)
             metrics.gauge("frontier_peak").max(len(frontier))
 
-        result.duplicate_traces = self.db.duplicate_traces
-        metrics.counter("duplicate_traces").inc(result.duplicate_traces)
-        return result
-
 
 class RandomExplorer:
     """No feedback: re-roll the unrecorded choices every attempt."""
@@ -280,8 +295,19 @@ class RandomExplorer:
         self.obs = resolve_session(self.config, obs)
 
     def explore(self, runner: AttemptRunner) -> ExplorationResult:
-        """Run the predetermined seed sequence until a match or the cap."""
+        """Run the predetermined seed sequence until a match or the cap.
+
+        Like the other explorers, a ``KeyboardInterrupt`` returns the
+        partial result flagged ``interrupted``.
+        """
         result = ExplorationResult(success=False)
+        try:
+            self._search(result, runner)
+        except KeyboardInterrupt:
+            result.interrupted = True
+        return result
+
+    def _search(self, result: ExplorationResult, runner: AttemptRunner) -> None:
         tracer = self.obs.tracer
         metrics = self.obs.metrics
         for index in range(self.config.max_attempts):
@@ -310,4 +336,3 @@ class RandomExplorer:
                 result.winning_trace = trace
                 result.winning_seed = seed
                 break
-        return result

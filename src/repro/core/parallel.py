@@ -40,6 +40,16 @@ The attempt cache (:class:`~repro.core.feedback.AttemptCache`) sits in
 front of dispatch: a (constraints, seed) pair whose outcome is already
 memoized cannot produce a new interleaving, so it is folded straight from
 the cache without burning a worker.
+
+Fault tolerance is delegated to a :class:`~repro.robust.supervise.Supervisor`,
+which owns the pool: attempt deadlines, retry/backoff on worker death,
+pool rebuilds, serial fallback, and (optional) chaos injection all live
+there.  Attempts are pure, so supervision can only change *where* an
+outcome is computed — the exploration schedule and the final report stay
+byte-identical under injected faults (see ``docs/resilience.md``).  A
+``KeyboardInterrupt`` mid-exploration shuts the pool down cleanly
+(workers joined, no zombies) and returns the partial result with
+``interrupted=True`` instead of propagating a traceback.
 """
 
 from __future__ import annotations
@@ -47,7 +57,7 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -73,6 +83,8 @@ from repro.core.pir import PIRScheduler
 from repro.core.recorder import RecordedRun, apply_oracle
 from repro.obs.session import ObsSession, resolve_session
 from repro.obs.tracer import NULL_TRACER, PARENT_TRACK, SpanRecord, Tracer
+from repro.robust.inject import ChaosInjector, ChaosSpec, parse_chaos
+from repro.robust.supervise import Supervisor, SuperviseConfig
 from repro.sim.machine import Machine
 from repro.sim.trace import Trace
 
@@ -261,6 +273,13 @@ class ParallelExplorer:
         batched and cached.
     :param cache: optional shared :class:`AttemptCache`; hits are folded
         without dispatching a replay.
+    :param supervise: retry/deadline/rebuild policy for the worker pool
+        (:class:`~repro.robust.supervise.SuperviseConfig`); the default
+        tolerates a couple of worker deaths per attempt and a couple of
+        pool rebuilds per session.
+    :param chaos: optional fault injection — a ``--chaos``-style spec
+        string, a :class:`~repro.robust.inject.ChaosSpec`, or a built
+        :class:`~repro.robust.inject.ChaosInjector`.
     """
 
     def __init__(
@@ -272,6 +291,8 @@ class ParallelExplorer:
         use_feedback: bool = True,
         cache: Optional[AttemptCache] = None,
         obs: Optional[ObsSession] = None,
+        supervise: Optional[SuperviseConfig] = None,
+        chaos=None,
     ) -> None:
         self.config = config or ExplorerConfig()
         self.obs = resolve_session(self.config, obs)
@@ -286,6 +307,14 @@ class ParallelExplorer:
         )
         self.use_feedback = use_feedback
         self.cache = cache
+        self.supervise = supervise or SuperviseConfig()
+        if isinstance(chaos, str):
+            chaos = parse_chaos(chaos)
+        if isinstance(chaos, ChaosSpec):
+            chaos = ChaosInjector(chaos) if chaos.active else None
+        self.chaos: Optional[ChaosInjector] = chaos
+        #: partial result captured so a KeyboardInterrupt can report it.
+        self._partial: Optional[ExplorationResult] = None
         bind = getattr(cache, "bind_metrics", None)
         if bind is not None:
             # A persistent cache tier charges its store.* counters into
@@ -329,25 +358,95 @@ class ParallelExplorer:
         return 2 * self.config.jobs
 
     def explore(self) -> ExplorationResult:
-        """Run the batched search; identical results for any ``jobs``."""
+        """Run the batched search; identical results for any ``jobs``.
+
+        Worker faults (and injected chaos) are absorbed by the
+        supervisor; a ``KeyboardInterrupt`` shuts the pool down with its
+        workers joined and returns the partial result, flagged
+        ``interrupted``, instead of propagating.
+        """
         self.obs.metrics.gauge("jobs").set(self.config.jobs)
         self.obs.metrics.gauge("batch_size").set(self.batch_size)
+        self._charge_resumed()
         with self.obs.tracer.span(
             "explore", category="engine",
             jobs=self.config.jobs, batch_size=self.batch_size,
             feedback=self.use_feedback,
         ):
-            pool = self._make_pool()
+            supervisor = self._make_supervisor()
             try:
                 if self.use_feedback:
-                    result = self._explore_feedback(pool)
+                    result = self._explore_feedback(supervisor)
                 else:
-                    result = self._explore_random(pool)
+                    result = self._explore_random(supervisor)
+            except KeyboardInterrupt:
+                supervisor.shutdown(wait=True)
+                result = self._partial or ExplorationResult(success=False)
+                result.interrupted = True
+                result.duplicate_traces = self.db.duplicate_traces
+                if self.cache is not None:
+                    result.cache_hits = self.cache.hits
+                self.obs.metrics.counter("supervise.interrupted").inc()
+                self.obs.tracer.instant("interrupted", category="supervise")
             finally:
-                if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                supervisor.shutdown(wait=False)
         self.obs.metrics.counter("duplicate_traces").inc(result.duplicate_traces)
         return result
+
+    # -- supervision ----------------------------------------------------
+
+    def _make_supervisor(self) -> Supervisor:
+        """The fault-absorbing executor for this session's batches.
+
+        The supervisor is handed callables instead of this object, so it
+        stays decoupled from the engine (and unit-testable with stub
+        pools): ``dispatch`` ships one task to a pool worker, ``inline``
+        is the deterministic in-process escape hatch.
+        """
+        return Supervisor(
+            self.supervise,
+            obs=self.obs,
+            pool_factory=self._make_pool,
+            dispatch=lambda pool, constraints, seed, mine: pool.submit(
+                _worker_run, (constraints, seed, mine)
+            ),
+            inline=lambda constraints, seed, mine: evaluate_attempt(
+                self.context, constraints, seed, mine=mine
+            ),
+            max_attempts=self.config.max_attempts,
+            chaos=self.chaos,
+            # Chaos verdicts key on attempt *content* in canonical
+            # constraint order — never dispatch order or pids — so
+            # injection is jobs-invariant.
+            chaos_material=lambda constraints, seed: (
+                f"{seed}|{self.context.ordered(constraints)!r}"
+            ),
+            store_root=self._store_root(),
+        )
+
+    def _store_root(self) -> Optional[str]:
+        """The attempt-store root behind the cache stack, if any.
+
+        Walks at most one ``inner`` link (a run journal layered on a
+        persistent tier) — the target of chaos shard corruption.
+        """
+        root = getattr(getattr(self.cache, "store", None), "root", None)
+        if root is None:
+            inner = getattr(self.cache, "inner", None)
+            root = getattr(getattr(inner, "store", None), "root", None)
+        return root
+
+    def _charge_resumed(self) -> None:
+        """Surface resumed-run preloads in the supervise metric family."""
+        take = getattr(self.cache, "take_resumed", None)
+        if take is None:
+            return
+        resumed = take()
+        if resumed:
+            self.obs.metrics.counter("supervise.resumed_attempts").inc(resumed)
+            self.obs.tracer.instant(
+                "resumed", category="supervise", attempts=resumed
+            )
 
     # -- pool management ------------------------------------------------
 
@@ -393,47 +492,17 @@ class ParallelExplorer:
 
     def _evaluate_batch(
         self,
-        pool: Optional[ProcessPoolExecutor],
+        supervisor: Supervisor,
         tasks: Sequence[Tuple[ConstraintSet, int, Optional[AttemptOutcome]]],
     ) -> List[AttemptOutcome]:
         """Evaluate one batch, returning outcomes in canonical pop order.
 
         Stops at the first matched outcome *in pop order*: later entries
         are cancelled (pool) or never run (inline), so the result list is
-        identical however many workers raced on it.
+        identical however many workers raced on it.  Execution — pooled
+        with retries, or in-process — is the supervisor's business.
         """
-        mine = self.use_feedback
-        if pool is None:
-            outcomes: List[AttemptOutcome] = []
-            for constraints, seed, cached in tasks:
-                outcome = cached if cached is not None else evaluate_attempt(
-                    self.context, constraints, seed, mine=mine
-                )
-                outcomes.append(outcome)
-                if outcome.matched:
-                    break
-            return outcomes
-
-        futures: List[Tuple[Optional[Future], Optional[AttemptOutcome]]] = []
-        for constraints, seed, cached in tasks:
-            if cached is not None:
-                futures.append((None, cached))
-            else:
-                futures.append(
-                    (pool.submit(_worker_run, (constraints, seed, mine)), None)
-                )
-        outcomes = []
-        matched_at: Optional[int] = None
-        for position, (future, cached) in enumerate(futures):
-            if matched_at is not None:
-                if future is not None:
-                    future.cancel()
-                continue
-            outcome = cached if cached is not None else future.result()
-            outcomes.append(outcome)
-            if outcome.matched:
-                matched_at = position
-        return outcomes
+        return supervisor.evaluate_batch(tasks, self.use_feedback)
 
     def _cache_key(self, constraints: ConstraintSet, seed: int) -> Tuple:
         return AttemptCache.key_for(
@@ -485,8 +554,9 @@ class ParallelExplorer:
 
     # -- feedback-driven search ------------------------------------------
 
-    def _explore_feedback(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
+    def _explore_feedback(self, supervisor: Supervisor) -> ExplorationResult:
         result = ExplorationResult(success=False)
+        self._partial = result
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
@@ -532,7 +602,7 @@ class ParallelExplorer:
                 "batch", category="explore", size=len(batch),
                 first_attempt=result.attempt_count,
             ):
-                outcomes = self._evaluate_batch(pool, batch)
+                outcomes = self._evaluate_batch(supervisor, batch)
             for outcome in outcomes:
                 if result.attempt_count >= config.max_attempts:
                     break  # speculative overshoot: discard deterministically
@@ -593,8 +663,9 @@ class ParallelExplorer:
 
     # -- feedback-free (ablation) search ----------------------------------
 
-    def _explore_random(self, pool: Optional[ProcessPoolExecutor]) -> ExplorationResult:
+    def _explore_random(self, supervisor: Supervisor) -> ExplorationResult:
         result = ExplorationResult(success=False)
+        self._partial = result
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
@@ -611,7 +682,7 @@ class ParallelExplorer:
                 "batch", category="explore", size=len(batch),
                 first_attempt=result.attempt_count,
             ):
-                outcomes = self._evaluate_batch(pool, batch)
+                outcomes = self._evaluate_batch(supervisor, batch)
             for outcome in outcomes:
                 if self._fold(result, outcome, lambda *_: None):
                     return result

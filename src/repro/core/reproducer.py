@@ -36,6 +36,7 @@ from repro.core.sketches import SKETCH_ORDER, SketchKind
 from repro.core.sketchlog import derive_coarser
 from repro.errors import SimUsageError
 from repro.obs.session import ObsSession, resolve_session
+from repro.robust.supervise import SuperviseConfig
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # avoid a core -> sanitize import at runtime
@@ -94,6 +95,9 @@ class ReproductionReport:
     winning_sketch: Optional[SketchKind] = None
     #: structured explanation of the final outcome.
     outcome_reason: str = ""
+    #: True when exploration was cut short by a KeyboardInterrupt; the
+    #: report describes *partial* progress, not a verdict.
+    interrupted: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -104,11 +108,12 @@ class ReproductionReport:
 
     def describe(self) -> str:
         """One-line outcome summary for logs and the CLI."""
-        status = (
-            f"reproduced in {self.attempts} attempt(s)"
-            if self.success
-            else f"NOT reproduced within {self.attempts} attempts"
-        )
+        if self.interrupted:
+            status = f"INTERRUPTED after {self.attempts} attempt(s)"
+        elif self.success:
+            status = f"reproduced in {self.attempts} attempt(s)"
+        else:
+            status = f"NOT reproduced within {self.attempts} attempts"
         extras = []
         if self.degraded:
             extras.append(f"degraded to {self.winning_sketch.value}")
@@ -135,6 +140,8 @@ class Reproducer:
         cache: Optional[AttemptCache] = None,
         obs: Optional[ObsSession] = None,
         plan: Optional["ReplayPlan"] = None,
+        supervise: Optional["SuperviseConfig"] = None,
+        chaos: object = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -162,7 +169,16 @@ class Reproducer:
             max_constraint_depth=self.config.max_constraint_depth,
         )
         self.explorer: object
-        if self.config.jobs > 1 or self.config.batch_size > 1 or cache is not None:
+        # Supervision and chaos live in the batch engine, so asking for
+        # either routes through it even at jobs=1 (where it runs the
+        # exact serial schedule: batch_size defaults to 1).
+        if (
+            self.config.jobs > 1
+            or self.config.batch_size > 1
+            or cache is not None
+            or supervise is not None
+            or chaos is not None
+        ):
             self.explorer = ParallelExplorer(
                 recorded,
                 self.config,
@@ -171,6 +187,8 @@ class Reproducer:
                 use_feedback=use_feedback,
                 cache=cache,
                 obs=self.obs,
+                supervise=supervise,
+                chaos=chaos,
             )
         elif use_feedback:
             self.explorer = FeedbackExplorer(
@@ -244,6 +262,12 @@ class Reproducer:
             total_replay_steps=result.total_steps,
             duplicate_traces=result.duplicate_traces,
             cache_hits=result.cache_hits,
+            interrupted=result.interrupted,
+            outcome_reason=(
+                f"interrupted after {result.attempt_count} attempt(s); "
+                "partial results only"
+                if result.interrupted else ""
+            ),
         )
 
 
@@ -290,6 +314,9 @@ def reproduce(
     store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
+    supervise: Optional[SuperviseConfig] = None,
+    chaos: object = None,
+    run: object = None,
 ) -> ReproductionReport:
     """Reproduce a recorded failure; see :class:`Reproducer`.
 
@@ -316,17 +343,40 @@ def reproduce(
     :param plan: optional sanitizer :class:`~repro.sanitize.plan.ReplayPlan`;
         its candidates applicable at ``recorded.sketch`` seed the first
         attempts (after the baseline empty attempt).
+    :param supervise: optional
+        :class:`~repro.robust.supervise.SuperviseConfig` — attempt
+        deadlines, retry/backoff on worker death, pool rebuild limits.
+        Supervision never changes the report, only how faults on the way
+        to it are absorbed.
+    :param chaos: optional fault injection (a ``--chaos`` spec string, a
+        :class:`~repro.robust.inject.ChaosSpec`, or a
+        :class:`~repro.robust.inject.ChaosInjector`); deterministic given
+        the spec seed, and report-preserving by the same argument.
+    :param run: optional resumable-run journal
+        (:class:`~repro.robust.runs.RunJournalCache`): decided attempts
+        are journaled as they fold, an interrupted run can be resumed,
+        and the journal is committed when the report completes.  Layers
+        *over* ``cache``/``store`` (they become its inner tier).
     """
     if jobs is not None:
         config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
     cache, close_after = _resolve_store(store, cache)
+    if run is not None:
+        if cache is not None:
+            run.attach_inner(cache)
+        cache = run
     try:
-        return Reproducer(
+        report = Reproducer(
             recorded, config=config, use_feedback=use_feedback,
             base_policy=base_policy, match_output=match_output, cache=cache,
-            obs=obs, plan=plan,
+            obs=obs, plan=plan, supervise=supervise, chaos=chaos,
         ).run()
+        if run is not None and not report.interrupted:
+            run.commit(report)
+        return report
     finally:
+        if run is not None:
+            run.close()
         if close_after is not None:
             close_after.close()
 
@@ -376,6 +426,8 @@ def reproduce_degraded(
     store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
+    supervise: Optional[SuperviseConfig] = None,
+    chaos: object = None,
 ) -> ReproductionReport:
     """Reproduce with graceful degradation over the sketch ladder.
 
@@ -412,6 +464,9 @@ def reproduce_degraded(
     :param plan: optional sanitizer plan; each rung seeds the candidates
         applicable at *its* sketch level, so a plan built from a rich log
         keeps helping as the ladder coarsens.
+    :param supervise: optional supervision policy, shared by every rung
+        (see :func:`reproduce`).
+    :param chaos: optional fault injection, shared by every rung.
     """
     cache, close_after = _resolve_store(store, cache)
     try:
@@ -428,6 +483,8 @@ def reproduce_degraded(
             cache=cache,
             obs=obs,
             plan=plan,
+            supervise=supervise,
+            chaos=chaos,
         )
     finally:
         if close_after is not None:
@@ -448,6 +505,8 @@ def _degraded_walk(
     cache: Optional[AttemptCache],
     obs: Optional[ObsSession],
     plan: Optional["ReplayPlan"],
+    supervise: Optional[SuperviseConfig],
+    chaos: object,
 ) -> ReproductionReport:
     """The ladder walk behind :func:`reproduce_degraded`."""
     base_config = config or ExplorerConfig()
@@ -493,6 +552,8 @@ def _degraded_walk(
                 cache=shared_cache,
                 obs=session,
                 plan=plan,
+                supervise=supervise,
+                chaos=chaos,
             ).run()
         total_attempts += report.attempts
         total_steps += report.total_replay_steps
@@ -508,6 +569,21 @@ def _degraded_walk(
                 reason="" if report.success else _rung_failure_reason(report),
             )
         )
+        if report.interrupted:
+            # Ctrl-C mid-rung: stop the walk and report partial progress
+            # instead of burning the remaining rungs' budgets.
+            return dataclasses.replace(
+                report,
+                sketch=recorded.sketch,
+                attempts=total_attempts,
+                records=merged_records,
+                total_replay_steps=total_steps,
+                duplicate_traces=duplicates,
+                cache_hits=cache_hits,
+                salvaged_entries=salvaged_entries,
+                dropped_records=dropped_records,
+                degradation_path=path,
+            )
         if report.success:
             return dataclasses.replace(
                 report,

@@ -11,25 +11,45 @@ that assumption made executable:
   damaged file instead of raising;
 * :mod:`repro.robust.inject` — seeded, deterministic fault injectors
   (truncate / garble / drop / kill-recorder-at-event) used by the test
-  suite and the ``--inject-fault`` CLI flag;
-* :mod:`repro.robust.doctor` — triage for any on-disk artifact, backing
-  the ``pres doctor`` subcommand and its 0/1/2 exit-code contract;
+  suite and the ``--inject-fault`` CLI flag, plus the chaos harness
+  (:class:`ChaosSpec` / :class:`ChaosInjector`) behind ``pres reproduce
+  --chaos``;
+* :mod:`repro.robust.supervise` — the exploration supervisor: attempt
+  deadlines, retry with deterministic backoff, worker-death detection,
+  pool rebuild, and serial fallback (see ``docs/resilience.md``);
+* :mod:`repro.robust.doctor` — triage for any on-disk artifact or store
+  directory, backing the ``pres doctor`` subcommand and its 0/1/2
+  exit-code contract;
 * :mod:`repro.robust.atomic` — crash-safe whole-file writes (temp file,
   fsync, atomic rename) for every serialize-the-whole-artifact path.
 
 The replay-side counterpart — the degradation ladder that re-derives
 coarser sketches from a salvaged prefix and retries — lives with the
 reproduction driver in :func:`repro.core.reproducer.reproduce_degraded`.
+Resumable run journals live in :mod:`repro.robust.runs`, which is *not*
+re-exported here: it imports the store codec, whose import chain reaches
+:mod:`repro.robust.supervise`, and must not run during this package's
+own initialization.
 """
 
 from repro.robust.atomic import atomic_write_text, atomic_writer
-from repro.robust.doctor import LogDiagnosis, examine, write_salvaged
+from repro.robust.doctor import (
+    LogDiagnosis,
+    StoreDiagnosis,
+    examine,
+    examine_store,
+    write_salvaged,
+)
 from repro.robust.inject import (
+    CHAOS_KINDS,
+    ChaosInjector,
+    ChaosSpec,
     FaultPlan,
     KillSwitch,
     apply_fault,
     drop_line,
     garble_file,
+    parse_chaos,
     parse_fault,
     seeded_truncate_offset,
     truncate_file,
@@ -46,20 +66,36 @@ from repro.robust.journal import (
     sketch_log_from_salvage,
     write_sketch_journal,
 )
+from repro.robust.supervise import (
+    SuperviseConfig,
+    Supervisor,
+    backoff_delay,
+    default_retry_budget,
+)
 
 __all__ = [
+    "CHAOS_KINDS",
+    "ChaosInjector",
+    "ChaosSpec",
     "FaultPlan",
     "JournalWriter",
     "KillSwitch",
     "LogDiagnosis",
     "SalvageReport",
+    "StoreDiagnosis",
+    "SuperviseConfig",
+    "Supervisor",
     "apply_fault",
     "atomic_write_text",
     "atomic_writer",
+    "backoff_delay",
+    "default_retry_budget",
     "drop_line",
     "examine",
+    "examine_store",
     "garble_file",
     "load_sketch_journal",
+    "parse_chaos",
     "parse_fault",
     "read_journal",
     "read_journal_text",

@@ -7,13 +7,20 @@ you whether the file is **ok** (usable as-is), **salvageable** (a valid
 prefix can be recovered and written out), or **unrecoverable** (nothing
 trustworthy inside).  The verdicts map to exit codes 0/1/2 so scripts
 and CI can gate on log health.
+
+Pointing the doctor at a *directory* triages it as an attempt store
+(:func:`examine_store`): every shard is verified read-only, quarantine
+sidecars are listed, and stale temp files left behind by a killed run
+(``*.gc``, ``*.rebuild``, ``*.tmp.*``) are detected — and removed with
+``pres doctor --clean``.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Optional
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.robust import journal as journal_mod
 from repro.robust.journal import MAGIC, SalvageReport, salvage
@@ -170,6 +177,80 @@ def diagnosis_metrics(diagnosis: LogDiagnosis, registry) -> None:
     registry.counter(f"doctor_{diagnosis.status}").inc()
     registry.counter("doctor_valid_records").inc(diagnosis.valid_records)
     registry.counter("doctor_dropped_records").inc(diagnosis.dropped)
+
+
+@dataclass
+class StoreDiagnosis:
+    """The doctor's verdict on one attempt-store directory.
+
+    ``exit_code`` is 1 when any shard is damaged or stale temp files
+    remain (both fixable: shards heal on the next write, stale files go
+    away with :meth:`clean`), else 0.  Quarantine sidecars are listed
+    but do not fail the store — they are evidence of *past* damage the
+    store already routed around.
+    """
+
+    root: str
+    verify: object  # StoreVerifyReport (typed loosely: lazy store import)
+    stale: List[str] = field(default_factory=list)
+    quarantine: List[str] = field(default_factory=list)
+    cleaned: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        damaged = any(not shard.ok for shard in self.verify.shards)
+        return not damaged and not self.stale
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def clean(self) -> List[str]:
+        """Remove the stale temp files (only those); returns what went."""
+        removed: List[str] = []
+        for path in self.stale:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+        self.stale = [path for path in self.stale if path not in removed]
+        self.cleaned.extend(removed)
+        return removed
+
+    def describe(self) -> str:
+        lines = [f"{self.root}: attempt store, "
+                 f"{len(self.verify.shards)} shard(s)"]
+        lines.extend("  " + shard.describe() for shard in self.verify.shards)
+        for path in self.cleaned:
+            lines.append(f"  cleaned: {path}")
+        for path in self.stale:
+            lines.append(
+                f"  stale: {path} (partial write from a killed run; "
+                "remove with --clean)"
+            )
+        for path in self.quarantine:
+            lines.append(f"  quarantined: {path}")
+        lines.append("store: " + ("ok" if self.ok else "DAMAGED"))
+        return "\n".join(lines)
+
+
+def examine_store(root: str) -> StoreDiagnosis:
+    """Triage a store directory: verify shards, find stale/quarantine
+    files.  Read-only (no epoch bump) until :meth:`StoreDiagnosis.clean`
+    is explicitly invoked."""
+    # Imported lazily: the store package reaches back into this package
+    # (journal/atomic), and the doctor must stay importable from
+    # ``repro.robust`` during interpreter start-up.
+    from repro.store.attempt_store import verify_store
+
+    report = verify_store(root)
+    return StoreDiagnosis(
+        root=root,
+        verify=report,
+        stale=list(report.stale),
+        quarantine=list(report.quarantine),
+    )
 
 
 def examine(path: str) -> LogDiagnosis:

@@ -14,13 +14,24 @@ same damaged artifact every run, so the fault-injection test suite and
 the ``--inject-fault`` CLI flag are deterministic.  They are meant to be
 aimed at journal files (:mod:`repro.robust.journal`), whose salvage
 reader is the recovery path under test.
+
+The chaos harness (:class:`ChaosSpec` / :class:`ChaosInjector`) extends
+the same discipline to *exploration-time* faults: seeded worker crashes,
+attempt hangs, and attempt-store shard corruption at configurable rates,
+driven by the supervisor (:mod:`repro.robust.supervise`) and exposed as
+``pres reproduce --chaos SPEC``.  Verdicts are hashes of attempt
+*content* (never dispatch order or pids), so an injection campaign is
+byte-for-byte reproducible at any ``jobs`` value — the property the E17
+benchmark (:mod:`repro.bench.faults`) measures.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import RecorderKilled
 from repro.sim.events import Event
@@ -182,3 +193,142 @@ class KillSwitch(Observer):
     def on_event(self, machine: Machine, event: Event) -> None:
         if event.gidx + 1 >= self.at_event:
             raise RecorderKilled(event.gidx + 1)
+
+
+# -- chaos harness ------------------------------------------------------------
+
+#: rate keys accepted by :func:`parse_chaos` / ``--chaos``.
+CHAOS_KINDS = ("crash", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed chaos rates: which faults to inject, how often, and the seed.
+
+    ``crash`` and ``hang`` are per-*dispatch* probabilities (a retried
+    attempt rolls again at each try index); ``corrupt`` is a per-batch
+    probability of garbling one attempt-store shard.  All three default
+    to off, so an explicit spec enables exactly what it names.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault rate is nonzero."""
+        return self.crash > 0 or self.hang > 0 or self.corrupt > 0
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. for the CLI banner."""
+        return (
+            f"crash={self.crash:g} hang={self.hang:g} "
+            f"corrupt={self.corrupt:g} seed={self.seed}"
+        )
+
+
+def parse_chaos(spec: str) -> ChaosSpec:
+    """Parse ``--chaos`` specs like ``crash=0.1,hang=0.05,seed=7``.
+
+    Grammar: comma-separated ``key=value`` pairs; keys are ``crash`` /
+    ``hang`` / ``corrupt`` (floats in [0, 1]) and ``seed`` (int).  Every
+    key is optional, order-free, and at-most-once.
+    """
+    values = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or (key not in CHAOS_KINDS and key != "seed"):
+            valid = ", ".join(f"{k}=RATE" for k in CHAOS_KINDS) + ", seed=N"
+            raise ValueError(f"bad chaos spec {spec!r}; expected {valid}")
+        if key in values:
+            raise ValueError(f"bad chaos spec {spec!r}: duplicate key {key!r}")
+        if key == "seed":
+            try:
+                values[key] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos spec {spec!r}: seed {raw!r} is not an integer"
+                ) from None
+        else:
+            try:
+                rate = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos spec {spec!r}: {key} rate {raw!r} is not a number"
+                ) from None
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"bad chaos spec {spec!r}: {key} rate must be in [0, 1]"
+                )
+            values[key] = rate
+    if not values:
+        raise ValueError(
+            "empty chaos spec; expected e.g. 'crash=0.1,hang=0.05,seed=7'"
+        )
+    return ChaosSpec(**values)
+
+
+class ChaosInjector:
+    """Seeded fault verdicts for the exploration supervisor.
+
+    Every decision hashes ``(spec seed, decision material)`` through
+    SHA-256 into a uniform draw — no RNG state, no ordering sensitivity:
+    the verdict for a given attempt at a given try index is a pure
+    function of its content, identical whether the attempt is dispatched
+    first or last, pooled or inline.
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+
+    def _unit(self, material: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.spec.seed}|{material}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def verdict(self, material: str, try_index: int) -> Optional[str]:
+        """The fault to inject for one dispatch, or ``None`` for none.
+
+        ``material`` identifies the attempt by content (the supervisor
+        passes the seed plus canonically-ordered constraints);
+        ``try_index`` lets a retried dispatch roll again.
+        """
+        draw = self._unit(f"attempt|{material}|{try_index}")
+        if draw < self.spec.crash:
+            return "crash"
+        if draw < self.spec.crash + self.spec.hang:
+            return "hang"
+        return None
+
+    def corrupt_store(self, root: str, tick: int) -> Optional[str]:
+        """Maybe garble one attempt-store shard; returns the path hit.
+
+        Called once per batch with a monotonically increasing ``tick``.
+        The shard choice walks the store in sorted order, so a corruption
+        campaign is host-independent; the damage itself reuses
+        :func:`garble_file` (body-only, so the quarantine path — not
+        total shard loss — is what gets exercised).
+        """
+        if self.spec.corrupt <= 0:
+            return None
+        if self._unit(f"store|{tick}") >= self.spec.corrupt:
+            return None
+        shards: List[str] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name == "attempts.jsonl":
+                    shards.append(os.path.join(dirpath, name))
+        if not shards:
+            return None
+        pick = int(self._unit(f"shard|{tick}") * len(shards))
+        path = shards[min(pick, len(shards) - 1)]
+        garble_file(path, seed=self.spec.seed + tick, nbytes=2)
+        return path

@@ -1,0 +1,311 @@
+"""Resumable reproduction runs: a per-run journal of decided attempts.
+
+A long exploration that dies at attempt 180 of 200 should not restart
+from zero.  This module journals every decided attempt of one
+``pres reproduce`` invocation to an append-only checksummed run journal
+(the :mod:`repro.robust.journal` format, record payloads from
+:mod:`repro.store.codec`), so ``pres reproduce --resume RUN_ID`` can
+preload the decided outcomes and replay **only the undecided attempts**.
+
+Resume is just a warm cache: :class:`RunJournalCache` extends the
+session :class:`~repro.core.feedback.AttemptCache`, and the exploration
+engine's schedule is a pure function of the frontier — a cache hit
+changes *where* an outcome comes from (journal vs. live replay), never
+what it is or what gets explored next.  A resumed run therefore produces
+a **byte-identical report** to an uninterrupted one; the round-trip
+tests in ``tests/robust/test_resume.py`` pin this.
+
+Layout: one journal per run at ``<runs_dir>/<run_id>.run``.  The header
+carries the run metadata (program, sketch fingerprint, attempt budget,
+…) which :func:`resume_run` validates, so a journal cannot silently warm
+a *different* reproduction.  A committed footer marks the run complete;
+resuming a complete run replays it entirely from the journal.
+
+Deliberately **not** re-exported from :mod:`repro.robust`: this module
+imports the store codec, which imports :mod:`repro.core.parallel`, which
+imports :mod:`repro.robust.supervise` — pulling it into the package
+``__init__`` would close that cycle during interpreter start-up.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.feedback import AttemptCache
+from repro.errors import SimUsageError, SketchFormatError
+from repro.robust.journal import JournalWriter, salvage
+from repro.store.codec import decode_record, encode_record
+
+__all__ = [
+    "RUN_KIND",
+    "RunJournalCache",
+    "list_runs",
+    "report_signature",
+    "resume_run",
+    "run_journal_path",
+    "run_meta",
+    "start_run",
+]
+
+#: journal ``kind`` tag for run journals.
+RUN_KIND = "run"
+
+#: acceptable run identifiers: path-safe, no separators, no dotfiles.
+_RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _check_run_id(run_id: str) -> str:
+    if not _RUN_ID.match(run_id):
+        raise SimUsageError(
+            f"bad run id {run_id!r}: use letters, digits, '.', '_', '-' "
+            "(starting with a letter or digit)"
+        )
+    return run_id
+
+
+def run_journal_path(runs_dir: str, run_id: str) -> str:
+    """The journal path for ``run_id`` under ``runs_dir``."""
+    return os.path.join(runs_dir, f"{_check_run_id(run_id)}.run")
+
+
+def run_meta(recorded: Any, config: Any, base_policy: str = "random",
+             match_output: bool = False, use_feedback: bool = True) -> Dict[str, Any]:
+    """The identity of one reproduction, as JSON-safe journal metadata.
+
+    Everything that determines the exploration schedule goes in —
+    notably ``batch_size`` but *not* ``jobs`` (the schedule is
+    jobs-invariant, so a run interrupted at ``--jobs 4`` may be resumed
+    at ``--jobs 1`` and still match byte-for-byte).
+    """
+    return {
+        "program": recorded.program.name,
+        "sketch": recorded.sketch.value,
+        "entries": len(recorded.log),
+        "fingerprint": recorded.log.fingerprint(),
+        "max_attempts": config.max_attempts,
+        "base_seed": config.base_seed,
+        "seed_restarts": config.seed_restarts,
+        "batch_size": config.batch_size,
+        "base_policy": base_policy,
+        "match_output": bool(match_output),
+        "use_feedback": bool(use_feedback),
+    }
+
+
+def report_signature(report: Any) -> str:
+    """A deterministic digest of everything a report decides.
+
+    Two reports with equal signatures reproduced the same bug the same
+    way: same success, same attempt sequence, same winner, same complete
+    log.  Cache provenance (``cache_hits``, ``salvaged_entries``) is
+    deliberately excluded — a resumed or chaos-supervised run differs
+    there while still being *the same reproduction*.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "success": report.success,
+        "attempts": report.attempts,
+        "records": [
+            [r.outcome, r.base_seed, r.n_constraints] for r in report.records
+        ],
+        "winning_constraints": sorted(
+            repr(c) for c in (report.winning_constraints or ())
+        ),
+        "complete_log": (
+            report.complete_log.to_json() if report.complete_log else None
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class RunJournalCache(AttemptCache):
+    """An attempt cache whose writes land in a per-run journal.
+
+    Layered like :class:`~repro.store.persistent.PersistentAttemptCache`:
+    the in-memory dict is tier one, an optional ``inner`` cache (usually
+    the persistent store tier) is consulted on miss, and every ``put``
+    is also journaled — flushed per record, so the journal is as current
+    as the exploration at any kill point.
+
+    :param path: the run journal file.
+    :param meta: run identity (see :func:`run_meta`); stored in the
+        journal header on a fresh run, loaded from it on resume.
+    :param resume: load an existing journal instead of starting one.
+    :param inner: optional cache tier consulted beneath the journal.
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
+                 resume: bool = False, inner: Optional[AttemptCache] = None) -> None:
+        super().__init__()
+        self.path = path
+        self.inner = inner
+        self.meta: Dict[str, Any] = dict(meta or {})
+        #: True once this run has a committed footer.
+        self.completed = False
+        #: decided attempts preloaded from the journal at resume time.
+        self.resumed_attempts = 0
+        self._resumed_pending = 0
+        self._journaled: set = set()
+        self._writer: Optional[JournalWriter] = None
+        if resume:
+            self._load(path)
+        else:
+            if os.path.exists(path):
+                raise SimUsageError(
+                    f"run journal {path} already exists; resume it with "
+                    "--resume or pick a fresh --run-id"
+                )
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._writer = JournalWriter(path, RUN_KIND, meta=self.meta)
+
+    def _load(self, path: str) -> None:
+        report = salvage(path)
+        if report.unrecoverable:
+            raise SketchFormatError(
+                f"run journal {path} is unrecoverable ({report.reason}); "
+                "start a fresh run"
+            )
+        if report.kind != RUN_KIND:
+            raise SketchFormatError(
+                f"{path} is a {report.kind!r} journal, not a run journal"
+            )
+        self.meta = dict(report.meta or {})
+        for payload in report.records:
+            try:
+                key, outcome, _tick = decode_record(payload)
+            except SketchFormatError:
+                # A damaged record is simply not resumed — the engine
+                # replays that attempt live, with an identical result.
+                continue
+            self._outcomes[key] = outcome
+            self._journaled.add(key)
+        self.resumed_attempts = len(self._journaled)
+        self._resumed_pending = self.resumed_attempts
+        if report.footer is not None:
+            # Completed run: a pure read-only replay; nothing to append.
+            self.completed = True
+        else:
+            # Re-opening heals any torn tail atomically before appending.
+            self._writer = JournalWriter(path, RUN_KIND, resume=True)
+
+    # -- cache interface -------------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[object]:
+        if key not in self._outcomes and self.inner is not None:
+            outcome = self.inner.get(key)
+            if outcome is not None:
+                AttemptCache.put(self, key, outcome)
+        return super().get(key)
+
+    def put(self, key: Tuple, outcome: object) -> None:
+        super().put(key, outcome)
+        if key not in self._journaled:
+            self._journaled.add(key)
+            if self._writer is not None:
+                if getattr(outcome, "spans", ()):
+                    outcome = replace(outcome, spans=())
+                self._writer.append(
+                    encode_record(key, outcome, (0, len(self._journaled) - 1))
+                )
+        if self.inner is not None:
+            self.inner.put(key, outcome)
+
+    # -- run lifecycle ---------------------------------------------------
+
+    def attach_inner(self, inner: Optional[AttemptCache]) -> None:
+        """Set the cache tier consulted beneath the journal."""
+        self.inner = inner
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Forward metrics binding to the inner (store) tier, if any."""
+        bind = getattr(self.inner, "bind_metrics", None)
+        if bind is not None:
+            bind(registry)
+
+    def take_resumed(self) -> int:
+        """Resumed-attempt count, once (the engine charges it as a metric)."""
+        count, self._resumed_pending = self._resumed_pending, 0
+        return count
+
+    def commit(self, report: Optional[Any] = None) -> None:
+        """Mark the run complete with a footer summarizing the report."""
+        if self._writer is None:
+            self.completed = True
+            return
+        footer: Dict[str, Any] = {"decided": len(self._journaled)}
+        if report is not None:
+            footer["success"] = bool(report.success)
+            footer["attempts"] = report.attempts
+            footer["signature"] = report_signature(report)
+        self._writer.commit(footer)
+        self._writer.close()
+        self._writer = None
+        self.completed = True
+
+    def close(self) -> None:
+        """Flush and close the journal (safe to call repeatedly)."""
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+
+
+def start_run(runs_dir: str, run_id: str,
+              meta: Optional[Dict[str, Any]] = None,
+              inner: Optional[AttemptCache] = None) -> RunJournalCache:
+    """Open a fresh run journal for ``run_id`` under ``runs_dir``."""
+    return RunJournalCache(
+        run_journal_path(runs_dir, run_id), meta=meta, inner=inner
+    )
+
+
+def resume_run(runs_dir: str, run_id: str,
+               expect_meta: Optional[Dict[str, Any]] = None,
+               inner: Optional[AttemptCache] = None) -> RunJournalCache:
+    """Load an interrupted (or completed) run journal for resumption.
+
+    ``expect_meta`` — usually :func:`run_meta` of the current invocation
+    — is checked key-by-key against the journal header, so a resume
+    cannot silently mix two different reproductions.
+    """
+    path = run_journal_path(runs_dir, run_id)
+    if not os.path.exists(path):
+        known = ", ".join(list_runs(runs_dir)) or "none"
+        raise SimUsageError(
+            f"no run journal for {run_id!r} in {runs_dir} (known runs: {known})"
+        )
+    run = RunJournalCache(path, resume=True, inner=inner)
+    if expect_meta:
+        mismatched = sorted(
+            key for key, value in expect_meta.items()
+            if key in run.meta and run.meta[key] != value
+        )
+        if mismatched:
+            details = "; ".join(
+                f"{key}: journal={run.meta[key]!r} now={expect_meta[key]!r}"
+                for key in mismatched
+            )
+            run.close()
+            raise SimUsageError(
+                f"run {run_id!r} was recorded for a different reproduction "
+                f"({details}); start a fresh run"
+            )
+    return run
+
+
+def list_runs(runs_dir: str) -> List[str]:
+    """Run ids with a journal under ``runs_dir``, sorted."""
+    if not os.path.isdir(runs_dir):
+        return []
+    return sorted(
+        name[: -len(".run")]
+        for name in os.listdir(runs_dir)  # determinism: ok
+        if name.endswith(".run")
+    )

@@ -23,6 +23,9 @@ from repro.store.attempt_store import (
     ShardReport,
     StoreStats,
     StoreVerifyReport,
+    find_quarantine_files,
+    find_stale_files,
+    verify_store,
 )
 from repro.store.codec import (
     decode_key,
@@ -43,4 +46,7 @@ __all__ = [
     "decode_record",
     "encode_key",
     "encode_record",
+    "find_quarantine_files",
+    "find_stale_files",
+    "verify_store",
 ]

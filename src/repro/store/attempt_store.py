@@ -62,7 +62,71 @@ __all__ = [
     "ShardReport",
     "StoreStats",
     "StoreVerifyReport",
+    "find_quarantine_files",
+    "find_stale_files",
+    "iter_shard_files",
+    "verify_store",
 ]
+
+#: file-name suffixes of temp files the store writes and renames away;
+#: one left behind means a run was killed mid-rewrite (stale debris).
+_TEMP_SUFFIXES = (".gc", ".rebuild")
+#: substring marking :func:`repro.robust.atomic.atomic_writer` temp files.
+_ATOMIC_TMP_MARK = ".tmp."
+#: suffixes of quarantine sidecars (damage evidence, not live data).
+_QUARANTINE_SUFFIXES = (".corrupt", ".quarantine")
+
+
+def iter_shard_files(root: str) -> List[Tuple[str, str]]:
+    """Every on-disk ``(fingerprint, shard_path)`` under ``root``, sorted."""
+    found: List[Tuple[str, str]] = []
+    if not os.path.isdir(root):
+        return found
+    for prefix in sorted(os.listdir(root)):
+        prefix_dir = os.path.join(root, prefix)
+        if len(prefix) != 2 or not os.path.isdir(prefix_dir):
+            continue
+        for fingerprint in sorted(os.listdir(prefix_dir)):
+            path = os.path.join(prefix_dir, fingerprint, SHARD_FILE)
+            if fingerprint.startswith(prefix) and os.path.isfile(path):
+                found.append((fingerprint, path))
+    return found
+
+
+def _walk_files(root: str) -> List[str]:
+    files: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        files.extend(os.path.join(dirpath, name) for name in sorted(filenames))
+    return files
+
+
+def find_stale_files(root: str) -> List[str]:
+    """Temp/partial files a killed run left behind under ``root``, sorted.
+
+    Covers the store's own rewrite temps (``*.gc``, ``*.rebuild``) and
+    :func:`~repro.robust.atomic.atomic_writer` temps (``*.tmp.*``).
+    All are safe to delete: each is either superseded by the file it was
+    about to replace or an abandoned partial write.
+    """
+    stale: List[str] = []
+    for path in _walk_files(root):
+        name = os.path.basename(path)
+        if name.endswith(_TEMP_SUFFIXES) or _ATOMIC_TMP_MARK in name:
+            stale.append(path)
+    return stale
+
+
+def find_quarantine_files(root: str) -> List[str]:
+    """Quarantine sidecars under ``root`` (rotated/damaged bytes), sorted.
+
+    These are *evidence*, not damage: the live store no longer reads
+    them.  They are reported for triage and left alone by cleaning.
+    """
+    return [
+        path for path in _walk_files(root)
+        if os.path.basename(path).endswith(_QUARANTINE_SUFFIXES)
+    ]
 
 
 @dataclass
@@ -119,11 +183,17 @@ class StoreVerifyReport:
 
     root: str
     shards: List[ShardReport] = field(default_factory=list)
+    #: leftover temp/partial files from a killed run (damage: see
+    #: :func:`find_stale_files`; ``pres doctor --clean`` removes them).
+    stale: List[str] = field(default_factory=list)
+    #: quarantine sidecars (informational: see
+    #: :func:`find_quarantine_files`; not damage).
+    quarantine: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when every shard validated end to end."""
-        return all(shard.ok for shard in self.shards)
+        """True when every shard validated and no stale debris remains."""
+        return not self.stale and all(shard.ok for shard in self.shards)
 
     @property
     def exit_code(self) -> int:
@@ -132,6 +202,10 @@ class StoreVerifyReport:
     def describe(self) -> str:
         lines = [f"{self.root}: {len(self.shards)} shard(s)"]
         lines.extend("  " + shard.describe() for shard in self.shards)
+        for path in self.stale:
+            lines.append(f"  stale: {path} (partial write from a killed run)")
+        for path in self.quarantine:
+            lines.append(f"  quarantined: {path}")
         lines.append("store: " + ("ok" if self.ok else "DAMAGED"))
         return "\n".join(lines)
 
@@ -175,6 +249,11 @@ class AttemptStore:
         #: damaged-state observations: healed torn tails, rotated corrupt
         #: shards, skipped undecodable records, unreadable ``meta.json``.
         self.salvage_events = 0
+        #: records/lines moved aside into quarantine sidecars this
+        #: session.  A quarantined entry is a cache *miss*, never an
+        #: error: corruption on disk degrades the store to "replay it
+        #: live", it does not reach the exploration loop.
+        self.quarantined = 0
         #: records appended (this session).
         self.appends = 0
         #: records evicted by :meth:`gc` (this session).
@@ -200,16 +279,7 @@ class AttemptStore:
 
     def _shard_files(self) -> List[Tuple[str, str]]:
         """Every on-disk ``(fingerprint, shard_path)``, in sorted order."""
-        found: List[Tuple[str, str]] = []
-        for prefix in sorted(os.listdir(self.root)):
-            prefix_dir = os.path.join(self.root, prefix)
-            if len(prefix) != 2 or not os.path.isdir(prefix_dir):
-                continue
-            for fingerprint in sorted(os.listdir(prefix_dir)):
-                path = os.path.join(prefix_dir, fingerprint, SHARD_FILE)
-                if fingerprint.startswith(prefix) and os.path.isfile(path):
-                    found.append((fingerprint, path))
-        return found
+        return iter_shard_files(self.root)
 
     # -- epoch ----------------------------------------------------------
 
@@ -250,34 +320,98 @@ class AttemptStore:
 
     # -- shard loading ---------------------------------------------------
 
+    def _quarantine(self, path: str, entries: List[str], count: int) -> None:
+        """Move damage evidence into the ``.quarantine`` sidecar.
+
+        Best-effort by design: quarantining is bookkeeping on an
+        already-degraded path, so an unwritable sidecar must not turn a
+        cache miss into an exploration-loop error.
+        """
+        self.quarantined += count
+        if not entries:
+            return
+        try:
+            with open(path + ".quarantine", "a", encoding="utf-8") as sidecar:
+                for entry in entries:
+                    sidecar.write(entry.rstrip("\n") + "\n")
+        except OSError:
+            pass
+
     def _load_shard(self, fingerprint: str) -> Dict[Tuple, Any]:
         shard = self._shards.get(fingerprint)
         if shard is not None:
             return shard
         shard = {}
+        damaged = False
         path = self.shard_path(fingerprint)
         if os.path.isfile(path):
-            report = salvage(path)
-            if report.unrecoverable:
+            try:
+                report = salvage(path)
+            except OSError:
+                # Unreadable shard file (permissions, I/O error): every
+                # key in it is a miss; the engine replays those live.
+                report = None
+                self.salvage_events += 1
+            if report is None:
+                pass
+            elif report.unrecoverable:
                 # Nothing trustworthy inside; rotate it out of the way so
                 # a fresh shard can grow, but keep the bytes for forensics.
-                os.replace(path, path + ".corrupt")
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
                 self.salvage_events += 1
+                self.quarantined += max(1, report.total_lines)
             else:
                 if report.dropped_lines > 0:
                     self.salvage_events += 1
+                    damaged = True
+                    self._quarantine(
+                        path, self._raw_tail(path, report.dropped_lines),
+                        report.dropped_lines,
+                    )
                 for payload in report.records:
                     try:
                         key, outcome, _tick = decode_record(payload)
                     except SketchFormatError:
                         self.salvage_events += 1
+                        damaged = True
+                        self._quarantine(
+                            path, [json.dumps(payload, sort_keys=True)], 1
+                        )
                         continue
                     if self.fingerprint_of(key) != fingerprint:
                         self.salvage_events += 1  # misfiled record
+                        damaged = True
+                        self._quarantine(
+                            path, [json.dumps(payload, sort_keys=True)], 1
+                        )
                         continue
                     shard[key] = outcome
         self._shards[fingerprint] = shard
+        if damaged:
+            # Quarantining is a *move*: with the evidence in the sidecar,
+            # rewrite the shard to just its decodable records so the next
+            # verify (and every future load) sees a clean file.  Best
+            # effort — a failed rewrite leaves the old miss semantics.
+            try:
+                self._rebuild_shard(fingerprint)
+            except OSError:
+                pass
         return shard
+
+    @staticmethod
+    def _raw_tail(path: str, n_lines: int) -> List[str]:
+        """The last ``n_lines`` raw lines of ``path`` (damage evidence),
+        captured *before* the next journal resume heals the file."""
+        if n_lines <= 0:
+            return []
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                return handle.read().splitlines()[-n_lines:]
+        except OSError:
+            return []
 
     def _shard_meta(self, fingerprint: str) -> Dict[str, Any]:
         return {
@@ -375,58 +509,10 @@ class AttemptStore:
     def verify(self) -> StoreVerifyReport:
         """Validate every shard end to end (``pres store verify``).
 
-        Read-only: damage is *reported* (torn tails, corrupt headers,
-        undecodable or misfiled records, stray footers), not repaired —
-        repair happens on the write path (:meth:`put`) or via
-        :meth:`gc`, which rewrites whatever it touches.
+        Delegates to the module-level :func:`verify_store`; see there
+        for the read-only contract.
         """
-        out = StoreVerifyReport(root=self.root)
-        for fingerprint, path in self._shard_files():
-            report = salvage(path)
-            if report.unrecoverable:
-                out.shards.append(
-                    ShardReport(
-                        fingerprint=fingerprint,
-                        path=path,
-                        status="corrupt",
-                        dropped=report.total_lines,
-                        detail=report.reason,
-                    )
-                )
-                continue
-            bad = 0
-            detail = ""
-            for payload in report.records:
-                try:
-                    key, _outcome, _tick = decode_record(payload)
-                except SketchFormatError as exc:
-                    bad += 1
-                    detail = detail or str(exc)
-                    continue
-                if self.fingerprint_of(key) != fingerprint:
-                    bad += 1
-                    detail = detail or "record filed under wrong fingerprint"
-            if report.footer is not None:
-                status = "committed"
-                detail = "unexpected completion footer"
-            elif report.dropped_lines > 0:
-                status = "torn"
-                detail = report.reason
-            elif bad:
-                status = "invalid-records"
-            else:
-                status = "ok"
-            out.shards.append(
-                ShardReport(
-                    fingerprint=fingerprint,
-                    path=path,
-                    status=status,
-                    records=len(report.records) - bad,
-                    dropped=report.dropped_lines + bad,
-                    detail=detail,
-                )
-            )
-        return out
+        return verify_store(self.root)
 
     def gc(self, max_records: int) -> GCReport:
         """Bound the store to ``max_records``, evicting oldest-recorded
@@ -517,3 +603,79 @@ class AttemptStore:
                 os.rmdir(directory)
             except OSError:
                 return  # not empty (e.g. a .corrupt sibling); keep it
+
+
+def verify_store(root: str) -> StoreVerifyReport:
+    """Validate every shard of the store at ``root`` end to end.
+
+    Strictly read-only — unlike opening an :class:`AttemptStore`, this
+    neither creates ``root`` nor bumps the epoch in ``meta.json``, so
+    ``pres store verify`` and ``pres doctor`` can run against a store
+    another process owns.  Damage is *reported* (torn tails, corrupt
+    headers, undecodable or misfiled records, stray footers, stale temp
+    files from a killed run), never repaired — repair happens on the
+    write path (:meth:`AttemptStore.put`), via :meth:`AttemptStore.gc`,
+    or with ``pres doctor --clean`` for stale temp files.
+    """
+    out = StoreVerifyReport(
+        root=root,
+        stale=find_stale_files(root),
+        quarantine=find_quarantine_files(root),
+    )
+    for fingerprint, path in iter_shard_files(root):
+        try:
+            report = salvage(path)
+        except OSError as exc:
+            out.shards.append(
+                ShardReport(
+                    fingerprint=fingerprint,
+                    path=path,
+                    status="corrupt",
+                    detail=f"unreadable: {exc}",
+                )
+            )
+            continue
+        if report.unrecoverable:
+            out.shards.append(
+                ShardReport(
+                    fingerprint=fingerprint,
+                    path=path,
+                    status="corrupt",
+                    dropped=report.total_lines,
+                    detail=report.reason,
+                )
+            )
+            continue
+        bad = 0
+        detail = ""
+        for payload in report.records:
+            try:
+                key, _outcome, _tick = decode_record(payload)
+            except SketchFormatError as exc:
+                bad += 1
+                detail = detail or str(exc)
+                continue
+            if AttemptStore.fingerprint_of(key) != fingerprint:
+                bad += 1
+                detail = detail or "record filed under wrong fingerprint"
+        if report.footer is not None:
+            status = "committed"
+            detail = "unexpected completion footer"
+        elif report.dropped_lines > 0:
+            status = "torn"
+            detail = report.reason
+        elif bad:
+            status = "invalid-records"
+        else:
+            status = "ok"
+        out.shards.append(
+            ShardReport(
+                fingerprint=fingerprint,
+                path=path,
+                status=status,
+                records=len(report.records) - bad,
+                dropped=report.dropped_lines + bad,
+                detail=detail,
+            )
+        )
+    return out

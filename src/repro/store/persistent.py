@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 from repro.core.feedback import AttemptCache
+from repro.errors import SketchFormatError
 from repro.obs.metrics import NULL_METRICS
 from repro.store.attempt_store import AttemptStore
 
@@ -58,6 +59,7 @@ class PersistentAttemptCache(AttemptCache):
         self.metrics = NULL_METRICS
         self._salvage_charged = 0
         self._evictions_charged = 0
+        self._quarantined_charged = 0
 
     def bind_metrics(self, registry) -> None:
         """Charge ``store.*`` metrics into ``registry`` from now on.
@@ -69,9 +71,18 @@ class PersistentAttemptCache(AttemptCache):
         self.metrics = registry
 
     def get(self, key: Tuple) -> Optional[object]:
-        """Memory tier, then disk tier; counts hits/misses per tier."""
+        """Memory tier, then disk tier; counts hits/misses per tier.
+
+        A disk tier that cannot be read — I/O error, undecodable shard —
+        is a *miss*, never an exception: the engine replays the attempt
+        live with an identical outcome (``store.errors`` counts these).
+        """
         if key not in self._outcomes:
-            outcome = self.store.get(key)
+            try:
+                outcome = self.store.get(key)
+            except (OSError, SketchFormatError):
+                outcome = None
+                self.metrics.counter("store.errors").inc()
             if outcome is not None:
                 self.disk_hits += 1
                 self.metrics.counter("store.hits").inc()
@@ -83,10 +94,18 @@ class PersistentAttemptCache(AttemptCache):
         return super().get(key)
 
     def put(self, key: Tuple, outcome: object) -> None:
-        """Memoize and write through to the store."""
+        """Memoize and write through to the store.
+
+        Like :meth:`get`, an unwritable disk tier degrades (the outcome
+        stays memoized in memory; ``store.errors`` is charged) instead
+        of failing the exploration loop.
+        """
         super().put(key, outcome)
-        if self.store.put(key, outcome):
-            self.metrics.counter("store.appends").inc()
+        try:
+            if self.store.put(key, outcome):
+                self.metrics.counter("store.appends").inc()
+        except (OSError, SketchFormatError):
+            self.metrics.counter("store.errors").inc()
         self._sync_event_counters()
 
     def close(self) -> None:
@@ -113,6 +132,12 @@ class PersistentAttemptCache(AttemptCache):
                 salvage - self._salvage_charged
             )
             self._salvage_charged = salvage
+        quarantined = self.store.quarantined
+        if quarantined > self._quarantined_charged:
+            self.metrics.counter("store.quarantined").inc(
+                quarantined - self._quarantined_charged
+            )
+            self._quarantined_charged = quarantined
         evicted = self.evictions + self.store.evictions
         if evicted > self._evictions_charged:
             self.metrics.counter("store.evictions").inc(

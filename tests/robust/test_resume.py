@@ -1,0 +1,157 @@
+"""Resumable runs: the per-run journal and ``--resume`` round trip.
+
+The contract (``docs/resilience.md``): a run journal records every
+decided attempt as it folds, so a reproduction killed mid-exploration
+can be resumed and finish with a report byte-identical to an
+uninterrupted run — the resumed process replays only the undecided
+attempts.  Run identity (:func:`~repro.robust.runs.run_meta`) pins
+everything that shapes the schedule and deliberately excludes ``jobs``,
+so an interrupted parallel run may resume serially and still match.
+"""
+
+import pytest
+
+from repro.apps import get_bug
+from repro.bench.seeds import find_failing_seed
+from repro.core.explorer import ExplorerConfig
+from repro.core.recorder import record
+from repro.core.reproducer import reproduce
+from repro.core.sketches import SketchKind
+from repro.errors import SimUsageError
+from repro.robust.runs import (
+    RunJournalCache,
+    list_runs,
+    report_signature,
+    resume_run,
+    run_journal_path,
+    run_meta,
+    start_run,
+)
+from repro.sim import MachineConfig
+
+BUG = "mysql-atom-log"  # explores ~19 attempts: room to interrupt mid-run
+
+CFG = ExplorerConfig(max_attempts=40)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    spec = get_bug(BUG)
+    seed = find_failing_seed(spec, ncpus=4)
+    assert seed is not None
+    return record(
+        spec.make_program(),
+        sketch=SketchKind.SYNC,
+        seed=seed,
+        config=MachineConfig(ncpus=4),
+        oracle=spec.oracle,
+    )
+
+
+class InterruptAfter(RunJournalCache):
+    """A run journal that simulates a kill after N journaled attempts."""
+
+    def __init__(self, *args, interrupt_after: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.interrupt_after = interrupt_after
+        self.puts = 0
+
+    def put(self, key, outcome):
+        super().put(key, outcome)
+        self.puts += 1
+        if self.puts >= self.interrupt_after:
+            raise KeyboardInterrupt
+
+
+class TestResumeRoundTrip:
+    def test_killed_run_resumes_to_an_identical_report(
+        self, recorded, tmp_path
+    ):
+        runs_dir = str(tmp_path / "runs")
+        baseline = reproduce(recorded, CFG)
+        meta = run_meta(recorded, CFG)
+
+        run = InterruptAfter(
+            run_journal_path(runs_dir, "trip"), meta=meta, interrupt_after=5
+        )
+        partial = reproduce(recorded, CFG, run=run)
+        assert partial.interrupted is True
+        assert partial.success is False
+
+        resumed = resume_run(runs_dir, "trip", expect_meta=meta)
+        assert resumed.completed is False
+        assert resumed.resumed_attempts == 5
+        finished = reproduce(recorded, CFG, run=resumed)
+        assert finished.interrupted is False
+        assert report_signature(finished) == report_signature(baseline)
+
+    def test_interrupted_parallel_run_resumes_serially(
+        self, recorded, tmp_path
+    ):
+        runs_dir = str(tmp_path / "runs")
+        baseline = reproduce(recorded, CFG)
+        meta = run_meta(recorded, CFG)
+        assert "jobs" not in meta  # the schedule is jobs-invariant
+
+        run = InterruptAfter(
+            run_journal_path(runs_dir, "par"), meta=meta, interrupt_after=4
+        )
+        partial = reproduce(recorded, CFG, jobs=2, run=run)
+        assert partial.interrupted is True
+
+        resumed = resume_run(runs_dir, "par", expect_meta=meta)
+        finished = reproduce(recorded, CFG, jobs=1, run=resumed)
+        assert report_signature(finished) == report_signature(baseline)
+
+    def test_completed_run_replays_entirely_from_the_journal(
+        self, recorded, tmp_path
+    ):
+        runs_dir = str(tmp_path / "runs")
+        meta = run_meta(recorded, CFG)
+        first = reproduce(
+            recorded, CFG, run=start_run(runs_dir, "done", meta=meta)
+        )
+
+        resumed = resume_run(runs_dir, "done", expect_meta=meta)
+        assert resumed.completed is True
+        assert resumed.resumed_attempts == first.attempts
+        replayed = reproduce(recorded, CFG, run=resumed)
+        assert report_signature(replayed) == report_signature(first)
+        assert replayed.cache_hits == first.attempts
+
+
+class TestRunIdentity:
+    def test_meta_mismatch_refuses_to_resume(self, recorded, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        meta = run_meta(recorded, CFG)
+        reproduce(recorded, CFG, run=start_run(runs_dir, "r", meta=meta))
+
+        other = run_meta(recorded, ExplorerConfig(max_attempts=99))
+        with pytest.raises(SimUsageError, match="different reproduction"):
+            resume_run(runs_dir, "r", expect_meta=other)
+
+    def test_unknown_run_id_lists_known_runs(self, recorded, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        meta = run_meta(recorded, CFG)
+        reproduce(recorded, CFG, run=start_run(runs_dir, "known", meta=meta))
+        with pytest.raises(SimUsageError, match="known runs: known"):
+            resume_run(runs_dir, "nope")
+
+    def test_duplicate_fresh_run_id_is_rejected(self, recorded, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        meta = run_meta(recorded, CFG)
+        reproduce(recorded, CFG, run=start_run(runs_dir, "dup", meta=meta))
+        with pytest.raises(SimUsageError, match="already exists"):
+            start_run(runs_dir, "dup", meta=meta)
+
+    def test_path_escaping_run_ids_are_rejected(self, tmp_path):
+        for bad in ("../evil", "a/b", "", ".hidden", "-dash"):
+            with pytest.raises(SimUsageError, match="bad run id"):
+                run_journal_path(str(tmp_path), bad)
+
+    def test_list_runs_is_sorted_and_tolerates_missing_dir(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        assert list_runs(runs_dir) == []
+        for run_id in ("b", "a"):
+            start_run(runs_dir, run_id).close()
+        assert list_runs(runs_dir) == ["a", "b"]

@@ -1,0 +1,183 @@
+"""Store corruption handling: quarantine, read-only verify, and triage.
+
+The robustness contract for the attempt store (``docs/resilience.md``):
+damaged bytes anywhere in the store are a *cache miss*, never an
+exception — undecodable records are moved aside as ``.quarantine`` /
+``.corrupt`` evidence and counted (``store.quarantined``), and the
+reproduction replays the lost attempts live with an identical report.
+``pres store verify`` inspects without opening (no epoch bump), and
+``pres doctor`` on a store directory distinguishes quarantine evidence
+(informational) from stale temp files (damage; removable with
+``--clean``).
+"""
+
+import json
+import os
+
+from repro.core.constraints import EventRef, OrderConstraint
+from repro.core.feedback import AttemptCache
+from repro.core.parallel import AttemptOutcome
+from repro.obs.metrics import MetricsRegistry
+from repro.robust.doctor import examine_store
+from repro.store import (
+    AttemptStore,
+    PersistentAttemptCache,
+    find_quarantine_files,
+    find_stale_files,
+    verify_store,
+)
+from repro.store.attempt_store import SHARD_FILE
+
+FPS = ("aacafe0001", "bbdead0002")
+
+
+def _ref(tid, occurrence=0):
+    return EventRef(tid=tid, family="rw", key=("x", 0), occurrence=occurrence)
+
+
+def _key(fp, seed=0):
+    constraints = frozenset(
+        {OrderConstraint(before=_ref(1, seed), after=_ref(2, seed))}
+    )
+    return AttemptCache.key_for(("sync", 9, fp), constraints, seed,
+                                "random", False)
+
+
+def _outcome(key):
+    return AttemptOutcome(
+        constraints=key[1],
+        seed=key[2],
+        outcome="no-failure",
+        detail="ran",
+        steps=10 + key[2],
+        matched=False,
+        fingerprint=f"x:{key[2]}",
+        schedule=(1, 2, 1),
+    )
+
+
+def _shard_file(root, fp):
+    return os.path.join(str(root), fp[:2], fp, SHARD_FILE)
+
+
+def _seeded(root, n_per_shard=3, fps=FPS):
+    keys = []
+    with AttemptStore(str(root)) as store:
+        for seed in range(n_per_shard):
+            for fp in fps:
+                key = _key(fp, seed)
+                assert store.put(key, _outcome(key))
+                keys.append(key)
+    return keys
+
+
+def _garble_line(path, index):
+    """Replace one line of a shard with undecodable bytes."""
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    lines[index] = "?garbled?not-json?\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+
+
+class TestQuarantine:
+    def test_garbled_record_is_a_miss_with_a_quarantine_sidecar(
+        self, tmp_path
+    ):
+        _seeded(tmp_path)
+        shard = _shard_file(tmp_path, FPS[0])
+        _garble_line(shard, 2)  # a body record, not the header
+
+        store = AttemptStore(str(tmp_path))
+        survivors = [store.get(_key(FPS[0], seed)) for seed in range(3)]
+        assert None in survivors  # the garbled record is gone...
+        assert any(o is not None for o in survivors)  # ...others survive
+        assert store.quarantined > 0
+        sidecars = find_quarantine_files(str(tmp_path))
+        assert sidecars and sidecars[0].endswith(".quarantine")
+
+    def test_unreadable_header_rotates_the_shard_aside(self, tmp_path):
+        _seeded(tmp_path)
+        shard = _shard_file(tmp_path, FPS[0])
+        _garble_line(shard, 0)  # the header: salvage cannot trust anything
+
+        store = AttemptStore(str(tmp_path))
+        assert store.get(_key(FPS[0], 0)) is None  # miss, no exception
+        assert store.quarantined > 0
+        assert any(
+            path.endswith(".corrupt")
+            for path in find_quarantine_files(str(tmp_path))
+        )
+        # The untouched shard still answers.
+        assert store.get(_key(FPS[1], 0)) is not None
+
+    def test_persistent_cache_charges_the_quarantine_metric(self, tmp_path):
+        _seeded(tmp_path)
+        _garble_line(_shard_file(tmp_path, FPS[0]), 2)
+
+        registry = MetricsRegistry()
+        cache = PersistentAttemptCache(str(tmp_path))
+        cache.bind_metrics(registry)
+        cache.get(_key(FPS[0], 0))
+        assert registry.counter("store.quarantined").value > 0
+
+
+class TestVerify:
+    def test_verify_store_does_not_bump_the_epoch(self, tmp_path):
+        _seeded(tmp_path)
+        before = json.loads((tmp_path / "meta.json").read_text())["epoch"]
+        report = verify_store(str(tmp_path))
+        assert report.ok is True
+        after = json.loads((tmp_path / "meta.json").read_text())["epoch"]
+        assert after == before
+
+    def test_stale_temp_files_fail_verify(self, tmp_path):
+        _seeded(tmp_path)
+        (tmp_path / "aa" / "gc-leftover.gc").write_text("")
+        (tmp_path / "rebuild-leftover.rebuild").write_text("")
+        (tmp_path / "aa" / "shard.tmp.123").write_text("")
+
+        report = verify_store(str(tmp_path))
+        assert report.ok is False
+        assert len(report.stale) == 3
+        assert report.stale == find_stale_files(str(tmp_path))
+        assert "stale" in report.describe()
+
+    def test_quarantine_sidecars_are_evidence_not_damage(self, tmp_path):
+        _seeded(tmp_path)
+        _garble_line(_shard_file(tmp_path, FPS[0]), 2)
+        AttemptStore(str(tmp_path)).get(_key(FPS[0], 0))  # quarantines
+
+        report = verify_store(str(tmp_path))
+        assert report.quarantine  # listed...
+        assert report.ok is True  # ...but the store verifies clean
+
+
+class TestDoctorTriage:
+    def test_examine_store_flags_stale_and_clean_removes_them(
+        self, tmp_path
+    ):
+        _seeded(tmp_path)
+        stale = tmp_path / "aa" / "leftover.gc"
+        stale.write_text("")
+
+        diagnosis = examine_store(str(tmp_path))
+        assert diagnosis.ok is False
+        assert diagnosis.exit_code == 1
+        assert diagnosis.stale == [str(stale)]
+
+        removed = diagnosis.clean()
+        assert removed == [str(stale)]
+        assert not stale.exists()
+        assert examine_store(str(tmp_path)).ok is True
+
+    def test_clean_leaves_quarantine_evidence_alone(self, tmp_path):
+        _seeded(tmp_path)
+        _garble_line(_shard_file(tmp_path, FPS[0]), 2)
+        AttemptStore(str(tmp_path)).get(_key(FPS[0], 0))
+        sidecars = find_quarantine_files(str(tmp_path))
+        assert sidecars
+
+        diagnosis = examine_store(str(tmp_path))
+        diagnosis.clean()
+        assert find_quarantine_files(str(tmp_path)) == sidecars

@@ -269,4 +269,101 @@ class TestStore:
         assert main(["store", "verify", str(store)]) == 1
         out = capsys.readouterr().out
         assert "torn" in out
+
+
+class TestResilience:
+    def test_chaos_flag_reproduces_identically(self, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3", "--jobs", "2",
+             "--chaos", "crash=0.2,hang=0.1,seed=7", "--max-attempts", "40"]
+        )
+        assert code == 0
+        assert "reproduced in" in capsys.readouterr().out
+
+    def test_bad_chaos_spec_is_a_usage_error(self, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--chaos", "explode=0.5"]
+        )
+        assert code == 2
+        assert "bad chaos spec" in capsys.readouterr().err
+
+    def test_supervision_flags_are_accepted(self, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3", "--jobs", "2",
+             "--attempt-timeout", "60", "--max-retries", "1",
+             "--max-attempts", "40"]
+        )
+        assert code == 0
+        assert "reproduced in" in capsys.readouterr().out
+
+    def test_run_journal_round_trip(self, capsys, tmp_path):
+        runs = str(tmp_path / "runs")
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--runs", runs, "--run-id", "demo"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run journal:" in out
+        assert "--resume demo" in out
+
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--runs", runs, "--resume", "demo"]
+        )
+        resumed = capsys.readouterr().out
+        assert code == 0
+        assert "resuming run 'demo'" in resumed
+        assert "run already completed" in resumed
+
+    def test_run_id_and_resume_are_mutually_exclusive(self, capsys):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--run-id", "a", "--resume", "b"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resuming_an_unknown_run_is_a_usage_error(self, capsys, tmp_path):
+        code = main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--runs", str(tmp_path / "runs"), "--resume", "nope"]
+        )
+        assert code == 2
+        assert "no run journal" in capsys.readouterr().err
+
+    def test_interrupt_mid_exploration_exits_130(self, capsys, monkeypatch):
+        from repro.core.explorer import FeedbackExplorer
+
+        def boom(self, result, runner):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(FeedbackExplorer, "_search", boom)
+        code = main(["reproduce", "pbzip2-order-free", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 130
+        assert "interrupted: true" in out
+
+    def test_doctor_triages_and_cleans_a_store_directory(
+        self, capsys, tmp_path
+    ):
+        store = tmp_path / "store"
+        assert main(
+            ["reproduce", "pbzip2-order-free", "--seed", "3",
+             "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["doctor", str(store)]) == 0
+        assert "store: ok" in capsys.readouterr().out
+
+        (store / "leftover.gc").write_text("")
+        assert main(["doctor", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out
+        assert "--clean" in out  # the hint
+
+        assert main(["doctor", str(store), "--clean"]) == 0
+        assert "cleaned:" in capsys.readouterr().out
+        assert main(["doctor", str(store)]) == 0
         assert "DAMAGED" in out

@@ -108,3 +108,57 @@ class TestUnsortedDirListing:
     def test_pragma_suppresses(self):
         source = "import os\nnames = os.listdir(root)  # determinism: ok\n"
         assert _rules(source) == []
+
+
+RETRY_LOOP = (
+    "import time\n"
+    "def _retry_loop(deadline):\n"
+    "    while time.monotonic() < deadline:\n"
+    "        pass\n"
+)
+
+
+class TestRetryClock:
+    def test_flags_monotonic_reads_inside_retry_logic(self):
+        assert _rules(RETRY_LOOP) == ["retry-clock"]
+        assert _rules(
+            "import time\n"
+            "def compute_backoff():\n"
+            "    return time.perf_counter()\n"
+        ) == ["retry-clock"]
+
+    def test_fragment_matches_enclosing_functions_too(self):
+        source = (
+            "import time\n"
+            "def wait_with_timeout():\n"
+            "    def inner():\n"
+            "        return time.monotonic_ns()\n"
+            "    return inner()\n"
+        )
+        assert _rules(source) == ["retry-clock"]
+
+    def test_ordinary_functions_and_module_level_are_exempt(self):
+        assert _rules(
+            "import time\n"
+            "def measure_span():\n"
+            "    return time.perf_counter()\n"
+        ) == []
+        assert _rules("import time\nt0 = time.monotonic()\n") == []
+
+    def test_supervise_module_is_the_one_exempt_file(self):
+        violations = lint_determinism.lint_source(
+            RETRY_LOOP, path="src/repro/robust/supervise.py"
+        )
+        assert violations == []
+        violations = lint_determinism.lint_source(
+            RETRY_LOOP, path="src/repro/core/parallel.py"
+        )
+        assert [v.rule for v in violations] == ["retry-clock"]
+
+    def test_pragma_suppresses(self):
+        source = (
+            "import time\n"
+            "def retry_wait():\n"
+            "    t = time.monotonic()  # determinism: ok\n"
+        )
+        assert _rules(source) == []

@@ -30,6 +30,14 @@ historically break that contract:
   unsorted listing — shard load order, GC scan order — is
   host-dependent.  The attempt store (:mod:`repro.store`) depends on
   this rule for its deterministic-GC contract.
+* **clock-driven retry decisions** — ``time.monotonic()`` /
+  ``time.perf_counter()`` (and their ``_ns`` variants) inside functions
+  whose names mention ``retry``, ``backoff``, ``deadline``, or
+  ``timeout``.  Monotonic timers are fine for *measuring*, but a retry
+  or backoff decision derived from one makes fault handling
+  load-dependent.  All such decisions belong in the supervision module
+  (``robust/supervise.py``, the rule's one exempt file), which keeps
+  them functions of the attempt index and configuration alone.
 
 A line can opt out with a trailing ``# determinism: ok`` comment — for
 code that *measures* time rather than deciding on it, or iterates a set
@@ -61,6 +69,21 @@ _WALL_CLOCK = {
 
 #: callables whose ``key=`` argument orders things.
 _ORDERING_CALLS = {"sorted", "sort", "min", "max"}
+
+#: (module, attribute) call pairs that read a monotonic timer.
+_MONOTONIC_CLOCK = {
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+}
+
+#: function-name fragments that mark retry/deadline decision logic.
+_RETRY_NAMES = ("retry", "backoff", "deadline", "timeout")
+
+#: the one module allowed to time out and retry attempts: supervision
+#: keeps its decisions deterministic by construction (see its tests).
+_RETRY_CLOCK_EXEMPT = "robust/supervise.py"
 
 
 @dataclass(frozen=True)
@@ -112,6 +135,8 @@ class _Checker(ast.NodeVisitor):
         #: a directory-listing call found here is sanctioned.  Works
         #: because a parent Call is visited before its children.
         self._sorted_args: set = set()
+        #: enclosing function names, innermost last.
+        self._func_stack: List[str] = []
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -152,6 +177,24 @@ class _Checker(ast.NodeVisitor):
                 f"{pair[0]}.{pair[1]}() reads the wall clock; results "
                 "must be pure functions of their inputs",
             )
+        elif (
+            pair in _MONOTONIC_CLOCK
+            and not self.path.replace("\\", "/").endswith(_RETRY_CLOCK_EXEMPT)
+            and any(
+                fragment in name.lower()
+                for name in self._func_stack
+                for fragment in _RETRY_NAMES
+            )
+        ):
+            self._flag(
+                node,
+                "retry-clock",
+                f"{pair[0]}.{pair[1]}() inside "
+                f"{self._func_stack[-1]}(): retry/backoff/deadline "
+                "decisions must derive from the attempt index and "
+                "configuration, not a clock (supervision logic belongs "
+                "in robust/supervise.py)",
+            )
         elif pair is not None and pair[0] == "random" and pair[1] != "Random":
             self._flag(
                 node,
@@ -172,6 +215,16 @@ class _Checker(ast.NodeVisitor):
                         "address, which differs run to run",
                     )
         self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)

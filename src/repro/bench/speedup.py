@@ -49,6 +49,20 @@ E12_NCPUS = 4
 E12_MAX_ATTEMPTS = 300
 
 
+def host_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's cores even when an affinity
+    mask or container quota grants fewer; ``sched_getaffinity`` reports
+    the usable set where the platform has it (Linux).  E12's speedup
+    numbers are only honest against the usable figure.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 @dataclass
 class SpeedupArm:
     """One measured configuration of the E12 workload."""
@@ -59,6 +73,8 @@ class SpeedupArm:
     success: bool
     wall_time_s: float
     cache_hits: int = 0
+    #: attempts dispatched with a schedule-prefix resume plan.
+    prefix_hits: int = 0
     #: serial wall time / this arm's wall time (1.0 for the serial arm).
     speedup: float = 1.0
     #: deterministic-merge check: same attempts/success/winner as serial.
@@ -72,6 +88,7 @@ class SpeedupArm:
             "success": self.success,
             "wall_time_s": round(self.wall_time_s, 6),
             "cache_hits": self.cache_hits,
+            "prefix_hits": self.prefix_hits,
             "speedup": round(self.speedup, 3),
             "matches_serial": self.matches_serial,
         }
@@ -151,7 +168,8 @@ def sort_microbench(repeats: int = 400, n_sets: int = 16, n_constraints: int = 8
         for constraints in sets:
             ordered = memo.get(constraints)
             if ordered is None:
-                memo[constraints] = canonical_order(constraints)
+                # the microbench measures the re-sort cost on purpose
+                memo[constraints] = canonical_order(constraints)  # determinism: ok
     memoized = time.perf_counter() - started
 
     return {
@@ -207,6 +225,7 @@ def run_speedup(
                 attempts=report.attempts,
                 success=report.success,
                 wall_time_s=wall,
+                prefix_hits=report.prefix_hits,
                 speedup=serial_wall / wall if wall > 0 else float("inf"),
                 matches_serial=_same_outcome(report, serial_report),
             )
@@ -228,6 +247,7 @@ def run_speedup(
             success=warm_report.success,
             wall_time_s=warm_wall,
             cache_hits=warm_report.cache_hits,
+            prefix_hits=warm_report.prefix_hits,
             speedup=cold_wall / warm_wall if warm_wall > 0 else float("inf"),
             matches_serial=_same_outcome(warm_report, serial_report),
         )
@@ -241,23 +261,32 @@ def run_speedup(
             "yes" if arm.success else "no",
             f"{arm.wall_time_s:.2f}",
             arm.cache_hits,
+            arm.prefix_hits,
             f"{arm.speedup:.2f}x",
             "yes" if arm.matches_serial else "NO",
         ]
         for arm in arms
     ]
+    widest = max((arm.jobs for arm in arms), default=1)
+    cpus = host_cpu_count()
     meta = {
         "bug": recorded.program.name,
         "params": dict(E12_PARAMS),
         "ncpus_simulated": E12_NCPUS,
         "max_attempts": max_attempts,
-        "host_cpus": os.cpu_count() or 1,
+        "host_cpus": cpus,
         "sort_microbench": sort_microbench(repeats=sort_repeats),
         "note": (
             "pool-arm wall time needs spare host cores; attempt "
             "trajectories are jobs-invariant by construction"
         ),
     }
+    if cpus < widest:
+        meta["warning"] = (
+            f"host grants {cpus} usable core(s) but the widest arm asks "
+            f"for {widest} workers; pool wall times measure dispatch "
+            "overhead, not parallel speedup"
+        )
     if obs is not None and obs.metrics.enabled:
         meta["metrics"] = obs.metrics.snapshot()
     return BenchResult(
@@ -267,7 +296,7 @@ def run_speedup(
             f"cap {max_attempts}, ODR-strict)"
         ),
         headers=["arm", "jobs", "attempts", "success", "wall s",
-                 "cache hits", "speedup", "= serial"],
+                 "cache hits", "prefix hits", "speedup", "= serial"],
         rows=rows,
         records=[arm.to_record() for arm in arms],
         meta=meta,

@@ -94,6 +94,29 @@ def canonical_order(constraints: Iterable[OrderConstraint]) -> Tuple[OrderConstr
     return tuple(sorted(constraints, key=constraint_sort_key))
 
 
+#: Bounded memo for :func:`ordered_constraints`; constraint sets repeat
+#: heavily within a session (plan ranking, cache keys, dispatch), and
+#: E12's microbench puts sort-once at ~245x cheaper than re-sorting.
+_ORDERED_MEMO: Dict[ConstraintSet, Tuple[OrderConstraint, ...]] = {}
+_ORDERED_MEMO_LIMIT = 4096
+
+
+def ordered_constraints(constraints: ConstraintSet) -> Tuple[OrderConstraint, ...]:
+    """Memoized :func:`canonical_order` over hashable constraint sets.
+
+    For call sites outside the engine (which hoists through
+    ``AttemptContext.ordered``): sanitize plan ranking, cache keys, and
+    anything else that canonicalizes the same set repeatedly.
+    """
+    cached = _ORDERED_MEMO.get(constraints)
+    if cached is None:
+        if len(_ORDERED_MEMO) >= _ORDERED_MEMO_LIMIT:
+            _ORDERED_MEMO.clear()
+        cached = canonical_order(constraints)
+        _ORDERED_MEMO[constraints] = cached
+    return cached
+
+
 def _acquire_key(event_kind: OpKind, obj: object, value: object) -> Optional[str]:
     """Lock name if this event/op is a lock acquisition, else None.
 
@@ -156,6 +179,21 @@ class OccurrenceCounter:
     def lock_count(self, tid: int, mutex: str) -> int:
         return self._lock.get((tid, mutex), 0)
 
+    def capture(self) -> Tuple[Dict, Dict]:
+        """Snapshot the executed-action counts (for prefix resume)."""
+        return (dict(self._mem), dict(self._lock))
+
+    def restore(self, state: Tuple[Dict, Dict]) -> None:
+        """Load counts captured by :meth:`capture`.
+
+        Counts are constraint-independent — they track what *executed*,
+        which is identical for a parent attempt and a child resuming
+        inside the parent's safe prefix — so a snapshot taken under one
+        gate is valid under another whose constraints extend it.
+        """
+        self._mem = dict(state[0])
+        self._lock = dict(state[1])
+
 
 class ConstraintGate:
     """Online enforcement of a constraint set during one attempt."""
@@ -163,13 +201,22 @@ class ConstraintGate:
     def __init__(self, constraints: Iterable[OrderConstraint]) -> None:
         self.constraints: List[OrderConstraint] = list(constraints)
         self.counter = OccurrenceCounter()
+        # blocks() runs once per runnable thread per step — the hottest
+        # loop in an attempt.  A constraint can only block the thread its
+        # ``after`` ref names, so index by that tid and scan the (tiny)
+        # relevant slice instead of the whole set.
+        self._by_after_tid: Dict[int, List[OrderConstraint]] = {}
+        for constraint in self.constraints:
+            self._by_after_tid.setdefault(
+                constraint.after.tid, []
+            ).append(constraint)
 
     def observe(self, event: Event) -> None:
         self.counter.observe(event)
 
     def blocks(self, tid: int, op: Op) -> bool:
         """Whether this thread's pending op must wait for a constraint."""
-        for constraint in self.constraints:
+        for constraint in self._by_after_tid.get(tid, ()):
             if self.counter.executed(constraint.before):
                 continue
             if self.counter.pending_matches(tid, op, constraint.after):
@@ -197,27 +244,32 @@ class RefIndex:
 
     def __init__(self, events: Iterable[Event]) -> None:
         self._refs: Dict[int, EventRef] = {}
+        self._gidx: Dict[EventRef, int] = {}
         mem: Dict[Tuple[int, Address], int] = {}
         lock: Dict[Tuple[int, str], int] = {}
         for event in events:
             if event.kind in MEMORY_KINDS:
                 key = (event.tid, event.addr)
                 mem[key] = mem.get(key, 0) + 1
-                self._refs[event.gidx] = EventRef(
-                    event.tid, "mem", event.addr, mem[key]
-                )
+                ref = EventRef(event.tid, "mem", event.addr, mem[key])
+                self._refs[event.gidx] = ref
+                self._gidx[ref] = event.gidx
             else:
                 mutex = _acquire_key(event.kind, event.obj, event.value)
                 if mutex is not None:
                     key = (event.tid, mutex)
                     lock[key] = lock.get(key, 0) + 1
-                    self._refs[event.gidx] = EventRef(
-                        event.tid, "lock", mutex, lock[key]
-                    )
+                    ref = EventRef(event.tid, "lock", mutex, lock[key])
+                    self._refs[event.gidx] = ref
+                    self._gidx[ref] = event.gidx
 
     def ref_of(self, event: Event) -> Optional[EventRef]:
         """The ref naming this event, or None for unnamed kinds."""
         return self._refs.get(event.gidx)
+
+    def gidx_of(self, ref: EventRef) -> Optional[int]:
+        """The global index of the event a ref names, if it executed."""
+        return self._gidx.get(ref)
 
     def lock_ref(self, tid: int, mutex: str, occurrence: int) -> EventRef:
         """Explicit lock-family ref (for lifted flips)."""

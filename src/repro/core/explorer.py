@@ -57,6 +57,10 @@ class ExplorationResult:
     duplicate_traces: int = 0
     #: attempts answered from the attempt cache instead of a replay.
     cache_hits: int = 0
+    #: attempts dispatched with a schedule-prefix resume plan (see
+    #: :mod:`repro.core.prefix`) — counted at batch assembly, so the
+    #: figure is jobs-invariant.  Always 0 for the serial explorers.
+    prefix_hits: int = 0
     #: True when the search was cut short by a KeyboardInterrupt: the
     #: fields above describe a *partial* exploration, not a verdict.
     interrupted: bool = False

@@ -74,6 +74,18 @@ class Candidate:
     #: rank within :data:`TIER_PLAN` (the sanitizer's candidate order);
     #: unused by the other tiers.
     rank: int = 0
+    #: the single constraint this candidate adds to the attempt it was
+    #: mined from (None for root/plan candidates).  ``constraints -
+    #: {flip}`` with the same seed names the parent attempt — the handle
+    #: prefix-resume uses to find a shared simulator snapshot.
+    flip: Optional[OrderConstraint] = None
+    #: deepest parent-schedule step provably shared with this candidate:
+    #: the flip's gate cannot block anything before the previous
+    #: same-thread event of its ``after`` action's first possible match,
+    #: so picks (and RNG draws) up to here are identical.  0 = no resume.
+    safe_prefix: int = 0
+    #: the parent attempt's total step count (bounds snapshot planning).
+    parent_steps: int = 0
 
     def sort_key(self) -> Tuple[int, int, int, int]:
         """Heap key: (tier, major, shape, -anchor).
@@ -93,12 +105,19 @@ def trace_fingerprint(trace: Trace) -> str:
 
     ``hashlib`` rather than ``hash()`` so fingerprints computed in pool
     worker processes are comparable with the parent's regardless of each
-    interpreter's string-hash randomization.
+    interpreter's string-hash randomization.  The digest is memoized on
+    the trace — dedup, caching, and candidate mining all fingerprint the
+    same trace, and events are immutable once emitted.
     """
+    cached = getattr(trace, "_fingerprint", None)
+    if cached is not None:
+        return cached
     digest = hashlib.sha1()
     for event in trace.events:
         digest.update(repr(event.signature()).encode("utf-8"))
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    trace._fingerprint = fingerprint
+    return fingerprint
 
 
 class FeedbackDB:
@@ -237,6 +256,54 @@ def _flip_for_race(
     return OrderConstraint(before=before, after=after)
 
 
+class _PrefixIndex:
+    """Per-trace tables for computing a flip's safe resume prefix.
+
+    ``safe_prefix(flip)`` is the first schedule step at which the flip's
+    gate could possibly block something.  The gate only ever blocks the
+    thread named by ``flip.after``, and only from the moment that
+    thread's pending op first satisfies ``pending_matches`` — for a mem
+    ref that is the named access itself (memory ops never fail, so the
+    occurrence-th access is the first match); for a lock ref it may be
+    an earlier *failed* TRYLOCK of the same mutex at the same prior-
+    acquisition count.  Blocking a pending op can reshape the schedule
+    from the pick right after the thread's previous event, so the safe
+    prefix ends there.
+    """
+
+    def __init__(self, trace: Trace, refs: RefIndex) -> None:
+        self._refs = refs
+        self._prev_of: Dict[int, int] = {}
+        self._lock_attempts: Dict[Tuple[int, object], List[Tuple[int, int]]] = {}
+        last_by_tid: Dict[int, int] = {}
+        acquired: Dict[Tuple[int, object], int] = {}
+        lock_kinds = (OpKind.LOCK, OpKind.TRYLOCK, OpKind.RDLOCK, OpKind.WRLOCK)
+        for event in trace.events:
+            self._prev_of[event.gidx] = last_by_tid.get(event.tid, -1)
+            last_by_tid[event.tid] = event.gidx
+            if event.kind in lock_kinds:
+                key = (event.tid, event.obj)
+                self._lock_attempts.setdefault(key, []).append(
+                    (event.gidx, acquired.get(key, 0))
+                )
+                if event.kind is not OpKind.TRYLOCK or event.value:
+                    acquired[key] = acquired.get(key, 0) + 1
+
+    def safe_prefix(self, flip: OrderConstraint) -> int:
+        after = flip.after
+        if after.family == "mem":
+            gidx = self._refs.gidx_of(after)
+        else:
+            gidx = None
+            for g, prior in self._lock_attempts.get((after.tid, after.key), ()):
+                if prior == after.occurrence - 1:
+                    gidx = g
+                    break
+        if gidx is None:
+            return 0
+        return self._prev_of.get(gidx, -1) + 1
+
+
 def _lock_order_flips(trace: Trace, refs: RefIndex) -> List[Tuple[OrderConstraint, int]]:
     """Adjacent same-mutex acquisitions by different threads, flipped."""
     flips: List[Tuple[OrderConstraint, int]] = []
@@ -300,6 +367,7 @@ class FeedbackGenerator:
         current_inverses = {_inverse(c) for c in current}
         seen_sets: Set[ConstraintSet] = set()
         out: List[Candidate] = []
+        prefixes = _PrefixIndex(attempt_trace, refs)
         # Check-act-shaped races first, then later-in-trace first, so the
         # per-attempt cap keeps the likeliest flips.
         for flip, anchor, shape in sorted(raw, key=lambda t: (t[2], -t[1])):
@@ -317,6 +385,9 @@ class FeedbackGenerator:
                     depth=len(candidate_set),
                     anchor_gidx=anchor,
                     shape=shape,
+                    flip=flip,
+                    safe_prefix=prefixes.safe_prefix(flip),
+                    parent_steps=attempt_trace.steps,
                 )
             )
             if len(out) >= self.max_candidates_per_attempt:

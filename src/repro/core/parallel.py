@@ -57,10 +57,12 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import shm
 from repro.core.constraints import ConstraintSet, canonical_order
 from repro.core.explorer import (
     AttemptRecord,
@@ -80,6 +82,13 @@ from repro.core.feedback import (
     trace_fingerprint,
 )
 from repro.core.pir import PIRScheduler
+from repro.core.prefix import (
+    PrefixTree,
+    ResumePlan,
+    capture_hooks,
+    resume_depth,
+    resume_machine,
+)
 from repro.core.recorder import RecordedRun, apply_oracle
 from repro.obs.session import ObsSession, resolve_session
 from repro.obs.tracer import NULL_TRACER, PARENT_TRACK, SpanRecord, Tracer
@@ -165,22 +174,51 @@ class AttemptOutcome:
 
 
 def run_attempt(
-    ctx: AttemptContext, constraints: ConstraintSet, seed: int
+    ctx: AttemptContext,
+    constraints: ConstraintSet,
+    seed: int,
+    resume: Optional[ResumePlan] = None,
+    tree: Optional[PrefixTree] = None,
 ) -> Tuple[Trace, bool]:
     """One replay attempt; the single source of attempt semantics.
 
     Shared by the serial :class:`~repro.core.reproducer.Reproducer`, the
     in-process fast path, and pool workers, so all three cannot drift.
+
+    ``resume``/``tree`` opt into prefix memoization: the machine starts
+    from a snapshot of the parent attempt inside the candidate's safe
+    prefix instead of step 0, and the live run captures its own
+    snapshots as it passes each ladder depth so future siblings can
+    resume from *this* attempt.  Capturing is observation-only and
+    resume failures of any kind fall back to a cold run — attempts are
+    pure, so the trace is identical either way (property-tested in
+    ``tests/core/test_prefix.py``).
     """
     recorded = ctx.recorded
-    scheduler = PIRScheduler(
-        recorded.log,
-        ctx.ordered(constraints),
-        base_seed=seed,
-        base_policy=ctx.base_policy,
-    )
-    machine = Machine(recorded.program, scheduler, recorded.config)
-    trace = machine.run()
+    machine = None
+    scheduler: Optional[PIRScheduler] = None
+    if resume is not None and tree is not None:
+        resumed = resume_machine(ctx, constraints, seed, resume, tree)
+        if resumed is not None:
+            machine, scheduler = resumed
+    if machine is None:
+        scheduler = PIRScheduler(
+            recorded.log,
+            ctx.ordered(constraints),
+            base_seed=seed,
+            base_policy=ctx.base_policy,
+        )
+        machine = Machine(recorded.program, scheduler, recorded.config)
+    if tree is not None:
+        depths, on_snapshot = capture_hooks(constraints, seed, scheduler, tree)
+        if machine.schedule:
+            # resumed: rungs at or below the resume point were aliased
+            # from the parent by resume_machine; only capture deeper ones
+            start = len(machine.schedule)
+            depths = tuple(d for d in depths if d > start)
+        trace = machine.run(snapshot_depths=depths, on_snapshot=on_snapshot)
+    else:
+        trace = machine.run()
     failure = apply_oracle(trace, recorded.oracle)
     if failure is not None and trace.failure is None:
         trace.failure = failure
@@ -199,6 +237,8 @@ def evaluate_attempt(
     constraints: ConstraintSet,
     seed: int,
     mine: bool = True,
+    resume: Optional[ResumePlan] = None,
+    tree: Optional[PrefixTree] = None,
 ) -> AttemptOutcome:
     """Run one attempt and summarize it as a picklable outcome.
 
@@ -213,7 +253,9 @@ def evaluate_attempt(
     )
     with attempt_span:
         with tracer.span("replay", category="replay"):
-            trace, matched = run_attempt(ctx, constraints, seed)
+            trace, matched = run_attempt(
+                ctx, constraints, seed, resume=resume, tree=tree
+            )
         outcome, detail = _classify(trace, matched)
         candidates: Tuple[Candidate, ...] = ()
         schedule: Optional[Tuple[int, ...]] = None
@@ -246,17 +288,29 @@ def evaluate_attempt(
 
 # -- pool worker plumbing -----------------------------------------------------
 
-#: Per-worker-process context, installed by :func:`_worker_init`.
-_WORKER_CTX: Dict[str, AttemptContext] = {}
+#: Per-worker-process state, installed by :func:`_worker_init`: the
+#: session's AttemptContext (attached once from the shared segment) and
+#: this worker's prefix-snapshot tree.
+_WORKER_CTX: Dict[str, Any] = {}
 
 
-def _worker_init(payload: bytes) -> None:
-    _WORKER_CTX["ctx"] = pickle.loads(payload)
+def _worker_init(token: shm.SegmentToken) -> None:
+    _WORKER_CTX["ctx"] = pickle.loads(shm.attach(token))
+    _WORKER_CTX["tree"] = PrefixTree()
 
 
-def _worker_run(task: Tuple[ConstraintSet, int, bool]) -> AttemptOutcome:
-    constraints, seed, mine = task
-    return evaluate_attempt(_WORKER_CTX["ctx"], constraints, seed, mine=mine)
+def _worker_run(
+    task: Tuple[ConstraintSet, int, bool, Optional[ResumePlan]]
+) -> AttemptOutcome:
+    constraints, seed, mine, resume = task
+    return evaluate_attempt(
+        _WORKER_CTX["ctx"],
+        constraints,
+        seed,
+        mine=mine,
+        resume=resume,
+        tree=_WORKER_CTX.get("tree"),
+    )
 
 
 class ParallelExplorer:
@@ -337,6 +391,18 @@ class ParallelExplorer:
         #: constraint sets seeded from the sanitizer plan (feedback mode
         #: only), for the ``sanitize.plan_matched`` check at fold time.
         self._plan_sets: frozenset = frozenset()
+        #: prefix snapshots for attempts evaluated in this process (the
+        #: inline path and supervisor fallbacks); pool workers hold their
+        #: own trees (see :func:`_worker_init`).
+        self._prefix_tree = PrefixTree()
+        #: resume plans issued at batch assembly — the logical, jobs-
+        #: invariant count the report and metrics publish (which worker
+        #: physically held the snapshot is invisible by design).
+        self._prefix_hits = 0
+        #: folded attempt-cost totals driving auto batch sizing; updated
+        #: only at fold points, so they are jobs-invariant too.
+        self._folded_attempts = 0
+        self._folded_steps = 0
 
     # -- public API -----------------------------------------------------
 
@@ -352,10 +418,21 @@ class ParallelExplorer:
         if configured > 0:
             return configured
         # Auto: serial stays exactly serial (batch of 1 == the serial
-        # explorer's schedule); pools speculate two batches per worker.
+        # explorer's schedule); pools speculate two batches per worker —
+        # doubled when folded attempts measure as cheap, where dispatch
+        # latency dominates and deeper speculation amortizes it.  The
+        # tuning signal is virtual steps folded so far (never wall
+        # clock), so the batch sequence is a deterministic function of
+        # the exploration itself.
         if self.config.jobs <= 1:
             return 1
-        return 2 * self.config.jobs
+        base = 2 * self.config.jobs
+        if (
+            self._folded_attempts >= 8
+            and self._folded_steps <= 200 * self._folded_attempts
+        ):
+            base *= 2
+        return base
 
     def explore(self) -> ExplorationResult:
         """Run the batched search; identical results for any ``jobs``.
@@ -391,6 +468,7 @@ class ParallelExplorer:
             finally:
                 supervisor.shutdown(wait=False)
         self.obs.metrics.counter("duplicate_traces").inc(result.duplicate_traces)
+        result.prefix_hits = self._prefix_hits
         return result
 
     # -- supervision ----------------------------------------------------
@@ -407,11 +485,14 @@ class ParallelExplorer:
             self.supervise,
             obs=self.obs,
             pool_factory=self._make_pool,
-            dispatch=lambda pool, constraints, seed, mine: pool.submit(
-                _worker_run, (constraints, seed, mine)
+            dispatch=lambda pool, constraints, seed, mine, resume=None: (
+                pool.submit(_worker_run, (constraints, seed, mine, resume))
             ),
-            inline=lambda constraints, seed, mine: evaluate_attempt(
-                self.context, constraints, seed, mine=mine
+            inline=lambda constraints, seed, mine, resume=None: (
+                evaluate_attempt(
+                    self.context, constraints, seed, mine=mine,
+                    resume=resume, tree=self._prefix_tree,
+                )
             ),
             max_attempts=self.config.max_attempts,
             chaos=self.chaos,
@@ -453,6 +534,7 @@ class ParallelExplorer:
     def _make_pool(self) -> Optional[ProcessPoolExecutor]:
         if self.config.jobs <= 1:
             return None
+        started = time.perf_counter()
         try:
             payload = pickle.dumps(self.context)
         except Exception as exc:  # unpicklable program/oracle: run inline
@@ -467,17 +549,30 @@ class ParallelExplorer:
         try:
             import multiprocessing
 
+            # Publish the session snapshot once; workers attach to the
+            # segment by name and unpickle in their initializer, so the
+            # context bytes cross the executor pipe zero times.  The
+            # publish registry dedups by content, so a supervisor
+            # rebuilding this pool (or another arm over the same
+            # recording) reuses the existing segment.
+            token = shm.publish(payload)
             mp_context = None
             if "fork" in multiprocessing.get_all_start_methods():
                 # fork keeps worker hash seeds identical to the parent's
                 # and skips re-importing the world per worker.
                 mp_context = multiprocessing.get_context("fork")
-            return ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=self.config.jobs,
                 mp_context=mp_context,
                 initializer=_worker_init,
-                initargs=(payload,),
+                initargs=(token,),
             )
+            # Gauge, not counter: wall-clock warm-up cost is environment
+            # data, exempt from the jobs-invariance contract.
+            self.obs.metrics.gauge("parallel.warm_init_s").set(
+                round(time.perf_counter() - started, 6)
+            )
+            return pool
         except Exception as exc:  # no fork/spawn support in this env
             self.pool_disabled_reason = (
                 f"process pool unavailable ({exc}); running attempts in-process"
@@ -493,7 +588,9 @@ class ParallelExplorer:
     def _evaluate_batch(
         self,
         supervisor: Supervisor,
-        tasks: Sequence[Tuple[ConstraintSet, int, Optional[AttemptOutcome]]],
+        tasks: Sequence[
+            Tuple[ConstraintSet, int, Optional[AttemptOutcome], Optional[ResumePlan]]
+        ],
     ) -> List[AttemptOutcome]:
         """Evaluate one batch, returning outcomes in canonical pop order.
 
@@ -538,6 +635,29 @@ class ParallelExplorer:
                 replace(outcome, spans=()),
             )
 
+    def _resume_plan(self, candidate: Candidate) -> Optional[ResumePlan]:
+        """A prefix-resume plan for one popped candidate, if one exists.
+
+        Called during batch assembly, in pop order, on live (uncached)
+        attempts only — the hit count is therefore a logical property of
+        the exploration schedule, identical for every ``jobs`` value and
+        for warm vs. cold pools, regardless of which process ends up
+        holding (or rebuilding) the snapshot.
+        """
+        if candidate.flip is None:
+            return None
+        depth = resume_depth(candidate.parent_steps, candidate.safe_prefix)
+        if depth <= 0:
+            return None
+        self._prefix_hits += 1
+        self.obs.metrics.counter("parallel.prefix_hits").inc()
+        self.obs.metrics.histogram("parallel.prefix_depth").observe(depth)
+        return ResumePlan(
+            flip=candidate.flip,
+            depth=depth,
+            parent_steps=candidate.parent_steps,
+        )
+
     def _lane_for(self, pid: int) -> int:
         """The timeline lane for spans recorded by ``pid``.
 
@@ -560,7 +680,9 @@ class ParallelExplorer:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
-        frontier: List[Tuple[Tuple[int, int, int, int], int, ConstraintSet, int]] = []
+        frontier: List[
+            Tuple[Tuple[int, int, int, int], int, ConstraintSet, int, Candidate]
+        ] = []
         counter = 0
         restarts_used = 0
 
@@ -569,7 +691,13 @@ class ParallelExplorer:
             counter += 1
             heapq.heappush(
                 frontier,
-                (candidate.sort_key(), counter, candidate.constraints, seed),
+                (
+                    candidate.sort_key(),
+                    counter,
+                    candidate.constraints,
+                    seed,
+                    candidate,
+                ),
             )
 
         push(Candidate(_EMPTY, 0, 0, tier=TIER_ROOT), config.base_seed)
@@ -577,15 +705,19 @@ class ParallelExplorer:
 
         while result.attempt_count < config.max_attempts:
             # Assemble the next batch in canonical best-first order.
-            batch: List[Tuple[ConstraintSet, int, Optional[AttemptOutcome]]] = []
+            batch: List[
+                Tuple[ConstraintSet, int, Optional[AttemptOutcome], Optional[ResumePlan]]
+            ] = []
             budget_left = config.max_attempts - result.attempt_count
             want = min(self.batch_size, budget_left)
             while len(batch) < want and frontier:
-                _, _, constraints, seed = heapq.heappop(frontier)
+                _, _, constraints, seed, candidate = heapq.heappop(frontier)
                 if self.db.tried(constraints, seed):
                     continue
                 self.db.mark_tried(constraints, seed)
-                batch.append((constraints, seed, self._cached(constraints, seed)))
+                cached = self._cached(constraints, seed)
+                resume = None if cached is not None else self._resume_plan(candidate)
+                batch.append((constraints, seed, cached, resume))
             if not batch:
                 restarts_used += 1
                 if restarts_used > config.seed_restarts:
@@ -624,6 +756,8 @@ class ParallelExplorer:
         )
         result.attempts.append(record)
         observe_attempt_record(self.obs.metrics, record)
+        self._folded_attempts += 1
+        self._folded_steps += outcome.steps
         if outcome.spans:
             # All spans of one outcome were recorded by one process.
             self.obs.tracer.absorb(
@@ -675,7 +809,7 @@ class ParallelExplorer:
             batch = []
             for offset in range(size):
                 seed = config.base_seed + next_index + offset
-                batch.append((_EMPTY, seed, self._cached(_EMPTY, seed)))
+                batch.append((_EMPTY, seed, self._cached(_EMPTY, seed), None))
             next_index += size
             metrics.counter("batches").inc()
             with tracer.span(

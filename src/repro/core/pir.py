@@ -24,12 +24,14 @@ those are legitimate reproductions when the recorded bug *is* a deadlock.
 
 from __future__ import annotations
 
+import copy
 import enum
+import pickle
 import random
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.constraints import ConstraintGate, OrderConstraint
-from repro.core.sketches import SketchKind, entry_for_op, op_visible
+from repro.core.sketches import SketchKind, entry_for_op, visible_kinds
 from repro.core.sketchlog import SketchLog
 from repro.errors import ReplayDivergence
 from repro.sim.machine import Machine
@@ -52,6 +54,9 @@ class SketchCursor:
         self.sketch: SketchKind = log.sketch
         self.entries = log.entries
         self.position = 0
+        # gate() runs once per runnable thread per step; a frozenset
+        # membership test beats re-deriving visibility per op.
+        self._visible = visible_kinds(log.sketch)
 
     @property
     def exhausted(self) -> bool:
@@ -63,7 +68,7 @@ class SketchCursor:
         Raises :class:`ReplayDivergence` when the expected thread's next
         visible action provably differs from the recorded one.
         """
-        if not op_visible(self.sketch, op):
+        if op.kind not in self._visible:
             return Gate.FREE
         if self.exhausted:
             # Past the recorded horizon (the production run ended here,
@@ -83,7 +88,7 @@ class SketchCursor:
 
     def observe(self, tid: int, op: Op) -> None:
         """Advance past an executed sketch-visible op."""
-        if self.exhausted or not op_visible(self.sketch, op):
+        if self.exhausted or op.kind not in self._visible:
             return
         self.position += 1
 
@@ -221,7 +226,7 @@ class PIRScheduler(Scheduler):
             if self.cursor.exhausted:
                 continue
             expected = self.cursor.entries[self.cursor.position]
-            if event.kind in _visible_cache(self.cursor.sketch):
+            if event.kind in self.cursor._visible:
                 if event.tid != expected.tid:
                     raise ReplayDivergence(
                         f"executed visible event {event.describe()} out of "
@@ -230,14 +235,54 @@ class PIRScheduler(Scheduler):
                     )
                 self.cursor.position += 1
 
+    # -- prefix resume -----------------------------------------------------
+
+    def capture_resume_state(self, *, serialize: bool = False) -> Tuple[Any, ...]:
+        """Scheduler state to pair with a :meth:`Machine.capture_state`
+        snapshot taken at the same step.
+
+        Everything here is constraint-independent (cursor position,
+        executed-occurrence counts, RNG/chooser state, events consumed):
+        within a child's safe prefix the child makes the very same picks
+        as its parent, so a parent-built snapshot fast-forwards a child
+        scheduler whose gate holds a *larger* constraint set.
+
+        With ``serialize=True`` the chooser travels as a pickle blob
+        (cheaper to capture; every restore unpickles a fresh copy).
+        """
+        if serialize:
+            chooser: Any = pickle.dumps(
+                self._chooser, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        else:
+            chooser = copy.deepcopy(self._chooser)
+        return (
+            self.cursor.position,
+            self.gate.counter.capture(),
+            chooser,
+            self._seen_events,
+        )
+
+    def restore_resume_state(self, state: Tuple[Any, ...]) -> None:
+        """Fast-forward this scheduler from :meth:`capture_resume_state`.
+
+        Call instead of ``on_run_start`` (the machine resuming from a
+        snapshot skips that hook); the gate keeps *this* scheduler's
+        constraints — only the execution-progress state is loaded.
+        """
+        position, counter_state, chooser, seen = state
+        self.cursor = SketchCursor(self.log)
+        self.cursor.position = position
+        self.gate = ConstraintGate(self.constraints)
+        self.gate.counter.restore(counter_state)
+        if isinstance(chooser, bytes):
+            self._chooser = pickle.loads(chooser)
+        else:
+            self._chooser = copy.deepcopy(chooser)
+        self._seen_events = seen
+
     def describe(self) -> str:
         return (
             f"PIR(sketch={self.log.sketch.value}, "
             f"constraints={len(self.constraints)}, seed={self.base_seed})"
         )
-
-
-def _visible_cache(sketch: SketchKind):
-    from repro.core.sketches import visible_kinds
-
-    return visible_kinds(sketch)

@@ -84,6 +84,9 @@ class ReproductionReport:
     duplicate_traces: int = 0
     #: attempts answered from the attempt cache instead of a fresh replay.
     cache_hits: int = 0
+    #: attempts dispatched with a schedule-prefix resume plan (see
+    #: :mod:`repro.core.prefix`).  Jobs-invariant; 0 for serial runs.
+    prefix_hits: int = 0
     #: entries available after salvage, when the log came from salvage
     #: (``None`` when the log was pristine).
     salvaged_entries: Optional[int] = None
@@ -262,6 +265,7 @@ class Reproducer:
             total_replay_steps=result.total_steps,
             duplicate_traces=result.duplicate_traces,
             cache_hits=result.cache_hits,
+            prefix_hits=result.prefix_hits,
             interrupted=result.interrupted,
             outcome_reason=(
                 f"interrupted after {result.attempt_count} attempt(s); "
@@ -522,6 +526,7 @@ def _degraded_walk(
     total_steps = 0
     duplicates = 0
     cache_hits = 0
+    prefix_hits = 0
     source_log = recorded.log
 
     for index, rung in enumerate(rungs):
@@ -559,6 +564,7 @@ def _degraded_walk(
         total_steps += report.total_replay_steps
         duplicates += report.duplicate_traces
         cache_hits = shared_cache.hits
+        prefix_hits += report.prefix_hits
         merged_records.extend(report.records)
         path.append(
             DegradationRung(
@@ -580,6 +586,7 @@ def _degraded_walk(
                 total_replay_steps=total_steps,
                 duplicate_traces=duplicates,
                 cache_hits=cache_hits,
+                prefix_hits=prefix_hits,
                 salvaged_entries=salvaged_entries,
                 dropped_records=dropped_records,
                 degradation_path=path,
@@ -592,6 +599,7 @@ def _degraded_walk(
                 records=merged_records,
                 total_replay_steps=total_steps,
                 duplicate_traces=duplicates,
+                prefix_hits=prefix_hits,
                 salvaged_entries=salvaged_entries,
                 dropped_records=dropped_records,
                 degradation_path=path,
@@ -612,6 +620,7 @@ def _degraded_walk(
         total_replay_steps=total_steps,
         duplicate_traces=duplicates,
         cache_hits=cache_hits,
+        prefix_hits=prefix_hits,
         salvaged_entries=salvaged_entries,
         dropped_records=dropped_records,
         degradation_path=path,

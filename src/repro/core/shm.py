@@ -1,0 +1,137 @@
+"""Shared read-only session segments for warm replay workers.
+
+The parallel engine serializes its :class:`~repro.core.parallel.
+AttemptContext` (program, sketch log, matching policy) exactly once per
+session and publishes the bytes as an immutable segment.  Workers attach
+by name in their initializer and unpickle once; after that a task is
+just ``(constraints, seed, ...)`` — no per-batch pickling of the
+program or log ever crosses the pipe again.
+
+``multiprocessing.shared_memory`` backs the segment where available so
+fork-spawned workers map the payload instead of copying it through the
+executor's argument pipe.  Where it is not (or creation fails — e.g.
+``/dev/shm`` is unwritable), the token simply carries the raw bytes:
+same semantics, one extra copy.  Segments are deduplicated process-wide
+by content digest, so a supervisor rebuilding its pool after a worker
+death — or a benchmark running several arms over one recording —
+republishes nothing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+from typing import Dict, Tuple
+
+#: ("shm", name, size) or ("bytes", payload) — picklable, pipe-friendly.
+SegmentToken = Tuple
+
+
+class SessionSegment:
+    """One published payload; owns the backing shared-memory block."""
+
+    def __init__(self, payload: bytes) -> None:
+        self.size = len(payload)
+        self.digest = hashlib.sha1(payload).hexdigest()
+        self._shm = None
+        self.token: SegmentToken = ("bytes", payload)
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, self.size))
+            shm.buf[: self.size] = payload
+            self._shm = shm
+            self.token = ("shm", shm.name, self.size)
+        except Exception:
+            self._shm = None  # bytes fallback already in place
+
+    def close(self) -> None:
+        """Release and unlink the backing block (publisher-side only)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+#: Everything this process has published, by content digest.
+_PUBLISHED: Dict[str, SessionSegment] = {}
+
+
+def publish(payload: bytes) -> SegmentToken:
+    """Publish (or reuse) a segment for ``payload``; returns its token."""
+    digest = hashlib.sha1(payload).hexdigest()
+    segment = _PUBLISHED.get(digest)
+    if segment is None:
+        segment = SessionSegment(payload)
+        _PUBLISHED[digest] = segment
+    return segment.token
+
+
+def attach(token: SegmentToken) -> bytes:
+    """Materialize a token's payload (worker-side)."""
+    if token[0] == "bytes":
+        return token[1]
+    _, name, size = token
+    shm = _attach_untracked(name)
+    try:
+        return bytes(shm.buf[:size])
+    finally:
+        shm.close()
+
+
+def _attach_untracked(name: str):
+    """Attach to a segment without claiming ownership of it.
+
+    Plain attachment registers the segment with the resource tracker
+    (bpo-39959); workers share the publisher's tracker process, so a
+    worker's claim would collide with the publisher's and the segment
+    would be unlinked (or double-unregistered) behind its back.
+    Ownership stays with the publisher: suppress the attach-side
+    registration — natively where ``track=False`` exists (3.13+), by
+    masking ``resource_tracker.register`` during the attach elsewhere.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(resource_name, rtype):
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def release(token: SegmentToken) -> None:
+    """Unlink one published segment early (otherwise atexit handles it)."""
+    if token[0] != "shm":
+        return
+    for digest, segment in list(_PUBLISHED.items()):
+        if segment.token == token:
+            segment.close()
+            del _PUBLISHED[digest]
+
+
+def _release_all() -> None:
+    for segment in _PUBLISHED.values():
+        segment.close()
+    _PUBLISHED.clear()
+
+
+atexit.register(_release_all)

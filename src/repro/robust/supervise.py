@@ -130,8 +130,11 @@ class _Fault:
 #: slot value meaning "no pool: resolve this task in-process".
 _INLINE = None
 
-#: one batch task as the engine assembles it: (constraints, seed, cached).
-Task = Tuple[Any, int, Optional[Any]]
+#: one batch task as the engine assembles it: ``(constraints, seed,
+#: cached, *extras)``.  Extras (e.g. a prefix-resume plan) are passed
+#: through to ``dispatch``/``inline`` untouched; three-element tasks —
+#: the original shape, still used by stub-based tests — carry none.
+Task = Tuple[Any, ...]
 
 
 class Supervisor:
@@ -147,11 +150,13 @@ class Supervisor:
     :param pool_factory: zero-argument callable building a fresh worker
         pool, or returning ``None`` when pooling is unavailable (the
         supervisor then runs everything through ``inline``).
-    :param dispatch: ``(pool, constraints, seed, mine) -> Future``
-        submitting one attempt to a pool.
-    :param inline: ``(constraints, seed, mine) -> outcome`` evaluating
-        one attempt in-process — the deterministic escape hatch every
-        supervision path bottoms out in.
+    :param dispatch: ``(pool, constraints, seed, mine, *extras) ->
+        Future`` submitting one attempt to a pool.  ``extras`` are the
+        task elements beyond the first three, forwarded verbatim on
+        every (re)dispatch.
+    :param inline: ``(constraints, seed, mine, *extras) -> outcome``
+        evaluating one attempt in-process — the deterministic escape
+        hatch every supervision path bottoms out in.
     :param max_attempts: the exploration attempt budget, used to size
         the default retry budget.
     :param chaos: optional :class:`~repro.robust.inject.ChaosInjector`.
@@ -246,14 +251,14 @@ class Supervisor:
 
     def _evaluate_inline(self, tasks: Sequence[Task], mine: bool) -> List[Any]:
         outcomes: List[Any] = []
-        for constraints, seed, cached in tasks:
+        for constraints, seed, cached, *extras in tasks:
             if cached is not None:
                 outcome = cached
             else:
                 # Chaos faults are simulated (charged + retried) even
                 # in-process, so injection accounting is jobs-invariant.
                 self._simulate_chaos(constraints, seed)
-                outcome = self._inline(constraints, seed, mine)
+                outcome = self._inline(constraints, seed, mine, *extras)
             outcomes.append(outcome)
             if outcome.matched:
                 break
@@ -261,12 +266,14 @@ class Supervisor:
 
     def _evaluate_pooled(self, tasks: Sequence[Task], mine: bool) -> List[Any]:
         slots: Dict[int, Any] = {}
-        for index, (constraints, seed, cached) in enumerate(tasks):
+        for index, (constraints, seed, cached, *extras) in enumerate(tasks):
             if cached is None:
-                slots[index] = self._submit(constraints, seed, mine, tries=0)
+                slots[index] = self._submit(
+                    constraints, seed, mine, tries=0, extras=extras
+                )
         outcomes: List[Any] = []
         matched_at: Optional[int] = None
-        for index, (constraints, seed, cached) in enumerate(tasks):
+        for index, (constraints, seed, cached, *_extras) in enumerate(tasks):
             if matched_at is not None:
                 slot = slots.get(index)
                 if isinstance(slot, Future):
@@ -281,7 +288,14 @@ class Supervisor:
                 matched_at = index
         return outcomes
 
-    def _submit(self, constraints: Any, seed: int, mine: bool, tries: int) -> Any:
+    def _submit(
+        self,
+        constraints: Any,
+        seed: int,
+        mine: bool,
+        tries: int,
+        extras: Sequence[Any] = (),
+    ) -> Any:
         """Dispatch one attempt, or return the slot's fate as a sentinel.
 
         Chaos verdicts are consulted *here*, keyed by attempt content and
@@ -295,7 +309,7 @@ class Supervisor:
         if self.pool is None:
             return _INLINE
         try:
-            return self._dispatch(self.pool, constraints, seed, mine)
+            return self._dispatch(self.pool, constraints, seed, mine, *extras)
         except Exception:  # broken/shut-down pool at submit time
             return _Fault("crash", chaos=False)
 
@@ -303,7 +317,7 @@ class Supervisor:
         self, index: int, tasks: Sequence[Task], slots: Dict[int, Any], mine: bool
     ) -> Any:
         """Drive one slot to an outcome, absorbing faults along the way."""
-        constraints, seed, _cached = tasks[index]
+        constraints, seed, _cached, *extras = tasks[index]
         tries = 0
         slot = slots.pop(index, _INLINE)
         while slot is not _INLINE:
@@ -330,8 +344,8 @@ class Supervisor:
                 self._charge_inline_fallback(seed)
                 break
             time.sleep(backoff_delay(self.config, tries))
-            slot = self._submit(constraints, seed, mine, tries)
-        return self._inline(constraints, seed, mine)
+            slot = self._submit(constraints, seed, mine, tries, extras=extras)
+        return self._inline(constraints, seed, mine, *extras)
 
     def _pool_broken(
         self, tasks: Sequence[Task], slots: Dict[int, Any], mine: bool, skip: int
@@ -373,8 +387,10 @@ class Supervisor:
             if self.pool is None:
                 slots[other] = _INLINE
             else:
-                constraints, seed, _cached = tasks[other]
-                slots[other] = self._submit(constraints, seed, mine, tries=0)
+                constraints, seed, _cached, *extras = tasks[other]
+                slots[other] = self._submit(
+                    constraints, seed, mine, tries=0, extras=extras
+                )
 
     # -- chaos -----------------------------------------------------------
 

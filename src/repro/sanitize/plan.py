@@ -33,6 +33,7 @@ from repro.core.constraints import (
     OrderConstraint,
     canonical_order,
     constraint_sort_key,
+    ordered_constraints,
 )
 from repro.core.sketches import SketchKind
 from repro.core.sketchlog import SketchLog, _from_jsonable, _jsonable
@@ -233,12 +234,15 @@ def build_plan(
                 note=deadlock.describe(),
             )
         )
+    # ordered_constraints memoizes the canonical sort per set: ranking
+    # re-reads the same sets the predictors just built, so sorting each
+    # once per session (not once per ranking pass) is pure savings.
     scored.sort(
         key=lambda c: (
             -c.confidence,
             -c.anchor,
             tuple(
-                constraint_sort_key(x) for x in canonical_order(c.constraints)
+                constraint_sort_key(x) for x in ordered_constraints(c.constraints)
             ),
         )
     )

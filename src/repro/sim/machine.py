@@ -31,10 +31,12 @@ HANG (e.g. a lost wakeup) and ends the run with that failure.
 
 from __future__ import annotations
 
+import copy
 import enum
+import pickle
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import (
     ReplayDivergence,
@@ -76,6 +78,16 @@ class ThreadState:
     #: its presence marks pending_op as a synthetic re-acquire LOCK.
     resuming_wait: Optional[Op] = None
     retval: Any = None
+    #: how the generator was built, plus every value ever sent into it
+    #: (including the priming ``None``).  Generators cannot be pickled or
+    #: deep-copied, but thread bodies are pure functions of the values
+    #: they receive (the :mod:`repro.sim.program` contract), so replaying
+    #: ``feeds`` into a fresh generator reconstructs this thread exactly.
+    #: That is what makes mid-run machine snapshots possible.
+    body: Any = None
+    args: tuple = ()
+    kwargs: Optional[dict] = None
+    feeds: List[Any] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -138,21 +150,45 @@ class Machine:
         self.divergence: Optional[str] = None
         self._next_tid = 0
         self._ran = False
+        self._resumed = False
 
     # -- public API -------------------------------------------------------
 
-    def run(self) -> Trace:
-        """Execute the program to completion; returns the trace."""
+    def run(
+        self,
+        *,
+        snapshot_depths: Iterable[int] = (),
+        on_snapshot: Optional[Callable[["Machine"], None]] = None,
+        stop_after: Optional[int] = None,
+    ) -> Trace:
+        """Execute the program to completion; returns the trace.
+
+        ``snapshot_depths``/``on_snapshot`` invoke the callback at the top
+        of the step loop whenever ``len(schedule)`` is a requested depth —
+        the state at that moment is exactly "``depth`` steps executed,
+        nothing failed yet", which is what :meth:`capture_state` wants.
+        ``stop_after`` ends the run once that many steps have executed
+        (used when a snapshot producer has no use for the suffix).
+        """
         if self._ran:
             raise SimUsageError("a Machine is single-use; build a fresh one")
         self._ran = True
 
-        self._spawn_thread(self.program.main, (), kwargs=self.program.params)
-        self.scheduler.on_run_start(self)
+        if not self._resumed:
+            self._spawn_thread(
+                self.program.main, (), kwargs=self.program.params
+            )
+            self.scheduler.on_run_start(self)
         for observer in self.observers:
             observer.on_start(self)
 
+        depths = frozenset(snapshot_depths)
+
         while self.failure is None:
+            if on_snapshot is not None and len(self.schedule) in depths:
+                on_snapshot(self)
+            if stop_after is not None and len(self.schedule) >= stop_after:
+                break
             runnable = self.runnable_tids()
             if not runnable:
                 if all(ts.finished for ts in self.threads.values()):
@@ -203,6 +239,135 @@ class Machine:
         """
         return self.threads[tid].pending_op
 
+    # -- mid-run snapshots -------------------------------------------------
+
+    def capture_state(self, *, serialize: bool = False) -> Dict[str, Any]:
+        """A deep, reusable snapshot of a healthy mid-run machine.
+
+        Valid only between steps with no failure recorded — callers
+        capture through :meth:`run`'s ``on_snapshot`` hook, which fires
+        exactly there.  The snapshot is independent of this machine (its
+        mutable pieces are deep-copied) and can seed any number of fresh
+        machines via :meth:`restore_state`.  Generators are represented
+        by their (body, args, kwargs, feeds) recipe, not the generator
+        object — see :class:`ThreadState`.
+
+        With ``serialize=True`` the mutable pieces are stored as one
+        pickle blob instead of a deep copy — considerably cheaper to
+        capture (pickling runs in C), and every restore unpickles its
+        own fresh copy.  Raises when the state does not pickle (e.g. a
+        thread body that is a closure); callers fall back to the deep
+        variant.
+        """
+        if self.failure is not None or self.divergence is not None:
+            raise SimUsageError("cannot snapshot a failed or diverged run")
+        thread_meta = []
+        for tid in sorted(self.threads):
+            ts = self.threads[tid]
+            thread_meta.append(
+                {
+                    "tid": ts.tid,
+                    "name": ts.name,
+                    "status": ts.status,
+                    "retval": ts.retval,
+                    "resuming": ts.resuming_wait is not None,
+                    "body": ts.body,
+                    "args": ts.args,
+                    "kwargs": ts.kwargs,
+                    "feeds": list(ts.feeds),
+                }
+            )
+        live = {
+            "memory": self.memory,
+            "sync": self.sync,
+            "kernel": self.kernel,
+            "clock": self.clock,
+            "threads": thread_meta,
+        }
+        if serialize:
+            mutable: Dict[str, Any] = {
+                "blob": pickle.dumps(live, protocol=pickle.HIGHEST_PROTOCOL)
+            }
+        else:
+            mutable = copy.deepcopy(live)
+        # Events are immutable once emitted; sharing them across restores
+        # keeps snapshots cheap.
+        mutable["events"] = tuple(self.events)
+        mutable["schedule"] = tuple(self.schedule)
+        mutable["next_tid"] = self._next_tid
+        return mutable
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`capture_state` snapshot into this *fresh* machine.
+
+        The next :meth:`run` then continues from the snapshot point:
+        the main-thread spawn and ``scheduler.on_run_start`` are skipped
+        (the caller is responsible for fast-forwarding its scheduler with
+        matching state).  The snapshot itself is not consumed — mutable
+        pieces are deep-copied again here, so one snapshot can seed many
+        sibling attempts.
+        """
+        if self._ran:
+            raise SimUsageError("restore_state requires an unused Machine")
+        events = state["events"]
+        schedule = state["schedule"]
+        blob = state.get("blob")
+        if blob is not None:
+            # serialized snapshot: unpickling *is* the private fresh copy
+            mutable = pickle.loads(blob)
+        else:
+            mutable = copy.deepcopy(
+                {key: state[key] for key in ("memory", "sync", "kernel", "clock", "threads")}
+            )
+        self.memory = mutable["memory"]
+        self.sync = mutable["sync"]
+        self.kernel = mutable["kernel"]
+        self.clock = mutable["clock"]
+        self.events = list(events)
+        self.schedule = list(schedule)
+        self._next_tid = state["next_tid"]
+        self.threads = {}
+        for meta in mutable["threads"]:
+            ts = self._rebuild_thread(meta)
+            self.threads[ts.tid] = ts
+        self._resumed = True
+
+    def _rebuild_thread(self, meta: Dict[str, Any]) -> ThreadState:
+        """Reconstruct one thread by replaying its recorded feeds into a
+        fresh generator (bodies are pure functions of their feeds)."""
+        ctx = ThreadContext(meta["tid"])
+        gen = meta["body"](ctx, *meta["args"], **(meta["kwargs"] or {}))
+        ts = ThreadState(
+            tid=meta["tid"],
+            gen=gen,
+            name=meta["name"],
+            body=meta["body"],
+            args=meta["args"],
+            kwargs=meta["kwargs"],
+        )
+        op: Optional[Op] = None
+        done = False
+        try:
+            for value in meta["feeds"]:  # feeds[0] is the priming None
+                op = gen.send(value)
+        except StopIteration as stop:
+            done = True
+            ts.status = ThreadStatus.DONE
+            ts.pending_op = None
+            ts.retval = stop.value
+        if not done:
+            ts.status = meta["status"]
+            ts.retval = meta["retval"]
+            ts.pending_op = op
+            if meta["resuming"]:
+                # Mid condition-wait re-acquire: pending op is the
+                # synthetic LOCK, the original COND_WAIT is parked.
+                ts.resuming_wait = op
+                _, lock_name = op.obj
+                ts.pending_op = Op(OpKind.LOCK, obj=lock_name)
+        ts.feeds = list(meta["feeds"])
+        return ts
+
     # -- thread management ---------------------------------------------------
 
     def _spawn_thread(self, body: Any, args: tuple, kwargs: Optional[dict] = None) -> int:
@@ -210,13 +375,21 @@ class Machine:
         self._next_tid += 1
         ctx = ThreadContext(tid)
         gen = body(ctx, *args, **(kwargs or {}))
-        ts = ThreadState(tid=tid, gen=gen, name=getattr(body, "__name__", "thread"))
+        ts = ThreadState(
+            tid=tid,
+            gen=gen,
+            name=getattr(body, "__name__", "thread"),
+            body=body,
+            args=args,
+            kwargs=kwargs,
+        )
         self.threads[tid] = ts
         self._advance(ts, None)
         return tid
 
     def _advance(self, ts: ThreadState, send_value: Any) -> None:
         """Resume a thread's generator and stash its next pending op."""
+        ts.feeds.append(send_value)
         try:
             op = ts.gen.send(send_value)
         except StopIteration as stop:

@@ -124,7 +124,7 @@ def decode_key(data: Dict[str, Any]) -> Tuple:
 
 
 def _candidate_json(candidate: Candidate) -> Dict[str, Any]:
-    return {
+    data = {
         "constraints": _constraints_json(candidate.constraints),
         "depth": candidate.depth,
         "anchor": candidate.anchor_gidx,
@@ -132,9 +132,19 @@ def _candidate_json(candidate: Candidate) -> Dict[str, Any]:
         "tier": candidate.tier,
         "rank": candidate.rank,
     }
+    # Prefix-resume provenance: present only when mined, so shards from
+    # versions that predate schedule-prefix memoization decode cleanly.
+    if candidate.flip is not None:
+        data["flip"] = _constraint_json(candidate.flip)
+    if candidate.safe_prefix:
+        data["safe_prefix"] = candidate.safe_prefix
+    if candidate.parent_steps:
+        data["parent_steps"] = candidate.parent_steps
+    return data
 
 
 def _candidate_from(data: Dict[str, Any]) -> Candidate:
+    flip = data.get("flip")
     return Candidate(
         constraints=_constraints_from(data["constraints"]),
         depth=data["depth"],
@@ -142,6 +152,9 @@ def _candidate_from(data: Dict[str, Any]) -> Candidate:
         shape=data["shape"],
         tier=data["tier"],
         rank=data["rank"],
+        flip=_constraint_from(flip) if flip is not None else None,
+        safe_prefix=data.get("safe_prefix", 0),
+        parent_steps=data.get("parent_steps", 0),
     )
 
 

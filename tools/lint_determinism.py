@@ -30,6 +30,14 @@ historically break that contract:
   unsorted listing — shard load order, GC scan order — is
   host-dependent.  The attempt store (:mod:`repro.store`) depends on
   this rule for its deterministic-GC contract.
+* **re-sorting an already-canonical set in a loop** —
+  ``canonical_order(...)`` called inside a ``for``/``while`` body or a
+  ``lambda`` body (sort keys run once per element).  The canonical sort
+  is deterministic but not free; hot paths must sort each constraint
+  set once per session via
+  :func:`repro.core.constraints.ordered_constraints` (or an equivalent
+  memo) instead of re-sorting per attempt.  Calls in a loop *header*
+  or a comprehension's iterable position run once and are fine.
 * **clock-driven retry decisions** — ``time.monotonic()`` /
   ``time.perf_counter()`` (and their ``_ns`` variants) inside functions
   whose names mention ``retry``, ``backoff``, ``deadline``, or
@@ -137,6 +145,8 @@ class _Checker(ast.NodeVisitor):
         self._sorted_args: set = set()
         #: enclosing function names, innermost last.
         self._func_stack: List[str] = []
+        #: nesting depth of loop/lambda bodies (re-sort hot paths).
+        self._repeat_depth = 0
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -205,6 +215,14 @@ class _Checker(ast.NodeVisitor):
         name = node.func.attr if isinstance(node.func, ast.Attribute) else (
             node.func.id if isinstance(node.func, ast.Name) else None
         )
+        if name == "canonical_order" and self._repeat_depth > 0:
+            self._flag(
+                node,
+                "canonical-resort",
+                "canonical_order(...) inside a loop or lambda body "
+                "re-sorts per iteration; sort once per session via "
+                "ordered_constraints (or a local memo)",
+            )
         if name in _ORDERING_CALLS:
             for keyword in node.keywords:
                 if keyword.arg == "key" and _uses_id_name(keyword.value):
@@ -226,13 +244,33 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
         self._func_stack.pop()
 
+    def _visit_repeated(self, nodes) -> None:
+        """Visit statements whose bodies re-run per iteration/element."""
+        self._repeat_depth += 1
+        for child in nodes:
+            self.visit(child)
+        self._repeat_depth -= 1
+
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter)
-        self.generic_visit(node)
+        # the header runs once; only the body repeats.
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_repeated(node.body + node.orelse)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
         self._check_iteration(node.iter)
-        self.generic_visit(node)
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_repeated(node.body + node.orelse)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._visit_repeated(node.body + node.orelse)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # sort/filter keys: the body runs once per element.
+        self._visit_repeated([node.body])
 
     def visit_comprehension_node(self, node) -> None:
         for gen in node.generators:

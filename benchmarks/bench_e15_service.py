@@ -1,0 +1,57 @@
+"""E15 - replay as a service: concurrent jobs over one warm engine.
+
+Boots the real server on an ephemeral port and drives two ~100-job arms
+(cold store, then warm) through its HTTP client.  Asserted shape: zero
+failed jobs under concurrency, every job's report byte-identical to its
+serial CLI reference, and a warm arm that answers its attempts from the
+store the cold arm populated.  The table carries throughput and p50/p99
+job latency; ``BENCH_e15.json`` (written by ``pres bench e15 --json``)
+carries the same rows for the CI artifact.
+"""
+
+import pytest
+
+from repro.bench.service import E15_JOBS, build_e15
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_e15()
+
+
+def test_e15_service_table(result, publish, benchmark):
+    def check():
+        publish("e15_service", result.render())
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e15_no_failed_jobs_under_concurrency(result, benchmark):
+    def check():
+        assert result.meta["zero_failed"] is True
+        for record in result.records:
+            assert record["jobs"] == E15_JOBS, record["arm"]
+            assert record["failed"] == 0, record["arm"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e15_reports_byte_identical_to_serial_cli(result, benchmark):
+    def check():
+        assert result.meta["identical_reports"] is True
+        for record in result.records:
+            assert record["mismatched"] == 0, record["arm"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e15_warm_arm_folds_from_the_shared_store(result, benchmark):
+    def check():
+        arms = {record["arm"]: record for record in result.records}
+        # The cold arm populates the store mid-flight, so later cold
+        # jobs may already hit; the warm arm must out-hit it decisively.
+        assert arms["warm"]["store_hits"] > arms["cold"]["store_hits"]
+        counters = result.meta["service_counters"]
+        assert counters.get("service.done", 0) == 2 * E15_JOBS
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -11,6 +11,17 @@ Subcommands::
     pres inspect TRACE                render a saved observability trace
     pres doctor LOG [--out FILE]      validate/salvage an on-disk artifact
     pres store stats|verify|gc DIR    manage a cross-run attempt store
+    pres serve [--port N]             run the reproduction service (HTTP)
+    pres submit BUG [--wait]          submit a job to a running service
+    pres jobs [--tenant T]            list jobs on a running service
+
+Replay as a service (see docs/service.md): ``pres serve`` runs a
+long-lived multi-tenant server that accepts reproduction jobs over HTTP
+and multiplexes them over one warm engine — a shared replay worker pool
+and a per-tenant cross-run attempt store — so repeat reproductions cost
+a store lookup instead of a cold exploration.  Reports are byte-identical
+to the serial CLI (``pres reproduce --report-out`` vs ``pres submit
+--wait --report-out``).
 
 Cross-run attempt store (see docs/store.md): ``reproduce --store DIR``
 persists every replay-attempt outcome to a crash-safe, sharded store and
@@ -68,7 +79,7 @@ from repro.core.explorer import ExplorerConfig
 from repro.core.full_replay import CompleteLog, replay_complete
 from repro.core.diagnose import diagnose
 from repro.core.recorder import record
-from repro.core.reproducer import reproduce, reproduce_degraded
+from repro.core.reproducer import render_report, reproduce, reproduce_degraded
 from repro.core.sketches import parse_sketch_kind
 from repro.errors import RecorderKilled, SimUsageError, SketchFormatError
 from repro.obs.session import ObsSession
@@ -385,10 +396,13 @@ def cmd_reproduce(args) -> int:
         live = report.attempts - report.cache_hits
         print(f"store {args.store}: {report.cache_hits} attempt(s) answered "
               f"from the store, {live} replayed live")
-    print(report.describe())
-    for attempt in report.records:
-        print(f"  attempt {attempt.index}: {attempt.outcome} "
-              f"(constraints={attempt.n_constraints}, seed={attempt.base_seed})")
+    report_text = render_report(report)
+    print(report_text, end="")
+    if args.report_out:
+        # The same bytes `pres submit --report-out` writes for the same
+        # request — the byte-for-byte surface the CI smoke job compares.
+        atomic_write_text(args.report_out, report_text)
+        print(f"report written to {args.report_out}")
     # Observability artifacts flush whether or not the reproduction
     # succeeded — a failed session is precisely when the timeline matters.
     _write_obs(args, obs)
@@ -589,6 +603,96 @@ def cmd_doctor(args) -> int:
     return diagnosis.exit_code
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import serve
+
+    try:
+        asyncio.run(serve(
+            args.store,
+            host=args.host,
+            port=args.port,
+            slots=args.slots,
+            max_queued=args.max_queued,
+            tenant_slots=args.tenant_slots,
+            pool_jobs=args.pool_jobs,
+            default_jobs=args.jobs,
+            port_file=args.port_file,
+        ))
+    except KeyboardInterrupt:
+        # The signal handler normally wins and drains gracefully; a
+        # second Ctrl-C can land here.  Match the CLI-wide contract.
+        print("interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import JobRequest, ProtocolError
+
+    try:
+        request = JobRequest(
+            bug=args.bug,
+            tenant=args.tenant,
+            sketch=args.sketch,
+            seed=args.seed,
+            max_attempts=args.max_attempts,
+            jobs=args.jobs,
+            ncpus=args.ncpus,
+        )
+    except ProtocolError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.server)
+    try:
+        doc = client.submit(request)
+        print(f"job {doc['id']} {doc['state']} (tenant {args.tenant})")
+        if not args.wait:
+            print(f"poll with: pres jobs --server {args.server}")
+            return 0
+        final = client.wait_for(doc["id"])
+        if final["state"] != "done":
+            detail = final.get("error", final["state"])
+            print(f"job {doc['id']} {final['state']}: {detail}", file=sys.stderr)
+            return 1
+        text = client.result_text(doc["id"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(text, end="")
+    if args.report_out:
+        atomic_write_text(args.report_out, text)
+        print(f"report written to {args.report_out}")
+    result = client.result(doc["id"])
+    return 0 if result.get("success") else 1
+
+
+def cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        docs = client.jobs(args.tenant)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not docs:
+        print("no jobs")
+        return 0
+    for doc in docs:
+        request = doc["request"]
+        line = (f"{doc['id']}  {doc['state']:<9}  {request['tenant']:<12}  "
+                f"{request['bug']}")
+        if "latency_s" in doc:
+            line += f"  {doc['latency_s']:.3f}s"
+        if "error" in doc:
+            line += f"  ({doc['error']})"
+        print(line)
+    return 0
+
+
 def cmd_store(args) -> int:
     from repro.store import AttemptStore, verify_store
 
@@ -662,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--no-feedback", action="store_true",
                          help="ablation: random re-rolls instead of feedback")
     p_repro.add_argument("--out", help="write the complete log (JSON) here")
+    p_repro.add_argument("--report-out",
+                         help="write the attempt report (text) here; "
+                              "byte-identical to what `pres submit "
+                              "--report-out` writes for the same request")
     p_repro.add_argument("--exec-out",
                          help="write the reproduced execution (JSONL) here")
     p_repro.add_argument("--trace-out",
@@ -752,7 +860,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="render an evaluation table (t1, e1..e6, e12..e14, e17, "
+        help="render an evaluation table (t1, e1..e6, e12..e15, e17, "
              "or 'list')",
     )
     p_bench.add_argument("experiment")
@@ -797,6 +905,71 @@ def build_parser() -> argparse.ArgumentParser:
                       help="records to keep (deterministic "
                            "oldest-recorded-first eviction)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the reproduction service (HTTP; see docs/service.md)",
+    )
+    p_serve.add_argument("--store", default=".pres-service",
+                         help="store root; one attempt-store namespace "
+                              "per tenant (default: .pres-service)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8979,
+                         help="listen port; 0 picks an ephemeral one "
+                              "(default: 8979)")
+    p_serve.add_argument("--port-file",
+                         help="write the bound port here once listening "
+                              "(for wrappers using --port 0)")
+    p_serve.add_argument("--slots", type=int, default=4,
+                         help="concurrent job executions (default: 4)")
+    p_serve.add_argument("--max-queued", type=int, default=256,
+                         help="jobs waiting for a slot before admission "
+                              "returns 429 (default: 256)")
+    p_serve.add_argument("--tenant-slots", type=int, default=64,
+                         help="per-tenant bound on unfinished jobs "
+                              "(default: 64)")
+    p_serve.add_argument("--pool-jobs", type=int, default=2,
+                         help="width of the shared replay worker pool "
+                              "lent to parallel explorations (default: 2)")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="default exploration jobs for requests that "
+                              "leave jobs at 0 (default: 1)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a reproduction job to a running service"
+    )
+    p_submit.add_argument("bug", help="bug id from `pres bugs`")
+    p_submit.add_argument("--server", default="http://127.0.0.1:8979",
+                          help="service base URL "
+                               "(default: http://127.0.0.1:8979)")
+    p_submit.add_argument("--tenant", default="default",
+                          help="tenant namespace (default: default)")
+    p_submit.add_argument("--sketch", default="sync",
+                          help="none|sync|sys|func|bb|rw (default: sync)")
+    p_submit.add_argument("--seed", type=int, default=None,
+                          help="production-run seed (default: the server "
+                               "searches for a failing one)")
+    p_submit.add_argument("--max-attempts", type=int, default=400)
+    p_submit.add_argument("--jobs", type=int, default=0,
+                          help="exploration jobs; 0 = server default "
+                               "(identical report either way)")
+    p_submit.add_argument("--ncpus", type=int, default=4)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print "
+                               "its report")
+    p_submit.add_argument("--report-out",
+                          help="with --wait: write the report (text) "
+                               "here; byte-identical to `pres reproduce "
+                               "--report-out` for the same request")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list jobs on a running service"
+    )
+    p_jobs.add_argument("--server", default="http://127.0.0.1:8979",
+                        help="service base URL "
+                             "(default: http://127.0.0.1:8979)")
+    p_jobs.add_argument("--tenant", default=None,
+                        help="only this tenant's jobs")
+
     return parser
 
 
@@ -813,6 +986,9 @@ _HANDLERS = {
     "stats": cmd_stats,
     "inspect": cmd_inspect,
     "store": cmd_store,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
 }
 
 

@@ -32,6 +32,7 @@ fan-out per attempt.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -185,6 +186,12 @@ class AttemptCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: get/put are atomic under this (reentrant) lock, so one cache
+        #: may be shared by concurrent sessions — the reproduction
+        #: service runs a thread per job over per-tenant caches.  Within
+        #: one session the engine is single-threaded and the lock is
+        #: uncontended.
+        self._lock = threading.RLock()
 
     @staticmethod
     def key_for(
@@ -199,28 +206,30 @@ class AttemptCache:
 
     def get(self, key: Tuple) -> Optional[object]:
         """The memoized outcome for ``key``, counting the hit or miss."""
-        outcome = self._outcomes.get(key)
-        if outcome is not None:
-            self.hits += 1
-            if self.max_entries is not None:
-                # LRU bookkeeping: a hit refreshes the entry's position
-                # in the (insertion-ordered) dict.
-                del self._outcomes[key]
-                self._outcomes[key] = outcome
-        else:
-            self.misses += 1
-        return outcome
+        with self._lock:
+            outcome = self._outcomes.get(key)
+            if outcome is not None:
+                self.hits += 1
+                if self.max_entries is not None:
+                    # LRU bookkeeping: a hit refreshes the entry's
+                    # position in the (insertion-ordered) dict.
+                    del self._outcomes[key]
+                    self._outcomes[key] = outcome
+            else:
+                self.misses += 1
+            return outcome
 
     def put(self, key: Tuple, outcome: object) -> None:
         """Memoize one attempt outcome under its :meth:`key_for` key."""
-        if self.max_entries is not None and key in self._outcomes:
-            del self._outcomes[key]  # re-put refreshes recency
-        self._outcomes[key] = outcome
-        if self.max_entries is not None:
-            while len(self._outcomes) > self.max_entries:
-                oldest = next(iter(self._outcomes))
-                del self._outcomes[oldest]
-                self.evictions += 1
+        with self._lock:
+            if self.max_entries is not None and key in self._outcomes:
+                del self._outcomes[key]  # re-put refreshes recency
+            self._outcomes[key] = outcome
+            if self.max_entries is not None:
+                while len(self._outcomes) > self.max_entries:
+                    oldest = next(iter(self._outcomes))
+                    del self._outcomes[oldest]
+                    self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._outcomes)

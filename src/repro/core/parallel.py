@@ -57,7 +57,9 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -288,29 +290,137 @@ def evaluate_attempt(
 
 # -- pool worker plumbing -----------------------------------------------------
 
-#: Per-worker-process state, installed by :func:`_worker_init`: the
-#: session's AttemptContext (attached once from the shared segment) and
-#: this worker's prefix-snapshot tree.
-_WORKER_CTX: Dict[str, Any] = {}
+#: Per-worker-process session cache, keyed by segment token: each entry
+#: holds one session's AttemptContext (attached once from the shared
+#: segment, unpickled once) and this worker's prefix-snapshot tree for
+#: that session.  A *leased* pool serves many sessions over its
+#: lifetime, so workers keep the most recent few warm instead of one.
+_WORKER_SESSIONS: "OrderedDict[shm.SegmentToken, Dict[str, Any]]" = OrderedDict()
+
+#: sessions a worker keeps warm before evicting the least recently used
+#: one.  Eviction only costs a re-attach + re-unpickle (and cold prefix
+#: snapshots); attempts are pure, so outcomes are unaffected.
+_WORKER_SESSION_LIMIT = 4
+
+
+def _worker_session(token: shm.SegmentToken) -> Dict[str, Any]:
+    session = _WORKER_SESSIONS.get(token)
+    if session is None:
+        session = {
+            "ctx": pickle.loads(shm.attach(token)),
+            "tree": PrefixTree(),
+        }
+        while len(_WORKER_SESSIONS) >= _WORKER_SESSION_LIMIT:
+            _WORKER_SESSIONS.popitem(last=False)
+        _WORKER_SESSIONS[token] = session
+    else:
+        _WORKER_SESSIONS.move_to_end(token)
+    return session
 
 
 def _worker_init(token: shm.SegmentToken) -> None:
-    _WORKER_CTX["ctx"] = pickle.loads(shm.attach(token))
-    _WORKER_CTX["tree"] = PrefixTree()
+    """Pre-warm a session-owned pool's workers at fork time."""
+    _worker_session(token)
 
 
 def _worker_run(
-    task: Tuple[ConstraintSet, int, bool, Optional[ResumePlan]]
+    task: Tuple[shm.SegmentToken, ConstraintSet, int, bool, Optional[ResumePlan]]
 ) -> AttemptOutcome:
-    constraints, seed, mine, resume = task
+    token, constraints, seed, mine, resume = task
+    session = _worker_session(token)
     return evaluate_attempt(
-        _WORKER_CTX["ctx"],
+        session["ctx"],
         constraints,
         seed,
         mine=mine,
         resume=resume,
-        tree=_WORKER_CTX.get("tree"),
+        tree=session["tree"],
     )
+
+
+# -- pool lending -------------------------------------------------------------
+
+
+class PoolLease:
+    """An externally owned replay-worker pool shared across sessions.
+
+    A long-lived host (the reproduction service) keeps one warm
+    ``ProcessPoolExecutor`` and lends it to every
+    :class:`ParallelExplorer` it runs: sessions dispatch tasks carrying
+    their own segment token (workers keep a small per-session cache, see
+    :data:`_WORKER_SESSIONS`), a session ending detaches without tearing
+    the pool down, and only a broken-pool verdict — or :meth:`close` —
+    recycles the executor.  Thread-safe: concurrent sessions may acquire
+    and invalidate from different threads.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, jobs)
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        #: executors built over this lease's lifetime (diagnostics).
+        self.builds = 0
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """The shared executor, built lazily on first use."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool lease is closed")
+            if self._pool is None:
+                import multiprocessing
+
+                mp_context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    mp_context = multiprocessing.get_context("fork")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=mp_context
+                )
+                self.builds += 1
+            return self._pool
+
+    def invalidate(self, pool: ProcessPoolExecutor) -> None:
+        """Discard a broken executor so the next acquire rebuilds.
+
+        Keyed on identity: if another session already replaced the
+        executor, only the stale one is shut down.
+        """
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the shared executor down for good (host shutdown path)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+
+class _LeasedPool:
+    """A session's borrowed view of a :class:`PoolLease` executor.
+
+    Looks enough like a ``ProcessPoolExecutor`` for the supervisor:
+    ``submit`` delegates; ``shutdown`` — the session-detach path — is a
+    no-op because the lease owns the executor's lifecycle; a
+    broken-pool verdict goes through :meth:`discard_broken`, which
+    invalidates the shared executor for every session.
+    """
+
+    def __init__(self, lease: PoolLease, pool: ProcessPoolExecutor) -> None:
+        self._lease = lease
+        self._pool = pool
+
+    def submit(self, fn, *args, **kwargs):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = False, cancel_futures: bool = False) -> None:
+        """Detach from the lease; the shared executor keeps running."""
+
+    def discard_broken(self) -> None:
+        self._lease.invalidate(self._pool)
 
 
 class ParallelExplorer:
@@ -334,6 +444,10 @@ class ParallelExplorer:
     :param chaos: optional fault injection — a ``--chaos``-style spec
         string, a :class:`~repro.robust.inject.ChaosSpec`, or a built
         :class:`~repro.robust.inject.ChaosInjector`.
+    :param pool: optional :class:`PoolLease` — a shared, externally
+        owned worker pool to borrow instead of building (and tearing
+        down) a private one.  Results are identical either way; the
+        lease only changes where attempts are computed.
     """
 
     def __init__(
@@ -347,6 +461,7 @@ class ParallelExplorer:
         obs: Optional[ObsSession] = None,
         supervise: Optional[SuperviseConfig] = None,
         chaos=None,
+        pool: Optional[PoolLease] = None,
     ) -> None:
         self.config = config or ExplorerConfig()
         self.obs = resolve_session(self.config, obs)
@@ -378,6 +493,12 @@ class ParallelExplorer:
         self.db = FeedbackDB()
         #: why the process pool could not be used, if it could not.
         self.pool_disabled_reason: Optional[str] = None
+        #: shared pool lease, when the host lends one (see :class:`PoolLease`).
+        self.lease = pool
+        #: this session's published segment token; set by :meth:`_make_pool`
+        #: before any dispatch can happen (the supervisor builds the pool
+        #: before submitting its first task).
+        self._session_token: Optional[shm.SegmentToken] = None
         self._log_token = (
             recorded.sketch.value,
             len(recorded.log),
@@ -486,7 +607,10 @@ class ParallelExplorer:
             obs=self.obs,
             pool_factory=self._make_pool,
             dispatch=lambda pool, constraints, seed, mine, resume=None: (
-                pool.submit(_worker_run, (constraints, seed, mine, resume))
+                pool.submit(
+                    _worker_run,
+                    (self._session_token, constraints, seed, mine, resume),
+                )
             ),
             inline=lambda constraints, seed, mine, resume=None: (
                 evaluate_attempt(
@@ -531,8 +655,8 @@ class ParallelExplorer:
 
     # -- pool management ------------------------------------------------
 
-    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self.config.jobs <= 1:
+    def _make_pool(self):
+        if self.config.jobs <= 1 and self.lease is None:
             return None
         started = time.perf_counter()
         try:
@@ -550,12 +674,22 @@ class ParallelExplorer:
             import multiprocessing
 
             # Publish the session snapshot once; workers attach to the
-            # segment by name and unpickle in their initializer, so the
-            # context bytes cross the executor pipe zero times.  The
-            # publish registry dedups by content, so a supervisor
-            # rebuilding this pool (or another arm over the same
-            # recording) reuses the existing segment.
+            # segment by name and unpickle on first use, so the context
+            # bytes cross the executor pipe zero times.  The publish
+            # registry dedups by content, so a supervisor rebuilding
+            # this pool (or another arm over the same recording)
+            # republishes nothing.
             token = shm.publish(payload)
+            self._session_token = token
+            if self.lease is not None:
+                # Borrowed pool: workers attach lazily per session (the
+                # lease's workers may predate this session), and the
+                # session must not tear the executor down on its way out.
+                pool = _LeasedPool(self.lease, self.lease.acquire())
+                self.obs.metrics.gauge("parallel.warm_init_s").set(
+                    round(time.perf_counter() - started, 6)
+                )
+                return pool
             mp_context = None
             if "fork" in multiprocessing.get_all_start_methods():
                 # fork keeps worker hash seeds identical to the parent's

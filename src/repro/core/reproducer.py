@@ -30,7 +30,12 @@ from repro.core.explorer import (
 )
 from repro.core.feedback import AttemptCache
 from repro.core.full_replay import CompleteLog
-from repro.core.parallel import AttemptContext, ParallelExplorer, run_attempt
+from repro.core.parallel import (
+    AttemptContext,
+    ParallelExplorer,
+    PoolLease,
+    run_attempt,
+)
 from repro.core.recorder import RecordedRun
 from repro.core.sketches import SKETCH_ORDER, SketchKind
 from repro.core.sketchlog import derive_coarser
@@ -130,6 +135,26 @@ class ReproductionReport:
         )
 
 
+def render_report(report: ReproductionReport) -> str:
+    """The canonical multi-line report text, ending in one newline.
+
+    This is the *byte-exact* contract surface shared by the CLI
+    (``pres reproduce``, which prints it, and ``--report-out``, which
+    writes it) and the reproduction service (``GET /jobs/{id}/result``
+    returns it): the summary line followed by one line per attempt.
+    Anything that should be comparable across transports belongs here;
+    anything environment-specific (store hit ratios, timings, rungs)
+    stays out.
+    """
+    lines = [report.describe()]
+    for attempt in report.records:
+        lines.append(
+            f"  attempt {attempt.index}: {attempt.outcome} "
+            f"(constraints={attempt.n_constraints}, seed={attempt.base_seed})"
+        )
+    return "\n".join(lines) + "\n"
+
+
 class Reproducer:
     """Runs replay attempts against one recorded run."""
 
@@ -145,6 +170,7 @@ class Reproducer:
         plan: Optional["ReplayPlan"] = None,
         supervise: Optional["SuperviseConfig"] = None,
         chaos: object = None,
+        pool: Optional[PoolLease] = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -181,6 +207,7 @@ class Reproducer:
             or cache is not None
             or supervise is not None
             or chaos is not None
+            or pool is not None
         ):
             self.explorer = ParallelExplorer(
                 recorded,
@@ -192,6 +219,7 @@ class Reproducer:
                 obs=self.obs,
                 supervise=supervise,
                 chaos=chaos,
+                pool=pool,
             )
         elif use_feedback:
             self.explorer = FeedbackExplorer(
@@ -321,6 +349,7 @@ def reproduce(
     supervise: Optional[SuperviseConfig] = None,
     chaos: object = None,
     run: object = None,
+    pool: Optional[PoolLease] = None,
 ) -> ReproductionReport:
     """Reproduce a recorded failure; see :class:`Reproducer`.
 
@@ -361,6 +390,10 @@ def reproduce(
         are journaled as they fold, an interrupted run can be resumed,
         and the journal is committed when the report completes.  Layers
         *over* ``cache``/``store`` (they become its inner tier).
+    :param pool: optional shared :class:`~repro.core.parallel.PoolLease`
+        — borrow a host-owned warm worker pool instead of building a
+        private one (the reproduction service lends one pool to every
+        concurrent job).  Identical results either way.
     """
     if jobs is not None:
         config = dataclasses.replace(config or ExplorerConfig(), jobs=jobs)
@@ -373,7 +406,7 @@ def reproduce(
         report = Reproducer(
             recorded, config=config, use_feedback=use_feedback,
             base_policy=base_policy, match_output=match_output, cache=cache,
-            obs=obs, plan=plan, supervise=supervise, chaos=chaos,
+            obs=obs, plan=plan, supervise=supervise, chaos=chaos, pool=pool,
         ).run()
         if run is not None and not report.interrupted:
             run.commit(report)

@@ -358,10 +358,20 @@ class Supervisor:
         inline execution when no pool comes back.  ``skip`` is the slot
         whose own retry loop triggered the rebuild — it re-dispatches
         itself.
+
+        A pool exposing ``discard_broken()`` (a borrowed
+        :class:`~repro.core.parallel.PoolLease` view) is recycled
+        through its owner instead of shut down directly — the lease
+        invalidates the shared executor so every borrowing session
+        rebuilds onto a fresh one.
         """
         pool, self.pool = self.pool, None
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            discard = getattr(pool, "discard_broken", None)
+            if discard is not None:
+                discard()
+            else:
+                pool.shutdown(wait=False, cancel_futures=True)
         self.rebuilds += 1
         if self.rebuilds > self.config.pool_failure_limit or self._closed:
             self.serial = True

@@ -1,0 +1,40 @@
+"""Replay as a service: a multi-tenant reproduction server.
+
+The package turns the reproduction pipeline into a long-lived server
+(``pres serve``) that accepts jobs over HTTP and multiplexes them over
+one warm engine — a shared replay worker pool
+(:class:`~repro.core.parallel.PoolLease`) and per-tenant cross-run
+attempt stores — so the Nth reproduction of a recurring failure costs a
+store lookup, not a cold exploration.
+
+Layers (see ``docs/service.md`` for the API reference and runbook):
+
+* :mod:`repro.service.protocol` — routes, request validation (pure).
+* :mod:`repro.service.jobs` — admission, budgets, execution, drain.
+* :mod:`repro.service.server` — HTTP/1.1 on ``asyncio.start_server``.
+* :mod:`repro.service.client` — stdlib client (CLI, bench, tests).
+
+The service adds *no* determinism caveats: a job's report is
+byte-identical to the serial CLI run of the same request, which CI
+checks with ``cmp``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import BackpressureError, Job, JobManager
+from repro.service.protocol import JobRequest, ProtocolError, ROUTES, Route
+from repro.service.server import ReplayServer, ServiceThread, serve
+
+__all__ = [
+    "BackpressureError",
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "ProtocolError",
+    "ReplayServer",
+    "Route",
+    "ROUTES",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "serve",
+]

@@ -1,0 +1,134 @@
+"""A tiny stdlib client for the reproduction service.
+
+One method per route in :data:`~repro.service.protocol.ROUTES`, built on
+``http.client`` — the CLI (``pres submit`` / ``pres jobs``), the E15
+bench harness, and the tests all speak through this class, so the wire
+format is exercised by every consumer, not just the smoke job.
+
+Polling (:meth:`wait_for`) is a bounded loop over a fixed sleep — it
+reads no clock, so nothing here trips the service determinism lint, and
+a wedged server surfaces as a clean :class:`ServiceError` instead of a
+hang.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.service.protocol import JobRequest
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response (or no response at all); carries the status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Speak the service protocol to one server.
+
+    :param url: base URL, e.g. ``http://127.0.0.1:8979``.
+    """
+
+    def __init__(self, url: str) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"expected an http:// URL, got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        accept: str = "application/json",
+    ):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Accept": accept}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                raise ServiceError(0, f"no response from {self.host}:{self.port} "
+                                      f"({exc})") from exc
+            if response.status >= 400:
+                try:
+                    message = json.loads(data.decode("utf-8"))["error"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    message = data.decode("utf-8", "replace").strip()
+                raise ServiceError(response.status, message)
+            if accept == "text/plain":
+                return data.decode("utf-8")
+            return json.loads(data.decode("utf-8"))
+        finally:
+            conn.close()
+
+    # -- one method per route ------------------------------------------
+
+    def health(self) -> Dict:
+        """``GET /healthz`` (raises :class:`ServiceError` while draining)."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        """``GET /metrics``: the service + engine metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, request: JobRequest) -> Dict:
+        """``POST /jobs``: returns the admitted job's status doc (202)."""
+        return self._request("POST", "/jobs", body=request.to_json())
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        """``GET /jobs``: status docs, admission order."""
+        path = f"/jobs?tenant={tenant}" if tenant else "/jobs"
+        return self._request("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        """``GET /jobs/{id}``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        """``GET /jobs/{id}/result`` as JSON (409 until the job is done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result_text(self, job_id: str) -> str:
+        """``GET /jobs/{id}/result`` as the verbatim report bytes."""
+        return self._request("GET", f"/jobs/{job_id}/result", accept="text/plain")
+
+    def cancel(self, job_id: str) -> Dict:
+        """``POST /jobs/{id}/cancel``."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    # -- convenience ---------------------------------------------------
+
+    def wait_for(self, job_id: str, interval: float = 0.05,
+                 max_polls: int = 2400) -> Dict:
+        """Poll until the job finishes; returns its final status doc.
+
+        Bounded: after ``max_polls`` status reads (2 minutes at the
+        defaults) an unfinished job raises :class:`ServiceError` 0.
+        """
+        doc: Dict = {}
+        for _ in range(max_polls):
+            doc = self.status(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            time.sleep(interval)
+        raise ServiceError(0, f"job {job_id} still {doc.get('state')!r} "
+                              f"after {max_polls} polls")

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -261,6 +262,11 @@ class AttemptStore:
         self._shards: Dict[str, Dict[Tuple, Any]] = {}
         self._writers: Dict[str, JournalWriter] = {}
         self._tick = 0
+        #: serializes get/put/gc/close within this process, so one open
+        #: store can back concurrent sessions (the reproduction service
+        #: shares per-tenant stores across job threads).  The one-writer-
+        #: per-store *process* contract is unchanged.
+        self._lock = threading.RLock()
         os.makedirs(root, exist_ok=True)
         self.epoch = self._bump_epoch()
 
@@ -457,7 +463,8 @@ class AttemptStore:
 
     def get(self, key: Tuple) -> Optional[Any]:
         """The persisted outcome for one cache key, or ``None``."""
-        return self._load_shard(self.fingerprint_of(key)).get(key)
+        with self._lock:
+            return self._load_shard(self.fingerprint_of(key)).get(key)
 
     def put(self, key: Tuple, outcome: Any) -> bool:
         """Persist one outcome; True when a record was actually appended.
@@ -466,24 +473,26 @@ class AttemptStore:
         from disk or appended earlier this session) is left alone, so
         the engine's re-put of a folded cache hit costs nothing.
         """
-        fingerprint = self.fingerprint_of(key)
-        shard = self._load_shard(fingerprint)
-        if key in shard:
-            return False
-        if getattr(outcome, "spans", ()):
-            outcome = replace(outcome, spans=())
-        shard[key] = outcome
-        self._writer(fingerprint).append(
-            encode_record(key, outcome, self._next_tick())
-        )
-        self.appends += 1
-        return True
+        with self._lock:
+            fingerprint = self.fingerprint_of(key)
+            shard = self._load_shard(fingerprint)
+            if key in shard:
+                return False
+            if getattr(outcome, "spans", ()):
+                outcome = replace(outcome, spans=())
+            shard[key] = outcome
+            self._writer(fingerprint).append(
+                encode_record(key, outcome, self._next_tick())
+            )
+            self.appends += 1
+            return True
 
     def close(self) -> None:
         """Close every shard writer (records are already on disk)."""
-        for fingerprint in sorted(self._writers):
-            self._writers[fingerprint].close()
-        self._writers.clear()
+        with self._lock:
+            for fingerprint in sorted(self._writers):
+                self._writers[fingerprint].close()
+            self._writers.clear()
 
     def __enter__(self) -> "AttemptStore":
         return self
@@ -495,16 +504,17 @@ class AttemptStore:
 
     def stats(self) -> StoreStats:
         """Totals over the on-disk store (reads every shard)."""
-        stats = StoreStats(root=self.root, epoch=self.epoch)
-        for _fingerprint, path in self._shard_files():
-            report = salvage(path)
-            if report.unrecoverable:
-                stats.corrupt_shards += 1
-                continue
-            stats.shards += 1
-            stats.records += len(report.records)
-            stats.size_bytes += os.path.getsize(path)
-        return stats
+        with self._lock:
+            stats = StoreStats(root=self.root, epoch=self.epoch)
+            for _fingerprint, path in self._shard_files():
+                report = salvage(path)
+                if report.unrecoverable:
+                    stats.corrupt_shards += 1
+                    continue
+                stats.shards += 1
+                stats.records += len(report.records)
+                stats.size_bytes += os.path.getsize(path)
+            return stats
 
     def verify(self) -> StoreVerifyReport:
         """Validate every shard end to end (``pres store verify``).
@@ -528,6 +538,10 @@ class AttemptStore:
         """
         if max_records < 0:
             raise ValueError(f"max_records must be >= 0, got {max_records}")
+        with self._lock:
+            return self._gc_locked(max_records)
+
+    def _gc_locked(self, max_records: int) -> GCReport:
         out = GCReport(root=self.root, max_records=max_records)
         # Writers hold open handles into files about to be replaced.
         self.close()

@@ -77,21 +77,24 @@ class PersistentAttemptCache(AttemptCache):
         is a *miss*, never an exception: the engine replays the attempt
         live with an identical outcome (``store.errors`` counts these).
         """
-        if key not in self._outcomes:
-            try:
-                outcome = self.store.get(key)
-            except (OSError, SketchFormatError):
-                outcome = None
-                self.metrics.counter("store.errors").inc()
-            if outcome is not None:
-                self.disk_hits += 1
-                self.metrics.counter("store.hits").inc()
-                # Promote, so repeated folds of this key stay in memory.
-                AttemptCache.put(self, key, outcome)
-            else:
-                self.metrics.counter("store.misses").inc()
-        self._sync_event_counters()
-        return super().get(key)
+        # The check-then-promote sequence must be atomic when job
+        # threads share one tenant cache (the base lock is reentrant).
+        with self._lock:
+            if key not in self._outcomes:
+                try:
+                    outcome = self.store.get(key)
+                except (OSError, SketchFormatError):
+                    outcome = None
+                    self.metrics.counter("store.errors").inc()
+                if outcome is not None:
+                    self.disk_hits += 1
+                    self.metrics.counter("store.hits").inc()
+                    # Promote, so repeated folds of this key stay in memory.
+                    AttemptCache.put(self, key, outcome)
+                else:
+                    self.metrics.counter("store.misses").inc()
+            self._sync_event_counters()
+            return super().get(key)
 
     def put(self, key: Tuple, outcome: object) -> None:
         """Memoize and write through to the store.
@@ -100,13 +103,14 @@ class PersistentAttemptCache(AttemptCache):
         stays memoized in memory; ``store.errors`` is charged) instead
         of failing the exploration loop.
         """
-        super().put(key, outcome)
-        try:
-            if self.store.put(key, outcome):
-                self.metrics.counter("store.appends").inc()
-        except (OSError, SketchFormatError):
-            self.metrics.counter("store.errors").inc()
-        self._sync_event_counters()
+        with self._lock:
+            super().put(key, outcome)
+            try:
+                if self.store.put(key, outcome):
+                    self.metrics.counter("store.appends").inc()
+            except (OSError, SketchFormatError):
+                self.metrics.counter("store.errors").inc()
+            self._sync_event_counters()
 
     def close(self) -> None:
         """Close the backing store's shard writers."""

@@ -1,0 +1,71 @@
+"""The documentation is held to the code, not the other way round.
+
+Two gates:
+
+* ``docs/service.md`` must document **exactly** the routes the server
+  serves — the ``### `METHOD /path` `` headings are diffed against
+  :data:`repro.service.protocol.ROUTES`, so adding an endpoint without
+  documenting it (or documenting a route that does not exist) fails;
+* ``tools/check_docs.py`` — the CI docs-drift gate — must pass against
+  the committed tree: ``docs/cli.md`` regenerates to what is checked
+  in, and every docs page is linked from the README.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.service.protocol import ROUTES
+
+ROOT = Path(__file__).resolve().parents[2]
+HEADING = re.compile(r"^### `(?P<method>[A-Z]+) (?P<path>/\S*)`$")
+
+
+def _documented_routes():
+    routes = []
+    for line in (ROOT / "docs" / "service.md").read_text().splitlines():
+        found = HEADING.match(line.strip())
+        if found:
+            routes.append((found.group("method"), found.group("path")))
+    return routes
+
+
+def test_service_doc_covers_exactly_the_served_routes():
+    served = [(route.method, route.pattern) for route in ROUTES]
+    documented = _documented_routes()
+    missing = sorted(set(served) - set(documented))
+    phantom = sorted(set(documented) - set(served))
+    assert not missing, f"served but undocumented: {missing}"
+    assert not phantom, f"documented but not served: {phantom}"
+
+
+def test_service_doc_lists_routes_in_table_order():
+    # The doc walks the API in the route table's order — keeps the
+    # reference navigable and the diff against ROUTES trivial.
+    assert _documented_routes() == [
+        (route.method, route.pattern) for route in ROUTES
+    ]
+
+
+def test_docs_drift_gate_passes_on_the_committed_tree():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from check_docs import check_docs
+    finally:
+        sys.path.pop(0)
+    problems = check_docs(ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_cli_reference_regenerates_byte_identically():
+    generated = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_cli_docs.py"), "--stdout"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=str(ROOT),
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin",
+             "COLUMNS": "80"},
+    ).stdout
+    assert generated == (ROOT / "docs" / "cli.md").read_text()

@@ -1,0 +1,172 @@
+"""Concurrent store access: gc rewrites are invisible to readers.
+
+The store's cross-process contract (``docs/store.md``, "Concurrency
+model"): gc rewrites a surviving shard by journaling to a temp file and
+``os.replace``-ing it over the old one, so a concurrent reader opening
+``attempts.jsonl`` sees the *old* complete journal or the *new* complete
+journal — never a torn hybrid.  The reproduction service leans on this:
+``pres store gc`` is documented as safe against a live server.
+
+Exercised here with real processes: two readers repeatedly open and
+decode every shard while the parent runs gc pass after gc pass over the
+same store.  Any torn, truncated, or undecodable shard observed by
+either reader fails the test.
+
+The in-process side of the same story — several service job threads
+sharing one tenant's ``PersistentAttemptCache`` — is covered by a
+thread hammer at the bottom.
+"""
+
+import multiprocessing
+import os
+import threading
+
+from repro.core.constraints import EventRef, OrderConstraint
+from repro.core.feedback import AttemptCache
+from repro.core.parallel import AttemptOutcome
+from repro.robust.journal import salvage
+from repro.store import AttemptStore, verify_store
+from repro.store.attempt_store import iter_shard_files
+from repro.store.codec import decode_record
+from repro.store.persistent import PersistentAttemptCache
+
+FPS = (
+    "aacafe0001", "aadead0002", "bbcafe0003",
+    "bbdead0004", "cccafe0005", "ccdead0006",
+)
+SEEDS_PER_FP = 30
+
+
+def _ref(tid, occurrence=0):
+    return EventRef(tid=tid, family="rw", key=("x", 0), occurrence=occurrence)
+
+
+def _key(fp, seed=0):
+    constraints = frozenset(
+        {OrderConstraint(before=_ref(1, seed), after=_ref(2, seed))}
+    )
+    return AttemptCache.key_for(("sync", 9, fp), constraints, seed,
+                                "random", False)
+
+
+def _outcome(key):
+    return AttemptOutcome(
+        constraints=key[1],
+        seed=key[2],
+        outcome="no-failure",
+        detail="ran",
+        steps=10 + key[2],
+        matched=False,
+        fingerprint=f"x:{key[2]}",
+        schedule=(1, 2, 1),
+    )
+
+
+def _populate(root):
+    """Round-robin across fingerprints so gc passes touch them all."""
+    with AttemptStore(root) as store:
+        for seed in range(SEEDS_PER_FP):
+            for fp in FPS:
+                key = _key(fp, seed)
+                assert store.put(key, _outcome(key))
+
+
+def _read_shards_forever(root, stop, failures):
+    """Reader process: decode every shard until told to stop.
+
+    A shard may legitimately vanish (gc emptied it) between the listing
+    and the open; anything else — torn tail, dropped line, undecodable
+    record — is a torn read and gets reported.
+    """
+    while not stop.is_set():
+        for fingerprint, path in iter_shard_files(root):
+            try:
+                report = salvage(path)
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                failures.put(f"{fingerprint}: unreadable: {exc}")
+                continue
+            if report.unrecoverable or report.dropped_lines:
+                failures.put(
+                    f"{fingerprint}: torn shard "
+                    f"({report.reason}, dropped={report.dropped_lines})"
+                )
+                continue
+            for payload in report.records:
+                try:
+                    decode_record(payload)
+                except Exception as exc:
+                    failures.put(f"{fingerprint}: undecodable record: {exc}")
+
+
+def test_gc_writer_never_exposes_torn_shards_to_reader_processes(tmp_path):
+    root = str(tmp_path / "store")
+    _populate(root)
+    total = len(FPS) * SEEDS_PER_FP
+
+    stop = multiprocessing.Event()
+    failures = multiprocessing.Queue()
+    readers = [
+        multiprocessing.Process(
+            target=_read_shards_forever, args=(root, stop, failures)
+        )
+        for _ in range(2)
+    ]
+    for reader in readers:
+        reader.start()
+    try:
+        # One gc pass per bound: each evicts the single oldest surviving
+        # record and atomically rewrites its shard, giving the readers
+        # ~120 os.replace windows to catch a torn state in.
+        store = AttemptStore(root)
+        for bound in range(total - 1, total - 121, -1):
+            report = store.gc(bound)
+            assert report.records_after == bound
+        store.close()
+    finally:
+        stop.set()
+        for reader in readers:
+            reader.join(timeout=30)
+            assert reader.exitcode == 0
+
+    torn = []
+    while not failures.empty():
+        torn.append(failures.get())
+    assert not torn, "\n".join(torn)
+    # After the dust settles the store is still fully healthy.
+    assert verify_store(root).ok
+
+
+def test_threads_sharing_one_persistent_cache_stay_consistent(tmp_path):
+    """The service's in-process mode: job threads share a tenant cache."""
+    cache = PersistentAttemptCache(str(tmp_path / "tenant"))
+    errors = []
+
+    def hammer(worker):
+        try:
+            for seed in range(40):
+                fp = FPS[(worker + seed) % len(FPS)]
+                key = _key(fp, seed)
+                cache.put(key, _outcome(key))
+                got = cache.get(key)
+                assert got is not None and got.seed == seed
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(f"worker {worker}: {exc}")
+
+    threads = [
+        threading.Thread(target=hammer, args=(worker,)) for worker in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, "\n".join(errors)
+    cache.close()
+
+    # Every key every worker wrote is present and the store verifies.
+    with AttemptStore(str(tmp_path / "tenant")) as store:
+        for seed in range(40):
+            for fp in sorted(set(FPS[(worker + seed) % len(FPS)] for worker in range(8))):
+                assert store.get(_key(fp, seed)) is not None
+    assert verify_store(str(tmp_path / "tenant")).ok

@@ -162,3 +162,47 @@ class TestRetryClock:
             "    t = time.monotonic()  # determinism: ok\n"
         )
         assert _rules(source) == []
+
+
+SERVICE_CLOCK = (
+    "import time\n"
+    "def admit(loop):\n"
+    "    stamp = time.perf_counter()\n"
+    "    tick = loop.time()\n"
+)
+
+
+class TestServiceClock:
+    def test_flags_every_clock_read_under_the_service_package(self):
+        violations = lint_determinism.lint_source(
+            SERVICE_CLOCK, path="src/repro/service/jobs.py"
+        )
+        assert [v.rule for v in violations] == [
+            "service-clock", "service-clock"
+        ]
+
+    def test_other_packages_keep_the_looser_rules(self):
+        # The identical source outside service/ is clean: perf_counter
+        # outside retry logic measures, and loop.time() is unknown.
+        violations = lint_determinism.lint_source(
+            SERVICE_CLOCK, path="src/repro/core/parallel.py"
+        )
+        assert violations == []
+
+    def test_wall_clock_in_service_still_reports_as_wall_clock(self):
+        violations = lint_determinism.lint_source(
+            "import time\nstamp = time.time()\n",
+            path="src/repro/service/server.py",
+        )
+        assert [v.rule for v in violations] == ["wall-clock"]
+
+    def test_pragma_reserved_for_latency_measurement(self):
+        source = (
+            "import time\n"
+            "def finish(job):\n"
+            "    job.latency_s = time.perf_counter()  # determinism: ok\n"
+        )
+        violations = lint_determinism.lint_source(
+            source, path="src/repro/service/jobs.py"
+        )
+        assert violations == []

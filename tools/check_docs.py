@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Docs drift gate: generated pages current, every page reachable.
+
+Two checks, both cheap enough to run on every CI push:
+
+* **CLI reference drift** — regenerate the reference from the live
+  parser (``tools/gen_cli_docs.py``) and compare against the committed
+  ``docs/cli.md``.  A new flag or subcommand that lands without
+  regenerating the page fails here, with the exact command to run.
+* **README coverage** — every page under ``docs/`` must be linked from
+  ``README.md`` (the architecture map / documentation section).  A page
+  nobody can navigate to is a page that rots.
+
+Exit code 1 lists every problem; 0 means the docs are current.  Used by
+CI next to ``tools/check_links.py`` and by
+``tests/service/test_docs_drift.py``, which share :func:`check_docs`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import gen_cli_docs  # noqa: E402  (path set up above)
+
+REGEN_HINT = "PYTHONPATH=src python tools/gen_cli_docs.py"
+
+
+def check_cli_reference(root: Path = ROOT) -> List[str]:
+    """Problems with the generated CLI page (empty list = current)."""
+    page = root / "docs" / "cli.md"
+    if not page.exists():
+        return [f"docs/cli.md is missing; generate it with: {REGEN_HINT}"]
+    committed = page.read_text(encoding="utf-8")
+    current = gen_cli_docs.render()
+    if committed != current:
+        return [
+            "docs/cli.md is stale (the parser changed); regenerate "
+            f"with: {REGEN_HINT}"
+        ]
+    return []
+
+
+def check_readme_coverage(root: Path = ROOT) -> List[str]:
+    """docs/ pages the README never links to (empty list = all covered)."""
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    problems = []
+    for page in sorted((root / "docs").glob("*.md")):
+        target = f"docs/{page.name}"
+        if target not in readme:
+            problems.append(
+                f"{target} is not linked from README.md; add it to the "
+                "documentation section / architecture map"
+            )
+    return problems
+
+
+def check_docs(root: Path = ROOT) -> List[str]:
+    """Every docs problem, CLI drift first."""
+    return check_cli_reference(root) + check_readme_coverage(root)
+
+
+def main() -> int:
+    problems = check_docs()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    print("docs current: CLI reference matches the parser, "
+          "README links every docs page")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

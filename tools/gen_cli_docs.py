@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Generate ``docs/cli.md`` from the live argument parser.
+
+The CLI reference is rendered straight out of ``repro.cli.build_parser``
+— every subcommand's ``--help`` text, including the nested ``pres
+store`` subcommands — so the page cannot drift from the code without CI
+noticing: ``tools/check_docs.py`` regenerates the text and fails when
+the committed page differs.
+
+Deterministic by construction: ``COLUMNS`` is pinned before argparse
+ever computes a terminal width, and argparse output is itself a pure
+function of the parser.  Run from the repository root::
+
+    PYTHONPATH=src python tools/gen_cli_docs.py          # write docs/cli.md
+    PYTHONPATH=src python tools/gen_cli_docs.py --stdout # print instead
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+# argparse wraps help text to the terminal; pin it before importing the
+# parser so local runs and CI render identical bytes.
+os.environ["COLUMNS"] = "80"
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402  (path set up above)
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_cli_docs.py
+     CI fails when this page drifts from `pres --help`
+     (tools/check_docs.py). -->
+
+Every `pres` subcommand, rendered from the live argument parser.
+`pres` and `python -m repro` are the same entry point.
+"""
+
+
+def _subparsers(
+    parser: argparse.ArgumentParser,
+) -> Iterator[Tuple[str, argparse.ArgumentParser]]:
+    """(name, parser) for each subcommand, in declaration order."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                yield name, sub
+
+
+def render() -> str:
+    """The whole reference page as one markdown string."""
+    parser = build_parser()
+    sections: List[str] = [HEADER]
+    sections.append("## `pres`\n\n```\n" + parser.format_help() + "```\n")
+    for name, sub in _subparsers(parser):
+        sections.append(
+            f"## `pres {name}`\n\n```\n" + sub.format_help() + "```\n"
+        )
+        for nested_name, nested in _subparsers(sub):
+            sections.append(
+                f"### `pres {name} {nested_name}`\n\n```\n"
+                + nested.format_help() + "```\n"
+            )
+    return "\n".join(sections)
+
+
+def main(argv) -> int:
+    text = render()
+    if "--stdout" in argv:
+        sys.stdout.write(text)
+        return 0
+    out = ROOT / "docs" / "cli.md"
+    out.write_text(text, encoding="utf-8")
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

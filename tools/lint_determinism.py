@@ -38,6 +38,14 @@ historically break that contract:
   :func:`repro.core.constraints.ordered_constraints` (or an equivalent
   memo) instead of re-sorting per attempt.  Calls in a loop *header*
   or a comprehension's iterable position run once and are fine.
+* **clocks in the service layer** — any monotonic-timer read (or an
+  event loop's ``loop.time()``) inside ``src/repro/service/``.  A job's
+  report must be a pure function of its request, and the queue must
+  order on admission sequence numbers — never on timestamps — so the
+  service layer gets the strictest clock rule: even monotonic reads are
+  flagged unless the line carries the pragma (reserved for latency
+  *measurement*, which is reported beside job state, never inside it).
+  Wall-clock reads there are flagged by the wall-clock rule as usual.
 * **clock-driven retry decisions** — ``time.monotonic()`` /
   ``time.perf_counter()`` (and their ``_ns`` variants) inside functions
   whose names mention ``retry``, ``backoff``, ``deadline``, or
@@ -92,6 +100,9 @@ _RETRY_NAMES = ("retry", "backoff", "deadline", "timeout")
 #: the one module allowed to time out and retry attempts: supervision
 #: keeps its decisions deterministic by construction (see its tests).
 _RETRY_CLOCK_EXEMPT = "robust/supervise.py"
+
+#: files under this fragment get the strictest clock rule (service-clock).
+_SERVICE_PATH_FRAGMENT = "repro/service/"
 
 
 @dataclass(frozen=True)
@@ -186,6 +197,30 @@ class _Checker(ast.NodeVisitor):
                 "wall-clock",
                 f"{pair[0]}.{pair[1]}() reads the wall clock; results "
                 "must be pure functions of their inputs",
+            )
+        elif (
+            _SERVICE_PATH_FRAGMENT in self.path.replace("\\", "/")
+            and (
+                pair in _MONOTONIC_CLOCK
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "time"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id.endswith("loop")
+                )
+            )
+        ):
+            where = (
+                f"{pair[0]}.{pair[1]}()" if pair in _MONOTONIC_CLOCK
+                else f"{node.func.value.id}.time()"
+            )
+            self._flag(
+                node,
+                "service-clock",
+                f"{where} in the service layer: job reports and queue "
+                "order must not depend on any clock (queues key on "
+                "admission sequence numbers); latency measurement needs "
+                "the explicit pragma",
             )
         elif (
             pair in _MONOTONIC_CLOCK

@@ -14,7 +14,10 @@ and trace diffing.
 The *predictive* entry points of :mod:`repro.sanitize` (which run the
 same families of analyses over recorded sketch logs instead of traces)
 are re-exported lazily — ``from repro.analysis import build_plan`` works,
-without this package importing the sanitizer at import time.
+without this package importing the sanitizer at import time.  The
+*static* analyzer (:mod:`repro.analysis.static_`), which needs no log
+at all, is re-exported the same way: ``analyze_program`` and
+``StaticPlan`` resolve on first use.
 """
 
 from repro.analysis.hb_race import HBAnalysis, RacePair, find_races
@@ -54,6 +57,15 @@ _SANITIZE_EXPORTS = (
     "predict_races",
 )
 
+#: static-analyzer entry points, lazily resolved for symmetry (and so
+#: `import repro.analysis` stays cheap for trace-only consumers).
+_STATIC_EXPORTS = (
+    "StaticCandidate",
+    "StaticPlan",
+    "analyze_program",
+    "extract_program",
+)
+
 __all__ = [
     "AddressProtection",
     "AtomicityViolation",
@@ -69,10 +81,14 @@ __all__ = [
     "RacePair",
     "ReplayPlan",
     "SketchHB",
+    "StaticCandidate",
+    "StaticPlan",
     "VectorClock",
     "WaitForGraph",
+    "analyze_program",
     "build_plan",
     "collect_lock_order",
+    "extract_program",
     "failure_window",
     "find_potential_deadlocks",
     "find_races",
@@ -90,9 +106,13 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """Resolve the lazy :mod:`repro.sanitize` re-exports on first use."""
+    """Resolve the lazy re-exports on first use."""
     if name in _SANITIZE_EXPORTS:
         import repro.sanitize as _sanitize
 
         return getattr(_sanitize, name)
+    if name in _STATIC_EXPORTS:
+        import repro.analysis.static_ as _static
+
+        return getattr(_static, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Static concurrency analysis: sketchless exploration guided by
+program structure.
+
+The dynamic sanitizer (:mod:`repro.sanitize`) predicts interleavings
+from a recorded sketch log; this package predicts them from the program
+*source* alone — the bug-report scenario where no recording exists.
+``analyze_program`` walks thread bodies abstractly (:mod:`.extract`),
+mines the access map for race/atomicity/deadlock candidates
+(:mod:`.analyzer`) and returns a serializable :class:`.model.StaticPlan`
+whose candidates seed exploration at ``TIER_STATIC``.
+"""
+
+from repro.analysis.static_.analyzer import (
+    MAX_STATIC_CANDIDATES,
+    analyze_extraction,
+    analyze_program,
+)
+from repro.analysis.static_.extract import (
+    Extraction,
+    ThreadWalk,
+    extract_program,
+)
+from repro.analysis.static_.model import (
+    LockEdge,
+    StaticAccess,
+    StaticAtomicity,
+    StaticCandidate,
+    StaticDeadlock,
+    StaticPlan,
+    StaticRace,
+    ThreadRole,
+)
+
+__all__ = [
+    "Extraction",
+    "LockEdge",
+    "MAX_STATIC_CANDIDATES",
+    "StaticAccess",
+    "StaticAtomicity",
+    "StaticCandidate",
+    "StaticDeadlock",
+    "StaticPlan",
+    "StaticRace",
+    "ThreadRole",
+    "ThreadWalk",
+    "analyze_extraction",
+    "analyze_program",
+    "extract_program",
+]

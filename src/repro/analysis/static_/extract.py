@@ -1,0 +1,1454 @@
+"""Abstract interpretation of guest thread bodies (no execution).
+
+Thread bodies are Python generator functions that yield ``Op`` objects
+built through a :class:`~repro.sim.program.ThreadContext`.  This module
+walks their *source* (via ``ast``) with an abstract environment: program
+params and literals stay concrete, values received from yields become
+:class:`Abstract` (tainted with the shared regions they derive from),
+and control flow forks at branches whose test is abstract.
+
+The product is, per thread, the sequence of shared-state access sites
+with per-(thread, region) occurrence numbers, static locksets, lock
+acquisition records, barrier phases and assertion sites.  Occurrence
+counting is the load-bearing part: an occurrence is *reliable* (> 0)
+exactly when every abstract path reaching the access agrees on the
+count; branch merges and unbounded loops poison counts they disagree
+on, and only reliable accesses may anchor ``region``-family EventRefs.
+
+Soundness stance: over-approximate.  Every construct the walker cannot
+model precisely widens (more abstract values, more poisoned counts,
+``complete=False`` notes) rather than dropping accesses, so the static
+access map is a superset of any dynamic execution's.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import copy
+import inspect
+import operator
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import region_key
+from repro.sim.ops import Address, OpKind
+from repro.sim.program import Program
+
+from repro.analysis.static_.model import (
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    StaticAccess,
+    ThreadRole,
+)
+
+#: Per-loop unroll cap; loops longer than this widen to "unknown count".
+MAX_UNROLL = 256
+#: Per-thread effect budget; beyond it the walk stops (complete=False).
+MAX_EFFECTS = 20000
+
+_MISSING = object()
+
+#: Region recorded when an address cannot even be resolved to a head.
+UNKNOWN_REGION = "<unknown>"
+
+
+class Abstract:
+    """A value the walker cannot compute, tainted with source regions."""
+
+    __slots__ = ("regions",)
+
+    def __init__(self, regions: FrozenSet[Address] = frozenset()) -> None:
+        self.regions = frozenset(regions)
+
+    def __repr__(self) -> str:
+        return f"Abstract({sorted(map(repr, self.regions))})"
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is type(self) and other.regions == self.regions
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.regions))
+
+
+class ReadValue(Abstract):
+    """The (unknown) value loaded by a ``read``/``rmw`` yield.
+
+    Carries the address it was loaded from plus the *initial-memory
+    hint* — the value the address held before the run.  Resolve-mode
+    evaluation (addresses, lock names) substitutes the hint; strict
+    mode treats the value as fully abstract.
+    """
+
+    __slots__ = ("addr", "hint")
+
+    def __init__(
+        self,
+        regions: FrozenSet[Address],
+        addr: Optional[Address],
+        hint: Any = _MISSING,
+    ) -> None:
+        super().__init__(regions)
+        self.addr = addr
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        return f"ReadValue({self.addr!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            type(other) is type(self)
+            and other.regions == self.regions
+            and other.addr == self.addr
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ReadValue", self.regions, self.addr))
+
+
+class CtxMarker:
+    """Stands in for the ThreadContext parameter inside the abstract env."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, CtxMarker) and other.tid == self.tid
+
+    def __hash__(self) -> int:
+        return hash(("CtxMarker", self.tid))
+
+
+@dataclass(frozen=True)
+class LockName:
+    """A lock name that may be partially unknown (``conn_{target}``)."""
+
+    prefix: str = ""
+    suffix: str = ""
+    concrete: Optional[str] = None
+
+    @property
+    def is_pattern(self) -> bool:
+        return self.concrete is None
+
+    @property
+    def text(self) -> str:
+        """Serializable form: the name itself, or ``prefix*suffix``."""
+        if self.concrete is not None:
+            return self.concrete
+        return f"{self.prefix}*{self.suffix}"
+
+    def matches(self, name: str) -> bool:
+        """Whether a concrete lock name could be this (pattern) name."""
+        if self.concrete is not None:
+            return name == self.concrete
+        return name.startswith(self.prefix) and name.endswith(self.suffix)
+
+
+@dataclass
+class AccessSite:
+    """One recorded access plus its effect position in the thread."""
+
+    access: StaticAccess
+    pos: int
+
+
+@dataclass
+class AcquireRec:
+    """One lock acquisition: what was taken, and what was held."""
+
+    name: LockName
+    mode: str  # LOCK_EXCLUSIVE / LOCK_SHARED
+    occurrence: int  # 0 = unreliable or pattern name
+    held: Tuple[Tuple[str, str], ...]  # (text, mode) held at acquisition
+    held_names: Tuple[LockName, ...] = ()
+    phase: int = 0
+    func: str = ""
+    line: int = 0
+    pos: int = 0
+
+
+@dataclass
+class CheckSite:
+    """A ``ctx.check`` site: its message and the regions its condition
+    (transitively) derives from — the hook for failure-artifact filtering."""
+
+    msg: str
+    regions: FrozenSet[Address]
+    func: str = ""
+    line: int = 0
+    pos: int = 0
+
+
+@dataclass
+class SpawnSite:
+    tid: int
+    body: Any
+    args: Tuple[Any, ...]
+    pos: int
+
+
+@dataclass
+class ThreadWalk:
+    """Everything the walker learned about one thread."""
+
+    tid: int
+    name: str
+    sites: List[AccessSite] = field(default_factory=list)
+    acquires: List[AcquireRec] = field(default_factory=list)
+    checks: List[CheckSite] = field(default_factory=list)
+    end_pos: int = 0
+
+
+@dataclass
+class Extraction:
+    """The whole-program result handed to the analyzer."""
+
+    program: Program
+    threads: List[ThreadWalk]
+    roles: List[ThreadRole]
+    complete: bool = True
+    notes: List[str] = field(default_factory=list)
+
+
+# -- control-flow signals ------------------------------------------------
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Budget(Exception):
+    pass
+
+
+@dataclass
+class _LoopFrame:
+    breaks: List["_Cap"] = field(default_factory=list)
+    continues: List["_Cap"] = field(default_factory=list)
+
+
+@dataclass
+class _Frame:
+    fn: Any
+    name: str
+    first_line: int
+    loops: List[_LoopFrame] = field(default_factory=list)
+
+
+@dataclass
+class _Cap:
+    """Snapshot of mergeable walker state at a control-flow split."""
+
+    env: Dict[str, Any]
+    region_occ: Dict[Address, int]
+    lock_occ: Dict[str, int]
+    region_bad: Set[Address]
+    lock_bad: Set[str]
+    lockset: List[Tuple[LockName, str, int]]
+    phase: int
+
+
+_SAFE_BUILTINS = {
+    name: getattr(builtins, name)
+    for name in (
+        "range", "len", "min", "max", "abs", "sorted", "list", "tuple",
+        "dict", "set", "frozenset", "enumerate", "zip", "sum", "int",
+        "str", "bool", "float", "divmod", "isinstance", "reversed",
+        "all", "any", "repr", "ord", "chr", "round",
+    )
+}
+
+_BINOPS: Dict[type, Callable[[Any, Any], Any]] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.BitAnd: operator.and_,
+    ast.BitOr: operator.or_,
+    ast.BitXor: operator.xor,
+    ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+}
+
+#: Ops whose result the walker models as an opaque value.
+_OPAQUE_SYSCALLS = frozenset({"rand", "now", "recv", "read_file", "poll"})
+
+
+def _taint_of(value: Any) -> FrozenSet[Address]:
+    if isinstance(value, Abstract):
+        return value.regions
+    return frozenset()
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, Abstract) or isinstance(b, Abstract):
+        return a == b
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b
+
+
+class _ThreadState:
+    """Mutable walker state for one thread."""
+
+    def __init__(self, extractor: "_Extractor", tid: int) -> None:
+        self.extractor = extractor
+        self.tid = tid
+        self.pos = 0
+        self.phase = 0
+        self.sites: List[AccessSite] = []
+        self.acquires: List[AcquireRec] = []
+        self.checks: List[CheckSite] = []
+        self.spawns: List[SpawnSite] = []
+        self.joins: Dict[int, int] = {}
+        self.region_occ: Dict[Address, int] = {}
+        self.region_bad: Set[Address] = set()
+        self.lock_occ: Dict[str, int] = {}
+        self.lock_bad: Set[str] = set()
+        self.lockset: List[Tuple[LockName, str, int]] = []
+        self.effects = 0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def note(self, message: str) -> None:
+        self.extractor.note(f"T{self.tid}: {message}")
+
+    def incomplete(self, message: str) -> None:
+        self.extractor.incomplete(f"T{self.tid}: {message}")
+
+    def tick(self, cost: int = 1) -> int:
+        """Advance the effect position; returns the pre-advance position."""
+        here = self.pos
+        self.pos += cost
+        self.effects += 1
+        if self.effects > MAX_EFFECTS:
+            raise _Budget()
+        return here
+
+    def lockset_tuple(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple((name.text, mode) for name, mode, _ in self.lockset)
+
+    # -- recorded effects ------------------------------------------------
+
+    def record_access(
+        self,
+        kind: OpKind,
+        region: Address,
+        frame: _Frame,
+        line: int,
+        addr: Optional[Address],
+        reliable: bool = True,
+    ) -> None:
+        pos = self.tick()
+        if region in self.region_bad or not reliable:
+            occurrence = 0
+            self.region_bad.add(region)
+        else:
+            occurrence = self.region_occ.get(region, 0) + 1
+        self.region_occ[region] = self.region_occ.get(region, 0) + 1
+        self.sites.append(
+            AccessSite(
+                access=StaticAccess(
+                    tid=self.tid,
+                    kind=kind,
+                    region=region,
+                    occurrence=occurrence,
+                    lockset=self.lockset_tuple(),
+                    func=frame.name,
+                    line=line,
+                    phase=self.phase,
+                    addr=addr,
+                ),
+                pos=pos,
+            )
+        )
+
+    def acquire(self, name: LockName, mode: str, frame: _Frame, line: int) -> None:
+        pos = self.tick()
+        if name.is_pattern or name.text in self.lock_bad:
+            occurrence = 0
+            if not name.is_pattern:
+                self.lock_bad.add(name.text)
+        else:
+            occurrence = self.lock_occ.get(name.text, 0) + 1
+        if not name.is_pattern:
+            self.lock_occ[name.text] = self.lock_occ.get(name.text, 0) + 1
+        self.acquires.append(
+            AcquireRec(
+                name=name,
+                mode=mode,
+                occurrence=occurrence,
+                held=self.lockset_tuple(),
+                held_names=tuple(n for n, _, _ in self.lockset),
+                phase=self.phase,
+                func=frame.name,
+                line=line,
+                pos=pos,
+            )
+        )
+        self.lockset.append((name, mode, occurrence))
+
+    def release(self, name: LockName) -> None:
+        self.tick()
+        for index in range(len(self.lockset) - 1, -1, -1):
+            held, _, _ = self.lockset[index]
+            if held.text == name.text or (
+                name.is_pattern and name.matches(held.text)
+            ) or (held.is_pattern and held.matches(name.text)):
+                del self.lockset[index]
+                return
+        self.note(f"release of unheld lock {name.text!r}")
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def capture(self, env: Dict[str, Any]) -> _Cap:
+        return _Cap(
+            env=copy.deepcopy(env),
+            region_occ=dict(self.region_occ),
+            lock_occ=dict(self.lock_occ),
+            region_bad=set(self.region_bad),
+            lock_bad=set(self.lock_bad),
+            lockset=list(self.lockset),
+            phase=self.phase,
+        )
+
+    def restore(self, env: Dict[str, Any], cap: _Cap) -> None:
+        env.clear()
+        env.update(copy.deepcopy(cap.env))
+        self.region_occ = dict(cap.region_occ)
+        self.lock_occ = dict(cap.lock_occ)
+        self.region_bad = set(cap.region_bad)
+        self.lock_bad = set(cap.lock_bad)
+        self.lockset = list(cap.lockset)
+        self.phase = cap.phase
+
+    def merge(
+        self, env: Dict[str, Any], cap: _Cap, taint: FrozenSet[Address]
+    ) -> None:
+        """Join another path's end state into the current one.
+
+        Counts that disagree are poisoned; env bindings that disagree
+        widen to :class:`Abstract` tainted by both sides plus the branch
+        condition's regions; locksets intersect (must-hold semantics).
+        """
+        for key in set(self.region_occ) | set(cap.region_occ):
+            mine = self.region_occ.get(key, 0)
+            other = cap.region_occ.get(key, 0)
+            if mine != other:
+                self.region_bad.add(key)
+            self.region_occ[key] = max(mine, other)
+        self.region_bad |= cap.region_bad
+        for lock in set(self.lock_occ) | set(cap.lock_occ):
+            mine = self.lock_occ.get(lock, 0)
+            other = cap.lock_occ.get(lock, 0)
+            if mine != other:
+                self.lock_bad.add(lock)
+            self.lock_occ[lock] = max(mine, other)
+        self.lock_bad |= cap.lock_bad
+        other_held = {(name.text, mode) for name, mode, _ in cap.lockset}
+        self.lockset = [
+            entry for entry in self.lockset
+            if (entry[0].text, entry[1]) in other_held
+        ]
+        if self.phase != cap.phase:
+            self.note("barrier phase diverges across branch merge")
+            self.phase = max(self.phase, cap.phase)
+        for key in set(env) | set(cap.env):
+            if key not in env or key not in cap.env:
+                env[key] = Abstract(
+                    taint
+                    | _taint_of(env.get(key))
+                    | _taint_of(cap.env.get(key))
+                )
+            elif not _values_equal(env[key], cap.env[key]):
+                env[key] = Abstract(
+                    taint | _taint_of(env[key]) | _taint_of(cap.env[key])
+                )
+
+
+class _Extractor:
+    """Walks main and every spawned role of one :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.notes: List[str] = []
+        self.complete = True
+        self.next_tid = 1
+        self._ast_cache: Dict[Any, Tuple[ast.FunctionDef, int]] = {}
+
+    def note(self, message: str) -> None:
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def incomplete(self, message: str) -> None:
+        self.complete = False
+        self.note(message)
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self) -> Extraction:
+        main_state = _ThreadState(self, 0)
+        main_walk = self._walk_thread(main_state, self.program.main, self._main_args())
+        walks = [main_walk]
+        roles: List[ThreadRole] = []
+        for spawn in main_state.spawns:
+            roles.append(
+                ThreadRole(
+                    tid=spawn.tid,
+                    name=getattr(spawn.body, "__name__", "?"),
+                    args=tuple(
+                        "?" if isinstance(a, Abstract) else a
+                        for a in spawn.args
+                    ),
+                    spawn_pos=spawn.pos,
+                    join_pos=main_state.joins.get(spawn.tid, -1),
+                )
+            )
+            role_state = _ThreadState(self, spawn.tid)
+            walks.append(
+                self._walk_thread(
+                    role_state,
+                    spawn.body,
+                    (CtxMarker(spawn.tid),) + spawn.args,
+                )
+            )
+        return Extraction(
+            program=self.program,
+            threads=walks,
+            roles=roles,
+            complete=self.complete,
+            notes=list(self.notes),
+        )
+
+    def _main_args(self) -> Tuple[Any, ...]:
+        ctx = CtxMarker(0)
+        try:
+            sig = inspect.signature(self.program.main)
+            bound = sig.bind(ctx, **self.program.params)
+            bound.apply_defaults()
+            return tuple(bound.arguments.values())
+        except TypeError:
+            self.incomplete("could not bind main params statically")
+            return (ctx,)
+
+    # -- function walking ------------------------------------------------
+
+    def _fn_ast(self, fn: Any) -> Optional[Tuple[ast.FunctionDef, int]]:
+        cached = self._ast_cache.get(fn)
+        if cached is not None:
+            return cached
+        try:
+            source, first_line = inspect.getsourcelines(fn)
+            tree = ast.parse(textwrap.dedent("".join(source)))
+        except (OSError, TypeError, IndentationError, SyntaxError):
+            return None
+        node = tree.body[0]
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        result = (node, first_line)
+        self._ast_cache[fn] = result
+        return result
+
+    def _walk_thread(
+        self, state: _ThreadState, fn: Any, args: Tuple[Any, ...]
+    ) -> ThreadWalk:
+        try:
+            self._walk_fn(state, fn, args)
+        except _Budget:
+            state.incomplete("effect budget exhausted; walk truncated")
+        except (_Break, _Continue):
+            state.incomplete("break/continue escaped function scope")
+        return ThreadWalk(
+            tid=state.tid,
+            name=getattr(fn, "__name__", "?"),
+            sites=state.sites,
+            acquires=state.acquires,
+            checks=state.checks,
+            end_pos=state.pos,
+        )
+
+    def _walk_fn(self, state: _ThreadState, fn: Any, args: Tuple[Any, ...]) -> Any:
+        parsed = self._fn_ast(fn)
+        if parsed is None:
+            state.incomplete(
+                f"cannot read source of {getattr(fn, '__name__', fn)!r}"
+            )
+            return Abstract()
+        node, first_line = parsed
+        env: Dict[str, Any] = {}
+        params = [a.arg for a in node.args.args]
+        defaults = node.args.defaults
+        for index, name in enumerate(params):
+            if index < len(args):
+                env[name] = args[index]
+            else:
+                # trailing parameter: use its default if one exists
+                offset = index - (len(params) - len(defaults))
+                if 0 <= offset < len(defaults):
+                    env[name] = self._eval(
+                        state, defaults[offset], {}, fn, resolve=False
+                    )
+                else:
+                    env[name] = Abstract()
+        frame = _Frame(fn=fn, name=node.name, first_line=first_line)
+        try:
+            self._exec_block(state, node.body, env, fn, frame)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statement execution ---------------------------------------------
+
+    def _exec_block(
+        self,
+        state: _ThreadState,
+        stmts: Sequence[ast.stmt],
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(state, stmt, env, fn, frame)
+
+    def _exec_stmt(
+        self,
+        state: _ThreadState,
+        stmt: ast.stmt,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Yield):
+                self._do_yield(state, value.value, env, fn, frame)
+            elif isinstance(value, ast.YieldFrom):
+                self._do_yield_from(state, value.value, env, fn, frame)
+            elif any(
+                isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(value)
+            ):
+                # e.g. ``tids.append((yield ctx.spawn(...)))``: run the
+                # yields for effect/count fidelity, drop the outer result
+                self._run_embedded_yields(state, value, env, fn, frame)
+            else:
+                self._eval(state, value, env, fn, resolve=False)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                return
+            if isinstance(value, ast.Yield):
+                result = self._do_yield(state, value.value, env, fn, frame)
+            elif isinstance(value, ast.YieldFrom):
+                result = self._do_yield_from(state, value.value, env, fn, frame)
+            elif any(
+                isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(value)
+            ):
+                # yield embedded somewhere unusual: run the yields for
+                # effect/count fidelity, widen the result
+                self._run_embedded_yields(state, value, env, fn, frame)
+                result = Abstract()
+            else:
+                result = self._eval(state, value, env, fn, resolve=False)
+            for target in targets:
+                self._assign_target(state, target, result, env, fn)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._exec_augassign(state, stmt, env, fn, frame)
+            return
+        if isinstance(stmt, ast.If):
+            self._exec_if(state, stmt, env, fn, frame)
+            return
+        if isinstance(stmt, ast.For):
+            self._exec_for(state, stmt, env, fn, frame)
+            return
+        if isinstance(stmt, ast.While):
+            self._exec_while(state, stmt, env, fn, frame)
+            return
+        if isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                if isinstance(stmt.value, ast.Yield):
+                    value = self._do_yield(state, stmt.value.value, env, fn, frame)
+                elif isinstance(stmt.value, ast.YieldFrom):
+                    value = self._do_yield_from(state, stmt.value.value, env, fn, frame)
+                else:
+                    value = self._eval(state, stmt.value, env, fn, resolve=False)
+            raise _Return(value)
+        if isinstance(stmt, ast.Break):
+            raise _Break()
+        if isinstance(stmt, ast.Continue):
+            raise _Continue()
+        if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal, ast.Import,
+                             ast.ImportFrom)):
+            return
+        if isinstance(stmt, ast.Assert):
+            return  # guest invariants go through ctx.check
+        if isinstance(stmt, ast.FunctionDef):
+            state.incomplete(f"nested function {stmt.name!r} not modeled")
+            return
+        state.incomplete(f"unmodeled statement {type(stmt).__name__}")
+
+    def _run_embedded_yields(
+        self,
+        state: _ThreadState,
+        node: ast.AST,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Yield):
+                self._do_yield(state, sub.value, env, fn, frame)
+            elif isinstance(sub, ast.YieldFrom):
+                self._do_yield_from(state, sub.value, env, fn, frame)
+
+    def _exec_augassign(
+        self,
+        state: _ThreadState,
+        stmt: ast.AugAssign,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        value = self._eval(state, stmt.value, env, fn, resolve=False)
+        current = self._load_target(state, stmt.target, env, fn)
+        op = _BINOPS.get(type(stmt.op))
+        if (
+            op is None
+            or isinstance(value, Abstract)
+            or isinstance(current, Abstract)
+        ):
+            result: Any = Abstract(_taint_of(value) | _taint_of(current))
+        else:
+            try:
+                result = op(current, value)
+            except Exception:
+                result = Abstract(_taint_of(value) | _taint_of(current))
+        self._assign_target(state, stmt.target, result, env, fn)
+
+    def _load_target(
+        self, state: _ThreadState, target: ast.expr, env: Dict[str, Any], fn: Any
+    ) -> Any:
+        load = copy.deepcopy(target)
+        for sub in ast.walk(load):
+            if isinstance(sub, (ast.Name, ast.Subscript, ast.Attribute)):
+                sub.ctx = ast.Load()
+        return self._eval(state, load, env, fn, resolve=False)
+
+    # -- branches --------------------------------------------------------
+
+    def _exec_if(
+        self,
+        state: _ThreadState,
+        stmt: ast.If,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        test = self._eval(state, stmt.test, env, fn, resolve=False)
+        if not isinstance(test, Abstract):
+            self._exec_block(
+                state, stmt.body if test else stmt.orelse, env, fn, frame
+            )
+            return
+        taint = test.regions
+        base = state.capture(env)
+        then_exc = self._run_branch(state, stmt.body, env, fn, frame)
+        then_cap = state.capture(env)
+        state.restore(env, base)
+        else_exc = self._run_branch(state, stmt.orelse, env, fn, frame)
+        # state/env now hold the else path's end state
+        loop = frame.loops[-1] if frame.loops else None
+
+        def park(cap: _Cap, exc: Exception) -> None:
+            if loop is None:
+                state.incomplete("break/continue outside loop in branch")
+                return
+            if isinstance(exc, _Break):
+                loop.breaks.append(cap)
+            else:
+                loop.continues.append(cap)
+
+        if then_exc is None and else_exc is None:
+            state.merge(env, then_cap, taint)
+            return
+        if then_exc is None and else_exc is not None:
+            if isinstance(else_exc, _Return):
+                # else path returned; continue along the then path
+                state.restore(env, then_cap)
+                return
+            park(state.capture(env), else_exc)
+            state.restore(env, then_cap)
+            return
+        if then_exc is not None and else_exc is None:
+            if isinstance(then_exc, _Return):
+                return  # continue along the (current) else path
+            park(then_cap, then_exc)
+            return
+        # both paths escape: no fall-through exists after this statement
+        assert then_exc is not None and else_exc is not None
+        if isinstance(then_exc, _Return) and isinstance(else_exc, _Return):
+            state.merge(env, then_cap, taint)
+            value = (
+                then_exc.value
+                if _values_equal(then_exc.value, else_exc.value)
+                else Abstract(
+                    taint | _taint_of(then_exc.value) | _taint_of(else_exc.value)
+                )
+            )
+            raise _Return(value)
+        if isinstance(then_exc, _Return):
+            park(state.capture(env), else_exc)
+            raise then_exc
+        park(then_cap, then_exc)
+        raise else_exc
+
+    def _run_branch(
+        self,
+        state: _ThreadState,
+        stmts: Sequence[ast.stmt],
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> Optional[Exception]:
+        try:
+            self._exec_block(state, stmts, env, fn, frame)
+        except (_Break, _Continue, _Return) as exc:
+            return exc
+        return None
+
+    # -- loops -----------------------------------------------------------
+
+    def _exec_for(
+        self,
+        state: _ThreadState,
+        stmt: ast.For,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        iterable = self._eval(state, stmt.iter, env, fn, resolve=False)
+        items: Optional[List[Any]] = None
+        if not isinstance(iterable, Abstract):
+            try:
+                items = list(iterable)
+            except TypeError:
+                items = None
+        if items is None:
+            self._single_pass(
+                state, stmt.body, env, fn, frame,
+                guaranteed=False,
+                target=stmt.target,
+                target_taint=_taint_of(iterable),
+            )
+            return
+        if len(items) > MAX_UNROLL:
+            state.note(
+                f"loop with {len(items)} iterations widened after {MAX_UNROLL}"
+            )
+            items = items[:MAX_UNROLL]
+            tail_unknown = True
+        else:
+            tail_unknown = False
+        loop = _LoopFrame()
+        frame.loops.append(loop)
+        try:
+            for item in items:
+                self._assign_target(state, stmt.target, item, env, fn)
+                try:
+                    self._exec_block(state, stmt.body, env, fn, frame)
+                except _Continue:
+                    pass
+                except _Break:
+                    break
+                for cap in loop.continues:
+                    state.merge(env, cap, frozenset())
+                loop.continues.clear()
+            for cap in loop.continues + loop.breaks:
+                state.merge(env, cap, frozenset())
+        finally:
+            frame.loops.pop()
+        if tail_unknown:
+            self._single_pass(
+                state, stmt.body, env, fn, frame,
+                guaranteed=False,
+                target=stmt.target,
+                target_taint=frozenset(),
+            )
+
+    def _exec_while(
+        self,
+        state: _ThreadState,
+        stmt: ast.While,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> None:
+        test = self._eval(state, stmt.test, env, fn, resolve=False)
+        if isinstance(test, Abstract):
+            self._single_pass(
+                state, stmt.body, env, fn, frame,
+                guaranteed=False, target=None, target_taint=test.regions,
+            )
+            return
+        if test is True and isinstance(stmt.test, ast.Constant):
+            # `while True`: the body definitely runs at least once
+            self._single_pass(
+                state, stmt.body, env, fn, frame,
+                guaranteed=True, target=None, target_taint=frozenset(),
+            )
+            return
+        # concrete countdown-style while: execute iteratively, capped
+        loop = _LoopFrame()
+        frame.loops.append(loop)
+        iterations = 0
+        try:
+            while test:
+                if iterations >= MAX_UNROLL:
+                    state.note("while loop widened after unroll cap")
+                    self._single_pass(
+                        state, stmt.body, env, fn, frame,
+                        guaranteed=False, target=None, target_taint=frozenset(),
+                    )
+                    break
+                try:
+                    self._exec_block(state, stmt.body, env, fn, frame)
+                except _Continue:
+                    pass
+                except _Break:
+                    break
+                for cap in loop.continues:
+                    state.merge(env, cap, frozenset())
+                loop.continues.clear()
+                iterations += 1
+                test = self._eval(state, stmt.test, env, fn, resolve=False)
+                if isinstance(test, Abstract):
+                    self._single_pass(
+                        state, stmt.body, env, fn, frame,
+                        guaranteed=False, target=None,
+                        target_taint=test.regions,
+                    )
+                    break
+            for cap in loop.continues + loop.breaks:
+                state.merge(env, cap, frozenset())
+        finally:
+            frame.loops.pop()
+
+    def _single_pass(
+        self,
+        state: _ThreadState,
+        body: Sequence[ast.stmt],
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+        guaranteed: bool,
+        target: Optional[ast.expr],
+        target_taint: FrozenSet[Address],
+    ) -> None:
+        """Walk a loop body once when the iteration count is unknown.
+
+        First-pass occurrences stay exact ("exact-if-reached"); at the
+        end everything the body *touched* is poisoned, because later
+        iterations may or may not happen.  For a loop that may run zero
+        times (``guaranteed=False``) the pre-loop state is merged back
+        in, which poisons the same keys and widens assigned names.
+        """
+        base = state.capture(env) if not guaranteed else None
+        env_before = copy.deepcopy(env)
+        first_site = len(state.sites)
+        first_acq = len(state.acquires)
+        if target is not None:
+            self._assign_target(state, target, Abstract(target_taint), env, fn)
+        loop = _LoopFrame()
+        frame.loops.append(loop)
+        returned: Optional[_Return] = None
+        try:
+            self._exec_block(state, body, env, fn, frame)
+        except (_Break, _Continue):
+            pass
+        except _Return as ret:
+            returned = ret
+        finally:
+            frame.loops.pop()
+        for cap in loop.continues + loop.breaks:
+            state.merge(env, cap, frozenset())
+        if returned is not None and guaranteed and not (
+            loop.continues or loop.breaks
+        ):
+            # every surviving path returned on the first (certain) pass
+            raise returned
+        if not guaranteed and returned is not None:
+            state.note("return from maybe-zero-iteration loop; widening")
+        # poison everything the pass touched: iteration count unknown
+        touched_regions = {
+            site.access.region for site in state.sites[first_site:]
+        }
+        touched_locks = {
+            rec.name.text
+            for rec in state.acquires[first_acq:]
+            if not rec.name.is_pattern
+        }
+        if not guaranteed:
+            # first-pass occurrences stay anchored ("exact-if-reached"):
+            # a ref for an access that never runs simply never pends,
+            # which the PIR gate tolerates; merging the pre-loop state
+            # below widens everything else the zero-iteration path missed
+            state.merge(env, base, target_taint)  # type: ignore[arg-type]
+        state.region_bad |= touched_regions
+        state.lock_bad |= touched_locks
+        if guaranteed:
+            for key in set(env) | set(env_before):
+                if key not in env or key not in env_before:
+                    env[key] = Abstract(
+                        target_taint
+                        | _taint_of(env.get(key))
+                        | _taint_of(env_before.get(key))
+                    )
+                elif not _values_equal(env[key], env_before[key]):
+                    env[key] = Abstract(
+                        target_taint
+                        | _taint_of(env[key])
+                        | _taint_of(env_before[key])
+                    )
+
+    # -- assignment ------------------------------------------------------
+
+    def _assign_target(
+        self,
+        state: _ThreadState,
+        target: ast.expr,
+        value: Any,
+        env: Dict[str, Any],
+        fn: Any,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements = target.elts
+            concrete = (
+                not isinstance(value, Abstract)
+                and isinstance(value, (tuple, list))
+                and len(value) == len(elements)
+                and not any(isinstance(e, ast.Starred) for e in elements)
+            )
+            for index, element in enumerate(elements):
+                part = value[index] if concrete else Abstract(_taint_of(value))
+                self._assign_target(state, element, part, env, fn)
+            return
+        if isinstance(target, ast.Subscript):
+            container = self._eval(state, target.value, env, fn, resolve=False)
+            index = self._eval(state, target.slice, env, fn, resolve=False)
+            if not isinstance(container, Abstract) and not isinstance(
+                index, Abstract
+            ) and not isinstance(value, Abstract):
+                try:
+                    container[index] = value
+                    return
+                except Exception:
+                    pass
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                env[base.id] = Abstract(
+                    _taint_of(env.get(base.id))
+                    | _taint_of(index)
+                    | _taint_of(value)
+                )
+            return
+        if isinstance(target, ast.Starred):
+            self._assign_target(state, target.value, Abstract(_taint_of(value)), env, fn)
+            return
+        state.incomplete(f"unmodeled assignment target {type(target).__name__}")
+
+    # -- expression evaluation -------------------------------------------
+
+    def _eval(
+        self,
+        state: _ThreadState,
+        node: ast.expr,
+        env: Dict[str, Any],
+        fn: Any,
+        resolve: bool,
+    ) -> Any:
+        """Evaluate an expression against the abstract environment.
+
+        ``resolve=False`` (strict): any abstract name poisons the result.
+        ``resolve=True``: ReadValues substitute their initial-memory
+        hint — used for addresses and lock names, where "the value this
+        location started with" is the analyzer's best guess at identity.
+        """
+        regions: Set[Address] = set()
+        scope: Dict[str, Any] = {}
+        abstract = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Name) or not isinstance(sub.ctx, ast.Load):
+                continue
+            name = sub.id
+            if name not in env or name in scope:
+                continue
+            value = env[name]
+            if resolve and isinstance(value, ReadValue):
+                if value.hint is _MISSING:
+                    abstract = True
+                    regions |= value.regions
+                else:
+                    scope[name] = value.hint
+            elif isinstance(value, Abstract):
+                abstract = True
+                regions |= value.regions
+            else:
+                scope[name] = value
+        if abstract:
+            return Abstract(frozenset(regions))
+        try:
+            expr = ast.Expression(body=node)
+            ast.fix_missing_locations(expr)
+            code = compile(expr, "<static>", "eval")
+            module_globals = dict(getattr(fn, "__globals__", {}))
+            module_globals["__builtins__"] = _SAFE_BUILTINS
+            # env bindings go into *globals*: comprehension bodies run in
+            # their own scope and would not see a separate locals dict
+            module_globals.update(scope)
+            return eval(code, module_globals)  # noqa: S307 - sandboxed
+        except Exception:
+            return Abstract(frozenset(regions))
+
+    def _eval_args(
+        self,
+        state: _ThreadState,
+        args: Sequence[ast.expr],
+        env: Dict[str, Any],
+        fn: Any,
+    ) -> Tuple[Any, ...]:
+        """Evaluate call arguments, expanding ``*args`` splats."""
+        values: List[Any] = []
+        for arg in args:
+            if isinstance(arg, ast.Starred):
+                splat = self._eval(state, arg.value, env, fn, resolve=False)
+                if isinstance(splat, Abstract):
+                    values.append(splat)
+                else:
+                    try:
+                        values.extend(splat)
+                    except TypeError:
+                        values.append(Abstract(_taint_of(splat)))
+            else:
+                values.append(self._eval(state, arg, env, fn, resolve=False))
+        return tuple(values)
+
+    def _node_taint(self, node: ast.expr, env: Dict[str, Any]) -> FrozenSet[Address]:
+        regions: Set[Address] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                regions |= _taint_of(env.get(sub.id))
+        return frozenset(regions)
+
+    # -- address / lock-name resolution ----------------------------------
+
+    def _resolve_addr(
+        self,
+        state: _ThreadState,
+        node: ast.expr,
+        env: Dict[str, Any],
+        fn: Any,
+    ) -> Tuple[Address, Optional[Address], FrozenSet[Address]]:
+        """(region, trusted full address or None, taint regions)."""
+        strict = self._eval(state, node, env, fn, resolve=False)
+        if not isinstance(strict, Abstract):
+            return region_key(strict), strict, frozenset()
+        resolved = self._eval(state, node, env, fn, resolve=True)
+        if not isinstance(resolved, Abstract):
+            return region_key(resolved), None, strict.regions
+        if isinstance(node, ast.Tuple) and node.elts:
+            head = self._eval(state, node.elts[0], env, fn, resolve=True)
+            if not isinstance(head, Abstract):
+                return head, None, strict.regions
+        state.incomplete("unresolvable address; recorded as <unknown>")
+        return UNKNOWN_REGION, None, strict.regions
+
+    def _resolve_lock(
+        self,
+        state: _ThreadState,
+        node: ast.expr,
+        env: Dict[str, Any],
+        fn: Any,
+    ) -> LockName:
+        value = self._eval(state, node, env, fn, resolve=True)
+        if isinstance(value, str):
+            return LockName(concrete=value)
+        if isinstance(node, ast.JoinedStr):
+            prefix_parts: List[str] = []
+            suffix_parts: List[str] = []
+            seen_unknown = False
+            for part in node.values:
+                if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                    text = part.value
+                else:
+                    inner = part.value if isinstance(part, ast.FormattedValue) else part
+                    piece = self._eval(state, inner, env, fn, resolve=True)
+                    if isinstance(piece, Abstract):
+                        seen_unknown = True
+                        suffix_parts = []
+                        continue
+                    text = str(piece)
+                if seen_unknown:
+                    suffix_parts.append(text)
+                else:
+                    prefix_parts.append(text)
+            if not seen_unknown:
+                return LockName(concrete="".join(prefix_parts))
+            return LockName(
+                prefix="".join(prefix_parts), suffix="".join(suffix_parts)
+            )
+        return LockName()  # fully unknown: matches anything
+
+    # -- yields ----------------------------------------------------------
+
+    def _ctx_call(
+        self, node: Optional[ast.expr], env: Dict[str, Any]
+    ) -> Optional[Tuple[str, ast.Call]]:
+        """(method name, call node) if this is a ``ctx.method(...)`` call."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if not isinstance(base, ast.Name):
+            return None
+        if not isinstance(env.get(base.id), CtxMarker):
+            return None
+        return func.attr, node
+
+    def _do_yield(
+        self,
+        state: _ThreadState,
+        node: Optional[ast.expr],
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> Any:
+        if node is None:
+            state.tick()
+            return Abstract()
+        parsed = self._ctx_call(node, env)
+        if parsed is None:
+            # yielding something that is not a direct ctx call: evaluate
+            # (it may still *be* an Op built elsewhere) and widen
+            state.incomplete("yield of a non-ctx expression; effect unknown")
+            state.tick()
+            return Abstract(self._node_taint(node, env))
+        method, call = parsed
+        line = frame.first_line + call.lineno - 1
+        args = call.args
+
+        if method in ("read", "write", "rmw", "cas", "free"):
+            region, full_addr, taint = self._resolve_addr(state, args[0], env, fn)
+            kind = {
+                "read": OpKind.READ,
+                "write": OpKind.WRITE,
+                "rmw": OpKind.RMW,
+                "cas": OpKind.CAS,
+                "free": OpKind.FREE,
+            }[method]
+            if method == "write" and len(args) > 1:
+                self._eval(state, args[1], env, fn, resolve=False)
+            state.record_access(kind, region, frame, line, full_addr)
+            if method == "read":
+                hint = _MISSING
+                if full_addr is not None:
+                    hint = self.program.initial_memory.get(full_addr, _MISSING)
+                return ReadValue(
+                    frozenset({region}) | taint, full_addr, hint
+                )
+            if method in ("rmw", "cas"):
+                return Abstract(frozenset({region}) | taint)
+            return None
+
+        if method in ("lock", "wrlock", "rdlock"):
+            name = self._resolve_lock(state, args[0], env, fn)
+            mode = LOCK_SHARED if method == "rdlock" else LOCK_EXCLUSIVE
+            state.acquire(name, mode, frame, line)
+            return None
+        if method == "trylock":
+            # not protective and not counted: success is schedule-dependent
+            self._resolve_lock(state, args[0], env, fn)
+            state.tick()
+            return Abstract()
+        if method in ("unlock", "rwunlock"):
+            name = self._resolve_lock(state, args[0], env, fn)
+            state.release(name)
+            return None
+        if method == "wait":
+            cond_name = self._resolve_lock(state, args[0], env, fn)
+            lock_name = self._resolve_lock(state, args[1], env, fn)
+            state.tick()  # the wait itself
+            # pthreads semantics: released during the wait, re-acquired
+            # before it returns; the re-acquire is a fresh LOCK event
+            state.release(lock_name)
+            state.acquire(lock_name, LOCK_EXCLUSIVE, frame, line)
+            del cond_name
+            return None
+        if method in ("signal", "broadcast", "sem_acquire", "sem_release"):
+            state.tick()
+            return None
+        if method == "barrier":
+            state.tick()
+            state.phase += 1
+            return None
+
+        if method == "spawn":
+            body = self._eval(state, args[0], env, fn, resolve=False)
+            spawn_args = self._eval_args(state, args[1:], env, fn)
+            pos = state.tick()
+            if state.tid != 0:
+                state.incomplete("spawn outside main thread not modeled")
+                return Abstract()
+            if isinstance(body, Abstract) or not callable(body):
+                state.incomplete("spawn of unresolvable thread body")
+                return Abstract()
+            tid = self.next_tid
+            self.next_tid += 1
+            state.spawns.append(SpawnSite(tid=tid, body=body, args=spawn_args, pos=pos))
+            return tid
+        if method == "join":
+            tid = self._eval(state, args[0], env, fn, resolve=False)
+            pos = state.tick()
+            if isinstance(tid, int):
+                state.joins.setdefault(tid, pos)
+            else:
+                state.note("join on statically unknown tid")
+            return Abstract()
+
+        if method in ("syscall", "output", "rand", "now", "sleep"):
+            for arg in args:
+                self._eval(state, arg, env, fn, resolve=False)
+            state.tick()
+            return Abstract()
+        if method == "bb":
+            state.tick(0)
+            return None
+        if method == "cpu_yield":
+            state.tick(0)
+            return None
+        if method == "local":
+            state.tick()
+            return None
+        if method == "check" and len(args) >= 2:
+            taint = self._node_taint(args[0], env)
+            cond = self._eval(state, args[0], env, fn, resolve=False)
+            msg = self._eval(state, args[1], env, fn, resolve=True)
+            pos = state.tick()
+            state.checks.append(
+                CheckSite(
+                    msg=msg if isinstance(msg, str) else "<dynamic>",
+                    regions=taint | _taint_of(cond),
+                    func=frame.name,
+                    line=line,
+                    pos=pos,
+                )
+            )
+            return None
+
+        state.incomplete(f"unmodeled ctx method {method!r}")
+        state.tick()
+        return Abstract()
+
+    def _do_yield_from(
+        self,
+        state: _ThreadState,
+        node: ast.expr,
+        env: Dict[str, Any],
+        fn: Any,
+        frame: _Frame,
+    ) -> Any:
+        parsed = self._ctx_call(node, env)
+        if parsed is not None:
+            method, call = parsed
+            args = call.args
+            if method == "call":
+                body = self._eval(state, args[0], env, fn, resolve=False)
+                call_args = self._eval_args(state, args[1:], env, fn)
+                state.tick(0)  # FUNC_ENTER
+                if isinstance(body, Abstract) or not callable(body):
+                    state.incomplete("ctx.call of unresolvable body")
+                    return Abstract()
+                ctx = self._ctx_of(env, call)
+                result = self._walk_fn(state, body, (ctx,) + call_args)
+                state.tick(0)  # FUNC_EXIT
+                return result
+            if method == "work":
+                units = self._eval(state, args[0], env, fn, resolve=False)
+                if isinstance(units, int) and 0 <= units <= MAX_UNROLL:
+                    for _ in range(units):
+                        state.tick()
+                else:
+                    state.tick()
+                return None
+            if method == "free_region":
+                prefix = self._eval(state, args[0], env, fn, resolve=True)
+                indices = self._eval(state, args[1], env, fn, resolve=False)
+                line = frame.first_line + call.lineno - 1
+                if isinstance(prefix, Abstract):
+                    state.incomplete("free_region with unknown prefix")
+                    return None
+                if isinstance(indices, Abstract):
+                    state.record_access(
+                        OpKind.FREE, prefix, frame, line, None, reliable=False
+                    )
+                    state.record_access(
+                        OpKind.FREE, prefix, frame, line, prefix, reliable=False
+                    )
+                    return None
+                for index in list(indices)[:MAX_UNROLL]:
+                    state.record_access(
+                        OpKind.FREE, prefix, frame, line, (prefix, index)
+                    )
+                state.record_access(OpKind.FREE, prefix, frame, line, prefix)
+                return None
+            state.incomplete(f"unmodeled ctx generator {method!r}")
+            state.tick()
+            return Abstract()
+        # a plain generator helper (spawn_all, join_all, app-local ones):
+        # recurse into it so its yields are accounted in this thread
+        if isinstance(node, ast.Call):
+            target = self._eval(state, node.func, env, fn, resolve=False)
+            if not isinstance(target, Abstract) and (
+                inspect.isgeneratorfunction(target)
+            ):
+                call_args = self._eval_args(state, node.args, env, fn)
+                return self._walk_fn(state, target, call_args)
+        state.incomplete("yield-from of unresolvable generator")
+        state.tick()
+        return Abstract()
+
+    def _ctx_of(self, env: Dict[str, Any], call: ast.Call) -> CtxMarker:
+        base = call.func.value  # type: ignore[attr-defined]
+        marker = env.get(base.id) if isinstance(base, ast.Name) else None
+        return marker if isinstance(marker, CtxMarker) else CtxMarker(0)
+
+
+def extract_program(program: Program) -> Extraction:
+    """Walk a program's main and every (main-spawned) thread body."""
+    return _Extractor(program).run()

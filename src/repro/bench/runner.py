@@ -25,6 +25,7 @@ from repro.bench.results import BenchResult
 from repro.bench.scaling import scaling_curves
 from repro.bench.seeds import failure_rate, find_failing_seed
 from repro.bench.service import build_e15
+from repro.bench.static_guidance import build_e16
 from repro.bench.speedup import build_e12
 from repro.bench.warmstore import build_e14
 from repro.core.sketches import SKETCH_ORDER, SketchKind
@@ -230,17 +231,18 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
     "e13": build_e13,
     "e14": build_e14,
     "e15": build_e15,
+    "e16": build_e16,
     "e17": build_e17,
 }
 
 
 def run_experiment_result(name: str, obs=None) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12..e15, e17); structured
+    """Run one experiment by id (t1, e1..e6, e12..e17); structured
     result.
 
     :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
         to builders that are instrumented for it (currently ``e12``,
-        ``e14``, ``e15``, and ``e17``) so ``pres bench
+        ``e14``, ``e15``, ``e16``, and ``e17``) so ``pres bench
         --trace-out/--metrics-out`` can export the session.
     """
     try:
@@ -257,7 +259,7 @@ def run_experiment_result(name: str, obs=None) -> BenchResult:
 
 
 def run_experiment(name: str) -> str:
-    """Render one experiment's table by id (t1, e1..e6, e12..e15, e17)."""
+    """Render one experiment's table by id (t1, e1..e6, e12..e17)."""
     return run_experiment_result(name).render()
 
 

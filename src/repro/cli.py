@@ -6,6 +6,7 @@ Subcommands::
     pres find-seed BUG                find a failing production run
     pres record BUG [--sketch SYNC]   record a production run, show stats
     pres analyze LOG [--json]         predict races/deadlocks from a sketch
+    pres analyze BUG --static         predict them from program structure
     pres reproduce BUG [...]          full pipeline: record -> PIR -> log
     pres replay BUG --log FILE        deterministic replay of a saved log
     pres inspect TRACE                render a saved observability trace
@@ -38,6 +39,16 @@ compressed, or JSON — sniffed by magic) and prints the ranked
 rich RW sketch of the same run, builds the plan from it, and seeds the
 plan's candidates into the first replay attempts at the requested
 (coarser) ``--sketch`` level.
+
+Static analysis (see docs/predictive-analysis.md, "Static analysis"):
+``analyze BUG --static`` needs no log at all — it walks the program's
+thread bodies, builds the shared-variable access map, static locksets
+and may-happen-in-parallel intervals, and prints ranked race /
+atomicity / deadlock candidates (``--failure TEXT`` filters them to a
+bug report's def-use slice).  ``reproduce --static`` seeds those
+candidates into exploration at ``TIER_STATIC`` — after any dynamic plan
+seeds, before mined flips — and ``reproduce --static-plan FILE`` reuses
+a saved plan instead of re-analyzing.
 
 Observability flags (see docs/observability.md): ``reproduce`` accepts
 ``--trace-out FILE`` (Chrome ``trace_event`` JSON — open in Perfetto or
@@ -227,6 +238,12 @@ def _load_sketch_log(path: str):
 def cmd_analyze(args) -> int:
     from repro.sanitize import build_plan
 
+    if args.static:
+        return _cmd_analyze_static(args)
+    if args.failure:
+        print("--failure only applies to --static (the dynamic sanitizer "
+              "already knows the recorded failure)", file=sys.stderr)
+        return 2
     log = _load_sketch_log(args.log)
     plan = build_plan(log, max_candidates=args.max_candidates)
     if args.json:
@@ -238,6 +255,30 @@ def cmd_analyze(args) -> int:
     if args.out:
         atomic_write_text(args.out, plan.to_json())
         print(f"replay plan written to {args.out}")
+    return 0
+
+
+def _cmd_analyze_static(args) -> int:
+    """``pres analyze BUG --static``: no log, no execution — the plan
+    comes from walking the program's thread bodies."""
+    from repro.analysis.static_ import analyze_program
+
+    spec = get_bug(args.log)
+    plan = analyze_program(
+        spec.make_program(),
+        failure=args.failure,
+        max_candidates=args.max_candidates,
+    )
+    if args.json:
+        print(plan.to_json())
+    else:
+        print(f"statically analyzed {spec.bug_id} "
+              f"({len(plan.threads)} thread(s), "
+              f"{len(plan.regions)} shared region(s))")
+        print(plan.describe())
+    if args.out:
+        atomic_write_text(args.out, plan.to_json())
+        print(f"static plan written to {args.out}")
     return 0
 
 
@@ -342,6 +383,29 @@ def cmd_reproduce(args) -> int:
               f"{applicable} of {len(plan.candidates)} candidate(s) "
               f"applicable at {sketch.value}")
 
+    static_plan = None
+    if args.static_plan:
+        from repro.analysis.static_.model import StaticPlan
+
+        with open(args.static_plan, "r", encoding="utf-8") as handle:
+            static_plan = StaticPlan.from_json(handle.read())
+    elif args.static:
+        from repro.analysis.static_ import analyze_program
+
+        # The recorded failure message is the SysPro-style artifact: it
+        # narrows the static candidates to the failure's def-use slice.
+        static_plan = analyze_program(
+            spec.make_program(),
+            failure=recorded.failure.describe(),
+        )
+    if static_plan is not None:
+        s_applicable = len(static_plan.seeds_for(sketch))
+        print(f"static plan: {len(static_plan.races)} race(s), "
+              f"{len(static_plan.violations)} atomicity window(s), "
+              f"{len(static_plan.deadlocks)} deadlock cycle(s); "
+              f"{s_applicable} of {len(static_plan.candidates)} "
+              f"candidate(s) applicable at {sketch.value}")
+
     config = ExplorerConfig(
         max_attempts=args.max_attempts,
         jobs=args.jobs,
@@ -373,6 +437,7 @@ def cmd_reproduce(args) -> int:
             store=args.store,
             obs=obs,
             plan=plan,
+            static_plan=static_plan,
             supervise=supervise,
             chaos=chaos,
         )
@@ -388,6 +453,7 @@ def cmd_reproduce(args) -> int:
             store=args.store,
             obs=obs,
             plan=plan,
+            static_plan=static_plan,
             supervise=supervise,
             chaos=chaos,
             run=run,
@@ -746,6 +812,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the replay plan (JSON) here")
     p_analyze.add_argument("--max-candidates", type=int, default=16,
                            help="cap on ranked plan candidates (default 16)")
+    p_analyze.add_argument("--static", action="store_true",
+                           help="analyze a BUG ID statically (no log, no "
+                                "execution): walk the program's thread "
+                                "bodies and print the StaticPlan")
+    p_analyze.add_argument("--failure", metavar="TEXT",
+                           help="with --static: a failure message from a "
+                                "bug report; candidates are filtered to "
+                                "the regions in its def-use slice")
 
     p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
     _add_common(p_repro)
@@ -754,6 +828,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the predictive sanitizer over an RW "
                               "recording of the same run and seed its "
                               "plan into the first replay attempts")
+    p_repro.add_argument("--static", action="store_true",
+                         help="run the static analyzer over the program "
+                              "source (filtered by the recorded failure) "
+                              "and seed its candidates after any dynamic "
+                              "plan seeds")
+    p_repro.add_argument("--static-plan", metavar="FILE",
+                         help="seed candidates from a saved StaticPlan "
+                              "(JSON from `pres analyze BUG --static "
+                              "--out FILE`) instead of re-analyzing")
     p_repro.add_argument("--jobs", type=int, default=1,
                          help="replay workers; >1 explores attempt batches "
                               "on a process pool (same result, less wall "
@@ -860,7 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="render an evaluation table (t1, e1..e6, e12..e15, e17, "
+        help="render an evaluation table (t1, e1..e6, e12..e17, "
              "or 'list')",
     )
     p_bench.add_argument("experiment")

@@ -7,7 +7,7 @@ occurrence) — a coordinate system that survives re-scheduling: "thread 3's
 thread 3's control flow has not diverged.  (If it *has* diverged, the
 sketch-conformance monitor notices and the attempt is abandoned anyway.)
 
-Two families are enough:
+Three families cover every producer:
 
 * ``mem`` — the k-th shared-memory access by a thread to an address
   (reads, writes, atomics and frees all count in one sequence);
@@ -15,6 +15,12 @@ Two families are enough:
   successful TRYLOCK, or a condition-wait re-acquire).  Flips of
   lock-protected races are lifted to this family, because blocking a
   thread that already holds the common mutex would deadlock the attempt.
+* ``region`` — the k-th shared-memory access by a thread to a *region*:
+  the address itself for scalar addresses, the tuple head for indexed
+  addresses like ``("row", i)``.  The static analyzer (which sees
+  program structure, not concrete indices) emits refs in this family;
+  they are coarser than ``mem`` refs but resolve deterministically
+  against any schedule.
 """
 
 from __future__ import annotations
@@ -31,8 +37,8 @@ class EventRef:
     """A schedule-independent name for one program action."""
 
     tid: int
-    family: str  # "mem" or "lock"
-    key: Address  # address for mem, mutex name for lock
+    family: str  # "mem", "lock" or "region"
+    key: Address  # address for mem, mutex name for lock, region head for region
     occurrence: int  # 1-based
 
     def describe(self) -> str:
@@ -117,6 +123,20 @@ def ordered_constraints(constraints: ConstraintSet) -> Tuple[OrderConstraint, ..
     return cached
 
 
+def region_key(addr: Address) -> Address:
+    """The region an address belongs to: the tuple head for indexed
+    addresses (``("row", 3)`` → ``"row"``), the address itself otherwise.
+
+    Static analysis names accesses at region granularity because loop
+    indices are schedule- or parameter-dependent; the runtime maps every
+    concrete access back through this function when resolving
+    ``region``-family refs.
+    """
+    if isinstance(addr, tuple) and addr:
+        return addr[0]
+    return addr
+
+
 def _acquire_key(event_kind: OpKind, obj: object, value: object) -> Optional[str]:
     """Lock name if this event/op is a lock acquisition, else None.
 
@@ -136,12 +156,15 @@ class OccurrenceCounter:
     def __init__(self) -> None:
         self._mem: Dict[Tuple[int, Address], int] = {}
         self._lock: Dict[Tuple[int, str], int] = {}
+        self._region: Dict[Tuple[int, Address], int] = {}
 
     def observe(self, event: Event) -> None:
         """Account one executed event."""
         if event.kind in MEMORY_KINDS:
             key = (event.tid, event.addr)
             self._mem[key] = self._mem.get(key, 0) + 1
+            rkey = (event.tid, region_key(event.addr))
+            self._region[rkey] = self._region.get(rkey, 0) + 1
         else:
             mutex = _acquire_key(event.kind, event.obj, event.value)
             if mutex is not None:
@@ -150,7 +173,12 @@ class OccurrenceCounter:
 
     def executed(self, ref: EventRef) -> bool:
         """Whether the named action has already happened."""
-        table = self._mem if ref.family == "mem" else self._lock
+        if ref.family == "mem":
+            table = self._mem
+        elif ref.family == "region":
+            table = self._region
+        else:
+            table = self._lock
         return table.get((ref.tid, ref.key), 0) >= ref.occurrence
 
     def pending_matches(self, tid: int, op: Op, ref: EventRef) -> bool:
@@ -161,6 +189,11 @@ class OccurrenceCounter:
             if op.kind not in MEMORY_KINDS or op.addr != ref.key:
                 return False
             done = self._mem.get((tid, op.addr), 0)
+            return done + 1 == ref.occurrence
+        if ref.family == "region":
+            if op.kind not in MEMORY_KINDS or region_key(op.addr) != ref.key:
+                return False
+            done = self._region.get((tid, ref.key), 0)
             return done + 1 == ref.occurrence
         # lock family: TRYLOCK may fail, but blocking it until the
         # constraint is satisfied is still sound (just conservative).
@@ -179,11 +212,14 @@ class OccurrenceCounter:
     def lock_count(self, tid: int, mutex: str) -> int:
         return self._lock.get((tid, mutex), 0)
 
-    def capture(self) -> Tuple[Dict, Dict]:
-        """Snapshot the executed-action counts (for prefix resume)."""
-        return (dict(self._mem), dict(self._lock))
+    def region_count(self, tid: int, region: Address) -> int:
+        return self._region.get((tid, region), 0)
 
-    def restore(self, state: Tuple[Dict, Dict]) -> None:
+    def capture(self) -> Tuple[Dict, Dict, Dict]:
+        """Snapshot the executed-action counts (for prefix resume)."""
+        return (dict(self._mem), dict(self._lock), dict(self._region))
+
+    def restore(self, state: Tuple[Dict, ...]) -> None:
         """Load counts captured by :meth:`capture`.
 
         Counts are constraint-independent — they track what *executed*,
@@ -193,6 +229,7 @@ class OccurrenceCounter:
         """
         self._mem = dict(state[0])
         self._lock = dict(state[1])
+        self._region = dict(state[2]) if len(state) > 2 else {}
 
 
 class ConstraintGate:

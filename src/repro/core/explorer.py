@@ -11,13 +11,16 @@ at all, RandomExplorer degenerates to plain stress testing.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import Callable, Deque, FrozenSet, List, Optional, Tuple
 
 from repro.core.constraints import ConstraintSet, OrderConstraint
 from repro.core.feedback import (
+    TIER_MINED,
     TIER_PLAN,
     TIER_ROOT,
+    TIER_STATIC,
     Candidate,
     FeedbackDB,
     FeedbackGenerator,
@@ -102,6 +105,12 @@ class ExplorerConfig:
     #: (:meth:`repro.sanitize.ReplayPlan.seeds_for`), explored in order
     #: right after the root empty attempt and before any mined feedback.
     plan_seeds: Tuple[ConstraintSet, ...] = ()
+    #: constraint sets pre-seeded by the *static* analyzer
+    #: (:meth:`repro.analysis.static_.StaticPlan.seeds_for`), explored
+    #: after the dynamic plan seeds (dynamic evidence dominates static
+    #: approximation), interleaved with mined feedback — one mined
+    #: candidate, then one static candidate (see :class:`Frontier`).
+    static_seeds: Tuple[ConstraintSet, ...] = ()
 
 
 def plan_candidates(seeds: Tuple[ConstraintSet, ...]) -> List[Candidate]:
@@ -119,29 +128,147 @@ def plan_candidates(seeds: Tuple[ConstraintSet, ...]) -> List[Candidate]:
     ]
 
 
-def seed_plan(push, config: "ExplorerConfig", metrics) -> FrozenSet[ConstraintSet]:
-    """Push the config's plan seeds onto a frontier (both engines call
-    this right after pushing the root empty candidate, so the counter is
-    charged at the same schedule-deterministic point everywhere).
+def static_candidates(seeds: Tuple[ConstraintSet, ...]) -> List[Candidate]:
+    """Wrap static-analyzer seeds as
+    :data:`~repro.core.feedback.TIER_STATIC` frontier candidates,
+    preserving the static plan's rank order."""
+    return [
+        Candidate(
+            constraints=constraints,
+            depth=len(constraints),
+            anchor_gidx=0,
+            tier=TIER_STATIC,
+            rank=rank,
+        )
+        for rank, constraints in enumerate(seeds)
+    ]
 
-    Returns the seeded constraint sets, for the ``sanitize.plan_matched``
-    check on success.
+
+class Frontier:
+    """Best-first frontier with an interleaved static-candidate lane.
+
+    Root, plan-seeded, and mined candidates live in a heap ordered by
+    :meth:`~repro.core.feedback.Candidate.sort_key`.  Static-analyzer
+    candidates (:data:`~repro.core.feedback.TIER_STATIC`) live in a
+    separate FIFO lane in static-plan rank order.  Pops interleave the
+    two lanes: the root and every dynamic plan seed drain first, and
+    once the heap's best candidate is mined feedback, each mined pop is
+    followed by one static pop — dynamic evidence (an ordering actually
+    observed unordered in a failed attempt) dominates the static
+    approximation, but a ranked structural prediction is worth one
+    attempt before the mined tail of re-rolls.  When either lane runs
+    dry the other drains in its own order.
+
+    With no static seeds every pop is a plain heap pop, so the mined
+    exploration schedule is byte-identical to an unseeded search.  The
+    alternation is a pure function of the pop sequence, so the serial
+    and parallel engines (which assemble batches by popping this same
+    structure) produce identical schedules for a fixed ``batch_size``,
+    independent of worker count.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[
+            Tuple[Tuple[int, int, int, int], int, ConstraintSet, int, Candidate]
+        ] = []
+        self._static: Deque[Tuple[ConstraintSet, int, Candidate]] = deque()
+        self._counter = 0
+        self._last_pop_mined = False
+
+    def push(self, candidate: Candidate, seed: int) -> None:
+        """Add a candidate, routed by tier (statics to the FIFO lane)."""
+        if candidate.tier == TIER_STATIC:
+            self._static.append((candidate.constraints, seed, candidate))
+            return
+        self._counter += 1
+        heapq.heappush(
+            self._heap,
+            (
+                candidate.sort_key(),
+                self._counter,
+                candidate.constraints,
+                seed,
+                candidate,
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._static)
+
+    def pop(self) -> Tuple[ConstraintSet, int, Candidate]:
+        """Remove and return the next ``(constraints, seed, candidate)``."""
+        take_static = bool(self._static) and (
+            not self._heap
+            or (self._heap[0][0][0] >= TIER_MINED and self._last_pop_mined)
+        )
+        if take_static:
+            self._last_pop_mined = False
+            return self._static.popleft()
+        key, _, constraints, seed, candidate = heapq.heappop(self._heap)
+        self._last_pop_mined = key[0] >= TIER_MINED
+        return constraints, seed, candidate
+
+
+@dataclass(frozen=True)
+class SeededSets:
+    """The constraint sets a frontier was pre-seeded with, by origin.
+
+    Returned by :func:`seed_plan` so the success path can attribute a
+    win to the dynamic plan (``sanitize.plan_matched``) or the static
+    analyzer (``sanitize.static.matched``).
+    """
+
+    plan: FrozenSet[ConstraintSet] = frozenset()
+    static: FrozenSet[ConstraintSet] = frozenset()
+
+
+EMPTY_SEEDS = SeededSets()
+
+
+def seed_plan(push, config: "ExplorerConfig", metrics) -> SeededSets:
+    """Push the config's plan and static seeds onto a frontier (both
+    engines call this right after pushing the root empty candidate, so
+    the counters are charged at the same schedule-deterministic point
+    everywhere).
+
+    Dynamic plan seeds go first; static seeds that duplicate a dynamic
+    seed are dropped (the dynamic plan dominates).  The frontier routes
+    the surviving statics to its interleave lane (see :class:`Frontier`).
+    Returns the seeded constraint sets for the match attribution on
+    success.
     """
     seeded = plan_candidates(config.plan_seeds)
+    plan_sets = frozenset(c.constraints for c in seeded)
+    statics = [
+        c for c in static_candidates(config.static_seeds)
+        if c.constraints not in plan_sets
+    ]
     for candidate in seeded:
+        push(candidate, config.base_seed)
+    for candidate in statics:
         push(candidate, config.base_seed)
     if seeded:
         metrics.counter("sanitize.plan_seeded").inc(len(seeded))
-    return frozenset(c.constraints for c in seeded)
+    if statics:
+        metrics.counter("sanitize.static.seeded").inc(len(statics))
+    return SeededSets(
+        plan=plan_sets,
+        static=frozenset(c.constraints for c in statics),
+    )
 
 
 def observe_plan_match(
-    metrics, plan_sets: FrozenSet[ConstraintSet], winning: ConstraintSet
+    metrics, plan_sets: SeededSets, winning: ConstraintSet
 ) -> None:
-    """Charge ``sanitize.plan_matched`` when the winning constraint set
-    was one the sanitizer pre-seeded (rather than mined feedback)."""
-    if winning and winning in plan_sets:
+    """Charge ``sanitize.plan_matched`` (or ``sanitize.static.matched``)
+    when the winning constraint set was one the sanitizer (or the static
+    analyzer) pre-seeded, rather than mined feedback."""
+    if not winning:
+        return
+    if winning in plan_sets.plan:
         metrics.counter("sanitize.plan_matched").inc()
+    elif winning in plan_sets.static:
+        metrics.counter("sanitize.static.matched").inc()
 
 
 def observe_attempt_record(metrics, record: AttemptRecord) -> None:
@@ -211,17 +338,9 @@ class FeedbackExplorer:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
-        frontier: List[Tuple[Tuple[int, int, int, int], int, ConstraintSet, int]] = []
-        counter = 0
+        frontier = Frontier()
         restarts_used = 0
-
-        def push(candidate: Candidate, seed: int) -> None:
-            nonlocal counter
-            counter += 1
-            heapq.heappush(
-                frontier,
-                (candidate.sort_key(), counter, candidate.constraints, seed),
-            )
+        push = frontier.push
 
         push(Candidate(_EMPTY, 0, 0, tier=TIER_ROOT), config.base_seed)
         plan_sets = seed_plan(push, config, metrics)
@@ -240,7 +359,7 @@ class FeedbackExplorer:
                 )
                 continue
 
-            _, _, constraints, seed = heapq.heappop(frontier)
+            constraints, seed, _ = frontier.pop()
             if self.db.tried(constraints, seed):
                 continue
             self.db.mark_tried(constraints, seed)

@@ -49,14 +49,22 @@ from repro.sim.ops import OpKind
 from repro.sim.trace import Trace
 
 
-#: Frontier tiers, in exploration order.  The root (empty) attempt always
-#: runs first — it is the baseline's attempt 1, so pre-seeding a plan can
-#: never make a one-attempt bug slower.  Plan candidates (from the
-#: predictive sanitizer pass, see :mod:`repro.sanitize`) run next, in plan
-#: rank order; candidates mined from failed attempts come last.
+#: Frontier tiers.  The root (empty) attempt always runs first — it is
+#: the baseline's attempt 1, so pre-seeding a plan can never make a
+#: one-attempt bug slower.  Plan candidates (from the predictive
+#: sanitizer pass, see :mod:`repro.sanitize`) run next, in plan rank
+#: order — dynamic evidence dominates static approximation.  Static
+#: candidates (from the sketchless analyzer, see
+#: :mod:`repro.analysis.static_`) do *not* form a strict tier of their
+#: own: the frontier interleaves them with the mined tier, alternating
+#: one mined candidate (an ordering actually observed unordered in a
+#: failed attempt) with one static candidate in static-plan rank order
+#: (see :class:`repro.core.explorer.Frontier`).  Candidates mined from
+#: failed attempts otherwise keep their best-first heap order.
 TIER_ROOT = 0
 TIER_PLAN = 1
-TIER_MINED = 2
+TIER_STATIC = 2
+TIER_MINED = 3
 
 
 @dataclass(frozen=True)
@@ -70,10 +78,11 @@ class Candidate:
     #: atomicity/order-violation ingredient), 1 for write/atomic-only races.
     shape: int = 0
     #: frontier tier (see :data:`TIER_ROOT` / :data:`TIER_PLAN` /
-    #: :data:`TIER_MINED`); exploration is strictly tier-ordered.
+    #: :data:`TIER_STATIC` / :data:`TIER_MINED`); root and plan tiers
+    #: are explored strictly first, then statics interleave with mined.
     tier: int = TIER_MINED
-    #: rank within :data:`TIER_PLAN` (the sanitizer's candidate order);
-    #: unused by the other tiers.
+    #: rank within :data:`TIER_PLAN` / :data:`TIER_STATIC` (the
+    #: analyzer's candidate order); unused by the other tiers.
     rank: int = 0
     #: the single constraint this candidate adds to the attempt it was
     #: mined from (None for root/plan candidates).  ``constraints -
@@ -91,13 +100,15 @@ class Candidate:
     def sort_key(self) -> Tuple[int, int, int, int]:
         """Heap key: (tier, major, shape, -anchor).
 
-        The major key is the plan rank inside :data:`TIER_PLAN` and the
-        constraint-set depth inside :data:`TIER_MINED` (fewest constraints
-        first — stay close to schedules already known to follow the
-        sketch), so mined exploration order is unchanged when no plan is
-        seeded.
+        The major key is the plan rank inside :data:`TIER_PLAN` and
+        :data:`TIER_STATIC`, and the constraint-set depth inside
+        :data:`TIER_MINED` (fewest constraints first — stay close to
+        schedules already known to follow the sketch), so mined
+        exploration order is unchanged when no plan is seeded.
         """
-        major = self.rank if self.tier == TIER_PLAN else self.depth
+        major = (
+            self.rank if self.tier in (TIER_PLAN, TIER_STATIC) else self.depth
+        )
         return (self.tier, major, self.shape, -self.anchor_gidx)
 
 

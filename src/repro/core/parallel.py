@@ -54,7 +54,6 @@ byte-identical under injected faults (see ``docs/resilience.md``).  A
 
 from __future__ import annotations
 
-import heapq
 import os
 import pickle
 import threading
@@ -67,9 +66,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core import shm
 from repro.core.constraints import ConstraintSet, canonical_order
 from repro.core.explorer import (
+    EMPTY_SEEDS,
     AttemptRecord,
     ExplorationResult,
     ExplorerConfig,
+    Frontier,
+    SeededSets,
     _classify,
     observe_attempt_record,
     observe_plan_match,
@@ -509,9 +511,10 @@ class ParallelExplorer:
         # even though OS pids are not.
         self._parent_pid = os.getpid()
         self._lanes: Dict[int, int] = {}
-        #: constraint sets seeded from the sanitizer plan (feedback mode
-        #: only), for the ``sanitize.plan_matched`` check at fold time.
-        self._plan_sets: frozenset = frozenset()
+        #: constraint sets seeded from the sanitizer plan and the static
+        #: analyzer (feedback mode only), for the match attribution at
+        #: fold time.
+        self._plan_sets: SeededSets = EMPTY_SEEDS
         #: prefix snapshots for attempts evaluated in this process (the
         #: inline path and supervisor fallbacks); pool workers hold their
         #: own trees (see :func:`_worker_init`).
@@ -814,25 +817,9 @@ class ParallelExplorer:
         config = self.config
         tracer = self.obs.tracer
         metrics = self.obs.metrics
-        frontier: List[
-            Tuple[Tuple[int, int, int, int], int, ConstraintSet, int, Candidate]
-        ] = []
-        counter = 0
+        frontier = Frontier()
         restarts_used = 0
-
-        def push(candidate: Candidate, seed: int) -> None:
-            nonlocal counter
-            counter += 1
-            heapq.heappush(
-                frontier,
-                (
-                    candidate.sort_key(),
-                    counter,
-                    candidate.constraints,
-                    seed,
-                    candidate,
-                ),
-            )
+        push = frontier.push
 
         push(Candidate(_EMPTY, 0, 0, tier=TIER_ROOT), config.base_seed)
         self._plan_sets = seed_plan(push, config, metrics)
@@ -845,7 +832,7 @@ class ParallelExplorer:
             budget_left = config.max_attempts - result.attempt_count
             want = min(self.batch_size, budget_left)
             while len(batch) < want and frontier:
-                _, _, constraints, seed, candidate = heapq.heappop(frontier)
+                constraints, seed, candidate = frontier.pop()
                 if self.db.tried(constraints, seed):
                     continue
                 self.db.mark_tried(constraints, seed)

@@ -44,7 +44,8 @@ from repro.obs.session import ObsSession, resolve_session
 from repro.robust.supervise import SuperviseConfig
 from repro.sim.trace import Trace
 
-if TYPE_CHECKING:  # avoid a core -> sanitize import at runtime
+if TYPE_CHECKING:  # avoid core -> sanitize/analysis imports at runtime
+    from repro.analysis.static_.model import StaticPlan
     from repro.sanitize.plan import ReplayPlan
 
 
@@ -168,6 +169,7 @@ class Reproducer:
         cache: Optional[AttemptCache] = None,
         obs: Optional[ObsSession] = None,
         plan: Optional["ReplayPlan"] = None,
+        static_plan: Optional["StaticPlan"] = None,
         supervise: Optional["SuperviseConfig"] = None,
         chaos: object = None,
         pool: Optional[PoolLease] = None,
@@ -182,6 +184,12 @@ class Reproducer:
         if plan is not None:
             self.config = dataclasses.replace(
                 self.config, plan_seeds=plan.seeds_for(recorded.sketch)
+            )
+        self.static_plan = static_plan
+        if static_plan is not None:
+            self.config = dataclasses.replace(
+                self.config,
+                static_seeds=static_plan.seeds_for(recorded.sketch),
             )
         self.obs = resolve_session(self.config, obs)
         self.base_policy = base_policy
@@ -248,6 +256,23 @@ class Reproducer:
             )
             metrics.counter("sanitize.plan_applicable").inc(
                 len(self.config.plan_seeds)
+            )
+        if self.static_plan is not None:
+            metrics = self.obs.metrics
+            metrics.counter("sanitize.static.races").inc(
+                len(self.static_plan.races)
+            )
+            metrics.counter("sanitize.static.atomicity").inc(
+                len(self.static_plan.violations)
+            )
+            metrics.counter("sanitize.static.deadlocks").inc(
+                len(self.static_plan.deadlocks)
+            )
+            metrics.counter("sanitize.static.candidates").inc(
+                len(self.static_plan.candidates)
+            )
+            metrics.counter("sanitize.static.applicable").inc(
+                len(self.config.static_seeds)
             )
         with self.obs.tracer.span(
             "reproduce", category="session",
@@ -346,6 +371,7 @@ def reproduce(
     store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
+    static_plan: Optional["StaticPlan"] = None,
     supervise: Optional[SuperviseConfig] = None,
     chaos: object = None,
     run: object = None,
@@ -376,6 +402,15 @@ def reproduce(
     :param plan: optional sanitizer :class:`~repro.sanitize.plan.ReplayPlan`;
         its candidates applicable at ``recorded.sketch`` seed the first
         attempts (after the baseline empty attempt).
+    :param static_plan: optional
+        :class:`~repro.analysis.static_.model.StaticPlan` from
+        ``analyze_program`` — candidates mined from program *structure*
+        with no recording.  They seed at ``TIER_STATIC``, after every
+        dynamic plan seed (dynamic evidence dominates static
+        approximation), and any that duplicate a dynamic seed are
+        dropped.  This is the sketchless-guidance path: with a NONE
+        sketch and no dynamic plan, static candidates are all the
+        search has beyond blind stress.
     :param supervise: optional
         :class:`~repro.robust.supervise.SuperviseConfig` — attempt
         deadlines, retry/backoff on worker death, pool rebuild limits.
@@ -406,7 +441,8 @@ def reproduce(
         report = Reproducer(
             recorded, config=config, use_feedback=use_feedback,
             base_policy=base_policy, match_output=match_output, cache=cache,
-            obs=obs, plan=plan, supervise=supervise, chaos=chaos, pool=pool,
+            obs=obs, plan=plan, static_plan=static_plan,
+            supervise=supervise, chaos=chaos, pool=pool,
         ).run()
         if run is not None and not report.interrupted:
             run.commit(report)
@@ -463,6 +499,7 @@ def reproduce_degraded(
     store: object = None,
     obs: Optional[ObsSession] = None,
     plan: Optional["ReplayPlan"] = None,
+    static_plan: Optional["StaticPlan"] = None,
     supervise: Optional[SuperviseConfig] = None,
     chaos: object = None,
 ) -> ReproductionReport:
@@ -501,6 +538,9 @@ def reproduce_degraded(
     :param plan: optional sanitizer plan; each rung seeds the candidates
         applicable at *its* sketch level, so a plan built from a rich log
         keeps helping as the ladder coarsens.
+    :param static_plan: optional static plan (see :func:`reproduce`);
+        each rung re-filters its candidates at that rung's sketch level,
+        still behind any dynamic plan seeds.
     :param supervise: optional supervision policy, shared by every rung
         (see :func:`reproduce`).
     :param chaos: optional fault injection, shared by every rung.
@@ -520,6 +560,7 @@ def reproduce_degraded(
             cache=cache,
             obs=obs,
             plan=plan,
+            static_plan=static_plan,
             supervise=supervise,
             chaos=chaos,
         )
@@ -542,6 +583,7 @@ def _degraded_walk(
     cache: Optional[AttemptCache],
     obs: Optional[ObsSession],
     plan: Optional["ReplayPlan"],
+    static_plan: Optional["StaticPlan"],
     supervise: Optional[SuperviseConfig],
     chaos: object,
 ) -> ReproductionReport:
@@ -590,6 +632,7 @@ def _degraded_walk(
                 cache=shared_cache,
                 obs=session,
                 plan=plan,
+                static_plan=static_plan,
                 supervise=supervise,
                 chaos=chaos,
             ).run()

@@ -53,6 +53,69 @@ def test_flags_global_rng_but_allows_seeded_instances():
     assert _rules("import random\nrng = random.Random(42)\nx = rng.random()\n") == []
 
 
+class TestImportBindingResolution:
+    """From-imports and aliases must not slip past the module rules."""
+
+    def test_from_import_of_wall_clock(self):
+        assert _rules("from time import time\nstamp = time()\n") == [
+            "wall-clock"
+        ]
+        assert _rules(
+            "from time import time_ns as ns\nstamp = ns()\n"
+        ) == ["wall-clock"]
+
+    def test_module_alias_of_wall_clock(self):
+        assert _rules("import time as t\nstamp = t.time()\n") == [
+            "wall-clock"
+        ]
+        assert _rules(
+            "from datetime import datetime as dt\nd = dt.now()\n"
+        ) == ["wall-clock"]
+
+    def test_from_import_of_global_rng(self):
+        assert _rules(
+            "from random import shuffle\nshuffle(items)\n"
+        ) == ["global-random"]
+        assert _rules(
+            "import random as rnd\nx = rnd.random()\n"
+        ) == ["global-random"]
+
+    def test_seeded_instance_import_stays_exempt(self):
+        source = "from random import Random\nrng = Random(42)\nx = rng.random()\n"
+        assert _rules(source) == []
+
+    def test_aliased_monotonic_timers_stay_exempt_outside_retry(self):
+        assert _rules(
+            "from time import perf_counter\nt0 = perf_counter()\n"
+        ) == []
+
+    def test_from_import_inside_retry_logic_is_flagged(self):
+        source = (
+            "from time import monotonic\n"
+            "def wait_for_deadline(limit):\n"
+            "    while monotonic() < limit:\n"
+            "        pass\n"
+        )
+        assert _rules(source) == ["retry-clock"]
+
+    def test_from_import_of_dir_listing(self):
+        assert _rules(
+            "from os import listdir\nnames = listdir(root)\n"
+        ) == ["unsorted-dir-listing"]
+        assert _rules(
+            "from os import listdir\nnames = sorted(listdir(root))\n"
+        ) == []
+
+    def test_relative_imports_are_ignored(self):
+        # A local module that happens to export `time` is not the stdlib.
+        assert _rules("from .clock import time\nstamp = time()\n") == []
+
+
+def test_benchmarks_are_in_the_default_lint_targets():
+    targets = lint_determinism.default_targets(ROOT)
+    assert ROOT / "benchmarks" in targets
+
+
 def test_flags_set_iteration_feeding_ordered_output():
     assert _rules("for item in {1, 2, 3}:\n    print(item)\n") == [
         "set-iteration"

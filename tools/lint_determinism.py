@@ -15,6 +15,14 @@ historically break that contract:
 * **unseeded global randomness** — any call through the ``random``
   *module* (``random.random()``, ``random.shuffle()``, ...).  Replay
   code must use an explicitly seeded ``random.Random(seed)`` instance.
+
+Module and attribute rules see through import bindings: ``import time
+as t`` / ``t.time()``, ``from time import time`` / ``time()``, and
+``from random import shuffle`` / ``shuffle(xs)`` all resolve to the
+same ``(module, attr)`` pairs the rules match on (``from random import
+Random`` stays exempt — a seeded instance is the sanctioned spelling).
+Relative imports are ignored: they cannot name the watched stdlib
+modules.
 * **unordered iteration feeding ordered output** — ``for`` loops and
   comprehensions that iterate a syntactic set (literal, comprehension,
   or ``set()``/``frozenset()`` call) without wrapping it in
@@ -119,6 +127,38 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+def _import_bindings(tree: ast.AST):
+    """Map a module's local names to what they import.
+
+    Returns ``(modules, members)``: ``modules`` maps a local name to the
+    module it names (``import time as t`` binds ``t`` to ``time``;
+    ``import os.path`` binds ``os`` to ``os``), and ``members`` maps a
+    local name to its ``(module, attr)`` origin (``from time import
+    time``, ``from random import shuffle as mix``).  Relative and
+    star imports are skipped — they cannot name the stdlib modules the
+    rules watch.  Bindings are collected module-wide without scope
+    tracking: a linter over-approximates, and the pragma is the escape
+    hatch for a genuinely shadowed name.
+    """
+    modules = {}
+    members = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if alias.asname is not None:
+                    modules[alias.asname] = alias.name
+                else:
+                    modules[top] = top
+        elif isinstance(node, ast.ImportFrom) and not node.level and node.module:
+            for alias in node.names:
+                if alias.name != "*":
+                    members[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+    return modules, members
+
+
 def _attr_call(node: ast.Call):
     """The (module_name, attr_name) of a ``module.attr(...)`` call."""
     func = node.func
@@ -147,8 +187,12 @@ def _uses_id_name(node: ast.AST) -> bool:
 class _Checker(ast.NodeVisitor):
     """Collect determinism hazards from one module's AST."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, modules=None, members=None) -> None:
         self.path = path
+        #: local name -> imported module (``import time as t``).
+        self._modules = modules or {}
+        #: local name -> (module, attr) origin (``from time import time``).
+        self._members = members or {}
         self.violations: List[Violation] = []
         #: argument nodes of a ``sorted(...)`` call currently in scope;
         #: a directory-listing call found here is sanctioned.  Works
@@ -158,6 +202,29 @@ class _Checker(ast.NodeVisitor):
         self._func_stack: List[str] = []
         #: nesting depth of loop/lambda bodies (re-sort hot paths).
         self._repeat_depth = 0
+
+    def _resolve_call(self, node: ast.Call):
+        """The (module, attr) a call resolves to, following imports.
+
+        ``module.attr(...)`` resolves the receiver through import
+        aliases (``t.time()`` after ``import time as t`` is ``("time",
+        "time")``) and from-imported members (``dt.now()`` after ``from
+        datetime import datetime as dt`` is ``("datetime", "now")``);
+        a bare call resolves through from-import bindings
+        (``shuffle(xs)`` after ``from random import shuffle`` is
+        ``("random", "shuffle")``).
+        """
+        pair = _attr_call(node)
+        if pair is not None:
+            receiver, attr = pair
+            if receiver in self._modules:
+                return self._modules[receiver], attr
+            if receiver in self._members:
+                return self._members[receiver][1], attr
+            return receiver, attr
+        if isinstance(node.func, ast.Name):
+            return self._members.get(node.func.id)
+        return None
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -187,7 +254,7 @@ class _Checker(ast.NodeVisitor):
             )
 
     def visit_Call(self, node: ast.Call) -> None:
-        pair = _attr_call(node)
+        pair = self._resolve_call(node)
         if isinstance(node.func, ast.Name) and node.func.id == "sorted":
             self._sorted_args.update(id(arg) for arg in node.args)
         self._check_dir_listing(node, pair)
@@ -320,8 +387,10 @@ class _Checker(ast.NodeVisitor):
 
 def lint_source(source: str, path: str = "<string>") -> List[Violation]:
     """Lint one module's source text; pragma-suppressed lines excluded."""
-    checker = _Checker(path)
-    checker.visit(ast.parse(source, filename=path))
+    tree = ast.parse(source, filename=path)
+    modules, members = _import_bindings(tree)
+    checker = _Checker(path, modules, members)
+    checker.visit(tree)
     lines = source.splitlines()
     kept = []
     for violation in checker.violations:
@@ -356,8 +425,10 @@ def lint_paths(paths: Sequence[Path]) -> List[Violation]:
 
 
 def default_targets(root: Path) -> List[Path]:
-    """The tree CI lints: the whole installable package plus the tools."""
-    return [root / "src", root / "tools"]
+    """The tree CI lints: the installable package, the tools, and the
+    benchmark harnesses (published tables must be as reproducible as the
+    replays they measure)."""
+    return [root / "src", root / "tools", root / "benchmarks"]
 
 
 def main(argv: Sequence[str]) -> int:

@@ -1,0 +1,71 @@
+"""E18 - epoch-windowed always-on recording vs full history (extension).
+
+The rolling window's contract, asserted over the T1 suite: the retained
+(windowed) log is strictly smaller than full history on the long-running
+server bugs, last-epoch in-situ replay reproduces every bug in no more
+attempts than the full-history search of the same production run, and
+the windowed reports are byte-identical across ``--jobs`` arms and
+across window sizes K and K+1 on the server bugs.
+"""
+
+import pytest
+
+from repro.bench.epochs import E18_SERVER_BUGS, build_e18
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_e18()
+
+
+def test_e18_epoch_table(result, publish, benchmark):
+    def check():
+        publish("e18_epochs", result.render())
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e18_windowed_log_strictly_smaller_on_servers(result, benchmark):
+    def check():
+        for record in result.records:
+            if record["bug"] in E18_SERVER_BUGS:
+                assert (
+                    record["windowed_bytes"] < record["full_bytes"]
+                ), record["bug"]
+                assert record["truncated_entries"] > 0, record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e18_attempts_no_worse_than_full_history(result, benchmark):
+    def check():
+        for record in result.records:
+            assert record["windowed_success"], record["bug"]
+            if record["full_success"]:
+                assert (
+                    record["windowed_attempts"] <= record["full_attempts"]
+                ), record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e18_reports_deterministic_across_jobs_and_windows(result, benchmark):
+    def check():
+        asserted = 0
+        for record in result.records:
+            if record["bug"] in E18_SERVER_BUGS:
+                assert record["jobs_identical"] is True, record["bug"]
+                assert record["window_identical"] is True, record["bug"]
+                asserted += 1
+        assert asserted == len(E18_SERVER_BUGS)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e18_every_bug_has_a_multi_epoch_timeline(result, benchmark):
+    def check():
+        for record in result.records:
+            assert record["total_epochs"] >= 2, record["bug"]
+            assert record["reproduced_from"], record["bug"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -18,17 +18,20 @@ class OverheadRow:
 
     bug_id: str
     app: str
-    overhead_percent: Dict[SketchKind, float]
+    #: per-sketch overhead, ``None`` when the native baseline was
+    #: unusable (see :attr:`RecordingStats.overhead`).
+    overhead_percent: Dict[SketchKind, Optional[float]]
     log_bytes: Dict[SketchKind, int]
     entries: Dict[SketchKind, int]
     total_events: int
 
     def reduction_vs_rw(self, sketch: SketchKind) -> float:
         """How many times cheaper this sketch records than full RW order."""
-        denominator = self.overhead_percent.get(sketch, 0.0)
+        denominator = self.overhead_percent.get(sketch) or 0.0
+        numerator = self.overhead_percent.get(SketchKind.RW) or 0.0
         if denominator <= 0:
             return float("inf")
-        return self.overhead_percent[SketchKind.RW] / denominator
+        return numerator / denominator
 
 
 def overhead_row(
@@ -93,6 +96,6 @@ def max_reduction(
     finite = [
         row.reduction_vs_rw(sketch)
         for row in rows
-        if row.overhead_percent.get(sketch, 0.0) > 0
+        if (row.overhead_percent.get(sketch) or 0.0) > 0
     ]
     return max(finite) if finite else float("inf")

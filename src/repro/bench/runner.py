@@ -18,6 +18,7 @@ from typing import Callable, Dict, List
 
 from repro.apps import all_bugs, get_bug
 from repro.bench.attempts import attempts_matrix
+from repro.bench.epochs import build_e18
 from repro.bench.faults import build_e17
 from repro.bench.overhead import max_reduction, overhead_matrix, overhead_row
 from repro.bench.prediction import build_e13
@@ -57,7 +58,11 @@ def build_t1() -> BenchResult:
 def build_e1() -> BenchResult:
     matrix = overhead_matrix(all_bugs(), SKETCH_ORDER, seed=7, ncpus=4)
     rows = [
-        [row.bug_id] + [row.overhead_percent[s] for s in SKETCH_ORDER]
+        [row.bug_id]
+        + [
+            "n/a" if row.overhead_percent[s] is None else row.overhead_percent[s]
+            for s in SKETCH_ORDER
+        ]
         for row in matrix
     ]
     records = [
@@ -87,11 +92,15 @@ def build_e2() -> BenchResult:
     for row in matrix:
         reduction = (
             row.reduction_vs_rw(SketchKind.SYNC)
-            if row.overhead_percent[SketchKind.SYNC] > 0 else float("inf")
+            if (row.overhead_percent[SketchKind.SYNC] or 0) > 0
+            else float("inf")
         )
         rows.append(
-            [row.bug_id, row.overhead_percent[SketchKind.SYNC],
-             row.overhead_percent[SketchKind.RW],
+            [row.bug_id,
+             "n/a" if row.overhead_percent[SketchKind.SYNC] is None
+             else row.overhead_percent[SketchKind.SYNC],
+             "n/a" if row.overhead_percent[SketchKind.RW] is None
+             else row.overhead_percent[SketchKind.RW],
              f"{reduction:,.0f}x" if reduction != float("inf") else "inf"]
         )
         records.append(
@@ -233,11 +242,12 @@ EXPERIMENTS: Dict[str, Callable[[], BenchResult]] = {
     "e15": build_e15,
     "e16": build_e16,
     "e17": build_e17,
+    "e18": build_e18,
 }
 
 
 def run_experiment_result(name: str, obs=None) -> BenchResult:
-    """Run one experiment by id (t1, e1..e6, e12..e17); structured
+    """Run one experiment by id (t1, e1..e6, e12..e18); structured
     result.
 
     :param obs: optional :class:`~repro.obs.session.ObsSession`; forwarded
@@ -259,7 +269,7 @@ def run_experiment_result(name: str, obs=None) -> BenchResult:
 
 
 def run_experiment(name: str) -> str:
-    """Render one experiment's table by id (t1, e1..e6, e12..e17)."""
+    """Render one experiment's table by id (t1, e1..e6, e12..e18)."""
     return run_experiment_result(name).render()
 
 

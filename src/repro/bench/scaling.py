@@ -64,8 +64,12 @@ def scaling_curves(
                 oracle=spec.oracle,
             )
             points.append(
-                ScalingPoint(ncpus=ncpus,
-                             overhead_percent=recorded.stats.overhead_percent)
+                ScalingPoint(
+                    ncpus=ncpus,
+                    # A run without a usable native baseline has no
+                    # overhead figure; curves treat it as flat zero.
+                    overhead_percent=recorded.stats.overhead_percent or 0.0,
+                )
             )
         curves.append(ScalingCurve(bug_id=spec.bug_id, sketch=sketch, points=points))
     return curves

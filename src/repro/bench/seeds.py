@@ -40,6 +40,36 @@ def find_failing_seed(
     return found
 
 
+def find_longest_failing_seed(
+    spec: BugSpec, budget: int = 200, ncpus: int = 4, **params
+) -> Optional[int]:
+    """The failing seed whose production run executes the *most* events
+    (memoized; ties break to the lowest seed).
+
+    The epoch-windowing experiment (E18) wants the always-on scenario —
+    a long production run ahead of the failure — so it picks the
+    longest failing run the seed budget can find rather than the first.
+    """
+    key = ("longest", spec.bug_id, tuple(sorted(params.items())), ncpus)
+    if key in _seed_cache:
+        return _seed_cache[key]
+    best: Optional[int] = None
+    best_events = -1
+    for seed in range(budget):
+        machine = Machine(
+            spec.make_program(**params),
+            RandomScheduler(seed),
+            MachineConfig(ncpus=ncpus),
+        )
+        trace = machine.run()
+        if apply_oracle(trace, spec.oracle) is None:
+            continue
+        if len(trace.events) > best_events:
+            best, best_events = seed, len(trace.events)
+    _seed_cache[key] = best
+    return best
+
+
 def failure_rate(
     spec: BugSpec, samples: int = 100, ncpus: int = 4, **params
 ) -> float:

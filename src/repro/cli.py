@@ -89,8 +89,14 @@ from repro.bench.seeds import find_failing_seed
 from repro.core.explorer import ExplorerConfig
 from repro.core.full_replay import CompleteLog, replay_complete
 from repro.core.diagnose import diagnose
+from repro.core.epochs import EpochConfig
 from repro.core.recorder import record
-from repro.core.reproducer import render_report, reproduce, reproduce_degraded
+from repro.core.reproducer import (
+    render_report,
+    reproduce,
+    reproduce_degraded,
+    reproduce_windowed,
+)
 from repro.core.sketches import parse_sketch_kind
 from repro.errors import RecorderKilled, SimUsageError, SketchFormatError
 from repro.obs.session import ObsSession
@@ -134,6 +140,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None,
                         help="production-run seed (default: search)")
     parser.add_argument("--ncpus", type=int, default=4)
+
+
+def _add_epoch_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epoch-steps", type=int, default=0, metavar="N",
+                        help="cut an epoch boundary (with a state snapshot) "
+                             "every N scheduler steps; 0 disables epoch "
+                             "recording (default)")
+    parser.add_argument("--epoch-window", type=int, default=0, metavar="K",
+                        help="retain only the trailing K epochs of sketch "
+                             "entries and snapshots; 0 keeps everything "
+                             "(default)")
+
+
+def _epoch_config(args) -> Optional[EpochConfig]:
+    """The :class:`EpochConfig` the epoch flags describe, or ``None``."""
+    if not args.epoch_steps and not args.epoch_window:
+        return None
+    if not args.epoch_steps:
+        raise SimUsageError(
+            "--epoch-window needs --epoch-steps (a window of epochs only "
+            "exists once boundaries are being cut)"
+        )
+    return EpochConfig(
+        steps=args.epoch_steps, window=args.epoch_window
+    ).validate()
 
 
 def _resolve_seed(args, spec) -> Optional[int]:
@@ -198,6 +229,7 @@ def cmd_record(args) -> int:
             oracle=spec.oracle,
             journal_path=args.journal,
             kill_at_event=kill_at,
+            epochs=_epoch_config(args),
         )
     except RecorderKilled as killed:
         print(f"fault injected: {killed}")
@@ -207,6 +239,8 @@ def cmd_record(args) -> int:
             print(salvage(args.journal).describe())
         return 0
     print(recorded.describe())
+    if recorded.epochs is not None:
+        print(f"epochs: {recorded.epochs.describe()}")
     if args.journal:
         print(f"sketch journal written to {args.journal}")
     if args.out:
@@ -291,6 +325,17 @@ def cmd_reproduce(args) -> int:
         print("run journals do not compose with --degrade (each rung is "
               "its own exploration); drop one of the flags", file=sys.stderr)
         return 2
+    epochs = _epoch_config(args)
+    if epochs is not None and args.degrade:
+        print("--epoch-steps does not compose with --degrade (both are "
+              "rung walks over their own exploration); drop one",
+              file=sys.stderr)
+        return 2
+    if epochs is not None and (args.run_id or args.resume):
+        print("run journals do not compose with --epoch-steps (each epoch "
+              "rung is its own exploration); drop one of the flags",
+              file=sys.stderr)
+        return 2
     chaos = None
     if args.chaos:
         from repro.robust.inject import parse_chaos
@@ -324,6 +369,7 @@ def cmd_reproduce(args) -> int:
             oracle=spec.oracle,
             journal_path=args.journal,
             kill_at_event=kill_at,
+            epochs=epochs,
             **({"obs": obs} if obs is not None else {}),
         )
     except RecorderKilled as killed:
@@ -339,10 +385,18 @@ def cmd_reproduce(args) -> int:
     print(f"production: {recorded.failure.describe()}")
     print(f"sketch: {len(recorded.log)} entries, "
           f"{recorded.stats.log_bytes} bytes, "
-          f"overhead {recorded.stats.overhead_percent:.1f}%")
+          f"overhead {recorded.stats.render_overhead()}")
+    if recorded.epochs is not None:
+        print(f"epochs: {recorded.epochs.describe()}")
 
     salvaged_entries = None
     dropped_records = 0
+    if epochs is not None and (args.salvage or args.plan or args.static
+                               or args.static_plan):
+        print("--epoch-steps does not compose with --salvage/--plan/"
+              "--static (those operate on full-history logs; the epoch "
+              "walk replays windowed suffixes)", file=sys.stderr)
+        return 2
     if fault is not None and fault.kind != "kill":
         _inject_file_fault(args.journal, fault)
     if args.salvage:
@@ -442,6 +496,20 @@ def cmd_reproduce(args) -> int:
             chaos=chaos,
         )
         for rung in report.degradation_path:
+            print(f"  rung {rung.describe()}")
+        if report.outcome_reason:
+            print(f"  outcome: {report.outcome_reason}")
+    elif epochs is not None:
+        report = reproduce_windowed(
+            recorded,
+            config,
+            use_feedback=not args.no_feedback,
+            store=args.store,
+            obs=obs,
+            supervise=supervise,
+            chaos=chaos,
+        )
+        for rung in report.epoch_path:
             print(f"  rung {rung.describe()}")
         if report.outcome_reason:
             print(f"  outcome: {report.outcome_reason}")
@@ -794,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_record = sub.add_parser("record", help="record one production run")
     _add_common(p_record)
+    _add_epoch_flags(p_record)
     p_record.add_argument("--out", help="write the sketch log (JSON) here")
     p_record.add_argument("--journal",
                           help="journal sketch entries (crash-consistent) here")
@@ -823,6 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_repro = sub.add_parser("reproduce", help="record and reproduce a bug")
     _add_common(p_repro)
+    _add_epoch_flags(p_repro)
     p_repro.add_argument("--max-attempts", type=int, default=400)
     p_repro.add_argument("--plan", action="store_true",
                          help="run the predictive sanitizer over an RW "
@@ -943,7 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="render an evaluation table (t1, e1..e6, e12..e17, "
+        help="render an evaluation table (t1, e1..e6, e12..e18, "
              "or 'list')",
     )
     p_bench.add_argument("experiment")

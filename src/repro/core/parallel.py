@@ -65,6 +65,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import shm
 from repro.core.constraints import ConstraintSet, canonical_order
+from repro.core.epochs import EpochResumeBase
 from repro.core.explorer import (
     EMPTY_SEEDS,
     AttemptRecord,
@@ -132,6 +133,11 @@ class AttemptContext:
     #: the parent tracer's monotonic-clock epoch, so worker spans land on
     #: the parent timeline directly (see :mod:`repro.obs.tracer`).
     trace_epoch: float = 0.0
+    #: epoch replay base: restore this boundary snapshot instead of
+    #: re-simulating from step 0 (``recorded.log`` is then the
+    #: epoch-local suffix).  Serialized snapshots pickle with the rest
+    #: of the context, so pool workers restore it like the parent does.
+    epoch_base: Optional[EpochResumeBase] = None
 
     def ordered(self, constraints: ConstraintSet) -> Tuple:
         """The canonical ordering of ``constraints``, memoized per session."""
@@ -213,6 +219,14 @@ def run_attempt(
             base_policy=ctx.base_policy,
         )
         machine = Machine(recorded.program, scheduler, recorded.config)
+        if ctx.epoch_base is not None:
+            # Last-epoch in-situ replay: restore the boundary snapshot
+            # and search only the epoch-local suffix.  The restored
+            # machine already holds the production prefix events, so the
+            # scheduler primes its gate from them while its cursor walks
+            # the suffix log from 0.
+            ctx.epoch_base.restore_into(machine)
+            scheduler.prime_restored(machine)
     if tree is not None:
         depths, on_snapshot = capture_hooks(constraints, seed, scheduler, tree)
         if machine.schedule:
@@ -464,6 +478,7 @@ class ParallelExplorer:
         supervise: Optional[SuperviseConfig] = None,
         chaos=None,
         pool: Optional[PoolLease] = None,
+        epoch_base: Optional[EpochResumeBase] = None,
     ) -> None:
         self.config = config or ExplorerConfig()
         self.obs = resolve_session(self.config, obs)
@@ -475,6 +490,7 @@ class ParallelExplorer:
             max_constraint_depth=self.config.max_constraint_depth,
             trace_attempts=self.obs.tracer.enabled,
             trace_epoch=self.obs.tracer.epoch,
+            epoch_base=epoch_base,
         )
         self.use_feedback = use_feedback
         self.cache = cache

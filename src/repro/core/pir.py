@@ -235,6 +235,28 @@ class PIRScheduler(Scheduler):
                     )
                 self.cursor.position += 1
 
+    # -- epoch resume ------------------------------------------------------
+
+    def prime_restored(self, machine: Machine) -> None:
+        """Initialize against a machine restored from an epoch snapshot.
+
+        The restored machine's event list already holds the production
+        prefix that was *executed inside the snapshot*; this scheduler's
+        log is the epoch-local suffix, so the cursor must start at 0
+        while the constraint gate's occurrence counters are primed by
+        observing the prefix (constraints generated from attempt traces
+        count occurrences from the start of the run, prefix included).
+        Call instead of ``on_run_start`` — a resumed machine skips that
+        hook.
+        """
+        self.cursor = SketchCursor(self.log)
+        self.gate = ConstraintGate(self.constraints)
+        self._chooser = make_chooser(self.base_policy, self.base_seed)
+        self._chooser.restart()
+        for event in machine.events:
+            self.gate.observe(event)
+        self._seen_events = len(machine.events)
+
     # -- prefix resume -----------------------------------------------------
 
     def capture_resume_state(self, *, serialize: bool = False) -> Tuple[Any, ...]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.cost import DEFAULT_COST_MODEL, CostModel
+from repro.core.epochs import EpochConfig, EpochTimeline, EpochTracker
 from repro.core.sketches import SketchEntry, SketchKind, event_visible
 from repro.core.sketchlog import SketchLog, entry_record
 from repro.obs.session import NULL_SESSION, ObsSession
@@ -94,14 +95,26 @@ class RecordingStats:
     log_bytes: int
 
     @property
-    def overhead(self) -> float:
+    def overhead(self) -> Optional[float]:
+        """Fractional recording slowdown, or ``None`` when the native
+        baseline is unusable (``native_time <= 0``).
+
+        A failed baseline must not masquerade as "zero overhead" — E1
+        would report a recorder as free when the truth is "unmeasured".
+        """
         if self.native_time <= 0:
-            return 0.0
+            return None
         return self.recorded_time / self.native_time - 1.0
 
     @property
-    def overhead_percent(self) -> float:
-        return self.overhead * 100.0
+    def overhead_percent(self) -> Optional[float]:
+        overhead = self.overhead
+        return None if overhead is None else overhead * 100.0
+
+    def render_overhead(self) -> str:
+        """Human form of :attr:`overhead_percent`: ``12.5%`` or ``n/a``."""
+        percent = self.overhead_percent
+        return "n/a" if percent is None else f"{percent:.1f}%"
 
     @property
     def bytes_per_kilo_events(self) -> float:
@@ -126,6 +139,9 @@ class RecordedRun:
     #: program already produced it); output-strict reproduction
     #: (ODR-style) matches against it.
     stdout: list = field(default_factory=list)
+    #: epoch timeline when recorded with ``--epoch-steps`` (boundary
+    #: snapshots for last-epoch replay); ``None`` for full-history runs.
+    epochs: Optional["EpochTimeline"] = field(default=None, repr=False)
 
     @property
     def failed(self) -> bool:
@@ -134,10 +150,16 @@ class RecordedRun:
     def describe(self) -> str:
         """One-line summary: sketch size, overhead, observed failure."""
         status = self.failure.describe() if self.failure else "no failure"
+        epochs = ""
+        if self.epochs is not None:
+            epochs = (
+                f", {self.epochs.total_epochs} epochs"
+                f" ({self.epochs.truncated_entries} entries truncated)"
+            )
         return (
             f"recorded {self.program.describe()} with {self.sketch.value} sketch: "
             f"{len(self.log)} entries ({self.stats.log_bytes} bytes), "
-            f"overhead {self.stats.overhead_percent:.1f}%, {status}"
+            f"overhead {self.stats.render_overhead()}{epochs}, {status}"
         )
 
 
@@ -172,6 +194,7 @@ def record(
     journal_path: Optional[str] = None,
     kill_at_event: Optional[int] = None,
     obs: ObsSession = NULL_SESSION,
+    epochs: Optional[EpochConfig] = None,
 ) -> RecordedRun:
     """Run ``program`` once in "production" and record a sketch.
 
@@ -187,6 +210,9 @@ def record(
         executed, leaving only the journaled prefix behind.
     :param obs: observability session the recording phase reports into
         (a ``record`` span plus ``record_*`` counters).
+    :param epochs: epoch-windowed recording policy — cut boundaries with
+        snapshots and retain only the trailing window of sketch entries
+        (see :mod:`repro.core.epochs`).
     """
     run, _ = record_with_trace(
         program,
@@ -199,6 +225,7 @@ def record(
         journal_path=journal_path,
         kill_at_event=kill_at_event,
         obs=obs,
+        epochs=epochs,
     )
     return run
 
@@ -214,6 +241,7 @@ def record_with_trace(
     journal_path: Optional[str] = None,
     kill_at_event: Optional[int] = None,
     obs: ObsSession = NULL_SESSION,
+    epochs: Optional[EpochConfig] = None,
 ) -> tuple:
     """Like :func:`record` but also returns the full production trace.
 
@@ -236,6 +264,10 @@ def record_with_trace(
         )
     recorder = SketchRecorder(sketch, cost_model, journal=journal)
     observers: list = [recorder]
+    tracker: Optional[EpochTracker] = None
+    if epochs is not None and epochs.enabled:
+        tracker = EpochTracker(epochs, recorder.log, tracer=obs.tracer)
+        observers.append(tracker)
     if kill_at_event is not None:
         from repro.robust.inject import KillSwitch
 
@@ -254,7 +286,12 @@ def record_with_trace(
     )
     with record_span:
         try:
-            trace = machine.run()
+            if tracker is not None:
+                trace = machine.run(
+                    on_snapshot=tracker.cut, snapshot_when=tracker.should_cut
+                )
+            else:
+                trace = machine.run()
         finally:
             # On a kill, the journal stays footer-less (crash-shaped) but
             # its flushed prefix is already on disk; close the handle
@@ -263,28 +300,39 @@ def record_with_trace(
                 journal.close()
         record_span.note(events=len(trace.events), entries=len(recorder.log))
     failure = apply_oracle(trace, oracle)
+    timeline: Optional[EpochTimeline] = None
+    log = recorder.log
+    if tracker is not None:
+        # Deterministic truncation: keep the trailing window of epochs;
+        # the retained artifact is what an always-on recorder ships.
+        timeline, log = tracker.finalize()
     clock = trace.clock
     stats = RecordingStats(
         native_time=clock.native_time,
         recorded_time=clock.recorded_time,
         total_events=len(trace.events),
-        logged_entries=len(recorder.log),
-        log_bytes=recorder.log.size_bytes(),
+        logged_entries=len(log),
+        log_bytes=log.size_bytes(),
     )
     metrics = obs.metrics
     metrics.counter("record_events").inc(stats.total_events)
     metrics.counter("record_entries").inc(stats.logged_entries)
     metrics.counter("record_log_bytes").inc(stats.log_bytes)
-    metrics.gauge("record_overhead_percent").set(stats.overhead_percent)
+    if stats.overhead_percent is not None:
+        metrics.gauge("record_overhead_percent").set(stats.overhead_percent)
+    if timeline is not None:
+        metrics.counter("record.epochs").inc(timeline.total_epochs)
+        metrics.counter("record.truncated_entries").inc(timeline.truncated_entries)
     run = RecordedRun(
         program=program,
         sketch=sketch,
-        log=recorder.log,
+        log=log,
         failure=failure,
         config=machine_config,
         seed=seed,
         stats=stats,
         oracle=oracle,
         stdout=list(trace.stdout),
+        epochs=timeline,
     )
     return run, trace

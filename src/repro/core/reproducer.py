@@ -28,6 +28,7 @@ from repro.core.explorer import (
     FeedbackExplorer,
     RandomExplorer,
 )
+from repro.core.epochs import EpochBoundary, EpochResumeBase, suffix_log
 from repro.core.feedback import AttemptCache
 from repro.core.full_replay import CompleteLog
 from repro.core.parallel import (
@@ -69,6 +70,38 @@ class DegradationRung:
 
 
 @dataclass
+class EpochRung:
+    """One rung of the epoch walk: a replay base that was tried.
+
+    ``epoch`` is the epoch index the base opens; ``step`` its boundary
+    step.  The full-history fallback rung reports ``epoch=0, step=0``.
+    """
+
+    epoch: int
+    step: int
+    attempts: int
+    success: bool
+    entries: int
+    reason: str = ""
+
+    @property
+    def full_history(self) -> bool:
+        return self.step == 0
+
+    def describe(self) -> str:
+        status = "reproduced" if self.success else "failed"
+        base = (
+            "full history" if self.full_history
+            else f"epoch {self.epoch} (step {self.step})"
+        )
+        tail = f" ({self.reason})" if self.reason else ""
+        return (
+            f"{base}: {status} after {self.attempts} attempt(s), "
+            f"{self.entries} suffix entries{tail}"
+        )
+
+
+@dataclass
 class ReproductionReport:
     """Outcome of one reproduction session.
 
@@ -100,6 +133,9 @@ class ReproductionReport:
     dropped_records: int = 0
     #: every rung the degradation ladder tried, in order.
     degradation_path: List[DegradationRung] = field(default_factory=list)
+    #: every replay base the epoch walk tried, newest first (populated by
+    #: :func:`reproduce_windowed`; empty for full-history sessions).
+    epoch_path: List[EpochRung] = field(default_factory=list)
     #: the sketch level that finally reproduced the bug (success only).
     winning_sketch: Optional[SketchKind] = None
     #: structured explanation of the final outcome.
@@ -173,6 +209,7 @@ class Reproducer:
         supervise: Optional["SuperviseConfig"] = None,
         chaos: object = None,
         pool: Optional[PoolLease] = None,
+        epoch_base: Optional[EpochResumeBase] = None,
     ) -> None:
         if recorded.failure is None:
             raise SimUsageError(
@@ -204,6 +241,7 @@ class Reproducer:
             match_output=match_output,
             max_candidates_per_attempt=self.config.max_candidates_per_attempt,
             max_constraint_depth=self.config.max_constraint_depth,
+            epoch_base=epoch_base,
         )
         self.explorer: object
         # Supervision and chaos live in the batch engine, so asking for
@@ -228,6 +266,7 @@ class Reproducer:
                 supervise=supervise,
                 chaos=chaos,
                 pool=pool,
+                epoch_base=epoch_base,
             )
         elif use_feedback:
             self.explorer = FeedbackExplorer(
@@ -452,6 +491,231 @@ def reproduce(
             run.close()
         if close_after is not None:
             close_after.close()
+
+
+# -- epoch-windowed reproduction ---------------------------------------------
+
+
+def epoch_replay_ladder(recorded: RecordedRun) -> List[Optional[EpochBoundary]]:
+    """The replay bases an epoch walk tries, newest boundary first.
+
+    ``None`` marks the full-history rung (replay from step 0 with the
+    whole retained log).  It is only reachable when nothing was
+    truncated: with entries dropped off the front, the oldest retained
+    boundary *is* the horizon — the window was too tight for anything
+    older, and the walk must say so instead of replaying a log that no
+    longer matches step 0.
+    """
+    timeline = recorded.epochs
+    if timeline is None:
+        return [None]
+    ladder: List[Optional[EpochBoundary]] = list(timeline.replay_bases())
+    if timeline.truncated_entries == 0 and timeline.truncated_epochs == 0:
+        ladder.append(None)
+    return ladder or [None]
+
+
+def reproduce_windowed(
+    recorded: RecordedRun,
+    config: Optional[ExplorerConfig] = None,
+    use_feedback: bool = True,
+    base_policy: str = "random",
+    match_output: bool = False,
+    seed_backoff: int = 101,
+    jobs: Optional[int] = None,
+    cache: Optional[AttemptCache] = None,
+    store: object = None,
+    obs: Optional[ObsSession] = None,
+    supervise: Optional[SuperviseConfig] = None,
+    chaos: object = None,
+) -> ReproductionReport:
+    """Reproduce an epoch-windowed recording by last-epoch in-situ replay.
+
+    Instead of re-simulating from step 0, each rung restores one
+    boundary snapshot (newest healthy boundary first) and searches only
+    the epoch-local suffix of the sketch; older boundaries widen the
+    search window, and the full-history rung runs last — but only when
+    the window truncated nothing, the ladder's fallback rule.  The walk
+    is a pure function of its inputs: budgets split exactly across rungs
+    (remainder to the newest — the PRES bet is that the bug lives in the
+    last epoch) and the base seed backs off deterministically per rung,
+    so reports are byte-identical across ``jobs`` and across window
+    sizes that cover the reproducing epoch.
+
+    A recording without an epoch timeline falls back to plain
+    :func:`reproduce` untouched.
+
+    With a ``store``, attempt entries persisted under boundaries that
+    have since been dropped from the window are expired before the walk
+    (see :meth:`~repro.store.attempt_store.AttemptStore.expire_epochs`).
+    """
+    timeline = recorded.epochs
+    if timeline is None:
+        return reproduce(
+            recorded, config=config, use_feedback=use_feedback,
+            base_policy=base_policy, match_output=match_output, jobs=jobs,
+            cache=cache, store=store, obs=obs, supervise=supervise,
+            chaos=chaos,
+        )
+    base_config = config or ExplorerConfig()
+    if jobs is not None:
+        base_config = dataclasses.replace(base_config, jobs=jobs)
+    session = resolve_session(base_config, obs)
+    cache, close_after = _resolve_store(store, cache)
+    try:
+        ladder = epoch_replay_ladder(recorded)
+        rung_logs = [
+            recorded.log if boundary is None else suffix_log(
+                recorded.log, timeline, boundary,
+                program_name=recorded.program.name, seed=recorded.seed,
+            )
+            for boundary in ladder
+        ]
+        _expire_dropped_epochs(cache, recorded, rung_logs, session)
+        budgets = split_rung_budgets(base_config.max_attempts, len(ladder))
+        shared_cache = cache if cache is not None else AttemptCache()
+        path: List[EpochRung] = []
+        merged_records: List[AttemptRecord] = []
+        total_attempts = 0
+        total_steps = 0
+        duplicates = 0
+        cache_hits = 0
+        prefix_hits = 0
+        session.metrics.counter("epoch.replay_bases").inc(len(ladder))
+
+        for index, boundary in enumerate(ladder):
+            if budgets[index] <= 0:
+                continue
+            session.metrics.counter("epoch.rungs").inc()
+            rung_log = rung_logs[index]
+            epoch_base = None
+            if boundary is not None:
+                epoch_base = EpochResumeBase(
+                    state=boundary.snapshot,
+                    step=boundary.step,
+                    epoch=boundary.epoch,
+                )
+            rung_recorded = dataclasses.replace(recorded, log=rung_log)
+            rung_config = dataclasses.replace(
+                base_config,
+                max_attempts=budgets[index],
+                base_seed=base_config.base_seed + index * seed_backoff,
+            )
+            span_base = "full-history" if boundary is None else (
+                f"epoch {boundary.epoch}"
+            )
+            with session.tracer.span(
+                f"epoch rung {span_base}", category="ladder",
+                budget=budgets[index], entries=len(rung_log),
+            ):
+                report = Reproducer(
+                    rung_recorded,
+                    config=rung_config,
+                    use_feedback=use_feedback,
+                    base_policy=base_policy,
+                    match_output=match_output,
+                    cache=shared_cache,
+                    obs=session,
+                    supervise=supervise,
+                    chaos=chaos,
+                    epoch_base=epoch_base,
+                ).run()
+            total_attempts += report.attempts
+            total_steps += report.total_replay_steps
+            duplicates += report.duplicate_traces
+            cache_hits = shared_cache.hits
+            prefix_hits += report.prefix_hits
+            merged_records.extend(report.records)
+            path.append(
+                EpochRung(
+                    epoch=0 if boundary is None else boundary.epoch,
+                    step=0 if boundary is None else boundary.step,
+                    attempts=report.attempts,
+                    success=report.success,
+                    entries=len(rung_log),
+                    reason="" if report.success else _rung_failure_reason(report),
+                )
+            )
+            if report.interrupted or report.success:
+                reason = ""
+                if report.success:
+                    session.metrics.counter("epoch.reproduced").inc()
+                    reason = (
+                        "reproduced from the full history"
+                        if boundary is None else
+                        f"reproduced from the epoch {boundary.epoch} "
+                        f"boundary (step {boundary.step})"
+                    )
+                return dataclasses.replace(
+                    report,
+                    attempts=total_attempts,
+                    records=merged_records,
+                    total_replay_steps=total_steps,
+                    duplicate_traces=duplicates,
+                    cache_hits=cache_hits,
+                    prefix_hits=prefix_hits,
+                    epoch_path=path,
+                    outcome_reason=reason or report.outcome_reason,
+                )
+
+        truncated = timeline.truncated_epochs > 0 or timeline.truncated_entries > 0
+        return ReproductionReport(
+            program_name=recorded.program.name,
+            sketch=recorded.sketch,
+            success=False,
+            attempts=total_attempts,
+            records=merged_records,
+            total_replay_steps=total_steps,
+            duplicate_traces=duplicates,
+            cache_hits=cache_hits,
+            prefix_hits=prefix_hits,
+            epoch_path=path,
+            outcome_reason=(
+                "exhausted the epoch ladder within "
+                f"{total_attempts} total attempt(s)"
+                + (
+                    "; the epoch window was too tight to reach full "
+                    f"history ({timeline.truncated_epochs} truncated "
+                    "epoch(s) are unreachable)"
+                    if truncated else ""
+                )
+            ),
+        )
+    finally:
+        if close_after is not None:
+            close_after.close()
+
+
+def _expire_dropped_epochs(
+    cache: Optional[AttemptCache],
+    recorded: RecordedRun,
+    rung_logs: List["object"],
+    session: ObsSession,
+) -> None:
+    """Expire store entries persisted under no-longer-live epoch bases.
+
+    Only fires when the cache is store-backed: the live set is the
+    fingerprints of this timeline's replay-base suffix logs (plus the
+    retained full log); registered epoch entries outside it belong to
+    boundaries the rolling window has dropped and can never be looked up
+    again.
+    """
+    store = getattr(cache, "store", None)
+    if store is None or not hasattr(store, "expire_epochs"):
+        return
+    tags = {}
+    for log in rung_logs:
+        if getattr(log, "base_tag", ""):
+            tags[log.fingerprint()] = {
+                "program": recorded.program.name,
+                "seed": recorded.seed,
+                "base": log.base_tag,
+            }
+    live = {log.fingerprint() for log in rung_logs}
+    store.register_epoch_fingerprints(tags)
+    report = store.expire_epochs(live)
+    if report.expired:
+        session.metrics.counter("store.epochs_expired").inc(len(report.expired))
 
 
 # -- graceful degradation ----------------------------------------------------

@@ -4,6 +4,14 @@ A :class:`SketchLog` is the ordered list of :class:`~repro.core.sketches.
 SketchEntry` plus enough metadata to size it.  Serialization is a compact
 binary framing (interned keys, fixed-width entries) with a JSON alternative
 for debugging; both round-trip exactly.
+
+Epoch-windowed recording (``pres record --epoch-steps``) marks the log
+with *epoch structure*: the entry indices where each retained epoch
+begins plus how many entries/epochs deterministic truncation dropped off
+the front.  Epoch-marked logs serialize as format version 2 (an extra
+epoch block between the header and the key table); logs without epoch
+structure keep emitting the byte-identical version-1 framing, and v1
+artifacts load as a single untruncated epoch.
 """
 
 from __future__ import annotations
@@ -22,7 +30,12 @@ from repro.sim.ops import OpKind
 _MAGIC = b"PRES"
 _CMAGIC = b"PREZ"
 _VERSION = 1
+#: version emitted when the log carries epoch structure; v1 readers of
+#: old artifacts are unaffected because plain logs still write v1.
+_EPOCH_VERSION = 2
 _ENTRY = struct.Struct("<IBH")  # tid, kind code, key index
+_EPOCH_HEAD = struct.Struct("<III")  # n epoch starts, truncated entries/epochs
+_EPOCH_START = struct.Struct("<I")
 
 _KIND_CODES = {kind: i for i, kind in enumerate(OpKind)}
 _CODE_KINDS = {i: kind for kind, i in _KIND_CODES.items()}
@@ -65,6 +78,19 @@ class SketchLog:
 
     sketch: SketchKind
     entries: List[SketchEntry] = field(default_factory=list)
+    #: entry indices (into ``entries``) where each retained epoch begins;
+    #: ``[]`` means the whole log is one epoch.  When set, the first
+    #: element is always 0 and the indices are strictly increasing.
+    epoch_starts: List[int] = field(default_factory=list)
+    #: sketch entries dropped off the front by the recording window.
+    truncated_entries: int = 0
+    #: whole epochs dropped off the front by the recording window.
+    truncated_epochs: int = 0
+    #: runtime-only replay-base tag (never serialized): epoch-suffix logs
+    #: carry the identity of the snapshot they replay from, folded into
+    #: :meth:`fingerprint` so attempt-cache/store keys cannot collide
+    #: with a full-history log that happens to share the same entries.
+    base_tag: str = field(default="", repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -74,6 +100,39 @@ class SketchLog:
 
     def append(self, entry: SketchEntry) -> None:
         self.entries.append(entry)
+
+    # -- epoch structure --------------------------------------------------
+
+    def epoch_marked(self) -> bool:
+        """Whether this log carries non-trivial epoch structure.
+
+        A log whose structure is trivial (no truncation, at most one
+        epoch starting at 0) serializes as plain version-1 bytes so
+        pre-epoch readers and byte-level fixtures are unaffected.
+        """
+        if self.truncated_entries > 0 or self.truncated_epochs > 0:
+            return True
+        return bool(self.epoch_starts) and list(self.epoch_starts) != [0]
+
+    @property
+    def epoch_count(self) -> int:
+        """Number of retained epochs (a plain log is one epoch)."""
+        return max(1, len(self.epoch_starts))
+
+    def epoch_spans(self) -> List[Tuple[int, int]]:
+        """Retained epochs as ``(start, end)`` entry-index pairs."""
+        starts = list(self.epoch_starts) or [0]
+        ends = starts[1:] + [len(self.entries)]
+        return list(zip(starts, ends))
+
+    def _check_epoch_structure(self, n_entries: int) -> None:
+        starts = list(self.epoch_starts)
+        if not starts:
+            return
+        if starts[0] != 0 or starts != sorted(set(starts)) or starts[-1] > n_entries:
+            raise SketchFormatError(
+                f"corrupt epoch block: starts {starts!r} for {n_entries} entries"
+            )
 
     # -- sizing ----------------------------------------------------------
 
@@ -90,7 +149,12 @@ class SketchLog:
     # -- binary serialization ------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Compact framing: header, interned key table, fixed entries."""
+        """Compact framing: header, interned key table, fixed entries.
+
+        Epoch-marked logs (see :meth:`epoch_marked`) emit version 2 with
+        an epoch block between the header and the key table; plain logs
+        emit the byte-identical version-1 framing.
+        """
         tokens: Dict[str, int] = {}
         packed_entries = []
         for entry in self.entries:
@@ -102,10 +166,18 @@ class SketchLog:
                 _ENTRY.pack(entry.tid, _KIND_CODES[entry.kind], index)
             )
         table = json.dumps(list(tokens)).encode("utf-8")
+        version = _EPOCH_VERSION if self.epoch_marked() else _VERSION
         header = _MAGIC + struct.pack(
-            "<BBII", _VERSION, _SKETCH_CODES[self.sketch], len(table), len(packed_entries)
+            "<BBII", version, _SKETCH_CODES[self.sketch], len(table), len(packed_entries)
         )
-        return header + table + b"".join(packed_entries)
+        epoch_block = b""
+        if version == _EPOCH_VERSION:
+            self._check_epoch_structure(len(self.entries))
+            starts = list(self.epoch_starts) or [0]
+            epoch_block = _EPOCH_HEAD.pack(
+                len(starts), self.truncated_entries, self.truncated_epochs
+            ) + b"".join(_EPOCH_START.pack(s) for s in starts)
+        return header + epoch_block + table + b"".join(packed_entries)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SketchLog":
@@ -117,9 +189,23 @@ class SketchLog:
             )
         except struct.error as exc:
             raise SketchFormatError(f"truncated header: {exc}") from None
-        if version != _VERSION:
+        if version not in (_VERSION, _EPOCH_VERSION):
             raise SketchFormatError(f"unsupported sketch log version {version}")
         offset = 4 + struct.calcsize("<BBII")
+        epoch_starts: List[int] = []
+        truncated_entries = 0
+        truncated_epochs = 0
+        if version == _EPOCH_VERSION:
+            try:
+                n_starts, truncated_entries, truncated_epochs = _EPOCH_HEAD.unpack_from(
+                    data, offset
+                )
+                offset += _EPOCH_HEAD.size
+                for _ in range(n_starts):
+                    epoch_starts.append(_EPOCH_START.unpack_from(data, offset)[0])
+                    offset += _EPOCH_START.size
+            except struct.error as exc:
+                raise SketchFormatError(f"truncated epoch block: {exc}") from None
         try:
             tokens = json.loads(data[offset:offset + table_len].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -131,14 +217,36 @@ class SketchLog:
             raise SketchFormatError(
                 f"truncated entries: have {len(data)} bytes, need {expected}"
             )
-        log = cls(sketch=_CODE_SKETCHES[sketch_code])
+        if len(data) > expected:
+            # Distinct from truncation so `pres doctor` can tell a short
+            # copy apart from tail corruption / concatenation damage.
+            raise SketchFormatError(
+                f"{len(data) - expected} byte(s) of trailing garbage after "
+                f"the declared {n_entries} entries"
+            )
+        try:
+            sketch = _CODE_SKETCHES[sketch_code]
+        except KeyError:
+            raise SketchFormatError(f"unknown sketch code {sketch_code}") from None
+        log = cls(
+            sketch=sketch,
+            epoch_starts=epoch_starts,
+            truncated_entries=truncated_entries,
+            truncated_epochs=truncated_epochs,
+        )
         for i in range(n_entries):
             tid, kind_code, key_index = _ENTRY.unpack_from(data, offset + i * _ENTRY.size)
             try:
                 key = keys[key_index]
             except IndexError:
                 raise SketchFormatError(f"entry {i} references unknown key {key_index}") from None
-            log.append(SketchEntry(tid=tid, kind=_CODE_KINDS[kind_code], key=key))
+            try:
+                kind = _CODE_KINDS[kind_code]
+            except KeyError:
+                raise SketchFormatError(f"entry {i} has unknown op kind {kind_code}") from None
+            log.append(SketchEntry(tid=tid, kind=kind, key=key))
+        if version == _EPOCH_VERSION:
+            log._check_epoch_structure(n_entries)
         return log
 
     # -- compressed serialization ----------------------------------------------
@@ -156,6 +264,13 @@ class SketchLog:
 
     @classmethod
     def from_bytes_compressed(cls, data: bytes) -> "SketchLog":
+        if len(data) < 4:
+            # The slice below would be IndexError-safe, but a too-short
+            # input deserves its own diagnosis rather than "bad magic".
+            raise SketchFormatError(
+                f"compressed sketch log too short: {len(data)} byte(s), "
+                "need at least a 4-byte magic"
+            )
         if data[:4] != _CMAGIC:
             raise SketchFormatError("bad magic; not a compressed PRES sketch log")
         try:
@@ -171,22 +286,34 @@ class SketchLog:
     # -- JSON serialization ---------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "sketch": self.sketch.value,
-                "entries": [
-                    [e.tid, e.kind.value, _jsonable(e.key)] for e in self.entries
-                ],
+        payload: Dict[str, Any] = {
+            "sketch": self.sketch.value,
+            "entries": [
+                [e.tid, e.kind.value, _jsonable(e.key)] for e in self.entries
+            ],
+        }
+        if self.epoch_marked():
+            self._check_epoch_structure(len(self.entries))
+            payload["epochs"] = {
+                "starts": list(self.epoch_starts) or [0],
+                "truncated_entries": self.truncated_entries,
+                "truncated_epochs": self.truncated_epochs,
             }
-        )
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "SketchLog":
         try:
             payload = json.loads(text)
-            log = cls(sketch=SketchKind(payload["sketch"]))
+            epochs = payload.get("epochs") or {}
+            log = cls(
+                sketch=SketchKind(payload["sketch"]),
+                epoch_starts=[int(s) for s in epochs.get("starts", [])],
+                truncated_entries=int(epochs.get("truncated_entries", 0)),
+                truncated_epochs=int(epochs.get("truncated_epochs", 0)),
+            )
             entries = payload["entries"]
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
             raise SketchFormatError(f"corrupt JSON sketch log: {exc}") from None
         for number, record in enumerate(entries, start=1):
             try:
@@ -195,6 +322,7 @@ class SketchLog:
                 raise SketchFormatError(
                     f"corrupt JSON sketch log: entry {number}: {exc}"
                 ) from None
+        log._check_epoch_structure(len(log.entries))
         return log
 
     def fingerprint(self) -> str:
@@ -208,6 +336,10 @@ class SketchLog:
         if cached is not None and cached[0] == len(self.entries):
             return cached[1]
         digest = hashlib.sha1(self.sketch.value.encode("utf-8"))
+        if self.base_tag:
+            # Epoch-suffix logs replay from a snapshot, not from step 0;
+            # the snapshot identity is part of what the log constrains.
+            digest.update(f"base:{self.base_tag}".encode("utf-8"))
         for entry in self.entries:
             digest.update(
                 f"{entry.tid}:{entry.kind.value}:{_key_to_token(entry.key)}".encode("utf-8")
@@ -277,8 +409,23 @@ def derive_coarser(log: SketchLog, target: SketchKind) -> SketchLog:
         return cached
     keep = visible_kinds(target)
     derived = SketchLog(sketch=target)
-    for entry in log.entries:
+    starts = set(log.epoch_starts)
+    projected_starts: List[int] = []
+    for index, entry in enumerate(log.entries):
+        if index in starts:
+            projected_starts.append(len(derived.entries))
         if entry.kind in keep:
             derived.append(entry)
+    if log.epoch_marked():
+        # Epoch boundaries are positions, not entries: each retained
+        # boundary projects to "how many kept entries precede it", and
+        # epochs emptied by the projection collapse into their neighbour.
+        # The truncated-entry count stays at the source sketch's
+        # granularity (an upper bound for the coarser view); truncated
+        # epochs are exact either way.
+        derived.epoch_starts = sorted(set(projected_starts)) or [0]
+        derived.truncated_entries = log.truncated_entries
+        derived.truncated_epochs = log.truncated_epochs
+        derived.base_tag = log.base_tag
     cache[key] = derived
     return derived

@@ -159,6 +159,7 @@ class Machine:
         *,
         snapshot_depths: Iterable[int] = (),
         on_snapshot: Optional[Callable[["Machine"], None]] = None,
+        snapshot_when: Optional[Callable[["Machine"], bool]] = None,
         stop_after: Optional[int] = None,
     ) -> Trace:
         """Execute the program to completion; returns the trace.
@@ -167,8 +168,12 @@ class Machine:
         of the step loop whenever ``len(schedule)`` is a requested depth —
         the state at that moment is exactly "``depth`` steps executed,
         nothing failed yet", which is what :meth:`capture_state` wants.
-        ``stop_after`` ends the run once that many steps have executed
-        (used when a snapshot producer has no use for the suffix).
+        ``snapshot_when`` is the dynamic variant: a predicate consulted at
+        the same point, for producers (the epoch-windowed recorder) whose
+        boundaries depend on run state rather than a precomputed depth
+        set.  ``stop_after`` ends the run once that many steps have
+        executed (used when a snapshot producer has no use for the
+        suffix).
         """
         if self._ran:
             raise SimUsageError("a Machine is single-use; build a fresh one")
@@ -185,7 +190,10 @@ class Machine:
         depths = frozenset(snapshot_depths)
 
         while self.failure is None:
-            if on_snapshot is not None and len(self.schedule) in depths:
+            if on_snapshot is not None and (
+                len(self.schedule) in depths
+                or (snapshot_when is not None and snapshot_when(self))
+            ):
                 on_snapshot(self)
             if stop_after is not None and len(self.schedule) >= stop_after:
                 break

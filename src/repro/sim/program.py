@@ -170,6 +170,16 @@ class ThreadContext:
         """Consume ``duration`` units of simulated time."""
         return Op(OpKind.SYSCALL, name="sleep", args=(duration,))
 
+    def epoch_barrier(self) -> Op:
+        """Request an epoch boundary from an epoch-windowed recorder.
+
+        A kernel no-op: applications place it at natural quiescent points
+        (a served request, a committed transaction) so the recorder can
+        cut its rolling window there.  Without ``--epoch-steps`` the
+        marker is just an ordinary (SYS-visible) syscall.
+        """
+        return Op(OpKind.SYSCALL, name="epoch_barrier", args=())
+
     # -- instrumentation markers -----------------------------------------
 
     def bb(self, label: str) -> Op:

@@ -19,6 +19,8 @@ Provided facilities:
     Simulated wall clock (the machine's maximum CPU virtual time).
 ``sleep(duration)``
     Consume virtual time without doing work.
+``epoch_barrier()``
+    No-op marker an epoch-windowed recorder cuts its rolling window on.
 """
 
 from __future__ import annotations
@@ -134,3 +136,8 @@ class Kernel:
         # Time accounting happens in the machine's clock; nothing to do here.
         if duration < 0:
             raise SimSyscallError(f"sleep({duration}) requires duration >= 0")
+
+    def _sys_epoch_barrier(self) -> None:
+        # The epoch-windowed recorder watches for this marker in the event
+        # stream (see repro.core.epochs); the kernel itself does nothing.
+        pass

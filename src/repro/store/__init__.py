@@ -19,6 +19,7 @@ stats|verify|gc`` for the operator surface.
 
 from repro.store.attempt_store import (
     AttemptStore,
+    EpochExpiryReport,
     GCReport,
     ShardReport,
     StoreStats,
@@ -37,6 +38,7 @@ from repro.store.persistent import PersistentAttemptCache
 
 __all__ = [
     "AttemptStore",
+    "EpochExpiryReport",
     "GCReport",
     "PersistentAttemptCache",
     "ShardReport",

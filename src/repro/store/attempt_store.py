@@ -56,9 +56,13 @@ STORE_VERSION = 1
 SHARD_FILE = "attempts.jsonl"
 #: File name of the store-level metadata blob.
 META_FILE = "meta.json"
+#: File name of the epoch-base registry (which shards replay from a
+#: boundary snapshot, and from which one).
+EPOCHS_FILE = "epochs.json"
 
 __all__ = [
     "AttemptStore",
+    "EpochExpiryReport",
     "GCReport",
     "ShardReport",
     "StoreStats",
@@ -209,6 +213,25 @@ class StoreVerifyReport:
             lines.append(f"  quarantined: {path}")
         lines.append("store: " + ("ok" if self.ok else "DAMAGED"))
         return "\n".join(lines)
+
+
+@dataclass
+class EpochExpiryReport:
+    """What one :meth:`AttemptStore.expire_epochs` pass did."""
+
+    root: str
+    #: registered epoch-base fingerprints still live after the pass.
+    live: int = 0
+    #: fingerprints whose registration was dropped (no longer live).
+    expired: List[str] = field(default_factory=list)
+    #: expired fingerprints that also had an on-disk shard removed.
+    shards_removed: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.root}: {len(self.expired)} epoch base(s) expired "
+            f"({self.shards_removed} shard(s) removed), {self.live} live"
+        )
 
 
 @dataclass
@@ -606,6 +629,99 @@ class AttemptStore:
             os.replace(temp, path)
             out.shards_rewritten += 1
         return out
+
+    # -- epoch-base expiry ----------------------------------------------
+    #
+    # Not to be confused with the store's *open counter* (also called
+    # "epoch" in ``meta.json``): the registry below tracks recording-side
+    # epoch boundaries — shards whose sketch fingerprint is bound to a
+    # boundary snapshot.  Once the rolling window drops a boundary, its
+    # suffix-log fingerprint can never be looked up again (the fingerprint
+    # carries the boundary identity), so the shard is dead weight that
+    # ordinary LRU gc would only reclaim under record pressure.
+
+    def _epochs_path(self) -> str:
+        return os.path.join(self.root, EPOCHS_FILE)
+
+    def _load_epoch_registry(self) -> Dict[str, Any]:
+        try:
+            with open(self._epochs_path(), "r", encoding="utf-8") as handle:
+                bases = json.load(handle).get("bases", {})
+                if isinstance(bases, dict):
+                    return bases
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError, TypeError, json.JSONDecodeError):
+            pass
+        # A torn registry costs only expiry bookkeeping, never records.
+        self.salvage_events += 1
+        return {}
+
+    def _write_epoch_registry(self, bases: Dict[str, Any]) -> None:
+        atomic_write_text(
+            self._epochs_path(),
+            json.dumps(
+                {
+                    "format": STORE_FORMAT,
+                    "version": STORE_VERSION,
+                    "bases": {k: bases[k] for k in sorted(bases)},
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def register_epoch_fingerprints(self, tags: Dict[str, Any]) -> None:
+        """Record that these sketch fingerprints are epoch-base-bound.
+
+        ``tags`` maps fingerprint -> descriptive metadata (program, seed,
+        boundary tag).  Merged into ``epochs.json`` atomically; repeat
+        registrations of a live base are idempotent.
+        """
+        if not tags:
+            return
+        with self._lock:
+            bases = self._load_epoch_registry()
+            bases.update(tags)
+            self._write_epoch_registry(bases)
+
+    def expire_epochs(self, live: Any) -> EpochExpiryReport:
+        """Expire attempt shards of epoch bases not in ``live``.
+
+        ``live`` is the collection of fingerprints still reachable from
+        some recording's retained window.  Registered fingerprints
+        outside it are unregistered and their shards (if any) removed —
+        deterministically, in sorted fingerprint order.  Fingerprints
+        never registered are untouched: full-history shards do not
+        expire here, only :meth:`gc` bounds those.
+        """
+        live_set = set(live)
+        with self._lock:
+            out = EpochExpiryReport(root=self.root)
+            bases = self._load_epoch_registry()
+            survivors: Dict[str, Any] = {}
+            for fingerprint in sorted(bases):
+                if fingerprint in live_set:
+                    survivors[fingerprint] = bases[fingerprint]
+                    continue
+                out.expired.append(fingerprint)
+                writer = self._writers.pop(fingerprint, None)
+                if writer is not None:
+                    writer.close()
+                self._shards.pop(fingerprint, None)
+                path = self.shard_path(fingerprint)
+                if os.path.isfile(path):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    self._remove_empty_dirs(path)
+                    out.shards_removed += 1
+                    self.evictions += 1
+            out.live = len(survivors)
+            if out.expired:
+                self._write_epoch_registry(survivors)
+            return out
 
     def _remove_empty_dirs(self, shard_file: str) -> None:
         """Prune ``<fp>/`` and then ``<fp[:2]>/`` when they emptied out."""

@@ -108,6 +108,20 @@ class TestOverheadAccounting:
         recorded = record(counter_program(), SketchKind.SYNC, seed=2)
         assert "overhead" in recorded.describe()
 
+    def test_unusable_native_baseline_is_not_zero_overhead(self):
+        # A dead baseline must read "unmeasured", never "free": overhead
+        # is None (not 0.0) and renders as n/a wherever it is shown.
+        from dataclasses import replace
+
+        recorded = record(counter_program(), SketchKind.SYNC, seed=2)
+        broken = replace(recorded.stats, native_time=0)
+        assert broken.overhead is None
+        assert broken.overhead_percent is None
+        assert broken.render_overhead() == "n/a"
+        assert replace(recorded, stats=broken).describe().count("n/a") == 1
+        # A real baseline still renders a percentage.
+        assert recorded.stats.render_overhead().endswith("%")
+
 
 class TestFailureCapture:
     def test_failing_run_recorded_with_failure(self):

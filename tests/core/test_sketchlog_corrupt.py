@@ -1,0 +1,180 @@
+"""Corrupt-input matrix for the sketch-log codec.
+
+Every damaged artifact must surface as :class:`SketchFormatError` — the
+named, actionable error ``pres doctor`` routes on — never as a raw
+``zlib.error`` or ``struct.error`` escaping from the decoder.  Also pins
+the epoch extensions: trailing garbage is distinguishable from
+truncation, epoch-marked logs round-trip byte-identically, and plain
+logs keep emitting the v1 wire format.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.sketches import SketchEntry, SketchKind
+from repro.core.sketchlog import SketchLog
+from repro.errors import SketchFormatError
+from repro.sim.ops import OpKind
+
+
+def make_log(entries, sketch=SketchKind.SYNC, **fields):
+    log = SketchLog(sketch=sketch)
+    for tid, kind, key in entries:
+        log.append(SketchEntry(tid=tid, kind=kind, key=key))
+    for name, value in fields.items():
+        setattr(log, name, value)
+    return log
+
+
+SAMPLE = [
+    (1, OpKind.LOCK, "m"),
+    (2, OpKind.UNLOCK, "m"),
+    (1, OpKind.SYSCALL, ("send", "ch")),
+    (3, OpKind.BASIC_BLOCK, "loop.head"),
+    (1, OpKind.WRITE, ("buf", 3)),
+    (0, OpKind.SPAWN, None),
+]
+
+
+class TestCorruptMatrix:
+    """One test per damage mode; each must raise SketchFormatError."""
+
+    def test_truncated_header(self):
+        data = make_log(SAMPLE).to_bytes()
+        for cut in range(1, 12):
+            with pytest.raises(SketchFormatError):
+                SketchLog.from_bytes(data[:cut])
+
+    def test_truncated_entries(self):
+        data = make_log(SAMPLE).to_bytes()
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_bytes(data[:-3])
+
+    def test_bad_magic(self):
+        with pytest.raises(SketchFormatError, match="magic"):
+            SketchLog.from_bytes(b"NOPE" + b"\x00" * 32)
+
+    def test_unknown_version(self):
+        data = bytearray(make_log(SAMPLE).to_bytes())
+        data[4] = 99
+        with pytest.raises(SketchFormatError, match="version"):
+            SketchLog.from_bytes(bytes(data))
+
+    def test_short_compressed_payload(self):
+        # Shorter than even the 4-byte magic: the explicit length check,
+        # not an IndexError or a zlib surprise.
+        for size in range(4):
+            with pytest.raises(SketchFormatError, match="too short"):
+                SketchLog.from_bytes_compressed(b"PRE"[:size])
+
+    def test_corrupt_compressed_body_is_not_zlib_error(self):
+        data = bytearray(make_log(SAMPLE).to_bytes_compressed())
+        data[10] ^= 0xFF
+        try:
+            SketchLog.from_bytes_compressed(bytes(data))
+        except SketchFormatError:
+            pass  # the only acceptable failure type
+        except zlib.error as exc:  # pragma: no cover - the regression
+            pytest.fail(f"raw zlib.error escaped the codec: {exc}")
+
+    def test_trailing_garbage_rejected_and_named(self):
+        data = make_log(SAMPLE).to_bytes()
+        with pytest.raises(SketchFormatError, match="trailing garbage"):
+            SketchLog.from_bytes(data + b"\x00\x01\x02")
+
+    def test_trailing_garbage_distinct_from_truncation(self):
+        # `pres doctor` tells the two damage shapes apart by message:
+        # truncation points at what is missing, garbage at what is extra.
+        data = make_log(SAMPLE).to_bytes()
+        with pytest.raises(SketchFormatError) as extra:
+            SketchLog.from_bytes(data + b"\xff")
+        with pytest.raises(SketchFormatError) as missing:
+            SketchLog.from_bytes(data[:-2])
+        assert "trailing garbage" in str(extra.value)
+        assert "trailing garbage" not in str(missing.value)
+
+    def test_truncated_epoch_block(self):
+        log = make_log(SAMPLE, epoch_starts=[0, 2, 4], truncated_entries=7,
+                       truncated_epochs=2)
+        data = log.to_bytes()
+        # Cut inside the epoch block (it follows the 12-byte header).
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_bytes(data[:14])
+
+    def test_invalid_epoch_structure_rejected(self):
+        log = make_log(SAMPLE, epoch_starts=[0, 4, 2])  # not increasing
+        with pytest.raises(SketchFormatError, match="epoch"):
+            SketchLog.from_bytes(log.to_bytes())
+
+    def test_corrupt_json_epochs_rejected(self):
+        log = make_log(SAMPLE, epoch_starts=[0, 3], truncated_entries=5,
+                       truncated_epochs=1)
+        text = log.to_json().replace('"starts": [0, 3]', '"starts": [3, 0]')
+        with pytest.raises(SketchFormatError):
+            SketchLog.from_json(text)
+
+
+entry_strategy = st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.sampled_from([OpKind.LOCK, OpKind.UNLOCK, OpKind.READ, OpKind.WRITE,
+                     OpKind.SPAWN, OpKind.BASIC_BLOCK]),
+    st.text(alphabet="abcxyz", min_size=1, max_size=4),
+)
+
+
+class TestEpochRoundTrip:
+    @given(
+        entries=st.lists(entry_strategy, min_size=1, max_size=12),
+        truncated=st.integers(min_value=0, max_value=50),
+        data=st.data(),
+    )
+    def test_epoch_marked_logs_reserialize_byte_identically(
+        self, entries, truncated, data
+    ):
+        n = len(entries)
+        extra = data.draw(
+            st.lists(st.integers(min_value=1, max_value=n), max_size=4)
+        )
+        starts = sorted(set([0] + extra))
+        # A lone [0] with nothing truncated canonicalizes to the plain
+        # v1 form; the epoch property is about *marked* logs.
+        assume(truncated > 0 or len(starts) > 1)
+        log = make_log(entries, epoch_starts=starts,
+                       truncated_entries=truncated,
+                       truncated_epochs=1 if truncated else 0)
+        wire = log.to_bytes()
+        restored = SketchLog.from_bytes(wire)
+        assert restored.entries == log.entries
+        assert restored.epoch_starts == log.epoch_starts
+        assert restored.truncated_entries == log.truncated_entries
+        assert restored.truncated_epochs == log.truncated_epochs
+        # The byte-identity contract: decode(encode(x)) re-encodes to
+        # the same bytes, for binary, compressed, and JSON paths.
+        assert restored.to_bytes() == wire
+        assert (
+            SketchLog.from_bytes_compressed(log.to_bytes_compressed())
+            .to_bytes_compressed() == log.to_bytes_compressed()
+        )
+        assert SketchLog.from_json(log.to_json()).to_json() == log.to_json()
+
+    @given(entries=st.lists(entry_strategy, max_size=12))
+    def test_plain_logs_keep_the_v1_wire_format(self, entries):
+        log = make_log(entries)
+        data = log.to_bytes()
+        assert data[4] == 1  # version byte: no epoch block, no v2 bump
+        assert SketchLog.from_bytes(data).to_bytes() == data
+
+    def test_epoch_marked_log_uses_v2(self):
+        log = make_log(SAMPLE, epoch_starts=[0, 2], truncated_entries=3,
+                       truncated_epochs=1)
+        assert log.to_bytes()[4] == 2
+
+    def test_v1_log_loads_as_one_epoch(self):
+        restored = SketchLog.from_bytes(make_log(SAMPLE).to_bytes())
+        assert restored.epoch_starts == []
+        assert restored.epoch_count == 1
+        assert restored.epoch_spans() == [(0, len(SAMPLE))]
+        assert not restored.epoch_marked()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI regression gate over an E18 epoch-windowing JSON artifact.
+
+Reads the ``BENCH_e18.json`` written by ``pres bench e18 --json`` and
+fails (exit 1) when epoch-windowed recording has regressed:
+
+* any bug's epoch walk failed to reproduce within the attempt cap;
+* any bug's epoch walk needed *more* attempts than the full-history
+  baseline on the same production run — last-epoch replay must never be
+  a diagnosability downgrade;
+* a long-running server bug's windowed log is not *strictly* smaller
+  than the full-history log — the entire point of the rolling window;
+* a server bug's report was not byte-identical across ``--jobs`` arms
+  or across window sizes K and K+1 — the determinism contracts.
+
+Used by the ``epoch-gate`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def check(data: Dict[str, Any]) -> List[str]:
+    """Every gate failure in ``data`` (an E18 BenchResult JSON dict)."""
+    failures: List[str] = []
+    records = data.get("records", [])
+    if not records:
+        return ["no bugs in the artifact (records is empty)"]
+
+    for row in records:
+        bug = row.get("bug", "?")
+        if not row.get("windowed_success", False):
+            failures.append(
+                f"{bug}: epoch-windowed reproduction failed "
+                f"(>{row.get('windowed_attempts', '?')} attempts)"
+            )
+        elif row.get("full_success", False) and (
+            int(row.get("windowed_attempts", 0))
+            > int(row.get("full_attempts", 0))
+        ):
+            failures.append(
+                f"{bug}: epoch walk needed {row.get('windowed_attempts')} "
+                f"attempt(s) vs {row.get('full_attempts')} from full "
+                "history — last-epoch replay regressed"
+            )
+        if row.get("server_bug", False):
+            if int(row.get("windowed_bytes", 0)) >= int(
+                row.get("full_bytes", 0)
+            ):
+                failures.append(
+                    f"{bug}: windowed log ({row.get('windowed_bytes')} B) "
+                    f"is not strictly smaller than full history "
+                    f"({row.get('full_bytes')} B)"
+                )
+            if row.get("jobs_identical") is not True:
+                failures.append(
+                    f"{bug}: report is not byte-identical across --jobs "
+                    "arms"
+                )
+            if row.get("window_identical") is not True:
+                failures.append(
+                    f"{bug}: report is not byte-identical across window "
+                    "K vs K+1"
+                )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_epochs.py BENCH_e18.json", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    data = json.loads(path.read_text(encoding="utf-8"))
+    for row in data.get("records", []):
+        print(
+            f"  {row.get('bug', '?'):>20}: "
+            f"{row.get('windowed_bytes', '?')}/{row.get('full_bytes', '?')} B, "
+            f"attempts {row.get('windowed_attempts', '?')} vs "
+            f"{row.get('full_attempts', '?')}, "
+            f"from {row.get('reproduced_from') or 'nowhere'}"
+        )
+    failures = check(data)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("epoch gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
